@@ -1,0 +1,12 @@
+//! Custom bench harness (no Criterion): regenerates every table of the
+//! reproduction deterministically. Run with
+//! `cargo bench -p ptm-bench --bench paper_tables`.
+//!
+//! The measurements are exact step/RMR counts from the simulator, not
+//! wall-clock timings, so a plain `main` is the appropriate harness.
+
+fn main() {
+    // `--quick` (or the bench filter argument "quick") shrinks sweeps.
+    let quick = std::env::args().any(|a| a.contains("quick"));
+    ptm_bench::print_all_tables(quick);
+}

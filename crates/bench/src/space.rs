@@ -1,0 +1,108 @@
+//! E4 — Theorem 3(2): distinct base objects accessed during the last
+//! t-read and `tryC` of a read-only transaction.
+//!
+//! Same workload as E3; measured quantity is the *space* footprint of the
+//! final read + commit. The theorem says a weak-DAP TM with weak invisible
+//! reads must touch at least `m − 1` distinct base objects there;
+//! `ir-progressive` matches it (the m-th read validates `m − 1` version
+//! words plus the value cell), while the ablations that drop a hypothesis
+//! stay O(1).
+
+use crate::table::Table;
+use ptm_core::{TmHarness, TmKind, ALL_TMS};
+use ptm_sim::{ProcessId, TObjId, TOpResult};
+
+/// Measurement of the last read + tryC footprint.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceRun {
+    /// The TM measured.
+    pub tm: TmKind,
+    /// Read-set size.
+    pub m: usize,
+    /// Distinct base objects accessed during the m-th read.
+    pub last_read_objects: usize,
+    /// Distinct base objects accessed during tryC.
+    pub commit_objects: usize,
+}
+
+impl SpaceRun {
+    /// Distinct objects across the last read and tryC, summed (the two
+    /// fragments may overlap, so this is an upper bound on the union —
+    /// for the lower-bound comparison the last read alone suffices).
+    pub fn footprint(&self) -> usize {
+        self.last_read_objects + self.commit_objects
+    }
+}
+
+/// Runs the E4 workload for one TM and read-set size.
+pub fn run_space(tm: TmKind, m: usize) -> SpaceRun {
+    let mut h = TmHarness::new(2, |b| tm.install(b, m));
+    let writer = ProcessId::new(1);
+    let reader = ProcessId::new(0);
+    for i in 0..m {
+        h.run_writer(writer, &[(TObjId::new(i), 7)]);
+    }
+    h.begin(reader);
+    let mut last_cost = Default::default();
+    for i in 0..m {
+        let (res, cost) = h.read(reader, TObjId::new(i));
+        assert_eq!(res, TOpResult::Value(7), "{}: solo read must succeed", tm.name());
+        last_cost = cost;
+    }
+    let (res, commit_cost) = h.try_commit(reader);
+    assert_eq!(res, TOpResult::Committed);
+    h.stop_all();
+    SpaceRun {
+        tm,
+        m,
+        last_read_objects: last_cost.distinct_objects,
+        commit_objects: commit_cost.distinct_objects,
+    }
+}
+
+/// Sweeps all TMs and renders the E4 table.
+pub fn space_table(sizes: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E4 (Theorem 3(2)) — distinct base objects in the m-th read + tryC (bound: ≥ m−1 under weak DAP + weak invisible reads)",
+        &["m", "bound m-1", "ir-progressive", "visible-reads", "tl2", "norec", "glock"],
+    );
+    for &m in sizes {
+        let mut row = vec![m.to_string(), (m - 1).to_string()];
+        for &tm in ALL_TMS {
+            let run = run_space(tm, m);
+            row.push(run.footprint().to_string());
+        }
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progressive_touches_m_distinct_objects_in_last_read() {
+        for m in [4, 8, 16] {
+            let run = run_space(TmKind::Progressive, m);
+            // meta[X_m], val[X_m], plus meta[X_1..X_{m-1}] = m + 1 objects.
+            assert_eq!(run.last_read_objects, m + 1);
+            assert!(run.footprint() >= m - 1, "lower bound respected");
+        }
+    }
+
+    #[test]
+    fn ablations_stay_constant() {
+        for tm in [TmKind::Visible, TmKind::Tl2, TmKind::Norec, TmKind::Glock] {
+            let small = run_space(tm, 4).last_read_objects;
+            let large = run_space(tm, 32).last_read_objects;
+            assert_eq!(small, large, "{}: last-read footprint must not grow", tm.name());
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = space_table(&[2, 4]);
+        assert!(t.render().contains("E4"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Markdown table rendering and power-law fitting for experiment output.
+
+use std::fmt::Write as _;
+
+/// A printable experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&dashes, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)`: the exponent `k` of the
+/// best-fit power law `y ≈ c·x^k`. Points with `y == 0` are skipped.
+pub fn power_law_exponent(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = logs.len() as f64;
+    if logs.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("demo", &["m", "steps"]);
+        t.push(vec!["2".into(), "10".into()]);
+        t.push(vec!["4".into(), "100".into()]);
+        let s = t.render();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| m | steps |"), "got:\n{s}");
+        assert!(s.contains("| 4 |   100 |"), "got:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn exponent_of_quadratic_is_two() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|m| (m as f64, (3 * m * m) as f64)).collect();
+        let k = power_law_exponent(&pts);
+        assert!((k - 2.0).abs() < 0.01, "k = {k}");
+    }
+
+    #[test]
+    fn exponent_of_linear_is_one() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|m| (m as f64, (7 * m) as f64)).collect();
+        let k = power_law_exponent(&pts);
+        assert!((k - 1.0).abs() < 0.01, "k = {k}");
+    }
+
+    #[test]
+    fn degenerate_fit_is_nan() {
+        assert!(power_law_exponent(&[(1.0, 1.0)]).is_nan());
+        assert!(power_law_exponent(&[]).is_nan());
+    }
+}

@@ -1,0 +1,159 @@
+//! E3 / E7 / E8 — Theorem 3(1): step complexity of read-only transactions.
+//!
+//! Workload: after `m` committed setup writers (one per t-object), a
+//! read-only transaction reads `X_1 … X_m` step-contention-free. Measured:
+//! steps of the i-th t-read and the transaction's total steps, per TM.
+//!
+//! Predicted shape: `ir-progressive` (weak DAP + invisible reads, the
+//! hypotheses of the theorem) pays Θ(i) steps for the i-th read and Θ(m²)
+//! total; every TM that drops one hypothesis (visible reads, or a global
+//! clock/seqlock breaking DAP) stays Θ(1) per read, Θ(m) total.
+
+use crate::table::{power_law_exponent, Table};
+use ptm_core::{TmHarness, TmKind, ALL_TMS};
+use ptm_sim::{ProcessId, TObjId, TOpResult};
+
+/// Per-TM measurements of one read-only transaction of size `m`.
+#[derive(Debug, Clone)]
+pub struct ValidationRun {
+    /// The TM measured.
+    pub tm: TmKind,
+    /// Read-set size.
+    pub m: usize,
+    /// Steps of each t-read, in order.
+    pub per_read_steps: Vec<usize>,
+    /// Steps of the final `tryC`.
+    pub commit_steps: usize,
+    /// Total steps of the transaction.
+    pub total_steps: usize,
+}
+
+/// Runs the E3 workload for one TM and read-set size.
+///
+/// # Panics
+///
+/// Panics if any operation of the solo reader aborts (it must not: the
+/// execution is step-contention-free from a t-quiescent configuration).
+pub fn run_validation(tm: TmKind, m: usize) -> ValidationRun {
+    let mut h = TmHarness::new(2, |b| tm.install(b, m));
+    let writer = ProcessId::new(1);
+    let reader = ProcessId::new(0);
+    // Setup: commit an updating transaction per object so versions move.
+    for i in 0..m {
+        h.run_writer(writer, &[(TObjId::new(i), 100 + i as u64)]);
+    }
+    // The measured read-only transaction, solo.
+    h.begin(reader);
+    let mut per_read_steps = Vec::with_capacity(m);
+    for i in 0..m {
+        let (res, cost) = h.read(reader, TObjId::new(i));
+        assert_eq!(
+            res,
+            TOpResult::Value(100 + i as u64),
+            "{}: solo read {i} must return the committed value",
+            tm.name()
+        );
+        per_read_steps.push(cost.steps);
+    }
+    let (res, commit_cost) = h.try_commit(reader);
+    assert_eq!(res, TOpResult::Committed, "{}: solo reader must commit", tm.name());
+    let total_steps = per_read_steps.iter().sum::<usize>() + commit_cost.steps;
+    h.stop_all();
+    ValidationRun { tm, m, per_read_steps, commit_steps: commit_cost.steps, total_steps }
+}
+
+/// Sweeps all TMs over the given read-set sizes and renders the E3
+/// tables. Returns `(total-steps table, per-read table, exponents table)`.
+pub fn validation_tables(sizes: &[usize]) -> (Table, Table, Table) {
+    let mut totals = Table::new(
+        "E3 (Theorem 3(1)) — total steps of an m-read read-only transaction",
+        &["m", "ir-progressive", "visible-reads", "tl2", "norec", "glock"],
+    );
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); ALL_TMS.len()];
+    let mut last_runs: Vec<Option<ValidationRun>> = vec![None; ALL_TMS.len()];
+    for &m in sizes {
+        let mut row = vec![m.to_string()];
+        for (k, &tm) in ALL_TMS.iter().enumerate() {
+            let run = run_validation(tm, m);
+            row.push(run.total_steps.to_string());
+            series[k].push((m as f64, run.total_steps as f64));
+            last_runs[k] = Some(run);
+        }
+        totals.push(row);
+    }
+
+    let biggest = *sizes.last().expect("at least one size");
+    let mut per_read = Table::new(
+        format!("E3 — steps of the i-th t-read (m = {biggest})"),
+        &["i", "ir-progressive", "visible-reads", "tl2", "norec", "glock"],
+    );
+    let probe_indices: Vec<usize> = [1, biggest / 4, biggest / 2, biggest]
+        .iter()
+        .copied()
+        .filter(|&i| i >= 1)
+        .collect();
+    for &i in &probe_indices {
+        let mut row = vec![i.to_string()];
+        for run in last_runs.iter().flatten() {
+            row.push(run.per_read_steps[i - 1].to_string());
+        }
+        per_read.push(row);
+    }
+
+    let mut exponents = Table::new(
+        "E3 — fitted exponent k of total steps ≈ c·m^k (expected: 2 for ir-progressive, 1 otherwise)",
+        &["tm", "exponent"],
+    );
+    for (k, &tm) in ALL_TMS.iter().enumerate() {
+        // Fit the tail of the series, where the asymptotic term dominates
+        // the per-read constants.
+        let tail = &series[k][series[k].len().saturating_sub(4)..];
+        exponents.push(vec![
+            tm.name().to_string(),
+            format!("{:.2}", power_law_exponent(tail)),
+        ]);
+    }
+    (totals, per_read, exponents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progressive_is_quadratic_others_linear() {
+        let sizes = [4, 8, 16, 32];
+        let mut prog = Vec::new();
+        let mut tl2 = Vec::new();
+        let mut vis = Vec::new();
+        for &m in &sizes {
+            prog.push((m as f64, run_validation(TmKind::Progressive, m).total_steps as f64));
+            tl2.push((m as f64, run_validation(TmKind::Tl2, m).total_steps as f64));
+            vis.push((m as f64, run_validation(TmKind::Visible, m).total_steps as f64));
+        }
+        let kp = power_law_exponent(&prog);
+        let kt = power_law_exponent(&tl2);
+        let kv = power_law_exponent(&vis);
+        assert!(kp > 1.6, "ir-progressive exponent {kp}");
+        assert!(kt < 1.2, "tl2 exponent {kt}");
+        assert!(kv < 1.2, "visible exponent {kv}");
+    }
+
+    #[test]
+    fn per_read_cost_grows_only_for_progressive() {
+        let run = run_validation(TmKind::Progressive, 16);
+        // i-th read costs 3 + (i-1).
+        assert_eq!(run.per_read_steps[0], 3);
+        assert_eq!(run.per_read_steps[15], 3 + 15);
+        let run = run_validation(TmKind::Tl2, 16);
+        assert!(run.per_read_steps.iter().all(|&s| s <= 4));
+    }
+
+    #[test]
+    fn tables_render() {
+        let (a, b, c) = validation_tables(&[2, 4]);
+        assert!(a.render().contains("E3"));
+        assert!(b.render().contains("i-th"));
+        assert!(c.render().contains("exponent"));
+    }
+}

@@ -1,0 +1,354 @@
+//! TLRW-style read-write lock TM (Dice–Shavit, SPAA'10 — cited by the
+//! paper as the canonical *visible-read* production TM).
+//!
+//! Where `visible-reads` announces readers so writers can abort them,
+//! TLRW goes fully **pessimistic**: a t-read takes a per-object read
+//! lock and holds it to commit, so no validation is ever needed — reads
+//! stay trivially consistent because conflicting writers simply cannot
+//! commit underneath them. The cost profile is the mirror image of the
+//! paper's bound: O(1) steps per read with *no* quadratic term, paid for
+//! with nontrivial primitives inside every t-read (reads are as visible
+//! as they come) and with writers aborting whenever any reader is
+//! present.
+//!
+//! ## Protocol
+//!
+//! Per t-object `X`, a single read-write word `rw[X]`: bit 0 is the
+//! writer flag, the remaining bits count readers in units of 2.
+//!
+//! * `read(X)`: `fetch_add(rw[X], 2)`; if the writer bit was set, undo
+//!   with `fetch_add(−2)` and abort; otherwise read `val[X]` under the
+//!   read lock and hold it.
+//! * `write(X, v)`: buffered.
+//! * `tryC`: for each written item, CAS `rw[X]` from exactly "only my
+//!   read lock" (2 if read, else 0) to the writer flag 1 — any other
+//!   state means a concurrent reader/writer, abort. Then install values,
+//!   release write locks, and drop remaining read locks.
+//!
+//! Aborts happen only when the lock word proves a concurrent conflicting
+//! transaction — progressive. It is **not strongly progressive**: two
+//! read-to-write upgraders on the same item each see the other's read
+//! lock, and both abort (real TLRW blocks instead, trading liveness; the
+//! abort variant trades Definition 1). The test suite demonstrates the
+//! violation and the `ptm-model` checker catching it — a negative
+//! specimen the checker-driven methodology is designed to expose.
+
+use crate::api::{Aborted, SimTm, SimTxn, TmProperties};
+use ptm_sim::{BaseObjectId, Ctx, Home, SimBuilder, TObjId, TxId, Word};
+use std::sync::Arc;
+
+const WRITER: Word = 1;
+const READER: Word = 2;
+
+#[derive(Debug)]
+struct Layout {
+    rw: Vec<BaseObjectId>,
+    val: Vec<BaseObjectId>,
+}
+
+/// The TLRW-style pessimistic read-write lock TM (see module docs).
+#[derive(Debug, Clone)]
+pub struct TlrwTm {
+    layout: Arc<Layout>,
+}
+
+impl TlrwTm {
+    /// Allocates the per-object lock words and value cells.
+    pub fn install(builder: &mut SimBuilder, n_tobjects: usize) -> Self {
+        let rw = (0..n_tobjects)
+            .map(|i| builder.alloc(format!("tlrw.rw[X{i}]"), 0, Home::Global))
+            .collect();
+        let val = (0..n_tobjects)
+            .map(|i| builder.alloc(format!("tlrw.val[X{i}]"), 0, Home::Global))
+            .collect();
+        TlrwTm { layout: Arc::new(Layout { rw, val }) }
+    }
+}
+
+impl SimTm for TlrwTm {
+    fn name(&self) -> &'static str {
+        "tlrw"
+    }
+
+    fn n_tobjects(&self) -> usize {
+        self.layout.val.len()
+    }
+
+    fn properties(&self) -> TmProperties {
+        TmProperties {
+            weak_dap: true, // strictly per-object metadata
+            invisible_reads: false,
+            opaque: true,
+            // Two upgraders on one item can both abort: Definition 1
+            // does not hold (see the module docs and tests).
+            strongly_progressive: false,
+            blocking: false,
+        }
+    }
+
+    fn begin(&self, _tx: TxId) -> Box<dyn SimTxn> {
+        Box::new(TlrwTxn {
+            layout: Arc::clone(&self.layout),
+            read_locked: Vec::new(),
+            wset: Vec::new(),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct TlrwTxn {
+    layout: Arc<Layout>,
+    /// Items whose read lock we hold.
+    read_locked: Vec<TObjId>,
+    wset: Vec<(TObjId, Word)>,
+}
+
+impl TlrwTxn {
+    fn buffered(&self, x: TObjId) -> Option<Word> {
+        self.wset.iter().rev().find(|(y, _)| *y == x).map(|(_, v)| *v)
+    }
+
+    fn drop_read_locks(&mut self, ctx: &Ctx) {
+        let locked = std::mem::take(&mut self.read_locked);
+        for x in locked {
+            ctx.fetch_add(self.layout.rw[x.index()], READER.wrapping_neg());
+        }
+    }
+
+    fn die(&mut self, ctx: &Ctx) -> Aborted {
+        self.drop_read_locks(ctx);
+        Aborted
+    }
+}
+
+impl SimTxn for TlrwTxn {
+    fn read(&mut self, ctx: &Ctx, x: TObjId) -> Result<Word, Aborted> {
+        if let Some(v) = self.buffered(x) {
+            return Ok(v);
+        }
+        if self.read_locked.contains(&x) {
+            // Already locked: the value cannot have changed.
+            return Ok(ctx.read(self.layout.val[x.index()]));
+        }
+        let prev = ctx.fetch_add(self.layout.rw[x.index()], READER);
+        if prev & WRITER != 0 {
+            // A writer holds X: undo our increment and abort.
+            ctx.fetch_add(self.layout.rw[x.index()], READER.wrapping_neg());
+            return Err(self.die(ctx));
+        }
+        self.read_locked.push(x);
+        Ok(ctx.read(self.layout.val[x.index()]))
+    }
+
+    fn write(&mut self, _ctx: &Ctx, x: TObjId, v: Word) -> Result<(), Aborted> {
+        if let Some(slot) = self.wset.iter_mut().find(|(y, _)| *y == x) {
+            slot.1 = v;
+        } else {
+            self.wset.push((x, v));
+        }
+        Ok(())
+    }
+
+    fn try_commit(&mut self, ctx: &Ctx) -> Result<(), Aborted> {
+        if self.wset.is_empty() {
+            // Read-only: locks kept everything consistent; just release.
+            self.drop_read_locks(ctx);
+            return Ok(());
+        }
+        let mut to_lock: Vec<TObjId> = self.wset.iter().map(|(x, _)| *x).collect();
+        to_lock.sort_unstable();
+        let mut held: Vec<(TObjId, bool)> = Vec::new(); // (item, was read-locked)
+        for x in to_lock {
+            let upgrading = self.read_locked.contains(&x);
+            let expected = if upgrading { READER } else { 0 };
+            if !ctx.cas(self.layout.rw[x.index()], expected, WRITER) {
+                // Another reader or writer is present: roll back. All
+                // releases are arithmetic (never blind writes) so that
+                // transient reader increments racing with us survive.
+                for &(y, was_read) in &held {
+                    let delta = if was_read {
+                        READER.wrapping_sub(WRITER)
+                    } else {
+                        WRITER.wrapping_neg()
+                    };
+                    ctx.fetch_add(self.layout.rw[y.index()], delta);
+                }
+                return Err(self.die(ctx));
+            }
+            if upgrading {
+                self.read_locked.retain(|&y| y != x);
+            }
+            held.push((x, upgrading));
+        }
+        for &(x, v) in &self.wset {
+            ctx.write(self.layout.val[x.index()], v);
+        }
+        for &(x, _) in &held {
+            ctx.fetch_add(self.layout.rw[x.index()], WRITER.wrapping_neg());
+        }
+        self.drop_read_locks(ctx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::TmHarness;
+    use ptm_sim::{ProcessId, TOpResult};
+
+    fn harness(n: usize, objects: usize) -> TmHarness {
+        TmHarness::new(n, move |b| Arc::new(TlrwTm::install(b, objects)))
+    }
+
+    #[test]
+    fn solo_roundtrip() {
+        let mut h = harness(1, 2);
+        let p = ProcessId::new(0);
+        h.run_writer(p, &[(TObjId::new(0), 5)]);
+        h.begin(p);
+        assert_eq!(h.read(p, TObjId::new(0)).0, TOpResult::Value(5));
+        assert_eq!(h.read(p, TObjId::new(1)).0, TOpResult::Value(0));
+        assert_eq!(h.try_commit(p).0, TOpResult::Committed);
+        h.stop_all();
+        assert!(ptm_model::is_opaque(&h.history()));
+    }
+
+    #[test]
+    fn reads_cost_constant_steps() {
+        let m = 12;
+        let mut h = TmHarness::new(1, move |b| Arc::new(TlrwTm::install(b, m)));
+        let p = ProcessId::new(0);
+        h.begin(p);
+        let mut costs = Vec::new();
+        for i in 0..m {
+            let (res, cost) = h.read(p, TObjId::new(i));
+            assert_eq!(res, TOpResult::Value(0));
+            costs.push(cost.steps);
+        }
+        // fetch_add + val read: 2 steps, flat.
+        assert!(costs.iter().all(|&c| c == 2), "{costs:?}");
+        // Read-only commit releases m read locks.
+        let (_, commit) = h.try_commit(p);
+        assert_eq!(commit.steps, m);
+        h.stop_all();
+    }
+
+    #[test]
+    fn writer_aborts_on_present_reader() {
+        let mut h = harness(2, 1);
+        let (r, w) = (ProcessId::new(0), ProcessId::new(1));
+        h.begin(r);
+        assert_eq!(h.read(r, TObjId::new(0)).0, TOpResult::Value(0));
+        // Writer conflicts with the held read lock and must abort.
+        h.begin(w);
+        assert_eq!(h.write(w, TObjId::new(0), 9).0, TOpResult::Ok);
+        assert_eq!(h.try_commit(w).0, TOpResult::Aborted);
+        // The reader is untouched and commits.
+        assert_eq!(h.try_commit(r).0, TOpResult::Committed);
+        h.stop_all();
+        let hist = h.history();
+        assert!(ptm_model::is_opaque(&hist));
+        assert!(ptm_model::is_progressive(&hist));
+    }
+
+    #[test]
+    fn reader_aborts_on_present_writer_midcommit() {
+        // Interleave so the writer holds the write lock when the reader
+        // arrives: drive the writer's commit step by step.
+        let mut h = harness(2, 2);
+        let (r, w) = (ProcessId::new(0), ProcessId::new(1));
+        h.begin(w);
+        h.write(w, TObjId::new(0), 9);
+        // Step the writer's tryC just past the lock acquisition: send the
+        // command, then step until the first CAS happened.
+        h.sim().send(w, crate::driver::TxCommand::TryCommit);
+        h.sim().step(w).unwrap(); // consume command
+        h.sim().step(w).unwrap(); // TxInvoke marker
+        h.sim().step(w).unwrap(); // CAS rw[X0] -> writer locked
+        // Reader now collides with the held write lock.
+        h.begin(r);
+        let (res, _) = h.read(r, TObjId::new(0));
+        assert_eq!(res, TOpResult::Aborted);
+        // Let the writer finish.
+        let steps = h.sim().run_until(w, 1000, |_| false);
+        assert!(matches!(steps, ptm_sim::RunOutcome::Blocked(_)));
+        h.stop_all();
+        let hist = h.history();
+        assert!(ptm_model::is_opaque(&hist));
+        assert!(ptm_model::is_strongly_progressive(&hist));
+    }
+
+    #[test]
+    fn upgrade_read_to_write() {
+        let mut h = harness(1, 1);
+        let p = ProcessId::new(0);
+        h.begin(p);
+        assert_eq!(h.read(p, TObjId::new(0)).0, TOpResult::Value(0));
+        assert_eq!(h.write(p, TObjId::new(0), 3).0, TOpResult::Ok);
+        assert_eq!(h.try_commit(p).0, TOpResult::Committed);
+        h.begin(p);
+        assert_eq!(h.read(p, TObjId::new(0)).0, TOpResult::Value(3));
+        assert_eq!(h.try_commit(p).0, TOpResult::Committed);
+        h.stop_all();
+        assert!(ptm_model::is_opaque(&h.history()));
+    }
+
+    #[test]
+    fn two_upgraders_violate_strong_progressiveness_when_concurrent() {
+        // Run both upgraders' commits truly concurrently (interleaved):
+        // each sees the other's read lock and both abort — the checker
+        // flags the all-aborted single-object conflict class.
+        let mut h = harness(2, 1);
+        let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+        h.begin(p0);
+        h.begin(p1);
+        let _ = h.read(p0, TObjId::new(0));
+        let _ = h.read(p1, TObjId::new(0));
+        let _ = h.write(p0, TObjId::new(0), 1);
+        let _ = h.write(p1, TObjId::new(0), 2);
+        // Drive both tryC operations step by step, interleaved.
+        h.sim().send(p0, crate::driver::TxCommand::TryCommit);
+        h.sim().send(p1, crate::driver::TxCommand::TryCommit);
+        loop {
+            let runnable = h.sim().runnable();
+            if runnable.is_empty() {
+                break;
+            }
+            for pid in runnable {
+                let _ = h.sim().step(pid);
+            }
+        }
+        h.stop_all();
+        let hist = h.history();
+        // Both aborted; the conflict class {T1, T2} on X0 is all-aborted.
+        assert_eq!(hist.committed().len(), 0);
+        let v = ptm_model::strong_progressiveness_violations(&hist);
+        assert_eq!(v.len(), 1, "checker must flag the violation");
+        // Plain progressiveness still holds (mutual conflict excuses).
+        assert!(ptm_model::is_progressive(&hist));
+        assert!(ptm_model::is_opaque(&hist));
+    }
+
+    #[test]
+    fn two_upgraders_one_winner() {
+        let mut h = harness(2, 1);
+        let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+        h.begin(p0);
+        h.begin(p1);
+        let _ = h.read(p0, TObjId::new(0));
+        let _ = h.read(p1, TObjId::new(0));
+        let _ = h.write(p0, TObjId::new(0), 1);
+        let _ = h.write(p1, TObjId::new(0), 2);
+        // Both try to upgrade; with both read locks held, *both* CAS
+        // attempts fail (each expects to be the only reader): classic
+        // upgrade deadlock resolved by aborting.
+        let (r0, _) = h.try_commit(p0);
+        let (r1, _) = h.try_commit(p1);
+        assert!(r0 == TOpResult::Aborted || r1 == TOpResult::Aborted);
+        h.stop_all();
+        let hist = h.history();
+        assert!(ptm_model::is_opaque(&hist));
+        assert!(ptm_model::is_progressive(&hist));
+    }
+}

@@ -1,0 +1,291 @@
+//! **Algorithm 1**: a deadlock-free, finite-exit mutual exclusion lock
+//! `L(M)` built from any strictly serializable, strongly progressive TM
+//! `M` that accesses a single t-object — the paper's reduction behind
+//! Theorem 9.
+//!
+//! The TM enqueues contenders: `func()` atomically reads the t-object `X`
+//! (holding the previous contender's identity, or `⊥`) and overwrites it
+//! with the caller's identity `[p_i, face_i]`, retrying while the
+//! transaction aborts — strong progressiveness guarantees that among
+//! concurrent contenders on the single item, someone always commits, so
+//! the `while (prev ← func()) = false` loop is deadlock-free. The rest is
+//! Lee's local-spin handoff: the winner of `X`'s previous value waits, if
+//! needed, on a register `Lock[p_i][prev.pid]` that only its predecessor
+//! writes, and alternating `face` bits make the per-face `Done`/`Succ`
+//! registers single-use so stale signals can't leak across passages.
+//!
+//! Every non-TM step of `Entry`/`Exit` is O(1) RMRs (the spin register is
+//! written exactly once, and in the DSM model it is homed at the spinner),
+//! so the RMR cost of `L(M)` is within a constant of `M`'s — Theorem 7 —
+//! and Attiya–Hendler–Woelfel's `Ω(n log n)` mutex bound transfers to `M`.
+//!
+//! Deviation from the paper's pseudocode (documented): the `Lock` array is
+//! allocated including its diagonal. When a process finds *its own
+//! previous face* in `X` (it re-enters an uncontended lock), `prev.pid`
+//! equals its own pid; the paper's code still writes
+//! `Lock[p_i][prev.pid]` before consulting `Done[prev]` (which is
+//! necessarily `true` in that case, so no spin follows). Allocating the
+//! diagonal keeps the code identical to the paper's line numbering rather
+//! than special-casing self-succession.
+
+use crate::api::SimTm;
+use ptm_mutex::{MutexToken, SimMutex};
+use ptm_sim::{BaseObjectId, Ctx, Home, ProcessId, SimBuilder, TObjId, TxId, Word};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const BOTTOM: Word = 0;
+
+fn encode(pid: usize, face: u8) -> Word {
+    (pid as Word) * 2 + Word::from(face) + 1
+}
+
+fn decode(v: Word) -> (usize, u8) {
+    let v = v - 1;
+    ((v / 2) as usize, (v % 2) as u8)
+}
+
+/// The Algorithm 1 mutex `L(M)` (see module docs).
+pub struct TmMutex {
+    tm: Arc<dyn SimTm>,
+    /// `Done[p][face]`, homed at `p`.
+    done: Vec<[BaseObjectId; 2]>,
+    /// `Succ[p][face]` (`0 = ⊥`, else successor pid + 1), homed at `p`.
+    succ: Vec<[BaseObjectId; 2]>,
+    /// `Lock[p][q]`, homed at `p` (the spinner).
+    lock: Vec<Vec<BaseObjectId>>,
+    /// Local `face_i` bits (a local variable in the paper's pseudocode).
+    face: Mutex<Vec<u8>>,
+    /// Transaction id dispenser (harness bookkeeping, not simulated).
+    next_tx: AtomicU64,
+}
+
+impl std::fmt::Debug for TmMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmMutex")
+            .field("tm", &self.tm.name())
+            .field("n", &self.done.len())
+            .finish()
+    }
+}
+
+impl TmMutex {
+    /// Installs the register layout and wraps the given single-t-object
+    /// TM. `install_tm` must install a TM with at least one t-object; the
+    /// mutex uses t-object 0 only.
+    pub fn install(
+        builder: &mut SimBuilder,
+        install_tm: impl FnOnce(&mut SimBuilder) -> Arc<dyn SimTm>,
+    ) -> Self {
+        let tm = install_tm(builder);
+        assert!(tm.n_tobjects() >= 1, "the reduction needs one t-object");
+        let n = builder.n_processes();
+        let mut done = Vec::with_capacity(n);
+        let mut succ = Vec::with_capacity(n);
+        let mut lock = Vec::with_capacity(n);
+        for p in 0..n {
+            let home = Home::Process(ProcessId::new(p));
+            done.push([
+                builder.alloc(format!("lm.done[p{p},0]"), 1, home),
+                builder.alloc(format!("lm.done[p{p},1]"), 1, home),
+            ]);
+            succ.push([
+                builder.alloc(format!("lm.succ[p{p},0]"), 0, home),
+                builder.alloc(format!("lm.succ[p{p},1]"), 0, home),
+            ]);
+            lock.push(
+                (0..n)
+                    .map(|q| builder.alloc(format!("lm.lock[p{p}][p{q}]"), 0, home))
+                    .collect(),
+            );
+        }
+        TmMutex {
+            tm,
+            done,
+            succ,
+            lock,
+            face: Mutex::new(vec![0; n]),
+            next_tx: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped TM's name (for table labels).
+    pub fn tm_name(&self) -> &'static str {
+        self.tm.name()
+    }
+
+    /// `func()`: atomically swap our identity into `X`, returning the
+    /// previous value, or `None` if the transaction aborted. Operations
+    /// are logged with markers so the run's TM history can be audited.
+    fn func(&self, ctx: &Ctx, me: Word) -> Option<Word> {
+        let tx = TxId::new(1 + self.next_tx.fetch_add(1, Ordering::Relaxed));
+        let x = TObjId::new(0);
+        let mut txn = self.tm.begin(tx);
+        let value = crate::driver::logged_read(txn.as_mut(), ctx, tx, x).ok()?;
+        crate::driver::logged_write(txn.as_mut(), ctx, tx, x, me).ok()?;
+        crate::driver::logged_commit(txn.as_mut(), ctx, tx).ok()?;
+        Some(value)
+    }
+}
+
+impl SimMutex for TmMutex {
+    fn name(&self) -> &'static str {
+        "L(M)"
+    }
+
+    fn enter(&self, ctx: &Ctx) -> MutexToken {
+        let me = ctx.pid().index();
+        // Line 20: adopt the alternate face.
+        let face = {
+            let mut faces = self.face.lock().expect("face bookkeeping");
+            faces[me] = 1 - faces[me];
+            faces[me]
+        };
+        let f = face as usize;
+        // Lines 21–22: reset this face's registers.
+        ctx.write(self.done[me][f], 0);
+        ctx.write(self.succ[me][f], 0);
+        // Lines 23–25: enqueue through the TM until it commits.
+        let prev = loop {
+            if let Some(prev) = self.func(ctx, encode(me, face)) {
+                break prev;
+            }
+        };
+        // Line 26: no predecessor — straight into the critical section.
+        if prev == BOTTOM {
+            return MutexToken(face.into());
+        }
+        let (prev_pid, prev_face) = decode(prev);
+        // Line 27: arm our spin register for this predecessor.
+        ctx.write(self.lock[me][prev_pid], 1);
+        // Line 28: announce ourselves as the predecessor's successor.
+        ctx.write(self.succ[prev_pid][prev_face as usize], me as Word + 1);
+        // Lines 29–32: if the predecessor is still inside, wait for its
+        // handoff on our local register.
+        if ctx.read(self.done[prev_pid][prev_face as usize]) == 0 {
+            while ctx.read(self.lock[me][prev_pid]) == 1 {}
+        }
+        MutexToken(face.into())
+    }
+
+    fn exit(&self, ctx: &Ctx, token: MutexToken) {
+        let me = ctx.pid().index();
+        let f = token.0 as usize;
+        // Line 36: mark this face done.
+        ctx.write(self.done[me][f], 1);
+        // Line 37: hand off to the successor, if one registered.
+        let succ = ctx.read(self.succ[me][f]);
+        if succ != BOTTOM {
+            let succ_pid = (succ - 1) as usize;
+            ctx.write(self.lock[succ_pid][me], 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glock::GlockTm;
+    use crate::progressive::ProgressiveTm;
+    use ptm_model::satisfies_mutual_exclusion;
+    use ptm_mutex::mutex_process_body;
+    use ptm_sim::{run_policy, Marker, MutexOp, RandomPolicy};
+
+    fn run_lm(
+        n: usize,
+        passages: usize,
+        seed: u64,
+        progressive: bool,
+    ) -> (Vec<ptm_sim::LogEntry>, ptm_sim::Metrics) {
+        let mut b = SimBuilder::new(n);
+        let lock: Arc<dyn SimMutex> = Arc::new(TmMutex::install(&mut b, |b| {
+            if progressive {
+                Arc::new(ProgressiveTm::install(b, 1)) as Arc<dyn SimTm>
+            } else {
+                Arc::new(GlockTm::install(b, 1)) as Arc<dyn SimTm>
+            }
+        }));
+        for _ in 0..n {
+            let l = Arc::clone(&lock);
+            b.add_process(move |ctx| mutex_process_body(l, passages, ctx));
+        }
+        let sim = b.start();
+        run_policy(&sim, &mut RandomPolicy::seeded(seed), 4_000_000);
+        assert!(sim.runnable().is_empty(), "L(M) workload deadlocked");
+        (sim.log(), sim.metrics())
+    }
+
+    fn count_enters(log: &[ptm_sim::LogEntry]) -> usize {
+        log.iter()
+            .filter(|e| {
+                matches!(e.marker(), Some(Marker::MutexResponse { op: MutexOp::Enter }))
+            })
+            .count()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for pid in 0..10 {
+            for face in 0..2u8 {
+                assert_eq!(decode(encode(pid, face)), (pid, face));
+            }
+        }
+        assert_ne!(encode(0, 0), BOTTOM);
+    }
+
+    #[test]
+    fn single_process_repeated_passages() {
+        let (log, _) = run_lm(1, 5, 1, false);
+        assert_eq!(count_enters(&log), 5);
+        assert!(satisfies_mutual_exclusion(&log));
+    }
+
+    #[test]
+    fn contended_glock_reduction_is_safe() {
+        for seed in [3, 9, 42] {
+            let (log, _) = run_lm(4, 4, seed, false);
+            assert_eq!(count_enters(&log), 16, "seed {seed}");
+            assert!(satisfies_mutual_exclusion(&log), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn contended_progressive_reduction_is_safe() {
+        for seed in [5, 11] {
+            let (log, _) = run_lm(4, 3, seed, true);
+            assert_eq!(count_enters(&log), 12, "seed {seed}");
+            assert!(satisfies_mutual_exclusion(&log), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reduction_tm_history_is_strongly_progressive() {
+        // The TM usage inside L(M) is single-object; audit its history.
+        let (log, _) = run_lm(3, 3, 7, true);
+        let h = ptm_model::History::from_log(&log).expect("well-formed");
+        assert!(ptm_model::is_strongly_progressive(&h));
+        // Every committed func() transaction is a read-then-write of X0.
+        for tx in h.transactions() {
+            assert!(tx.data_set().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn handoff_spin_is_local_in_dsm() {
+        // The only unbounded wait spins on Lock[p][q], homed at p: DSM
+        // RMRs per passage stay bounded even under heavy contention.
+        let n = 4;
+        let passages = 6;
+        let (log, metrics) = run_lm(n, passages, 13, false);
+        assert_eq!(count_enters(&log), n * passages);
+        for p in 0..n {
+            let pid = ProcessId::new(p);
+            // Generous constant: TM ops + handoff, but no spin blowup.
+            assert!(
+                metrics.rmr_dsm(pid) <= (passages * 40) as u64,
+                "p{p}: {} DSM RMRs over {passages} passages",
+                metrics.rmr_dsm(pid)
+            );
+        }
+    }
+}

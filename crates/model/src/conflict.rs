@@ -1,0 +1,307 @@
+//! Conflicts, the conflict graph, and disjoint-access parallelism.
+//!
+//! Two transactions *conflict* on a t-object `X` if both have `X` in their
+//! data sets and at least one has it in its write set. Strong
+//! progressiveness (Definition 1) quantifies over `CTrans(H)` — sets of
+//! transactions closed under conflict — and `CObj_H(Q)`, the objects a set
+//! conflicts over; both are computed here from the connected components of
+//! the conflict graph.
+//!
+//! Weak DAP (Attiya–Hillel–Milani) is stated via the graph `G(Ti,Tj,E)`
+//! whose vertices are the data sets of transactions concurrent with `Ti`
+//! or `Tj` and whose edges connect items appearing in one transaction's
+//! data set; `Ti`, `Tj` are *disjoint-access* if no path connects their
+//! data sets.
+
+use crate::history::History;
+use ptm_sim::{TObjId, TxId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// T-objects on which `a` and `b` conflict: in both data sets, in at least
+/// one write set.
+///
+/// # Panics
+///
+/// Panics if either transaction is not in the history.
+pub fn conflict_objects(h: &History, a: TxId, b: TxId) -> BTreeSet<TObjId> {
+    let ta = h.tx(a).expect("transaction in history");
+    let tb = h.tx(b).expect("transaction in history");
+    let shared: BTreeSet<TObjId> =
+        ta.data_set().intersection(&tb.data_set()).copied().collect();
+    let writes: BTreeSet<TObjId> =
+        ta.write_set().union(&tb.write_set()).copied().collect();
+    shared.intersection(&writes).copied().collect()
+}
+
+/// Whether `a` and `b` conflict (on any object).
+pub fn conflicts(h: &History, a: TxId, b: TxId) -> bool {
+    a != b && !conflict_objects(h, a, b).is_empty()
+}
+
+/// Whether `a` and `b` are concurrent **and** conflict — the condition
+/// under which a progressive TM is allowed to abort one of them.
+pub fn concurrent_conflict(h: &History, a: TxId, b: TxId) -> bool {
+    a != b && h.concurrent(a, b) && conflicts(h, a, b)
+}
+
+/// `CObj_H(Ti)`: the objects over which `Ti` conflicts with *some* other
+/// transaction of the history.
+pub fn cobj_of(h: &History, t: TxId) -> BTreeSet<TObjId> {
+    let mut out = BTreeSet::new();
+    for other in h.transactions() {
+        if other.id != t {
+            out.extend(conflict_objects(h, t, other.id));
+        }
+    }
+    out
+}
+
+/// The connected components of the conflict graph over all transactions.
+///
+/// Every `Q ∈ CTrans(H)` (a non-empty set with no conflict crossing its
+/// boundary) is a union of these components, so properties quantified over
+/// `CTrans(H)` can be checked component-wise.
+pub fn conflict_components(h: &History) -> Vec<BTreeSet<TxId>> {
+    let ids: Vec<TxId> = h.transactions().map(|t| t.id).collect();
+    let index: BTreeMap<TxId, usize> =
+        ids.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if conflicts(h, a, b) {
+                let j = index[&b];
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let mut seen = vec![false; ids.len()];
+    let mut components = Vec::new();
+    for start in 0..ids.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = BTreeSet::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(i) = queue.pop_front() {
+            comp.insert(ids[i]);
+            for &j in &adj[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+        components.push(comp);
+    }
+    components
+}
+
+/// `CObj_H(Q)` for a set of transactions: union of per-member `CObj`.
+pub fn cobj_of_set(h: &History, q: &BTreeSet<TxId>) -> BTreeSet<TObjId> {
+    let mut out = BTreeSet::new();
+    for &t in q {
+        out.extend(cobj_of(h, t));
+    }
+    out
+}
+
+/// Whether `a` and `b` are *disjoint-access* in the history: no path in
+/// `G(Ti,Tj,E)` connects a t-object of `Dset(a)` to one of `Dset(b)`.
+///
+/// The graph's vertices are the data sets of `τ_E(a,b)` — transactions
+/// concurrent to `a` or `b` (including `a`, `b` themselves) — with an edge
+/// between two items whenever some such transaction has both in its data
+/// set. A shared item between `Dset(a)` and `Dset(b)` is a trivial path.
+///
+/// # Panics
+///
+/// Panics if either transaction is not in the history.
+pub fn disjoint_access(h: &History, a: TxId, b: TxId) -> bool {
+    let mut tau: BTreeSet<TxId> = BTreeSet::from([a, b]);
+    for t in h.transactions() {
+        if h.concurrent(t.id, a) || h.concurrent(t.id, b) {
+            tau.insert(t.id);
+        }
+    }
+    // Union-find over t-objects: items in one transaction's data set are
+    // merged into one class.
+    let mut objects: BTreeSet<TObjId> = BTreeSet::new();
+    for &t in &tau {
+        objects.extend(h.tx(t).expect("in history").data_set());
+    }
+    let ids: Vec<TObjId> = objects.iter().copied().collect();
+    let index: BTreeMap<TObjId, usize> =
+        ids.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    let mut parent: Vec<usize> = (0..ids.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for &t in &tau {
+        let dset: Vec<TObjId> = h.tx(t).expect("in history").data_set().into_iter().collect();
+        for w in dset.windows(2) {
+            let (x, y) = (index[&w[0]], index[&w[1]]);
+            let (rx, ry) = (find(&mut parent, x), find(&mut parent, y));
+            parent[rx] = ry;
+        }
+    }
+    let da = h.tx(a).expect("in history").data_set();
+    let db = h.tx(b).expect("in history").data_set();
+    for x in &da {
+        for y in &db {
+            if x == y {
+                return false;
+            }
+            let (rx, ry) = (find(&mut parent, index[x]), find(&mut parent, index[y]));
+            if rx == ry {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::testutil::LogBuilder;
+    use ptm_sim::{TOpDesc, TOpResult};
+
+    #[test]
+    fn conflict_requires_a_writer() {
+        let mut b = LogBuilder::new();
+        let r = TOpDesc::Read(TObjId::new(0));
+        b.invoke(0, 1, r);
+        b.invoke(1, 2, r);
+        b.respond(0, 1, r, TOpResult::Value(0));
+        b.respond(1, 2, r, TOpResult::Value(0));
+        b.commit(0, 1);
+        b.commit(1, 2);
+        let h = b.history();
+        // Two concurrent readers of the same object do not conflict.
+        assert!(!conflicts(&h, TxId::new(1), TxId::new(2)));
+    }
+
+    #[test]
+    fn read_write_conflict() {
+        let mut b = LogBuilder::new();
+        let r = TOpDesc::Read(TObjId::new(0));
+        b.invoke(0, 1, r);
+        b.write(1, 2, 0, 5);
+        b.respond(0, 1, r, TOpResult::Value(0));
+        b.commit(1, 2);
+        b.commit(0, 1);
+        let h = b.history();
+        assert!(conflicts(&h, TxId::new(1), TxId::new(2)));
+        assert!(concurrent_conflict(&h, TxId::new(1), TxId::new(2)));
+        assert_eq!(
+            conflict_objects(&h, TxId::new(1), TxId::new(2)),
+            BTreeSet::from([TObjId::new(0)])
+        );
+    }
+
+    #[test]
+    fn sequential_writers_conflict_but_not_concurrently() {
+        let mut b = LogBuilder::new();
+        b.write(0, 1, 0, 1).commit(0, 1);
+        b.write(1, 2, 0, 2).commit(1, 2);
+        let h = b.history();
+        assert!(conflicts(&h, TxId::new(1), TxId::new(2)));
+        assert!(!concurrent_conflict(&h, TxId::new(1), TxId::new(2)));
+    }
+
+    #[test]
+    fn components_group_by_conflict() {
+        let mut b = LogBuilder::new();
+        // T1, T2 conflict on X0; T3 is alone on X5.
+        let r = TOpDesc::Read(TObjId::new(0));
+        b.invoke(0, 1, r);
+        b.write(1, 2, 0, 5);
+        b.respond(0, 1, r, TOpResult::Value(0));
+        b.commit(1, 2);
+        b.commit(0, 1);
+        b.write(2, 3, 5, 1).commit(2, 3);
+        let h = b.history();
+        let comps = conflict_components(&h);
+        assert_eq!(comps.len(), 2);
+        let big = comps.iter().find(|c| c.len() == 2).unwrap();
+        assert!(big.contains(&TxId::new(1)) && big.contains(&TxId::new(2)));
+        assert_eq!(cobj_of_set(&h, big), BTreeSet::from([TObjId::new(0)]));
+        let small = comps.iter().find(|c| c.len() == 1).unwrap();
+        assert!(cobj_of_set(&h, small).is_empty());
+    }
+
+    #[test]
+    fn disjoint_access_basic() {
+        // T1 on X0, T2 on X1, concurrent, no third transaction: disjoint.
+        let mut b = LogBuilder::new();
+        let r0 = TOpDesc::Read(TObjId::new(0));
+        let r1 = TOpDesc::Read(TObjId::new(1));
+        b.invoke(0, 1, r0);
+        b.invoke(1, 2, r1);
+        b.respond(0, 1, r0, TOpResult::Value(0));
+        b.respond(1, 2, r1, TOpResult::Value(0));
+        b.commit(0, 1);
+        b.commit(1, 2);
+        let h = b.history();
+        assert!(disjoint_access(&h, TxId::new(1), TxId::new(2)));
+    }
+
+    #[test]
+    fn overlapping_data_sets_are_not_disjoint() {
+        let mut b = LogBuilder::new();
+        let r0 = TOpDesc::Read(TObjId::new(0));
+        b.invoke(0, 1, r0);
+        b.write(1, 2, 0, 3);
+        b.respond(0, 1, r0, TOpResult::Value(0));
+        b.commit(1, 2);
+        b.commit(0, 1);
+        let h = b.history();
+        assert!(!disjoint_access(&h, TxId::new(1), TxId::new(2)));
+    }
+
+    #[test]
+    fn bridging_transaction_connects_data_sets() {
+        // T1 on {X0}, T2 on {X2}, and a concurrent T3 on {X0, X2}
+        // bridging them: not disjoint-access.
+        let mut b = LogBuilder::new();
+        let r0 = TOpDesc::Read(TObjId::new(0));
+        let r2 = TOpDesc::Read(TObjId::new(2));
+        b.invoke(0, 1, r0);
+        b.invoke(1, 2, r2);
+        // T3 concurrent with both, touching X0 and X2.
+        b.invoke(2, 3, TOpDesc::Write(TObjId::new(0), 1));
+        b.respond(2, 3, TOpDesc::Write(TObjId::new(0), 1), TOpResult::Ok);
+        b.write(2, 3, 2, 1);
+        b.respond(0, 1, r0, TOpResult::Value(0));
+        b.respond(1, 2, r2, TOpResult::Value(0));
+        b.commit(2, 3);
+        b.commit(0, 1);
+        b.commit(1, 2);
+        let h = b.history();
+        assert!(!disjoint_access(&h, TxId::new(1), TxId::new(2)));
+    }
+
+    #[test]
+    fn non_concurrent_bridge_does_not_connect() {
+        // Same as above but the bridge T3 runs strictly before both:
+        // it is not in τ(T1,T2), so T1 and T2 stay disjoint-access.
+        let mut b = LogBuilder::new();
+        b.write(2, 3, 0, 1).write(2, 3, 2, 1).commit(2, 3);
+        let r0 = TOpDesc::Read(TObjId::new(0));
+        let r2 = TOpDesc::Read(TObjId::new(2));
+        b.invoke(0, 1, r0);
+        b.invoke(1, 2, r2);
+        b.respond(0, 1, r0, TOpResult::Value(1));
+        b.respond(1, 2, r2, TOpResult::Value(1));
+        b.commit(0, 1);
+        b.commit(1, 2);
+        let h = b.history();
+        assert!(disjoint_access(&h, TxId::new(1), TxId::new(2)));
+    }
+}

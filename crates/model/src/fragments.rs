@@ -1,0 +1,357 @@
+//! Attribution of memory steps to transactions and t-operations, and the
+//! read-visibility / weak-DAP execution checks built on it.
+//!
+//! The paper's definitions quantify over `E|k` (the events of transaction
+//! `T_k`) and `E|π_k` (the events of one t-operation): *invisible reads*
+//! forbid nontrivial events anywhere in a read-only transaction, *weak
+//! invisible reads* forbid nontrivial events in the t-read operations of
+//! transactions that run with no concurrent transaction. Theorem 3's
+//! measured quantities — steps per t-read, distinct base objects per
+//! t-read — are per-operation costs. All of these need the execution log
+//! sliced by transaction and by operation, which is what this module does.
+
+use crate::conflict::disjoint_access;
+use crate::history::History;
+use ptm_sim::{BaseObjectId, LogEntry, Marker, MemEvent, ProcessId, TOpDesc, TOpResult, TxId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The memory events of one t-operation execution (`E|π_k`).
+#[derive(Debug, Clone)]
+pub struct OpFragment {
+    /// Transaction issuing the operation.
+    pub tx: TxId,
+    /// Process executing it.
+    pub pid: ProcessId,
+    /// Zero-based index of the operation within its transaction.
+    pub op_index: usize,
+    /// The operation.
+    pub desc: TOpDesc,
+    /// Its result, if the response was logged.
+    pub result: Option<TOpResult>,
+    /// Memory events applied between invocation and response.
+    pub mem_events: Vec<MemEvent>,
+}
+
+impl OpFragment {
+    /// Number of steps (primitive applications) in the fragment.
+    pub fn steps(&self) -> usize {
+        self.mem_events.len()
+    }
+
+    /// Distinct base objects accessed in the fragment.
+    pub fn distinct_objects(&self) -> BTreeSet<BaseObjectId> {
+        self.mem_events.iter().map(|e| e.obj).collect()
+    }
+
+    /// Whether any event in the fragment is nontrivial.
+    pub fn has_nontrivial(&self) -> bool {
+        self.mem_events.iter().any(|e| e.prim.is_nontrivial())
+    }
+
+    /// Whether this fragment is a t-read.
+    pub fn is_read(&self) -> bool {
+        matches!(self.desc, TOpDesc::Read(_))
+    }
+}
+
+/// All memory events attributed to one transaction (`E|k`), including any
+/// applied between its operations.
+#[derive(Debug, Clone, Default)]
+pub struct TxFragment {
+    /// Memory events of the transaction's process during the transaction.
+    pub mem_events: Vec<MemEvent>,
+    /// Base objects the transaction accessed.
+    pub objects: BTreeSet<BaseObjectId>,
+    /// Base objects the transaction applied nontrivial primitives to.
+    pub nontrivial_objects: BTreeSet<BaseObjectId>,
+}
+
+/// Slices the log into per-operation fragments, in log order.
+pub fn op_fragments(log: &[LogEntry]) -> Vec<OpFragment> {
+    let mut open: BTreeMap<ProcessId, usize> = BTreeMap::new(); // pid -> index into out
+    let mut op_counters: BTreeMap<TxId, usize> = BTreeMap::new();
+    let mut out: Vec<OpFragment> = Vec::new();
+    for entry in log {
+        match &entry.payload {
+            ptm_sim::LogPayload::Marker(Marker::TxInvoke { tx, op }) => {
+                let op_index = {
+                    let c = op_counters.entry(*tx).or_insert(0);
+                    let i = *c;
+                    *c += 1;
+                    i
+                };
+                open.insert(entry.pid, out.len());
+                out.push(OpFragment {
+                    tx: *tx,
+                    pid: entry.pid,
+                    op_index,
+                    desc: *op,
+                    result: None,
+                    mem_events: Vec::new(),
+                });
+            }
+            ptm_sim::LogPayload::Marker(Marker::TxResponse { res, .. }) => {
+                if let Some(&i) = open.get(&entry.pid) {
+                    out[i].result = Some(*res);
+                    open.remove(&entry.pid);
+                }
+            }
+            ptm_sim::LogPayload::Mem(ev) => {
+                if let Some(&i) = open.get(&entry.pid) {
+                    out[i].mem_events.push(*ev);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Attributes every memory event to the transaction whose span (first
+/// invocation to final `A`/`C` response) covers it on its process.
+pub fn tx_fragments(log: &[LogEntry]) -> BTreeMap<TxId, TxFragment> {
+    let mut current: BTreeMap<ProcessId, TxId> = BTreeMap::new();
+    let mut out: BTreeMap<TxId, TxFragment> = BTreeMap::new();
+    for entry in log {
+        match &entry.payload {
+            ptm_sim::LogPayload::Marker(Marker::TxInvoke { tx, .. }) => {
+                current.insert(entry.pid, *tx);
+                out.entry(*tx).or_default();
+            }
+            ptm_sim::LogPayload::Marker(Marker::TxResponse { tx, res, .. }) => {
+                if matches!(res, TOpResult::Committed | TOpResult::Aborted) {
+                    current.remove(&entry.pid);
+                }
+                out.entry(*tx).or_default();
+            }
+            ptm_sim::LogPayload::Mem(ev) => {
+                if let Some(tx) = current.get(&entry.pid) {
+                    let frag = out.entry(*tx).or_default();
+                    frag.mem_events.push(*ev);
+                    frag.objects.insert(ev.obj);
+                    if ev.prim.is_nontrivial() {
+                        frag.nontrivial_objects.insert(ev.obj);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Read-only transactions that applied a nontrivial primitive anywhere —
+/// violations of (strong) *invisible reads*.
+pub fn invisible_reads_violations(h: &History, log: &[LogEntry]) -> Vec<TxId> {
+    let frags = tx_fragments(log);
+    h.transactions()
+        .filter(|t| t.is_read_only())
+        .filter(|t| {
+            frags
+                .get(&t.id)
+                .is_some_and(|f| !f.nontrivial_objects.is_empty())
+        })
+        .map(|t| t.id)
+        .collect()
+}
+
+/// Violations of *weak invisible reads*: transactions with a non-empty
+/// read set that are concurrent with **no** other transaction, yet some
+/// t-read operation of theirs applied a nontrivial primitive. Returns
+/// `(tx, op_index)` witnesses.
+pub fn weak_invisible_reads_violations(h: &History, log: &[LogEntry]) -> Vec<(TxId, usize)> {
+    let mut out = Vec::new();
+    for frag in op_fragments(log) {
+        if !frag.is_read() || !frag.has_nontrivial() {
+            continue;
+        }
+        let Some(tx) = h.tx(frag.tx) else { continue };
+        if tx.read_set().is_empty() || !h.is_isolated(tx.id) {
+            continue;
+        }
+        out.push((frag.tx, frag.op_index));
+    }
+    out
+}
+
+/// A weak-DAP violation witness: two concurrent disjoint-access
+/// transactions contended on a base object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DapViolation {
+    /// First transaction.
+    pub a: TxId,
+    /// Second transaction.
+    pub b: TxId,
+    /// A base object they contended on.
+    pub object: BaseObjectId,
+}
+
+/// Checks the weak-DAP condition over an execution: whenever two
+/// transactions contend on a base object (both accessed it during the
+/// execution, at least one nontrivially) while concurrent, they must
+/// either share a t-object or be connected in the conflict-neighbourhood
+/// graph `G(Ti,Tj,E)`.
+///
+/// This is the *observable* form of the definition (which is stated over
+/// enabled events); any TM that satisfies weak DAP definitionally passes
+/// this check, and a log-level witness here pinpoints a real memory race
+/// between disjoint-access transactions.
+pub fn weak_dap_violations(h: &History, log: &[LogEntry]) -> Vec<DapViolation> {
+    let frags = tx_fragments(log);
+    let ids: Vec<TxId> = h.transactions().map(|t| t.id).collect();
+    let mut out = Vec::new();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if !h.concurrent(a, b) {
+                continue;
+            }
+            let (Some(fa), Some(fb)) = (frags.get(&a), frags.get(&b)) else { continue };
+            // Contended objects: accessed by both, nontrivially by one.
+            let shared: Vec<BaseObjectId> = fa
+                .objects
+                .intersection(&fb.objects)
+                .copied()
+                .filter(|o| {
+                    fa.nontrivial_objects.contains(o) || fb.nontrivial_objects.contains(o)
+                })
+                .collect();
+            if shared.is_empty() {
+                continue;
+            }
+            if disjoint_access(h, a, b) {
+                out.push(DapViolation { a, b, object: shared[0] });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_sim::{Home, Marker, Primitive, SimBuilder, TObjId};
+
+    /// Runs a tiny scripted execution: p0 runs a read-only transaction
+    /// (visible or invisible reads depending on `visible`), p1 idle.
+    fn run_reader(visible: bool) -> (History, Vec<LogEntry>) {
+        let mut b = SimBuilder::new(1);
+        let val = b.alloc("val[X0]", 0, Home::Global);
+        let meta = b.alloc("meta[X0]", 0, Home::Global);
+        b.add_process(move |ctx| {
+            let tx = TxId::new(1);
+            let op = TOpDesc::Read(TObjId::new(0));
+            ctx.marker(Marker::TxInvoke { tx, op });
+            if visible {
+                ctx.apply(meta, Primitive::FetchAdd(1)); // announce the read
+            }
+            let v = ctx.read(val);
+            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Value(v) });
+            let opc = TOpDesc::TryCommit;
+            ctx.marker(Marker::TxInvoke { tx, op: opc });
+            ctx.marker(Marker::TxResponse { tx, op: opc, res: TOpResult::Committed });
+        });
+        let sim = b.start();
+        sim.run_to_block(0.into(), 100);
+        let log = sim.log();
+        let h = History::from_log(&log).unwrap();
+        (h, log)
+    }
+
+    #[test]
+    fn invisible_reader_passes_both_checks() {
+        let (h, log) = run_reader(false);
+        assert!(invisible_reads_violations(&h, &log).is_empty());
+        assert!(weak_invisible_reads_violations(&h, &log).is_empty());
+    }
+
+    #[test]
+    fn visible_reader_is_flagged() {
+        let (h, log) = run_reader(true);
+        assert_eq!(invisible_reads_violations(&h, &log), vec![TxId::new(1)]);
+        assert_eq!(weak_invisible_reads_violations(&h, &log), vec![(TxId::new(1), 0)]);
+    }
+
+    #[test]
+    fn op_fragments_attribute_steps() {
+        let (_, log) = run_reader(true);
+        let frags = op_fragments(&log);
+        assert_eq!(frags.len(), 2); // read + tryC
+        assert_eq!(frags[0].steps(), 2); // fetch_add + read
+        assert_eq!(frags[0].distinct_objects().len(), 2);
+        assert!(frags[0].has_nontrivial());
+        assert_eq!(frags[0].result, Some(TOpResult::Value(0)));
+        assert_eq!(frags[1].steps(), 0); // tryC does nothing
+    }
+
+    #[test]
+    fn tx_fragments_cover_whole_transaction() {
+        let (_, log) = run_reader(true);
+        let frags = tx_fragments(&log);
+        let f = &frags[&TxId::new(1)];
+        assert_eq!(f.mem_events.len(), 2);
+        assert_eq!(f.objects.len(), 2);
+        assert_eq!(f.nontrivial_objects.len(), 1);
+    }
+
+    #[test]
+    fn weak_dap_violation_detected_on_global_clock() {
+        // Two concurrent transactions on disjoint t-objects share a global
+        // sequence counter (as NOrec/TL2 would): that is a weak-DAP
+        // violation by construction.
+        let mut b = SimBuilder::new(2);
+        let clock = b.alloc("clock", 0, Home::Global);
+        let v0 = b.alloc("val[X0]", 0, Home::Global);
+        let v1 = b.alloc("val[X1]", 0, Home::Global);
+        for (pid, x, val) in [(0usize, 0usize, v0), (1, 1, v1)] {
+            b.add_process(move |ctx| {
+                let tx = TxId::new(pid as u64 + 1);
+                let op = TOpDesc::Write(TObjId::new(x), 5);
+                ctx.marker(Marker::TxInvoke { tx, op });
+                ctx.write(val, 5);
+                ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Ok });
+                let opc = TOpDesc::TryCommit;
+                ctx.marker(Marker::TxInvoke { tx, op: opc });
+                ctx.apply(clock, Primitive::FetchAdd(1)); // global metadata
+                ctx.marker(Marker::TxResponse { tx, op: opc, res: TOpResult::Committed });
+            });
+        }
+        let sim = b.start();
+        // Interleave so the transactions are concurrent.
+        sim.step(0.into()).unwrap(); // T1 invoke
+        sim.step(1.into()).unwrap(); // T2 invoke
+        sim.run_to_block(0.into(), 100);
+        sim.run_to_block(1.into(), 100);
+        let log = sim.log();
+        let h = History::from_log(&log).unwrap();
+        let v = weak_dap_violations(&h, &log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].object, clock);
+    }
+
+    #[test]
+    fn no_dap_violation_without_shared_metadata() {
+        let mut b = SimBuilder::new(2);
+        let v0 = b.alloc("val[X0]", 0, Home::Global);
+        let v1 = b.alloc("val[X1]", 0, Home::Global);
+        for (pid, x, val) in [(0usize, 0usize, v0), (1, 1, v1)] {
+            b.add_process(move |ctx| {
+                let tx = TxId::new(pid as u64 + 1);
+                let op = TOpDesc::Write(TObjId::new(x), 5);
+                ctx.marker(Marker::TxInvoke { tx, op });
+                ctx.write(val, 5);
+                ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Ok });
+                let opc = TOpDesc::TryCommit;
+                ctx.marker(Marker::TxInvoke { tx, op: opc });
+                ctx.marker(Marker::TxResponse { tx, op: opc, res: TOpResult::Committed });
+            });
+        }
+        let sim = b.start();
+        sim.step(0.into()).unwrap();
+        sim.step(1.into()).unwrap();
+        sim.run_to_block(0.into(), 100);
+        sim.run_to_block(1.into(), 100);
+        let log = sim.log();
+        let h = History::from_log(&log).unwrap();
+        assert!(weak_dap_violations(&h, &log).is_empty());
+    }
+}

@@ -1,0 +1,592 @@
+//! TM histories reconstructed from the simulator's execution log.
+//!
+//! A *history* (Section 2 of the paper) is the subsequence of an execution
+//! consisting of the invocation and response events of t-operations. The
+//! simulator logs those as [`Marker`]s; this module parses them into
+//! per-transaction records, validates well-formedness (processes issue
+//! transactions sequentially, operations are matched invocation/response
+//! pairs, nothing follows `A_k`/`C_k`), and exposes the derived notions the
+//! paper builds on: read/write/data sets, transaction status, real-time
+//! order and concurrency.
+
+use ptm_sim::{LogEntry, Marker, ProcessId, TObjId, TOpDesc, TOpResult, TxId, Word};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A completed t-operation: a matching invocation/response pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TOp {
+    /// What was invoked.
+    pub desc: TOpDesc,
+    /// What it returned.
+    pub result: TOpResult,
+    /// Log sequence number of the invocation marker.
+    pub invoke_seq: usize,
+    /// Log sequence number of the response marker.
+    pub response_seq: usize,
+}
+
+impl TOp {
+    /// Whether the operation returned `A_k`.
+    pub fn aborted(&self) -> bool {
+        self.result == TOpResult::Aborted
+    }
+}
+
+/// Completion status of a transaction within a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// `tryC` returned `C_k`.
+    Committed,
+    /// Some operation returned `A_k`.
+    Aborted,
+    /// `tryC` was invoked but has not returned.
+    CommitPending,
+    /// The transaction is live (not t-complete, no pending `tryC`).
+    Live,
+}
+
+/// Everything a history knows about one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxRecord {
+    /// The transaction id.
+    pub id: TxId,
+    /// The process executing it (processes issue transactions
+    /// sequentially).
+    pub pid: ProcessId,
+    /// Matched operations, in issue order.
+    pub ops: Vec<TOp>,
+    /// An invoked-but-unanswered operation, if any.
+    pub pending: Option<(TOpDesc, usize)>,
+}
+
+impl TxRecord {
+    /// Completion status.
+    pub fn status(&self) -> TxStatus {
+        if let Some(last) = self.ops.last() {
+            match last.result {
+                TOpResult::Committed => return TxStatus::Committed,
+                TOpResult::Aborted => return TxStatus::Aborted,
+                _ => {}
+            }
+        }
+        match self.pending {
+            Some((TOpDesc::TryCommit, _)) => TxStatus::CommitPending,
+            _ => TxStatus::Live,
+        }
+    }
+
+    /// Whether the transaction is t-complete (ends with `A_k` or `C_k`).
+    pub fn t_complete(&self) -> bool {
+        matches!(self.status(), TxStatus::Committed | TxStatus::Aborted)
+    }
+
+    /// The read set: t-objects on which a read was *invoked*.
+    pub fn read_set(&self) -> BTreeSet<TObjId> {
+        let mut s: BTreeSet<TObjId> = self
+            .ops
+            .iter()
+            .filter_map(|op| match op.desc {
+                TOpDesc::Read(x) => Some(x),
+                _ => None,
+            })
+            .collect();
+        if let Some((TOpDesc::Read(x), _)) = self.pending {
+            s.insert(x);
+        }
+        s
+    }
+
+    /// The write set: t-objects on which a write was *invoked*.
+    pub fn write_set(&self) -> BTreeSet<TObjId> {
+        let mut s: BTreeSet<TObjId> = self
+            .ops
+            .iter()
+            .filter_map(|op| match op.desc {
+                TOpDesc::Write(x, _) => Some(x),
+                _ => None,
+            })
+            .collect();
+        if let Some((TOpDesc::Write(x, _), _)) = self.pending {
+            s.insert(x);
+        }
+        s
+    }
+
+    /// The data set: union of read and write sets.
+    pub fn data_set(&self) -> BTreeSet<TObjId> {
+        let mut s = self.read_set();
+        s.extend(self.write_set());
+        s
+    }
+
+    /// Whether the transaction is read-only (empty write set).
+    pub fn is_read_only(&self) -> bool {
+        self.write_set().is_empty()
+    }
+
+    /// Whether the transaction is updating (non-empty write set).
+    pub fn is_updating(&self) -> bool {
+        !self.write_set().is_empty()
+    }
+
+    /// Log sequence number of the transaction's first event.
+    pub fn first_seq(&self) -> usize {
+        self.ops
+            .first()
+            .map(|op| op.invoke_seq)
+            .or(self.pending.map(|(_, s)| s))
+            .expect("a transaction has at least one event")
+    }
+
+    /// Log sequence number of the transaction's last event so far.
+    pub fn last_seq(&self) -> usize {
+        self.pending
+            .map(|(_, s)| s)
+            .or(self.ops.last().map(|op| op.response_seq))
+            .expect("a transaction has at least one event")
+    }
+
+    /// The value this transaction would install for `x` if it commits:
+    /// its last write to `x`, if any.
+    pub fn last_write_to(&self, x: TObjId) -> Option<Word> {
+        self.ops.iter().rev().find_map(|op| match op.desc {
+            TOpDesc::Write(y, v) if y == x => Some(v),
+            _ => None,
+        })
+    }
+}
+
+/// Ways a log can fail to parse into a well-formed history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// A response arrived with no matching pending invocation.
+    UnmatchedResponse(TxId, usize),
+    /// A response did not match the pending operation's description.
+    MismatchedResponse(TxId, usize),
+    /// An operation was invoked while another was pending in the same
+    /// transaction.
+    OverlappingOps(TxId, usize),
+    /// A process started a new transaction before its previous one was
+    /// t-complete.
+    OverlappingTxs(ProcessId, TxId, usize),
+    /// A transaction id was reused by a different process.
+    TxOnTwoProcesses(TxId, usize),
+    /// An operation was issued after the transaction ended with `A`/`C`.
+    OpAfterEnd(TxId, usize),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::UnmatchedResponse(t, s) => {
+                write!(f, "response for {t} at log seq {s} has no pending invocation")
+            }
+            HistoryError::MismatchedResponse(t, s) => {
+                write!(f, "response for {t} at log seq {s} does not match the pending op")
+            }
+            HistoryError::OverlappingOps(t, s) => {
+                write!(f, "{t} invoked an operation at log seq {s} while one was pending")
+            }
+            HistoryError::OverlappingTxs(p, t, s) => {
+                write!(f, "{p} started {t} at log seq {s} before its previous transaction completed")
+            }
+            HistoryError::TxOnTwoProcesses(t, s) => {
+                write!(f, "{t} at log seq {s} spans two processes")
+            }
+            HistoryError::OpAfterEnd(t, s) => {
+                write!(f, "{t} issued an operation at log seq {s} after committing/aborting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// A parsed TM history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    txs: BTreeMap<TxId, TxRecord>,
+}
+
+impl History {
+    /// Parses the t-operation markers out of an execution log.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HistoryError`] if the markers do not form a well-formed
+    /// history (see the error variants).
+    pub fn from_log(log: &[LogEntry]) -> Result<History, HistoryError> {
+        let mut txs: BTreeMap<TxId, TxRecord> = BTreeMap::new();
+        // Last transaction id per process, to enforce sequential issue.
+        let mut current: BTreeMap<ProcessId, TxId> = BTreeMap::new();
+
+        for entry in log {
+            let Some(marker) = entry.marker() else { continue };
+            match *marker {
+                Marker::TxInvoke { tx, op } => {
+                    if let Some(rec) = txs.get(&tx) {
+                        if rec.pid != entry.pid {
+                            return Err(HistoryError::TxOnTwoProcesses(tx, entry.seq));
+                        }
+                        if rec.t_complete() {
+                            return Err(HistoryError::OpAfterEnd(tx, entry.seq));
+                        }
+                        if rec.pending.is_some() {
+                            return Err(HistoryError::OverlappingOps(tx, entry.seq));
+                        }
+                    } else {
+                        if let Some(prev) = current.get(&entry.pid) {
+                            if !txs[prev].t_complete() {
+                                return Err(HistoryError::OverlappingTxs(
+                                    entry.pid, tx, entry.seq,
+                                ));
+                            }
+                        }
+                        current.insert(entry.pid, tx);
+                        txs.insert(
+                            tx,
+                            TxRecord { id: tx, pid: entry.pid, ops: Vec::new(), pending: None },
+                        );
+                    }
+                    txs.get_mut(&tx).expect("inserted above").pending = Some((op, entry.seq));
+                }
+                Marker::TxResponse { tx, op, res } => {
+                    let rec = txs
+                        .get_mut(&tx)
+                        .ok_or(HistoryError::UnmatchedResponse(tx, entry.seq))?;
+                    let Some((pending_op, invoke_seq)) = rec.pending.take() else {
+                        return Err(HistoryError::UnmatchedResponse(tx, entry.seq));
+                    };
+                    if pending_op != op {
+                        return Err(HistoryError::MismatchedResponse(tx, entry.seq));
+                    }
+                    rec.ops.push(TOp {
+                        desc: op,
+                        result: res,
+                        invoke_seq,
+                        response_seq: entry.seq,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(History { txs })
+    }
+
+    /// The transactions participating in the history, in id order.
+    pub fn transactions(&self) -> impl Iterator<Item = &TxRecord> {
+        self.txs.values()
+    }
+
+    /// Looks up one transaction.
+    pub fn tx(&self, id: TxId) -> Option<&TxRecord> {
+        self.txs.get(&id)
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the history has no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Ids of committed transactions.
+    pub fn committed(&self) -> Vec<TxId> {
+        self.txs
+            .values()
+            .filter(|t| t.status() == TxStatus::Committed)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Ids of aborted transactions.
+    pub fn aborted(&self) -> Vec<TxId> {
+        self.txs
+            .values()
+            .filter(|t| t.status() == TxStatus::Aborted)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Whether every transaction is t-complete.
+    pub fn is_complete(&self) -> bool {
+        self.txs.values().all(TxRecord::t_complete)
+    }
+
+    /// Real-time order: `a ≺ b` iff `a` is t-complete and its last event
+    /// precedes `b`'s first event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either transaction is not in the history.
+    pub fn precedes(&self, a: TxId, b: TxId) -> bool {
+        let ta = &self.txs[&a];
+        let tb = &self.txs[&b];
+        ta.t_complete() && ta.last_seq() < tb.first_seq()
+    }
+
+    /// Whether two transactions are concurrent (neither precedes the
+    /// other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either transaction is not in the history.
+    pub fn concurrent(&self, a: TxId, b: TxId) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Transactions concurrent with `t`.
+    pub fn concurrent_with(&self, t: TxId) -> Vec<TxId> {
+        self.txs
+            .keys()
+            .copied()
+            .filter(|&o| o != t && self.concurrent(t, o))
+            .collect()
+    }
+
+    /// Whether `t` runs with no concurrent transaction at all — the
+    /// hypothesis of *weak invisible reads*.
+    pub fn is_isolated(&self, t: TxId) -> bool {
+        self.concurrent_with(t).is_empty()
+    }
+
+    /// Crate-internal mutable access, used to synthesize completions.
+    pub(crate) fn txs_mut(&mut self) -> &mut BTreeMap<TxId, TxRecord> {
+        &mut self.txs
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Hand-construction of histories for checker tests, without a
+    //! simulator run: a tiny builder that produces the same marker stream
+    //! a simulated execution would.
+
+    use super::*;
+    use ptm_sim::{LogPayload, Marker};
+
+    /// Builds a synthetic marker log.
+    #[derive(Debug, Default)]
+    pub struct LogBuilder {
+        log: Vec<LogEntry>,
+    }
+
+    impl LogBuilder {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn push(&mut self, pid: usize, marker: Marker) -> &mut Self {
+            let seq = self.log.len();
+            self.log.push(LogEntry {
+                seq,
+                pid: ProcessId::new(pid),
+                payload: LogPayload::Marker(marker),
+            });
+            self
+        }
+
+        pub fn invoke(&mut self, pid: usize, tx: u64, op: TOpDesc) -> &mut Self {
+            self.push(pid, Marker::TxInvoke { tx: TxId::new(tx), op })
+        }
+
+        pub fn respond(&mut self, pid: usize, tx: u64, op: TOpDesc, res: TOpResult) -> &mut Self {
+            self.push(pid, Marker::TxResponse { tx: TxId::new(tx), op, res })
+        }
+
+        /// Complete read: invocation immediately followed by response.
+        pub fn read(&mut self, pid: usize, tx: u64, x: usize, v: Word) -> &mut Self {
+            let op = TOpDesc::Read(TObjId::new(x));
+            self.invoke(pid, tx, op).respond(pid, tx, op, TOpResult::Value(v))
+        }
+
+        /// Complete write returning ok.
+        pub fn write(&mut self, pid: usize, tx: u64, x: usize, v: Word) -> &mut Self {
+            let op = TOpDesc::Write(TObjId::new(x), v);
+            self.invoke(pid, tx, op).respond(pid, tx, op, TOpResult::Ok)
+        }
+
+        /// Complete tryC returning commit.
+        pub fn commit(&mut self, pid: usize, tx: u64) -> &mut Self {
+            self.invoke(pid, tx, TOpDesc::TryCommit).respond(
+                pid,
+                tx,
+                TOpDesc::TryCommit,
+                TOpResult::Committed,
+            )
+        }
+
+        /// Complete tryC returning abort.
+        pub fn abort(&mut self, pid: usize, tx: u64) -> &mut Self {
+            self.invoke(pid, tx, TOpDesc::TryCommit).respond(
+                pid,
+                tx,
+                TOpDesc::TryCommit,
+                TOpResult::Aborted,
+            )
+        }
+
+        pub fn build(&self) -> Vec<LogEntry> {
+            self.log.clone()
+        }
+
+        pub fn history(&self) -> History {
+            History::from_log(&self.log).expect("well-formed synthetic log")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::LogBuilder;
+    use super::*;
+
+    #[test]
+    fn parses_committed_and_aborted() {
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0).write(0, 1, 1, 5).commit(0, 1);
+        b.read(1, 2, 0, 0).abort(1, 2);
+        let h = b.history();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.tx(TxId::new(1)).unwrap().status(), TxStatus::Committed);
+        assert_eq!(h.tx(TxId::new(2)).unwrap().status(), TxStatus::Aborted);
+        assert_eq!(h.committed(), vec![TxId::new(1)]);
+        assert_eq!(h.aborted(), vec![TxId::new(2)]);
+        assert!(h.is_complete());
+    }
+
+    #[test]
+    fn sets_and_kinds() {
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0).read(0, 1, 1, 0).write(0, 1, 2, 9).commit(0, 1);
+        let h = b.history();
+        let t = h.tx(TxId::new(1)).unwrap();
+        assert_eq!(t.read_set().len(), 2);
+        assert_eq!(t.write_set().len(), 1);
+        assert_eq!(t.data_set().len(), 3);
+        assert!(t.is_updating());
+        assert!(!t.is_read_only());
+        assert_eq!(t.last_write_to(TObjId::new(2)), Some(9));
+        assert_eq!(t.last_write_to(TObjId::new(0)), None);
+    }
+
+    #[test]
+    fn real_time_order_sequential() {
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0).commit(0, 1);
+        b.read(1, 2, 0, 0).commit(1, 2);
+        let h = b.history();
+        assert!(h.precedes(TxId::new(1), TxId::new(2)));
+        assert!(!h.precedes(TxId::new(2), TxId::new(1)));
+        assert!(!h.concurrent(TxId::new(1), TxId::new(2)));
+        assert!(h.is_isolated(TxId::new(1)));
+    }
+
+    #[test]
+    fn real_time_order_concurrent() {
+        let mut b = LogBuilder::new();
+        let r0 = TOpDesc::Read(TObjId::new(0));
+        b.invoke(0, 1, r0);
+        b.invoke(1, 2, r0);
+        b.respond(0, 1, r0, TOpResult::Value(0));
+        b.respond(1, 2, r0, TOpResult::Value(0));
+        b.commit(0, 1);
+        b.commit(1, 2);
+        let h = b.history();
+        assert!(h.concurrent(TxId::new(1), TxId::new(2)));
+        assert!(!h.is_isolated(TxId::new(1)));
+        assert_eq!(h.concurrent_with(TxId::new(1)), vec![TxId::new(2)]);
+    }
+
+    #[test]
+    fn live_and_commit_pending_status() {
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0);
+        b.invoke(0, 1, TOpDesc::TryCommit);
+        let h = b.history();
+        assert_eq!(h.tx(TxId::new(1)).unwrap().status(), TxStatus::CommitPending);
+        assert!(!h.is_complete());
+
+        let mut b2 = LogBuilder::new();
+        b2.read(0, 1, 0, 0);
+        let h2 = b2.history();
+        assert_eq!(h2.tx(TxId::new(1)).unwrap().status(), TxStatus::Live);
+    }
+
+    #[test]
+    fn pending_ops_count_in_data_sets() {
+        let mut b = LogBuilder::new();
+        b.invoke(0, 1, TOpDesc::Read(TObjId::new(3)));
+        let h = b.history();
+        assert!(h.tx(TxId::new(1)).unwrap().read_set().contains(&TObjId::new(3)));
+    }
+
+    #[test]
+    fn rejects_overlapping_ops_in_one_tx() {
+        let mut b = LogBuilder::new();
+        b.invoke(0, 1, TOpDesc::Read(TObjId::new(0)));
+        b.invoke(0, 1, TOpDesc::Read(TObjId::new(1)));
+        assert!(matches!(
+            History::from_log(&b.build()),
+            Err(HistoryError::OverlappingOps(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_overlapping_txs_on_one_process() {
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0); // T1 not t-complete
+        b.invoke(0, 2, TOpDesc::Read(TObjId::new(0)));
+        assert!(matches!(
+            History::from_log(&b.build()),
+            Err(HistoryError::OverlappingTxs(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_tx_spanning_processes() {
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0);
+        b.invoke(1, 1, TOpDesc::Read(TObjId::new(1)));
+        assert!(matches!(
+            History::from_log(&b.build()),
+            Err(HistoryError::TxOnTwoProcesses(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_unmatched_response() {
+        let mut b = LogBuilder::new();
+        b.respond(0, 1, TOpDesc::TryCommit, TOpResult::Committed);
+        assert!(matches!(
+            History::from_log(&b.build()),
+            Err(HistoryError::UnmatchedResponse(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_op_after_commit() {
+        let mut b = LogBuilder::new();
+        b.commit(0, 1);
+        b.invoke(0, 1, TOpDesc::Read(TObjId::new(0)));
+        assert!(matches!(
+            History::from_log(&b.build()),
+            Err(HistoryError::OpAfterEnd(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_response() {
+        let mut b = LogBuilder::new();
+        b.invoke(0, 1, TOpDesc::Read(TObjId::new(0)));
+        b.respond(0, 1, TOpDesc::Read(TObjId::new(1)), TOpResult::Value(0));
+        assert!(matches!(
+            History::from_log(&b.build()),
+            Err(HistoryError::MismatchedResponse(..))
+        ));
+    }
+}

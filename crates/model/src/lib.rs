@@ -1,0 +1,76 @@
+//! # ptm-model — the paper's formal model, as checkers
+//!
+//! Sections 2–3 of *Progressive Transactional Memory in Time and Space*
+//! define histories, opacity, strict serializability, progressiveness,
+//! strong progressiveness, invisible / weak invisible reads, and weak
+//! disjoint-access parallelism. This crate implements each definition as a
+//! checker over the execution logs produced by [`ptm_sim`], so every TM
+//! algorithm in the workspace is *machine-validated* against the exact
+//! properties the theorems assume:
+//!
+//! * [`History`] — parsed t-operation histories with real-time order,
+//!   data sets and transaction status ([`history`]);
+//! * [`is_opaque`] / [`is_strictly_serializable`] — serialization search
+//!   with completion enumeration ([`serialization`]);
+//! * [`is_progressive`] / [`is_strongly_progressive`] — Definition 1 via
+//!   conflict-graph components ([`progress`], [`conflict`]);
+//! * [`invisible_reads_violations`] / [`weak_invisible_reads_violations`]
+//!   and [`weak_dap_violations`] — log-level read-visibility and memory
+//!   race analysis ([`fragments`]);
+//! * [`satisfies_mutual_exclusion`] — safety of the Section 5 mutex
+//!   reduction ([`mutex_props`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use ptm_model::{History, is_opaque};
+//! use ptm_sim::{LogEntry, LogPayload, Marker, ProcessId, TObjId, TOpDesc, TOpResult, TxId};
+//!
+//! // A one-transaction history: T1 reads X0 -> 0 and commits.
+//! let mut log = Vec::new();
+//! let mut push = |pid: usize, m: Marker| {
+//!     let seq = log.len();
+//!     log.push(LogEntry { seq, pid: ProcessId::new(pid), payload: LogPayload::Marker(m) });
+//! };
+//! let read = TOpDesc::Read(TObjId::new(0));
+//! push(0, Marker::TxInvoke { tx: TxId::new(1), op: read });
+//! push(0, Marker::TxResponse { tx: TxId::new(1), op: read, res: TOpResult::Value(0) });
+//! push(0, Marker::TxInvoke { tx: TxId::new(1), op: TOpDesc::TryCommit });
+//! push(0, Marker::TxResponse { tx: TxId::new(1), op: TOpDesc::TryCommit, res: TOpResult::Committed });
+//!
+//! let h = History::from_log(&log)?;
+//! assert!(is_opaque(&h));
+//! # Ok::<(), ptm_model::HistoryError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conflict;
+pub mod fragments;
+pub mod history;
+pub mod mutex_props;
+pub mod progress;
+pub mod serialization;
+
+pub use conflict::{
+    cobj_of, cobj_of_set, concurrent_conflict, conflict_components, conflict_objects, conflicts,
+    disjoint_access,
+};
+pub use fragments::{
+    invisible_reads_violations, op_fragments, tx_fragments, weak_dap_violations,
+    weak_invisible_reads_violations, DapViolation, OpFragment, TxFragment,
+};
+pub use history::{History, HistoryError, TOp, TxRecord, TxStatus};
+pub use mutex_props::{
+    mutual_exclusion_violations, passages, satisfies_mutual_exclusion, MutexViolation,
+};
+pub use progress::{
+    is_progressive, is_strongly_progressive, progressiveness_violations,
+    sequential_progress_violations, strong_progressiveness_violations,
+    ProgressivenessViolation, StrongProgressivenessViolation,
+};
+pub use serialization::{
+    completions, find_opaque_serialization, find_strict_serialization, is_legal_serialization,
+    is_opaque, is_strictly_serializable, respects_real_time, INITIAL_VALUE,
+};

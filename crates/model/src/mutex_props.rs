@@ -1,0 +1,118 @@
+//! Mutual-exclusion safety checking over execution logs.
+//!
+//! Section 5's reduction produces a mutex object; its *mutual exclusion*
+//! property ("after any execution at most one process is in the critical
+//! section") is checked directly from the `MutexInvoke`/`MutexResponse`
+//! markers: a process is in the critical section from the response of its
+//! `Enter` to the invocation of its subsequent `Exit`.
+
+use ptm_sim::{LogEntry, LogPayload, Marker, MutexOp, ProcessId};
+use std::collections::BTreeSet;
+
+/// A mutual-exclusion violation: two processes simultaneously in the
+/// critical section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutexViolation {
+    /// The process already in the critical section.
+    pub holder: ProcessId,
+    /// The process that entered while `holder` was inside.
+    pub intruder: ProcessId,
+    /// Log sequence number of the violating `Enter` response.
+    pub seq: usize,
+}
+
+/// Scans the log for mutual-exclusion violations.
+pub fn mutual_exclusion_violations(log: &[LogEntry]) -> Vec<MutexViolation> {
+    let mut in_cs: BTreeSet<ProcessId> = BTreeSet::new();
+    let mut out = Vec::new();
+    for entry in log {
+        let LogPayload::Marker(marker) = &entry.payload else { continue };
+        match marker {
+            Marker::MutexResponse { op: MutexOp::Enter } => {
+                if let Some(&holder) = in_cs.iter().next() {
+                    out.push(MutexViolation {
+                        holder,
+                        intruder: entry.pid,
+                        seq: entry.seq,
+                    });
+                }
+                in_cs.insert(entry.pid);
+            }
+            Marker::MutexInvoke { op: MutexOp::Exit } => {
+                in_cs.remove(&entry.pid);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether the log satisfies mutual exclusion.
+pub fn satisfies_mutual_exclusion(log: &[LogEntry]) -> bool {
+    mutual_exclusion_violations(log).is_empty()
+}
+
+/// Number of completed critical-section passages per process
+/// (`Enter` responses observed).
+pub fn passages(log: &[LogEntry], n_processes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_processes];
+    for entry in log {
+        if let LogPayload::Marker(Marker::MutexResponse { op: MutexOp::Enter }) = entry.payload {
+            counts[entry.pid.index()] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker_entry(seq: usize, pid: usize, marker: Marker) -> LogEntry {
+        LogEntry {
+            seq,
+            pid: ProcessId::new(pid),
+            payload: LogPayload::Marker(marker),
+        }
+    }
+
+    #[test]
+    fn disjoint_critical_sections_pass() {
+        let log = vec![
+            marker_entry(0, 0, Marker::MutexInvoke { op: MutexOp::Enter }),
+            marker_entry(1, 0, Marker::MutexResponse { op: MutexOp::Enter }),
+            marker_entry(2, 0, Marker::MutexInvoke { op: MutexOp::Exit }),
+            marker_entry(3, 0, Marker::MutexResponse { op: MutexOp::Exit }),
+            marker_entry(4, 1, Marker::MutexInvoke { op: MutexOp::Enter }),
+            marker_entry(5, 1, Marker::MutexResponse { op: MutexOp::Enter }),
+            marker_entry(6, 1, Marker::MutexInvoke { op: MutexOp::Exit }),
+        ];
+        assert!(satisfies_mutual_exclusion(&log));
+        assert_eq!(passages(&log, 2), vec![1, 1]);
+    }
+
+    #[test]
+    fn overlapping_critical_sections_fail() {
+        let log = vec![
+            marker_entry(0, 0, Marker::MutexResponse { op: MutexOp::Enter }),
+            marker_entry(1, 1, Marker::MutexResponse { op: MutexOp::Enter }),
+        ];
+        let v = mutual_exclusion_violations(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].holder, ProcessId::new(0));
+        assert_eq!(v[0].intruder, ProcessId::new(1));
+    }
+
+    #[test]
+    fn enter_while_other_exiting_is_ok() {
+        // The CS ends at Exit *invocation*; entering right after that
+        // invocation (before the Exit response) is allowed.
+        let log = vec![
+            marker_entry(0, 0, Marker::MutexResponse { op: MutexOp::Enter }),
+            marker_entry(1, 0, Marker::MutexInvoke { op: MutexOp::Exit }),
+            marker_entry(2, 1, Marker::MutexResponse { op: MutexOp::Enter }),
+            marker_entry(3, 0, Marker::MutexResponse { op: MutexOp::Exit }),
+        ];
+        assert!(satisfies_mutual_exclusion(&log));
+    }
+}

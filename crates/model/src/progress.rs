@@ -1,0 +1,188 @@
+//! TM-progress checkers: progressiveness and strong progressiveness.
+//!
+//! *Progressiveness* (Guerraoui–Kapalka): a transaction may abort only if
+//! some concurrent transaction conflicts with it. *Strong progressiveness*
+//! (Definition 1): additionally, for every set `Q ∈ CTrans(H)` with
+//! `|CObj_H(Q)| ≤ 1` — a conflict-closed set of transactions whose
+//! conflicts all involve at most one object — at least one member is not
+//! aborted. Both are checked syntactically over a parsed [`History`].
+
+use crate::conflict::{cobj_of_set, concurrent_conflict, conflict_components};
+use crate::history::{History, TxStatus};
+use ptm_sim::TxId;
+
+/// A violation of progressiveness: this transaction aborted with no
+/// concurrent conflicting transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressivenessViolation {
+    /// The offending aborted transaction.
+    pub tx: TxId,
+}
+
+/// Checks progressiveness: every aborted transaction has a concurrent
+/// conflicting transaction. Returns all violations (empty = progressive).
+pub fn progressiveness_violations(h: &History) -> Vec<ProgressivenessViolation> {
+    let mut out = Vec::new();
+    for t in h.transactions() {
+        if t.status() != TxStatus::Aborted {
+            continue;
+        }
+        let excused = h
+            .transactions()
+            .any(|o| o.id != t.id && concurrent_conflict(h, t.id, o.id));
+        if !excused {
+            out.push(ProgressivenessViolation { tx: t.id });
+        }
+    }
+    out
+}
+
+/// Whether the history satisfies progressiveness.
+pub fn is_progressive(h: &History) -> bool {
+    progressiveness_violations(h).is_empty()
+}
+
+/// A violation of strong progressiveness: a conflict-closed set whose
+/// conflicts involve at most one object, all of whose members aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrongProgressivenessViolation {
+    /// The all-aborted conflict component.
+    pub component: Vec<TxId>,
+}
+
+/// Checks strong progressiveness (Definition 1).
+///
+/// Every `Q ∈ CTrans(H)` is a union of connected components of the
+/// conflict graph, and `CObj` distributes over the union, so it suffices
+/// to check each component: if a component's `CObj` has at most one object
+/// and every member aborted, Definition 1 is violated (the component
+/// itself is a witness `Q`); conversely if every such component has a
+/// non-aborted member, so does every qualifying union.
+pub fn strong_progressiveness_violations(h: &History) -> Vec<StrongProgressivenessViolation> {
+    let mut out = Vec::new();
+    for comp in conflict_components(h) {
+        if cobj_of_set(h, &comp).len() > 1 {
+            continue;
+        }
+        let all_aborted = comp
+            .iter()
+            .all(|&t| h.tx(t).expect("component member").status() == TxStatus::Aborted);
+        if all_aborted {
+            out.push(StrongProgressivenessViolation {
+                component: comp.into_iter().collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether the history satisfies strong progressiveness (which includes
+/// plain progressiveness, per Definition 1).
+pub fn is_strongly_progressive(h: &History) -> bool {
+    is_progressive(h) && strong_progressiveness_violations(h).is_empty()
+}
+
+/// Sequential TM-progress (minimal progressiveness) witness check for a
+/// *t-sequential* history: every transaction that ran with no concurrency
+/// must have committed.
+pub fn sequential_progress_violations(h: &History) -> Vec<TxId> {
+    h.transactions()
+        .filter(|t| h.is_isolated(t.id) && t.status() == TxStatus::Aborted)
+        .map(|t| t.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::testutil::LogBuilder;
+    use ptm_sim::{TObjId, TOpDesc, TOpResult};
+
+    #[test]
+    fn spurious_abort_violates_progressiveness() {
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0).abort(0, 1); // aborts alone
+        let h = b.history();
+        let v = progressiveness_violations(&h);
+        assert_eq!(v, vec![ProgressivenessViolation { tx: TxId::new(1) }]);
+        assert!(!is_progressive(&h));
+        assert_eq!(sequential_progress_violations(&h), vec![TxId::new(1)]);
+    }
+
+    #[test]
+    fn conflict_excuses_abort() {
+        let mut b = LogBuilder::new();
+        let r = TOpDesc::Read(TObjId::new(0));
+        b.invoke(0, 1, r);
+        b.write(1, 2, 0, 5);
+        b.respond(0, 1, r, TOpResult::Value(0));
+        b.commit(1, 2);
+        b.abort(0, 1);
+        let h = b.history();
+        assert!(is_progressive(&h));
+        assert!(is_strongly_progressive(&h));
+    }
+
+    #[test]
+    fn all_aborted_single_object_component_violates_strong() {
+        // T1 and T2 both write X0 concurrently and both abort.
+        let mut b = LogBuilder::new();
+        let w1 = TOpDesc::Write(TObjId::new(0), 1);
+        let w2 = TOpDesc::Write(TObjId::new(0), 2);
+        b.invoke(0, 1, w1);
+        b.invoke(1, 2, w2);
+        b.respond(0, 1, w1, TOpResult::Ok);
+        b.respond(1, 2, w2, TOpResult::Ok);
+        b.abort(0, 1);
+        b.abort(1, 2);
+        let h = b.history();
+        assert!(is_progressive(&h)); // each abort is excused by the other
+        let v = strong_progressiveness_violations(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].component, vec![TxId::new(1), TxId::new(2)]);
+        assert!(!is_strongly_progressive(&h));
+    }
+
+    #[test]
+    fn one_winner_satisfies_strong() {
+        let mut b = LogBuilder::new();
+        let w1 = TOpDesc::Write(TObjId::new(0), 1);
+        let w2 = TOpDesc::Write(TObjId::new(0), 2);
+        b.invoke(0, 1, w1);
+        b.invoke(1, 2, w2);
+        b.respond(0, 1, w1, TOpResult::Ok);
+        b.respond(1, 2, w2, TOpResult::Ok);
+        b.commit(0, 1);
+        b.abort(1, 2);
+        let h = b.history();
+        assert!(is_strongly_progressive(&h));
+    }
+
+    #[test]
+    fn multi_object_component_is_exempt() {
+        // T1 writes X0,X1; T2 writes X0,X1: conflicts over two objects, so
+        // Definition 1 places no constraint even if both abort.
+        let mut b = LogBuilder::new();
+        let w10 = TOpDesc::Write(TObjId::new(0), 1);
+        let w20 = TOpDesc::Write(TObjId::new(0), 2);
+        b.invoke(0, 1, w10);
+        b.invoke(1, 2, w20);
+        b.respond(0, 1, w10, TOpResult::Ok);
+        b.respond(1, 2, w20, TOpResult::Ok);
+        b.write(0, 1, 1, 1);
+        b.write(1, 2, 1, 2);
+        b.abort(0, 1);
+        b.abort(1, 2);
+        let h = b.history();
+        assert!(strong_progressiveness_violations(&h).is_empty());
+        assert!(is_strongly_progressive(&h));
+    }
+
+    #[test]
+    fn empty_history_is_progressive() {
+        let b = LogBuilder::new();
+        let h = b.history();
+        assert!(is_progressive(&h));
+        assert!(is_strongly_progressive(&h));
+    }
+}

@@ -1,0 +1,451 @@
+//! Legality, opacity, and strict serializability.
+//!
+//! Section 3 of the paper: a t-sequential execution is *legal* if every
+//! t-read returns the latest written value of the item; a finite history is
+//! **opaque** if *some completion* of it is equivalent to a legal
+//! t-complete t-sequential history `S` that respects the real-time order,
+//! and **strictly serializable** if the same holds for the subsequence of
+//! committed transactions (`cseq` of a completion).
+//!
+//! Both checks are genuinely search problems (opacity checking is
+//! NP-complete in general); this module implements a backtracking search
+//! over serialization orders with real-time-order pruning and memoization
+//! on (placed-set, committed-state) pairs, which is plenty for the
+//! execution sizes our tests and experiments produce.
+
+use crate::history::{History, TOp, TxRecord, TxStatus};
+use ptm_sim::{TObjId, TOpDesc, TOpResult, TxId, Word};
+use std::collections::{BTreeMap, HashSet};
+
+/// Default initial value of every t-object (matches the simulator TMs).
+pub const INITIAL_VALUE: Word = 0;
+
+/// Replays one transaction's operations against the committed state,
+/// checking read legality. Returns the transaction's write overlay if the
+/// replay is legal, `None` otherwise.
+fn replay_tx(
+    tx: &TxRecord,
+    state: &BTreeMap<TObjId, Word>,
+) -> Option<BTreeMap<TObjId, Word>> {
+    let mut local: BTreeMap<TObjId, Word> = BTreeMap::new();
+    for op in &tx.ops {
+        match (op.desc, op.result) {
+            (TOpDesc::Read(x), TOpResult::Value(v)) => {
+                let expected = local
+                    .get(&x)
+                    .or_else(|| state.get(&x))
+                    .copied()
+                    .unwrap_or(INITIAL_VALUE);
+                if v != expected {
+                    return None;
+                }
+            }
+            (TOpDesc::Read(_), TOpResult::Aborted) => {
+                // A t-read returning A_k is unconstrained.
+            }
+            (TOpDesc::Write(x, v), TOpResult::Ok) => {
+                local.insert(x, v);
+            }
+            (TOpDesc::Write(_, _), TOpResult::Aborted) => {}
+            (TOpDesc::TryCommit, _) => {}
+            // Any other combination is a malformed history; treat as
+            // illegal rather than panic so checkers degrade gracefully.
+            _ => return None,
+        }
+    }
+    Some(local)
+}
+
+/// Checks that the given total `order` of transactions is a legal
+/// serialization of `h`: reads see the latest committed writes (or their
+/// own), and only committed transactions' writes take effect.
+///
+/// `order` must contain each transaction at most once; transactions of `h`
+/// not in `order` are simply ignored (used by strict serializability,
+/// which orders only committed transactions).
+pub fn is_legal_serialization(h: &History, order: &[TxId]) -> bool {
+    let mut state: BTreeMap<TObjId, Word> = BTreeMap::new();
+    for &id in order {
+        let Some(tx) = h.tx(id) else { return false };
+        let Some(overlay) = replay_tx(tx, &state) else { return false };
+        if tx.status() == TxStatus::Committed {
+            state.extend(overlay);
+        }
+    }
+    true
+}
+
+/// Checks that `order` respects the real-time order of `h` restricted to
+/// the transactions it contains.
+pub fn respects_real_time(h: &History, order: &[TxId]) -> bool {
+    for (i, &a) in order.iter().enumerate() {
+        for &b in &order[..i] {
+            // b placed before a: require NOT a ≺ b.
+            if h.precedes(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Backtracking search for a legal total order of `candidates` that
+/// respects real-time order. Returns a witness order if one exists.
+fn search_serialization(h: &History, candidates: &[TxId]) -> Option<Vec<TxId>> {
+    let n = candidates.len();
+    assert!(n <= 128, "serialization search supports at most 128 transactions");
+    // pred_mask[i]: transactions (by candidate index) that must precede i.
+    let mut pred_mask = vec![0u128; n];
+    for (i, &a) in candidates.iter().enumerate() {
+        for (j, &b) in candidates.iter().enumerate() {
+            if i != j && h.precedes(b, a) {
+                pred_mask[i] |= 1 << j;
+            }
+        }
+    }
+
+    struct Dfs<'a> {
+        h: &'a History,
+        candidates: &'a [TxId],
+        pred_mask: Vec<u128>,
+        failed: HashSet<(u128, Vec<(TObjId, Word)>)>,
+    }
+
+    impl Dfs<'_> {
+        fn go(
+            &mut self,
+            placed: u128,
+            state: &BTreeMap<TObjId, Word>,
+            order: &mut Vec<TxId>,
+        ) -> bool {
+            let n = self.candidates.len();
+            if order.len() == n {
+                return true;
+            }
+            let key = (placed, state.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>());
+            if self.failed.contains(&key) {
+                return false;
+            }
+            for i in 0..n {
+                if placed & (1 << i) != 0 || self.pred_mask[i] & !placed != 0 {
+                    continue;
+                }
+                let tx = self.h.tx(self.candidates[i]).expect("candidate in history");
+                if let Some(overlay) = replay_tx(tx, state) {
+                    order.push(tx.id);
+                    let committed = tx.status() == TxStatus::Committed;
+                    if committed && !overlay.is_empty() {
+                        let mut next = state.clone();
+                        next.extend(overlay);
+                        if self.go(placed | (1 << i), &next, order) {
+                            return true;
+                        }
+                    } else if self.go(placed | (1 << i), state, order) {
+                        return true;
+                    }
+                    order.pop();
+                }
+            }
+            self.failed.insert(key);
+            false
+        }
+    }
+
+    let mut dfs = Dfs { h, candidates, pred_mask, failed: HashSet::new() };
+    let mut order = Vec::with_capacity(n);
+    if dfs.go(0, &BTreeMap::new(), &mut order) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// All completions of `h`: live transactions are aborted; commit-pending
+/// transactions are either committed or aborted (both variants generated).
+///
+/// Synthetic responses are appended "at the end of the history" (fresh
+/// sequence numbers past every real event), which is exactly what a
+/// completion means for the real-time order.
+pub fn completions(h: &History) -> Vec<History> {
+    let incomplete: Vec<TxId> = h
+        .transactions()
+        .filter(|t| !t.t_complete())
+        .map(|t| t.id)
+        .collect();
+    if incomplete.is_empty() {
+        return vec![h.clone()];
+    }
+    let commit_pending: Vec<TxId> = incomplete
+        .iter()
+        .copied()
+        .filter(|&id| h.tx(id).expect("listed").status() == TxStatus::CommitPending)
+        .collect();
+
+    let max_seq = h
+        .transactions()
+        .map(TxRecord::last_seq)
+        .max()
+        .unwrap_or(0);
+
+    let mut out = Vec::new();
+    // Enumerate commit/abort choices for commit-pending transactions.
+    for choice in 0..(1u32 << commit_pending.len()) {
+        let mut variant = h.clone();
+        let mut next_seq = max_seq + 1;
+        for &id in &incomplete {
+            let commit = commit_pending
+                .iter()
+                .position(|&c| c == id)
+                .is_some_and(|k| choice & (1 << k) != 0);
+            let rec = variant
+                .tx_mut(id)
+                .expect("transaction listed as incomplete");
+            let (desc, invoke_seq) = match rec.pending.take() {
+                Some((d, s)) => (d, s),
+                None => {
+                    // Live between operations: append a tryC that aborts.
+                    let s = next_seq;
+                    next_seq += 1;
+                    (TOpDesc::TryCommit, s)
+                }
+            };
+            let result = if commit && desc == TOpDesc::TryCommit {
+                TOpResult::Committed
+            } else {
+                TOpResult::Aborted
+            };
+            rec.ops.push(TOp { desc, result, invoke_seq, response_seq: next_seq });
+            next_seq += 1;
+        }
+        out.push(variant);
+    }
+    out
+}
+
+/// Finds an opaque serialization of a completion of `h`: a legal total
+/// order of **all** transactions respecting real-time order. Returns the
+/// witness order if one exists.
+pub fn find_opaque_serialization(h: &History) -> Option<Vec<TxId>> {
+    completions(h).iter().find_map(|c| {
+        let all: Vec<TxId> = c.transactions().map(|t| t.id).collect();
+        search_serialization(c, &all)
+    })
+}
+
+/// Whether `h` is opaque.
+pub fn is_opaque(h: &History) -> bool {
+    find_opaque_serialization(h).is_some()
+}
+
+/// Finds a strictly serializable serialization of `h`: a legal total order
+/// of the **committed** transactions of some completion, respecting
+/// real-time order. Returns the witness order if one exists.
+pub fn find_strict_serialization(h: &History) -> Option<Vec<TxId>> {
+    completions(h).iter().find_map(|c| {
+        let committed: Vec<TxId> = c.committed();
+        search_serialization(c, &committed)
+    })
+}
+
+/// Whether `h` is strictly serializable.
+pub fn is_strictly_serializable(h: &History) -> bool {
+    find_strict_serialization(h).is_some()
+}
+
+impl History {
+    /// Mutable access to a transaction record, for building completions.
+    pub(crate) fn tx_mut(&mut self, id: TxId) -> Option<&mut TxRecord> {
+        self.txs_mut().get_mut(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::testutil::LogBuilder;
+
+    #[test]
+    fn sequential_history_is_opaque() {
+        let mut b = LogBuilder::new();
+        b.write(0, 1, 0, 5).commit(0, 1);
+        b.read(1, 2, 0, 5).commit(1, 2);
+        let h = b.history();
+        let s = find_opaque_serialization(&h).expect("opaque");
+        assert_eq!(s, vec![TxId::new(1), TxId::new(2)]);
+        assert!(is_strictly_serializable(&h));
+    }
+
+    #[test]
+    fn stale_read_after_commit_is_not_serializable() {
+        let mut b = LogBuilder::new();
+        b.write(0, 1, 0, 5).commit(0, 1);
+        // T2 starts after T1 committed but reads the initial value.
+        b.read(1, 2, 0, 0).commit(1, 2);
+        let h = b.history();
+        assert!(!is_strictly_serializable(&h));
+        assert!(!is_opaque(&h));
+    }
+
+    #[test]
+    fn lost_update_is_not_serializable() {
+        // Two concurrent increments both read 0 and commit.
+        let mut b = LogBuilder::new();
+        let r = TOpDesc::Read(TObjId::new(0));
+        b.invoke(0, 1, r);
+        b.invoke(1, 2, r);
+        b.respond(0, 1, r, TOpResult::Value(0));
+        b.respond(1, 2, r, TOpResult::Value(0));
+        b.write(0, 1, 0, 1);
+        b.write(1, 2, 0, 2);
+        b.commit(0, 1);
+        b.commit(1, 2);
+        let h = b.history();
+        assert!(!is_strictly_serializable(&h));
+    }
+
+    #[test]
+    fn aborted_inconsistent_read_violates_opacity_only() {
+        // T2 (concurrent with T1) reads x=0, then T1 writes x=1,y=1 and
+        // commits, then T2 reads y=1 and aborts: strictly serializable
+        // (T2 is aborted) but not opaque (no position for T2 sees x=0,y=1).
+        let mut b = LogBuilder::new();
+        b.read(1, 2, 0, 0); // T2: read x -> 0
+        b.write(0, 1, 0, 1).write(0, 1, 1, 1).commit(0, 1); // T1 commits x=1,y=1
+        b.read(1, 2, 1, 1); // T2: read y -> 1 (inconsistent with x=0)
+        b.abort(1, 2);
+        let h = b.history();
+        assert!(is_strictly_serializable(&h));
+        assert!(!is_opaque(&h));
+    }
+
+    #[test]
+    fn read_own_write() {
+        let mut b = LogBuilder::new();
+        b.write(0, 1, 0, 7).read(0, 1, 0, 7).commit(0, 1);
+        let h = b.history();
+        assert!(is_opaque(&h));
+    }
+
+    #[test]
+    fn aborted_writes_are_invisible() {
+        let mut b = LogBuilder::new();
+        b.write(0, 1, 0, 9).abort(0, 1);
+        b.read(1, 2, 0, 0).commit(1, 2);
+        let h = b.history();
+        assert!(is_opaque(&h));
+
+        // If T2 saw the aborted write instead, the history is not opaque.
+        let mut b2 = LogBuilder::new();
+        b2.write(0, 1, 0, 9).abort(0, 1);
+        b2.read(1, 2, 0, 9).commit(1, 2);
+        assert!(!is_opaque(&b2.history()));
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // T1 and T2 are sequential; a serialization reversing them is
+        // rejected even though it would be legal value-wise.
+        let mut b = LogBuilder::new();
+        b.read(0, 1, 0, 0).commit(0, 1);
+        b.read(1, 2, 1, 0).commit(1, 2);
+        let h = b.history();
+        assert!(respects_real_time(&h, &[TxId::new(1), TxId::new(2)]));
+        assert!(!respects_real_time(&h, &[TxId::new(2), TxId::new(1)]));
+        // Both are legal value-wise:
+        assert!(is_legal_serialization(&h, &[TxId::new(2), TxId::new(1)]));
+    }
+
+    #[test]
+    fn commit_pending_may_be_committed_in_a_completion() {
+        // T1 wrote x=3 and invoked tryC without a response; T2 later reads
+        // x=3. Strict serializability holds via the completion that
+        // commits T1.
+        let mut b = LogBuilder::new();
+        b.write(0, 1, 0, 3);
+        b.invoke(0, 1, TOpDesc::TryCommit);
+        b.read(1, 2, 0, 3).commit(1, 2);
+        let h = b.history();
+        assert!(!h.is_complete());
+        assert!(is_strictly_serializable(&h));
+        assert!(is_opaque(&h));
+    }
+
+    #[test]
+    fn live_transactions_are_aborted_in_completions() {
+        let mut b = LogBuilder::new();
+        b.write(0, 1, 0, 3); // live, never invokes tryC
+        b.read(1, 2, 0, 0).commit(1, 2);
+        let h = b.history();
+        let comps = completions(&h);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].is_complete());
+        assert!(is_opaque(&h));
+    }
+
+    #[test]
+    fn concurrent_reads_serialize_either_way() {
+        // T1 writes x=1 and commits while T2 reads concurrently; T2's read
+        // may see 0 (serialized before) or 1 (after).
+        for seen in [0u64, 1] {
+            let mut b = LogBuilder::new();
+            let r = TOpDesc::Read(TObjId::new(0));
+            b.invoke(1, 2, r);
+            b.write(0, 1, 0, 1).commit(0, 1);
+            b.respond(1, 2, r, TOpResult::Value(seen));
+            b.commit(1, 2);
+            let h = b.history();
+            assert!(is_opaque(&h), "seen={seen}");
+        }
+    }
+
+    #[test]
+    fn figure1_execution_shape_is_strictly_serializable() {
+        // The execution of Figure 1b: T_phi reads X1..X_{i-1} (initial
+        // values), T_i writes X_i and commits, then T_phi reads X_i and
+        // must return the new value.
+        let i = 4;
+        let mut b = LogBuilder::new();
+        for x in 0..i - 1 {
+            b.read(0, 1, x, 0);
+        }
+        b.write(1, 2, i - 1, 42).commit(1, 2);
+        b.read(0, 1, i - 1, 42);
+        b.commit(0, 1);
+        let h = b.history();
+        assert!(is_opaque(&h));
+        // Serialization must put T_phi after T_2.
+        let s = find_opaque_serialization(&h).unwrap();
+        let pos = |id: u64| s.iter().position(|&t| t == TxId::new(id)).unwrap();
+        assert!(pos(2) < pos(1));
+    }
+
+    #[test]
+    fn figure1_old_value_after_commit_is_not_serializable() {
+        // Claim 4's forbidden case: after T_i commits a new value, T_phi's
+        // read of X_i returning the OLD value while T_phi also read other
+        // items written by a committed T_l would be illegal. Minimal
+        // variant: T_phi read X1=nv (from committed T_l), then T_i commits
+        // X2=nv2, then T_phi reads X2 -> old value 0: no serialization.
+        let mut b = LogBuilder::new();
+        b.write(1, 10, 0, 7).commit(1, 10); // T_l: X1 := 7
+        b.read(0, 1, 0, 7); // T_phi reads X1 = 7 (so T_phi after T_l)
+        b.write(1, 2, 1, 9).commit(1, 2); // T_i: X2 := 9
+        b.read(0, 1, 1, 0); // T_phi reads X2 = 0 (old!)
+        b.commit(0, 1);
+        let h = b.history();
+        // T_phi must be serialized after T_l, and T_i after T_l (real
+        // time); T_phi reading X2=0 forces T_phi before T_i, which is fine
+        // — wait, that IS serializable: T_l, T_phi, T_i.
+        assert!(is_strictly_serializable(&h));
+
+        // The genuinely forbidden shape needs T_i ≺_RT T_phi's read point
+        // *and* T_phi to read X2's old value after also reading X1's new
+        // value written by the SAME transaction T_i.
+        let mut b2 = LogBuilder::new();
+        b2.write(1, 2, 0, 7).write(1, 2, 1, 9).commit(1, 2); // T_i: X1:=7, X2:=9
+        b2.read(0, 1, 0, 7); // T_phi sees X1 = 7 => after T_i
+        b2.read(0, 1, 1, 0); // but X2 = 0 => before T_i. Contradiction.
+        b2.commit(0, 1);
+        assert!(!is_strictly_serializable(&b2.history()));
+    }
+}

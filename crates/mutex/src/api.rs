@@ -1,0 +1,63 @@
+//! The mutual-exclusion interface over the simulated shared memory, plus
+//! the standard workload harness used by the RMR experiments.
+//!
+//! Section 5 of the paper defines a mutex object with `Enter`/`Exit`
+//! operations and reduces TM RMR complexity to mutex RMR complexity. The
+//! [`SimMutex`] trait is implemented both by the classic spin locks in
+//! this crate and by `ptm-core`'s Algorithm 1 reduction.
+
+use ptm_sim::{Ctx, Marker, MutexOp, Word};
+use std::sync::Arc;
+
+/// State carried from [`SimMutex::enter`] to the matching
+/// [`SimMutex::exit`] (a ticket number, an array slot, …). One word is
+/// enough for every algorithm in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MutexToken(pub Word);
+
+/// A mutual-exclusion object over the simulated shared memory.
+///
+/// `enter` blocks (spins via simulated steps) until the calling process
+/// holds the critical section; `exit` releases it. Implementations keep
+/// all *shared* state in simulated base objects — only genuinely
+/// thread-local bookkeeping (e.g. CLH node recycling) may live outside the
+/// simulation, mirroring what a real implementation keeps in registers.
+pub trait SimMutex: Send + Sync {
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Acquires the critical section on behalf of the calling process.
+    fn enter(&self, ctx: &Ctx) -> MutexToken;
+
+    /// Releases the critical section.
+    fn exit(&self, ctx: &Ctx, token: MutexToken);
+}
+
+/// The standard process body for mutex workloads: `passages` acquisitions
+/// with invocation/response markers around each `Enter`/`Exit`, so
+/// `ptm-model`'s mutual-exclusion checker can audit the log.
+pub fn mutex_process_body(lock: Arc<dyn SimMutex>, passages: usize, ctx: &Ctx) {
+    for _ in 0..passages {
+        ctx.marker(Marker::MutexInvoke { op: MutexOp::Enter });
+        let token = lock.enter(ctx);
+        ctx.marker(Marker::MutexResponse { op: MutexOp::Enter });
+        ctx.marker(Marker::MutexInvoke { op: MutexOp::Exit });
+        lock.exit(ctx, token);
+        ctx.marker(Marker::MutexResponse { op: MutexOp::Exit });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_default_is_zero() {
+        assert_eq!(MutexToken::default(), MutexToken(0));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_: &dyn SimMutex) {}
+    }
+}

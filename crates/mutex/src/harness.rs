@@ -1,0 +1,127 @@
+//! Workload harness: `n` processes × `k` passages under a schedule,
+//! returning the execution log and RMR counters.
+//!
+//! Used by the Theorem 9 experiment (`exp_rmr_single_object` /
+//! `exp_rmr_mutex_baselines`) and by the cross-crate tests, which feed the
+//! log to `ptm-model`'s mutual-exclusion checker.
+
+use crate::api::{mutex_process_body, SimMutex};
+use ptm_sim::{run_policy, LogEntry, Metrics, SchedulePolicy, Sim, SimBuilder};
+use std::sync::Arc;
+
+/// Result of a mutex workload run.
+#[derive(Debug)]
+pub struct WorkloadResult {
+    /// Number of processes.
+    pub n: usize,
+    /// Passages per process.
+    pub passages: usize,
+    /// The full execution log (markers + memory events).
+    pub log: Vec<LogEntry>,
+    /// Final step/RMR counters.
+    pub metrics: Metrics,
+    /// Total steps granted by the scheduler.
+    pub steps: usize,
+}
+
+impl WorkloadResult {
+    /// Total passages completed (should equal `n * passages`).
+    pub fn total_passages(&self) -> usize {
+        self.n * self.passages
+    }
+
+    /// Average write-through CC RMRs per passage.
+    pub fn rmr_per_passage_wt(&self) -> f64 {
+        self.metrics.total_rmr_write_through() as f64 / self.total_passages() as f64
+    }
+
+    /// Average write-back CC RMRs per passage.
+    pub fn rmr_per_passage_wb(&self) -> f64 {
+        self.metrics.total_rmr_write_back() as f64 / self.total_passages() as f64
+    }
+
+    /// Average DSM RMRs per passage.
+    pub fn rmr_per_passage_dsm(&self) -> f64 {
+        self.metrics.total_rmr_dsm() as f64 / self.total_passages() as f64
+    }
+}
+
+/// Runs `n` processes each performing `passages` critical-section
+/// passages on the lock produced by `install`, scheduled by `policy`.
+///
+/// # Panics
+///
+/// Panics if the workload does not finish within the (generous) step
+/// budget — which would indicate a deadlock in the lock under test.
+pub fn run_workload(
+    n: usize,
+    passages: usize,
+    install: impl FnOnce(&mut SimBuilder) -> Arc<dyn SimMutex>,
+    policy: &mut dyn SchedulePolicy,
+) -> WorkloadResult {
+    let mut builder = SimBuilder::new(n);
+    let lock = install(&mut builder);
+    for _ in 0..n {
+        let l = Arc::clone(&lock);
+        builder.add_process(move |ctx| mutex_process_body(l, passages, ctx));
+    }
+    let sim: Sim = builder.start();
+    // Budget: contended spin locks take O(n) steps per passage in the
+    // worst schedules; 4M steps covers every configuration we sweep.
+    let budget = 4_000_000;
+    let steps = run_policy(&sim, policy, budget);
+    assert!(
+        sim.runnable().is_empty(),
+        "mutex workload did not finish within {budget} steps (deadlock?)"
+    );
+    WorkloadResult {
+        n,
+        passages,
+        log: sim.log(),
+        metrics: sim.metrics(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::McsLock;
+    use crate::spin::TasLock;
+    use ptm_sim::RandomPolicy;
+
+    #[test]
+    fn workload_counts_passages() {
+        let r = run_workload(
+            3,
+            4,
+            |b| Arc::new(TasLock::install(b)),
+            &mut RandomPolicy::seeded(2),
+        );
+        assert_eq!(r.total_passages(), 12);
+        assert!(r.steps > 0);
+        assert!(r.rmr_per_passage_wt() > 0.0);
+    }
+
+    #[test]
+    fn mcs_beats_tas_on_dsm_under_contention() {
+        let mcs = run_workload(
+            6,
+            5,
+            |b| Arc::new(McsLock::install(b)),
+            &mut RandomPolicy::seeded(4),
+        );
+        let tas = run_workload(
+            6,
+            5,
+            |b| Arc::new(TasLock::install(b)),
+            &mut RandomPolicy::seeded(4),
+        );
+        assert!(
+            mcs.rmr_per_passage_dsm() < tas.rmr_per_passage_dsm(),
+            "mcs {} vs tas {}",
+            mcs.rmr_per_passage_dsm(),
+            tas.rmr_per_passage_dsm()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # ptm-mutex — mutual exclusion over the simulated shared memory
+//!
+//! Section 5 of *Progressive Transactional Memory in Time and Space*
+//! proves its `Ω(n log n)` RMR lower bound by reducing TM to mutual
+//! exclusion. This crate provides the mutex side of that story:
+//!
+//! * [`SimMutex`] — the `Enter`/`Exit` interface (implemented here by the
+//!   classic spin and queue locks, and by `ptm-core`'s Algorithm 1
+//!   reduction `L(M)`);
+//! * baselines with well-known RMR profiles: [`TasLock`], [`TtasLock`]
+//!   (O(n) per passage in CC under contention), [`TicketLock`],
+//!   [`AndersonLock`] (O(1) in CC), [`McsLock`] (O(1) in CC *and* DSM),
+//!   [`ClhLock`] (O(1) in CC, unbounded in DSM);
+//! * [`run_workload`] — the standard `n × passages` experiment harness
+//!   with per-model RMR accounting.
+//!
+//! ## Example
+//!
+//! ```
+//! use ptm_mutex::{run_workload, McsLock};
+//! use ptm_sim::RandomPolicy;
+//! use std::sync::Arc;
+//!
+//! let r = run_workload(
+//!     4,
+//!     3,
+//!     |b| Arc::new(McsLock::install(b)),
+//!     &mut RandomPolicy::seeded(1),
+//! );
+//! assert_eq!(r.total_passages(), 12);
+//! // MCS spins locally: DSM RMRs per passage stay constant.
+//! assert!(r.rmr_per_passage_dsm() < 8.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod api;
+mod harness;
+mod queue;
+mod spin;
+mod ticket;
+
+pub use api::{mutex_process_body, MutexToken, SimMutex};
+pub use harness::{run_workload, WorkloadResult};
+pub use queue::{ClhLock, McsLock};
+pub use spin::{TasLock, TtasLock};
+pub use ticket::{AndersonLock, TicketLock};

@@ -1,0 +1,130 @@
+//! Centralized spin locks: test-and-set and test-and-test-and-set.
+//!
+//! Both spin on a single global word, so in the CC models every
+//! lock-release invalidates all waiters' cached copies (O(n) RMR per
+//! passage under contention) and in the DSM model every spin iteration of
+//! a non-owner is remote. They are the "bad" baselines the queue locks in
+//! this crate — and the paper's Algorithm 1 — are measured against.
+
+use crate::api::{MutexToken, SimMutex};
+use ptm_sim::{BaseObjectId, Ctx, Home, SimBuilder};
+
+/// Test-and-set lock: CAS-spin directly on the lock word.
+#[derive(Debug, Clone)]
+pub struct TasLock {
+    word: BaseObjectId,
+}
+
+impl TasLock {
+    /// Allocates the lock word.
+    pub fn install(builder: &mut SimBuilder) -> Self {
+        TasLock { word: builder.alloc("tas.lock", 0, Home::Global) }
+    }
+}
+
+impl SimMutex for TasLock {
+    fn name(&self) -> &'static str {
+        "tas"
+    }
+
+    fn enter(&self, ctx: &Ctx) -> MutexToken {
+        while !ctx.cas(self.word, 0, 1) {}
+        MutexToken(0)
+    }
+
+    fn exit(&self, ctx: &Ctx, _token: MutexToken) {
+        ctx.write(self.word, 0);
+    }
+}
+
+/// Test-and-test-and-set lock: read-spin until free, then CAS.
+///
+/// The read-spin makes waiting local in the CC models (the waiter spins in
+/// its cache) until a release invalidates everyone — the classic
+/// invalidation-storm pattern of Anderson's 1990 study.
+#[derive(Debug, Clone)]
+pub struct TtasLock {
+    word: BaseObjectId,
+}
+
+impl TtasLock {
+    /// Allocates the lock word.
+    pub fn install(builder: &mut SimBuilder) -> Self {
+        TtasLock { word: builder.alloc("ttas.lock", 0, Home::Global) }
+    }
+}
+
+impl SimMutex for TtasLock {
+    fn name(&self) -> &'static str {
+        "ttas"
+    }
+
+    fn enter(&self, ctx: &Ctx) -> MutexToken {
+        loop {
+            while ctx.read(self.word) != 0 {}
+            if ctx.cas(self.word, 0, 1) {
+                return MutexToken(0);
+            }
+        }
+    }
+
+    fn exit(&self, ctx: &Ctx, _token: MutexToken) {
+        ctx.write(self.word, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::mutex_process_body;
+    use ptm_sim::{run_policy, RandomPolicy};
+    use std::sync::Arc;
+
+    fn run_lock<L: SimMutex + 'static>(
+        install: impl Fn(&mut SimBuilder) -> L,
+        n: usize,
+        passages: usize,
+        seed: u64,
+    ) -> Vec<ptm_sim::LogEntry> {
+        let mut b = SimBuilder::new(n);
+        let lock: Arc<dyn SimMutex> = Arc::new(install(&mut b));
+        for _ in 0..n {
+            let l = Arc::clone(&lock);
+            b.add_process(move |ctx| mutex_process_body(l, passages, ctx));
+        }
+        let sim = b.start();
+        run_policy(&sim, &mut RandomPolicy::seeded(seed), 2_000_000);
+        assert!(sim.runnable().is_empty(), "all processes must finish");
+        sim.log()
+    }
+
+    #[test]
+    fn tas_runs_all_passages() {
+        let log = run_lock(TasLock::install, 3, 4, 7);
+        let enters = log
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.marker(),
+                    Some(ptm_sim::Marker::MutexResponse { op: ptm_sim::MutexOp::Enter })
+                )
+            })
+            .count();
+        assert_eq!(enters, 12);
+    }
+
+    #[test]
+    fn ttas_runs_all_passages() {
+        let log = run_lock(TtasLock::install, 3, 4, 11);
+        let enters = log
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.marker(),
+                    Some(ptm_sim::Marker::MutexResponse { op: ptm_sim::MutexOp::Enter })
+                )
+            })
+            .count();
+        assert_eq!(enters, 12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Ticket lock and Anderson's array-based queue lock.
+//!
+//! The ticket lock grants the critical section in FIFO order but makes
+//! every waiter spin on the same `serving` word (invalidation storm per
+//! release in CC). Anderson's lock gives each waiter its own array slot,
+//! so a release invalidates exactly one waiter's cache line in CC — the
+//! O(1)-RMR-per-passage behaviour (in CC) that motivated queue locks.
+
+use crate::api::{MutexToken, SimMutex};
+use ptm_sim::{BaseObjectId, Ctx, Home, ProcessId, SimBuilder, Word};
+
+/// FIFO ticket lock: `next` dispenser + `serving` counter.
+#[derive(Debug, Clone)]
+pub struct TicketLock {
+    next: BaseObjectId,
+    serving: BaseObjectId,
+}
+
+impl TicketLock {
+    /// Allocates the two counters.
+    pub fn install(builder: &mut SimBuilder) -> Self {
+        TicketLock {
+            next: builder.alloc("ticket.next", 0, Home::Global),
+            serving: builder.alloc("ticket.serving", 0, Home::Global),
+        }
+    }
+}
+
+impl SimMutex for TicketLock {
+    fn name(&self) -> &'static str {
+        "ticket"
+    }
+
+    fn enter(&self, ctx: &Ctx) -> MutexToken {
+        let t = ctx.fetch_add(self.next, 1);
+        while ctx.read(self.serving) != t {}
+        MutexToken(t)
+    }
+
+    fn exit(&self, ctx: &Ctx, token: MutexToken) {
+        ctx.write(self.serving, token.0 + 1);
+    }
+}
+
+/// Anderson's array-based queue lock.
+///
+/// `slots[i]` is `1` when the ticket congruent to `i` may enter. Slots are
+/// assigned round-robin by a fetch-and-add ticket, so each waiter spins on
+/// its own word — local spinning in the CC models. In DSM the slot a
+/// waiter gets is usually remote (slot homes are static but tickets
+/// rotate), which is why Anderson's lock is a CC-only queue lock.
+#[derive(Debug, Clone)]
+pub struct AndersonLock {
+    ticket: BaseObjectId,
+    slots: Vec<BaseObjectId>,
+}
+
+impl AndersonLock {
+    /// Allocates the dispenser and one slot per process.
+    pub fn install(builder: &mut SimBuilder) -> Self {
+        let n = builder.n_processes();
+        let ticket = builder.alloc("anderson.ticket", 0, Home::Global);
+        let slots = (0..n)
+            .map(|i| {
+                let init = u64::from(i == 0); // slot 0 starts granted
+                builder.alloc(format!("anderson.slot[{i}]"), init, Home::Process(ProcessId::new(i)))
+            })
+            .collect();
+        AndersonLock { ticket, slots }
+    }
+
+    fn slot_of(&self, t: Word) -> BaseObjectId {
+        self.slots[(t as usize) % self.slots.len()]
+    }
+}
+
+impl SimMutex for AndersonLock {
+    fn name(&self) -> &'static str {
+        "anderson"
+    }
+
+    fn enter(&self, ctx: &Ctx) -> MutexToken {
+        let t = ctx.fetch_add(self.ticket, 1);
+        let slot = self.slot_of(t);
+        while ctx.read(slot) == 0 {}
+        ctx.write(slot, 0); // consume the grant for slot reuse
+        MutexToken(t)
+    }
+
+    fn exit(&self, ctx: &Ctx, token: MutexToken) {
+        ctx.write(self.slot_of(token.0 + 1), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::mutex_process_body;
+    use ptm_sim::{run_policy, Marker, MutexOp, RandomPolicy};
+    use std::sync::Arc;
+
+    fn count_enters(log: &[ptm_sim::LogEntry]) -> usize {
+        log.iter()
+            .filter(|e| {
+                matches!(e.marker(), Some(Marker::MutexResponse { op: MutexOp::Enter }))
+            })
+            .count()
+    }
+
+    fn enters_are_fifo(log: &[ptm_sim::LogEntry], dispenser: BaseObjectId) -> bool {
+        // With a FIFO lock, Enter responses appear in the order tickets
+        // were drawn from the dispenser.
+        let mut draw_order = Vec::new();
+        let mut response_order = Vec::new();
+        for e in log {
+            if let Some(m) = e.mem() {
+                if m.obj == dispenser && matches!(m.prim, ptm_sim::Primitive::FetchAdd(_)) {
+                    draw_order.push(e.pid);
+                }
+            }
+            if let Some(Marker::MutexResponse { op: MutexOp::Enter }) = e.marker() {
+                response_order.push(e.pid);
+            }
+        }
+        draw_order == response_order
+    }
+
+    fn run<L: SimMutex + 'static>(
+        install: impl Fn(&mut SimBuilder) -> L,
+        n: usize,
+        passages: usize,
+        seed: u64,
+    ) -> Vec<ptm_sim::LogEntry> {
+        let mut b = SimBuilder::new(n);
+        let lock: Arc<dyn SimMutex> = Arc::new(install(&mut b));
+        for _ in 0..n {
+            let l = Arc::clone(&lock);
+            b.add_process(move |ctx| mutex_process_body(l, passages, ctx));
+        }
+        let sim = b.start();
+        run_policy(&sim, &mut RandomPolicy::seeded(seed), 2_000_000);
+        assert!(sim.runnable().is_empty());
+        sim.log()
+    }
+
+    #[test]
+    fn ticket_is_fifo() {
+        // ticket.next is the first object allocated by TicketLock.
+        let log = run(TicketLock::install, 4, 3, 5);
+        assert_eq!(count_enters(&log), 12);
+        assert!(enters_are_fifo(&log, BaseObjectId::new(0)));
+    }
+
+    #[test]
+    fn anderson_is_fifo() {
+        // anderson.ticket is the first object allocated by AndersonLock.
+        let log = run(AndersonLock::install, 4, 3, 9);
+        assert_eq!(count_enters(&log), 12);
+        assert!(enters_are_fifo(&log, BaseObjectId::new(0)));
+    }
+
+    #[test]
+    fn anderson_slot_reuse_across_rounds() {
+        // More total passages than slots forces slot reuse.
+        let log = run(AndersonLock::install, 2, 5, 13);
+        assert_eq!(count_enters(&log), 10);
+    }
+}

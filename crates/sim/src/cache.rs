@@ -1,0 +1,267 @@
+//! Remote-memory-reference (RMR) accounting.
+//!
+//! Section 5 of the paper defines three cost models:
+//!
+//! * **Write-through cache-coherent (CC)**: a read is local iff the process
+//!   holds a cached copy that has not been invalidated since its previous
+//!   read; every write is an RMR and invalidates all other cached copies.
+//! * **Write-back CC**: MESI-like with *shared* and *exclusive* modes. A
+//!   read is local iff the process holds a copy in shared or exclusive
+//!   mode; otherwise it incurs an RMR that downgrades exclusive holders and
+//!   installs a shared copy. A write is local iff the process holds the
+//!   object in exclusive mode; otherwise it incurs an RMR that invalidates
+//!   all other copies and installs an exclusive copy.
+//! * **DSM**: every register is forever assigned to a single process
+//!   ([`Home`]); any access by another process is an RMR.
+//!
+//! All three models are tracked simultaneously on every access so a single
+//! simulated execution yields all three RMR counters.
+
+use crate::ids::{BaseObjectId, ProcessId};
+use crate::memory::Home;
+use crate::primitive::AccessKind;
+
+/// Which of the three cost models charged an RMR for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RmrCharge {
+    /// Write-through cache-coherent model.
+    pub write_through: bool,
+    /// Write-back cache-coherent model.
+    pub write_back: bool,
+    /// Distributed shared memory model.
+    pub dsm: bool,
+}
+
+/// Cache-line state in the write-back model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum WbState {
+    #[default]
+    Invalid,
+    Shared,
+    Exclusive,
+}
+
+/// Per-object, per-process coherence state for all three models.
+#[derive(Debug, Clone)]
+pub struct CacheSet {
+    n_processes: usize,
+    /// Write-through validity bits, indexed `[obj][pid]`.
+    wt_valid: Vec<Vec<bool>>,
+    /// Write-back MESI-ish state, indexed `[obj][pid]`.
+    wb_state: Vec<Vec<WbState>>,
+    /// DSM home per object.
+    homes: Vec<Home>,
+}
+
+impl CacheSet {
+    /// Creates coherence state for `n_processes` processes and no objects.
+    pub fn new(n_processes: usize) -> Self {
+        CacheSet {
+            n_processes,
+            wt_valid: Vec::new(),
+            wb_state: Vec::new(),
+            homes: Vec::new(),
+        }
+    }
+
+    /// Registers a newly allocated base object with its DSM home.
+    pub fn register_object(&mut self, home: Home) {
+        self.wt_valid.push(vec![false; self.n_processes]);
+        self.wb_state.push(vec![WbState::Invalid; self.n_processes]);
+        self.homes.push(home);
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Whether no object is registered.
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+
+    /// Predicts what [`access`](Self::access) would charge, without
+    /// mutating any coherence state. Used by adversarial schedulers that
+    /// steer executions toward expensive steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` has not been registered or `pid` is out of range.
+    pub fn predict(&self, pid: ProcessId, obj: BaseObjectId, kind: AccessKind) -> RmrCharge {
+        let o = obj.index();
+        let p = pid.index();
+        RmrCharge {
+            write_through: match kind {
+                AccessKind::ReadOnly => !self.wt_valid[o][p],
+                AccessKind::Update => true,
+            },
+            write_back: match kind {
+                AccessKind::ReadOnly => self.wb_state[o][p] == WbState::Invalid,
+                AccessKind::Update => self.wb_state[o][p] != WbState::Exclusive,
+            },
+            dsm: self.homes[o].is_remote_for(pid),
+        }
+    }
+
+    /// Records an access and returns which models charged an RMR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` has not been registered or `pid` is out of range.
+    pub fn access(&mut self, pid: ProcessId, obj: BaseObjectId, kind: AccessKind) -> RmrCharge {
+        let o = obj.index();
+        let p = pid.index();
+        let mut charge = RmrCharge {
+            dsm: self.homes[o].is_remote_for(pid),
+            ..RmrCharge::default()
+        };
+
+        match kind {
+            AccessKind::ReadOnly => {
+                // Write-through: local iff we hold a valid copy.
+                if !self.wt_valid[o][p] {
+                    charge.write_through = true;
+                    self.wt_valid[o][p] = true;
+                }
+                // Write-back: local iff shared or exclusive.
+                if self.wb_state[o][p] == WbState::Invalid {
+                    charge.write_back = true;
+                    // Downgrade any exclusive holder to shared (the line is
+                    // written back to main memory) and take a shared copy.
+                    for s in self.wb_state[o].iter_mut() {
+                        if *s == WbState::Exclusive {
+                            *s = WbState::Shared;
+                        }
+                    }
+                    self.wb_state[o][p] = WbState::Shared;
+                }
+            }
+            AccessKind::Update => {
+                // Write-through: every write goes to main memory (RMR) and
+                // invalidates all other cached copies; the writer's own
+                // copy is refreshed.
+                charge.write_through = true;
+                for (i, v) in self.wt_valid[o].iter_mut().enumerate() {
+                    *v = i == p;
+                }
+                // Write-back: local iff we already hold the line exclusive.
+                if self.wb_state[o][p] != WbState::Exclusive {
+                    charge.write_back = true;
+                    for s in self.wb_state[o].iter_mut() {
+                        *s = WbState::Invalid;
+                    }
+                    self.wb_state[o][p] = WbState::Exclusive;
+                }
+            }
+        }
+        charge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn b(i: usize) -> BaseObjectId {
+        BaseObjectId::new(i)
+    }
+
+    fn caches(n: usize, objs: usize) -> CacheSet {
+        let mut c = CacheSet::new(n);
+        for _ in 0..objs {
+            c.register_object(Home::Global);
+        }
+        c
+    }
+
+    #[test]
+    fn first_read_is_rmr_second_is_local() {
+        let mut c = caches(2, 1);
+        let first = c.access(p(0), b(0), AccessKind::ReadOnly);
+        assert!(first.write_through && first.write_back);
+        let second = c.access(p(0), b(0), AccessKind::ReadOnly);
+        assert!(!second.write_through && !second.write_back);
+    }
+
+    #[test]
+    fn write_invalidates_other_readers_wt() {
+        let mut c = caches(2, 1);
+        c.access(p(0), b(0), AccessKind::ReadOnly);
+        c.access(p(1), b(0), AccessKind::Update);
+        // p0's cached copy was invalidated: next read is remote again.
+        let r = c.access(p(0), b(0), AccessKind::ReadOnly);
+        assert!(r.write_through);
+    }
+
+    #[test]
+    fn writer_keeps_own_copy_wt() {
+        let mut c = caches(2, 1);
+        c.access(p(0), b(0), AccessKind::Update);
+        let r = c.access(p(0), b(0), AccessKind::ReadOnly);
+        assert!(!r.write_through);
+    }
+
+    #[test]
+    fn every_write_is_rmr_in_write_through() {
+        let mut c = caches(2, 1);
+        assert!(c.access(p(0), b(0), AccessKind::Update).write_through);
+        assert!(c.access(p(0), b(0), AccessKind::Update).write_through);
+    }
+
+    #[test]
+    fn write_back_spin_in_exclusive_mode_is_local() {
+        let mut c = caches(2, 1);
+        assert!(c.access(p(0), b(0), AccessKind::Update).write_back);
+        // Subsequent writes by the same process hit the exclusive line.
+        assert!(!c.access(p(0), b(0), AccessKind::Update).write_back);
+        assert!(!c.access(p(0), b(0), AccessKind::ReadOnly).write_back);
+    }
+
+    #[test]
+    fn write_back_read_downgrades_exclusive() {
+        let mut c = caches(2, 1);
+        c.access(p(0), b(0), AccessKind::Update); // p0 exclusive
+        let r = c.access(p(1), b(0), AccessKind::ReadOnly);
+        assert!(r.write_back);
+        // p0 was downgraded to shared: its next *write* is an RMR...
+        assert!(c.access(p(0), b(0), AccessKind::Update).write_back);
+        // ...which invalidates p1's shared copy.
+        assert!(c.access(p(1), b(0), AccessKind::ReadOnly).write_back);
+    }
+
+    #[test]
+    fn shared_readers_stay_local() {
+        let mut c = caches(3, 1);
+        c.access(p(0), b(0), AccessKind::ReadOnly);
+        c.access(p(1), b(0), AccessKind::ReadOnly);
+        c.access(p(2), b(0), AccessKind::ReadOnly);
+        assert!(!c.access(p(0), b(0), AccessKind::ReadOnly).write_back);
+        assert!(!c.access(p(1), b(0), AccessKind::ReadOnly).write_back);
+    }
+
+    #[test]
+    fn dsm_charges_by_home_only() {
+        let mut c = CacheSet::new(2);
+        c.register_object(Home::Process(p(0)));
+        c.register_object(Home::Global);
+        assert!(!c.access(p(0), b(0), AccessKind::ReadOnly).dsm);
+        assert!(!c.access(p(0), b(0), AccessKind::Update).dsm);
+        assert!(c.access(p(1), b(0), AccessKind::ReadOnly).dsm);
+        // Global home is remote to everyone.
+        assert!(c.access(p(0), b(1), AccessKind::ReadOnly).dsm);
+        assert!(c.access(p(1), b(1), AccessKind::Update).dsm);
+    }
+
+    #[test]
+    fn objects_are_independent() {
+        let mut c = caches(2, 2);
+        c.access(p(0), b(0), AccessKind::ReadOnly);
+        // A write to b1 must not invalidate b0's copy.
+        c.access(p(1), b(1), AccessKind::Update);
+        assert!(!c.access(p(0), b(0), AccessKind::ReadOnly).write_through);
+    }
+}

@@ -1,0 +1,307 @@
+//! The execution log: every memory step, plus *markers* announcing
+//! TM-level and mutex-level operation invocations and responses.
+//!
+//! The log is the single source of truth from which `ptm-model` builds
+//! histories (sequences of t-operation invocation/response events), checks
+//! read visibility (nontrivial events inside t-read fragments), and
+//! analyses base-object access patterns (distinct objects touched during an
+//! operation, contention between transactions).
+//!
+//! Markers are scheduling points just like memory steps, so the interleaving
+//! of invocations/responses across processes is fully driver-controlled and
+//! the real-time order recorded in the log is exact.
+
+use crate::cache::RmrCharge;
+use crate::ids::{BaseObjectId, ProcessId, TObjId, TxId, Word};
+use crate::primitive::Primitive;
+use std::fmt;
+
+/// Description of a t-operation, used in invocation markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TOpDesc {
+    /// `read_k(X)`.
+    Read(TObjId),
+    /// `write_k(X, v)`.
+    Write(TObjId, Word),
+    /// `tryC_k()`.
+    TryCommit,
+}
+
+impl TOpDesc {
+    /// The t-object this operation is on, if any.
+    pub fn t_object(self) -> Option<TObjId> {
+        match self {
+            TOpDesc::Read(x) | TOpDesc::Write(x, _) => Some(x),
+            TOpDesc::TryCommit => None,
+        }
+    }
+}
+
+impl fmt::Display for TOpDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TOpDesc::Read(x) => write!(f, "read({x})"),
+            TOpDesc::Write(x, v) => write!(f, "write({x},{v})"),
+            TOpDesc::TryCommit => write!(f, "tryC"),
+        }
+    }
+}
+
+/// Response of a t-operation, used in response markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TOpResult {
+    /// A read returned a value.
+    Value(Word),
+    /// A write returned `ok`.
+    Ok,
+    /// `tryC` returned commit (`C_k`).
+    Committed,
+    /// The operation returned abort (`A_k`).
+    Aborted,
+}
+
+impl fmt::Display for TOpResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TOpResult::Value(v) => write!(f, "{v}"),
+            TOpResult::Ok => write!(f, "ok"),
+            TOpResult::Committed => write!(f, "C"),
+            TOpResult::Aborted => write!(f, "A"),
+        }
+    }
+}
+
+/// Mutex-level operations, used by the Algorithm 1 reduction and the
+/// baseline locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutexOp {
+    /// `Enter` (acquire).
+    Enter,
+    /// `Exit` (release).
+    Exit,
+}
+
+/// A marker logged by a process at a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Marker {
+    /// Invocation of a t-operation by transaction `tx`.
+    TxInvoke {
+        /// Transaction issuing the operation.
+        tx: TxId,
+        /// The operation.
+        op: TOpDesc,
+    },
+    /// Matching response of a t-operation.
+    TxResponse {
+        /// Transaction issuing the operation.
+        tx: TxId,
+        /// The operation.
+        op: TOpDesc,
+        /// Its result.
+        res: TOpResult,
+    },
+    /// Invocation of a mutex operation.
+    MutexInvoke {
+        /// Enter or exit.
+        op: MutexOp,
+    },
+    /// Matching response of a mutex operation.
+    MutexResponse {
+        /// Enter or exit.
+        op: MutexOp,
+    },
+    /// Free-form annotation for tests and experiment harnesses.
+    Note {
+        /// Static tag.
+        tag: &'static str,
+        /// First payload word.
+        a: Word,
+        /// Second payload word.
+        b: Word,
+    },
+}
+
+/// One applied memory step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// The base object accessed.
+    pub obj: BaseObjectId,
+    /// The primitive applied.
+    pub prim: Primitive,
+    /// Value of the object before the application.
+    pub old: Word,
+    /// Value after the application.
+    pub new: Word,
+    /// Response returned to the process.
+    pub response: Word,
+    /// Which cost models charged an RMR.
+    pub rmr: RmrCharge,
+}
+
+/// Payload of a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogPayload {
+    /// A memory step.
+    Mem(MemEvent),
+    /// A marker.
+    Marker(Marker),
+    /// The process consumed a driver command (debug bookkeeping only).
+    CommandConsumed,
+}
+
+/// One entry of the execution log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Global sequence number (position in the log).
+    pub seq: usize,
+    /// The process that took the step.
+    pub pid: ProcessId,
+    /// What happened.
+    pub payload: LogPayload,
+}
+
+impl LogEntry {
+    /// The memory event, if this entry is one.
+    pub fn mem(&self) -> Option<&MemEvent> {
+        match &self.payload {
+            LogPayload::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The marker, if this entry is one.
+    pub fn marker(&self) -> Option<&Marker> {
+        match &self.payload {
+            LogPayload::Marker(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Analysis helpers over a slice of the log.
+pub mod analysis {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Distinct base objects accessed by `pid` within the slice.
+    pub fn distinct_objects(log: &[LogEntry], pid: ProcessId) -> BTreeSet<BaseObjectId> {
+        log.iter()
+            .filter(|e| e.pid == pid)
+            .filter_map(LogEntry::mem)
+            .map(|m| m.obj)
+            .collect()
+    }
+
+    /// Number of memory steps taken by `pid` within the slice.
+    pub fn steps_of(log: &[LogEntry], pid: ProcessId) -> usize {
+        log.iter()
+            .filter(|e| e.pid == pid)
+            .filter(|e| e.mem().is_some())
+            .count()
+    }
+
+    /// Whether `pid` applied any nontrivial primitive within the slice.
+    pub fn has_nontrivial(log: &[LogEntry], pid: ProcessId) -> bool {
+        log.iter()
+            .filter(|e| e.pid == pid)
+            .filter_map(LogEntry::mem)
+            .any(|m| m.prim.is_nontrivial())
+    }
+
+    /// Base objects on which two processes both took steps within the
+    /// slice, with at least one nontrivial step between them — the log-level
+    /// witness of *contention* on a base object.
+    pub fn contended_objects(
+        log: &[LogEntry],
+        a: ProcessId,
+        b: ProcessId,
+    ) -> BTreeSet<BaseObjectId> {
+        let mut touched_a: BTreeSet<(BaseObjectId, bool)> = BTreeSet::new();
+        let mut touched_b: BTreeSet<(BaseObjectId, bool)> = BTreeSet::new();
+        for e in log {
+            if let Some(m) = e.mem() {
+                let rec = (m.obj, m.prim.is_nontrivial());
+                if e.pid == a {
+                    touched_a.insert(rec);
+                } else if e.pid == b {
+                    touched_b.insert(rec);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        for (obj, nt_a) in &touched_a {
+            for (obj_b, nt_b) in &touched_b {
+                if obj == obj_b && (*nt_a || *nt_b) {
+                    out.insert(*obj);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::analysis::*;
+    use super::*;
+
+    fn entry(seq: usize, pid: usize, obj: usize, prim: Primitive) -> LogEntry {
+        LogEntry {
+            seq,
+            pid: ProcessId::new(pid),
+            payload: LogPayload::Mem(MemEvent {
+                obj: BaseObjectId::new(obj),
+                prim,
+                old: 0,
+                new: 0,
+                response: 0,
+                rmr: RmrCharge::default(),
+            }),
+        }
+    }
+
+    #[test]
+    fn distinct_objects_counts_unique() {
+        let log = vec![
+            entry(0, 0, 1, Primitive::Read),
+            entry(1, 0, 1, Primitive::Read),
+            entry(2, 0, 2, Primitive::Read),
+            entry(3, 1, 3, Primitive::Read),
+        ];
+        let d = distinct_objects(&log, ProcessId::new(0));
+        assert_eq!(d.len(), 2);
+        assert_eq!(steps_of(&log, ProcessId::new(0)), 3);
+    }
+
+    #[test]
+    fn nontrivial_detection() {
+        let log = vec![
+            entry(0, 0, 1, Primitive::Read),
+            entry(1, 0, 1, Primitive::Write(3)),
+        ];
+        assert!(has_nontrivial(&log, ProcessId::new(0)));
+        assert!(!has_nontrivial(&log, ProcessId::new(1)));
+    }
+
+    #[test]
+    fn contention_requires_shared_object_and_a_writer() {
+        let log = vec![
+            entry(0, 0, 1, Primitive::Read),
+            entry(1, 1, 1, Primitive::Read),
+            entry(2, 0, 2, Primitive::Write(1)),
+            entry(3, 1, 2, Primitive::Read),
+        ];
+        let c = contended_objects(&log, ProcessId::new(0), ProcessId::new(1));
+        // Object 1: both read only -> no contention. Object 2: p0 wrote.
+        assert!(!c.contains(&BaseObjectId::new(1)));
+        assert!(c.contains(&BaseObjectId::new(2)));
+    }
+
+    #[test]
+    fn top_desc_accessors() {
+        assert_eq!(TOpDesc::Read(TObjId::new(4)).t_object(), Some(TObjId::new(4)));
+        assert_eq!(TOpDesc::TryCommit.t_object(), None);
+        assert_eq!(TOpDesc::Read(TObjId::new(4)).to_string(), "read(X4)");
+        assert_eq!(TOpResult::Committed.to_string(), "C");
+    }
+}

@@ -1,0 +1,160 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! The paper's model has three kinds of named entities: *processes*
+//! (`p_1..p_n`), *base objects* (the shared memory cells a TM implementation
+//! is built from), and *t-objects* / *transactions* (the TM-level interface).
+//! Keeping them as distinct newtypes prevents the classic index-confusion
+//! bugs in simulator code.
+
+use std::fmt;
+
+/// A machine word stored in a base object.
+///
+/// The paper places no bound on the value domain `V`; a 64-bit word is
+/// enough to encode every value our algorithms store (versions, pids,
+/// pointers into the simulated memory, t-object values).
+pub type Word = u64;
+
+/// Identifier of a simulated process (`p_i` in the paper).
+///
+/// Process ids are dense indices `0..n` assigned by the
+/// [`SimBuilder`](crate::SimBuilder) in spawn order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// The dense index of this process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+/// Identifier of a base object (a cell of the simulated shared memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BaseObjectId(usize);
+
+impl BaseObjectId {
+    /// Creates a base-object id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        BaseObjectId(index)
+    }
+
+    /// The dense index of this base object.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BaseObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl From<usize> for BaseObjectId {
+    fn from(index: usize) -> Self {
+        BaseObjectId(index)
+    }
+}
+
+/// Identifier of a t-object (`X_i` in the paper) — a TM-level data item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TObjId(usize);
+
+impl TObjId {
+    /// Creates a t-object id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        TObjId(index)
+    }
+
+    /// The dense index of this t-object.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl From<usize> for TObjId {
+    fn from(index: usize) -> Self {
+        TObjId(index)
+    }
+}
+
+/// Identifier of a transaction (`T_k` in the paper).
+///
+/// Transaction ids are unique across an execution; the driver assigns them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(u64);
+
+impl TxId {
+    /// Creates a transaction id.
+    pub const fn new(id: u64) -> Self {
+        TxId(id)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for TxId {
+    fn from(id: u64) -> Self {
+        TxId(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::new(3).to_string(), "p3");
+        assert_eq!(BaseObjectId::new(0).to_string(), "b0");
+        assert_eq!(TObjId::new(7).to_string(), "X7");
+        assert_eq!(TxId::new(12).to_string(), "T12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert!(BaseObjectId::new(0) < BaseObjectId::new(10));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p: ProcessId = 5usize.into();
+        assert_eq!(p.index(), 5);
+        let t: TxId = 9u64.into();
+        assert_eq!(t.raw(), 9);
+    }
+}

@@ -1,0 +1,59 @@
+//! # ptm-sim — the paper's abstract machine, executable
+//!
+//! A deterministic simulator of the asynchronous shared-memory system in
+//! which *Progressive Transactional Memory in Time and Space* (Kuznetsov &
+//! Ravi, PACT 2015) states its results: `n` processes communicating by
+//! applying read-modify-write [`Primitive`]s to base objects, with
+//!
+//! * **step accounting** — one primitive application is one step, the unit
+//!   of Theorem 3(1)'s `Ω(m²)` bound;
+//! * **RMR accounting** — every access is simultaneously charged under the
+//!   write-through CC, write-back CC, and DSM cost models of Section 5;
+//! * **total schedule control** — processes run in lockstep under a
+//!   driver, so the exact executions of the paper's indistinguishability
+//!   arguments (Figure 1, Lemma 2) can be replayed, and randomized
+//!   schedules are reproducible from seeds;
+//! * **a complete execution log** — memory steps plus TM/mutex operation
+//!   markers, from which `ptm-model` reconstructs formal histories.
+//!
+//! ## Example
+//!
+//! ```
+//! use ptm_sim::{SimBuilder, Home, Primitive};
+//!
+//! let mut b = SimBuilder::new(2);
+//! let x = b.alloc("x", 0, Home::Global);
+//! b.add_process(move |ctx| {
+//!     // fetch-and-add is one step
+//!     ctx.fetch_add(x, 5);
+//! });
+//! b.add_process(move |ctx| {
+//!     let _v = ctx.read(x);
+//! });
+//! let sim = b.start();
+//! sim.step(0.into()).unwrap();
+//! sim.step(1.into()).unwrap();
+//! assert_eq!(sim.peek(x), 5);
+//! assert_eq!(sim.metrics().total_steps(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod event;
+mod ids;
+mod lockstep;
+mod memory;
+mod metrics;
+mod primitive;
+mod sched;
+
+pub use cache::{CacheSet, RmrCharge};
+pub use event::{analysis, LogEntry, LogPayload, Marker, MemEvent, MutexOp, TOpDesc, TOpResult};
+pub use ids::{BaseObjectId, ProcessId, TObjId, TxId, Word};
+pub use lockstep::{Ctx, PoisedEvent, ProcStatus, RunOutcome, Sim, SimBuilder, SimError, StepEvent};
+pub use memory::{ApplyOutcome, Home, Memory};
+pub use metrics::Metrics;
+pub use primitive::{AccessKind, Primitive};
+pub use sched::{run_policy, BurstPolicy, GreedyRmrPolicy, RandomPolicy, RmrTarget, RoundRobin, SchedulePolicy};

@@ -1,0 +1,999 @@
+//! Lockstep execution of simulated processes.
+//!
+//! Each simulated process runs on an OS thread, but every interaction with
+//! the shared world — applying a primitive to a base object, logging a
+//! marker, receiving a driver command — is a *scheduling point*: the
+//! process blocks until the driver grants it exactly one step. Between
+//! grants, at most one process is ever inside the shared state, so
+//! executions are fully deterministic and the driver can replay the exact
+//! interleavings used in the paper's proofs (`π^{i−1} · β^ℓ · ρ^i · α_i`
+//! and friends).
+//!
+//! The driver is whatever code owns the [`Sim`]: a unit test, an experiment
+//! harness, or a [`SchedulePolicy`](crate::sched::SchedulePolicy) loop.
+
+use crate::cache::{CacheSet, RmrCharge};
+use crate::event::{LogEntry, LogPayload, Marker, MemEvent};
+use crate::ids::{BaseObjectId, ProcessId, Word};
+use crate::memory::{Home, Memory};
+use crate::metrics::Metrics;
+use crate::primitive::Primitive;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the driver waits for a process to reach its next scheduling
+/// point before declaring the simulation wedged. Generous: a legitimate
+/// process only does local computation between points.
+const DRIVER_WAIT: Duration = Duration::from_secs(30);
+
+/// Errors surfaced to the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The process has finished and cannot take steps.
+    Finished(ProcessId),
+    /// The process is blocked in [`Ctx::recv`] and its mailbox is empty.
+    AwaitingCommand(ProcessId),
+    /// The process panicked; the payload is the panic message.
+    Panicked(ProcessId, String),
+    /// The process did not reach a scheduling point within the internal
+    /// timeout — almost certainly an unbounded local loop that never
+    /// touches shared memory.
+    Wedged(ProcessId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Finished(p) => write!(f, "process {p} already finished"),
+            SimError::AwaitingCommand(p) => {
+                write!(f, "process {p} is waiting for a command and its mailbox is empty")
+            }
+            SimError::Panicked(p, msg) => write!(f, "process {p} panicked: {msg}"),
+            SimError::Wedged(p) => {
+                write!(f, "process {p} did not reach a scheduling point in time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What a granted step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// A memory step (one primitive application).
+    Mem(MemEvent),
+    /// A marker was logged.
+    Marker(Marker),
+    /// A driver command was consumed.
+    Command,
+}
+
+/// The event a process is poised to perform next, visible to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoisedEvent {
+    /// Poised to apply `prim` to `obj` — the paper's "enabled event".
+    Mem(BaseObjectId, Primitive),
+    /// Poised to log a marker.
+    Marker(Marker),
+    /// Poised to consume a command (mailbox non-empty).
+    Command,
+}
+
+/// Public view of a process's scheduling status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcStatus {
+    /// Executing local code toward its next scheduling point.
+    Running,
+    /// Blocked at a scheduling point, waiting for a grant.
+    Poised,
+    /// Blocked in [`Ctx::recv`] with an empty mailbox.
+    AwaitingCommand,
+    /// The closure returned (or panicked; see [`SimError::Panicked`]).
+    Finished,
+}
+
+#[derive(Debug)]
+enum Status {
+    Running,
+    Poised(PoisedEvent),
+    AwaitingCommand,
+    Finished,
+}
+
+/// Token type used to unwind process threads on simulator shutdown.
+struct ShutdownToken;
+
+fn install_quiet_shutdown_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct SimState {
+    memory: Memory,
+    caches: CacheSet,
+    metrics: Metrics,
+    log: Vec<LogEntry>,
+    turn: Option<usize>,
+    status: Vec<Status>,
+    mailboxes: Vec<VecDeque<Box<dyn Any + Send>>>,
+    panics: Vec<Option<String>>,
+    shutdown: bool,
+}
+
+impl SimState {
+    fn push_log(&mut self, pid: ProcessId, payload: LogPayload) {
+        let seq = self.log.len();
+        self.log.push(LogEntry { seq, pid, payload });
+    }
+}
+
+struct Shared {
+    st: Mutex<SimState>,
+    proc_cv: Condvar,
+    driver_cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        match self.st.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Handle through which a simulated process interacts with the shared
+/// world. Every method is a scheduling point.
+///
+/// A `Ctx` is passed by the simulator to the process closure; it cannot be
+/// constructed by user code and must not be sent to another thread.
+pub struct Ctx {
+    pid: ProcessId,
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx").field("pid", &self.pid).finish()
+    }
+}
+
+impl Ctx {
+    /// The id of this process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Blocks until the driver grants a step, returning the state guard
+    /// with the turn consumed.
+    fn wait_for_grant(&self, poised: PoisedEvent) -> MutexGuard<'_, SimState> {
+        let mut st = self.shared.lock();
+        st.status[self.pid.index()] = Status::Poised(poised);
+        self.shared.driver_cv.notify_all();
+        loop {
+            if st.shutdown {
+                drop(st);
+                panic::panic_any(ShutdownToken);
+            }
+            if st.turn == Some(self.pid.index()) {
+                break;
+            }
+            st = match self.shared.proc_cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.turn = None;
+        st.status[self.pid.index()] = Status::Running;
+        st
+    }
+
+    /// Applies an RMW primitive to a base object and returns its response.
+    ///
+    /// This is one *step* of the process in the paper's sense: it is
+    /// counted in [`Metrics`], charged by the three RMR models, and
+    /// recorded in the execution log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` was not allocated.
+    pub fn apply(&self, obj: BaseObjectId, prim: Primitive) -> Word {
+        let mut st = self.wait_for_grant(PoisedEvent::Mem(obj, prim));
+        let outcome = st.memory.apply(self.pid, obj, prim);
+        let charge = st.caches.access(self.pid, obj, prim.access_kind());
+        st.metrics.record(self.pid, charge);
+        let event = MemEvent {
+            obj,
+            prim,
+            old: outcome.old,
+            new: outcome.new,
+            response: outcome.response,
+            rmr: charge,
+        };
+        st.push_log(self.pid, LogPayload::Mem(event));
+        drop(st);
+        self.shared.driver_cv.notify_all();
+        event.response
+    }
+
+    /// Convenience: `apply(obj, Read)`.
+    pub fn read(&self, obj: BaseObjectId) -> Word {
+        self.apply(obj, Primitive::Read)
+    }
+
+    /// Convenience: `apply(obj, Write(v))`, discarding the old value.
+    pub fn write(&self, obj: BaseObjectId, v: Word) {
+        self.apply(obj, Primitive::Write(v));
+    }
+
+    /// Convenience: CAS returning whether it succeeded.
+    pub fn cas(&self, obj: BaseObjectId, expected: Word, new: Word) -> bool {
+        self.apply(obj, Primitive::Cas { expected, new }) == 1
+    }
+
+    /// Convenience: fetch-and-add returning the previous value.
+    pub fn fetch_add(&self, obj: BaseObjectId, d: Word) -> Word {
+        self.apply(obj, Primitive::FetchAdd(d))
+    }
+
+    /// Convenience: swap returning the previous value.
+    pub fn swap(&self, obj: BaseObjectId, v: Word) -> Word {
+        self.apply(obj, Primitive::Swap(v))
+    }
+
+    /// Logs a marker. Markers are scheduling points (so cross-process
+    /// invocation/response ordering is driver-controlled) but are not
+    /// memory steps: they are not counted by [`Metrics`].
+    pub fn marker(&self, m: Marker) {
+        let mut st = self.wait_for_grant(PoisedEvent::Marker(m));
+        st.push_log(self.pid, LogPayload::Marker(m));
+        drop(st);
+        self.shared.driver_cv.notify_all();
+    }
+
+    /// Receives the next driver command, blocking until one is available
+    /// and the driver grants the consumption step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the next command is not a `T` — a driver/process protocol
+    /// mismatch, which is a programming error.
+    pub fn recv<T: Any + Send>(&self) -> T {
+        let mut st = self.shared.lock();
+        loop {
+            if st.shutdown {
+                drop(st);
+                panic::panic_any(ShutdownToken);
+            }
+            let has_cmd = !st.mailboxes[self.pid.index()].is_empty();
+            if has_cmd {
+                st.status[self.pid.index()] = Status::Poised(PoisedEvent::Command);
+            } else {
+                st.status[self.pid.index()] = Status::AwaitingCommand;
+            }
+            self.shared.driver_cv.notify_all();
+            if st.turn == Some(self.pid.index()) && has_cmd {
+                break;
+            }
+            st = match self.shared.proc_cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.turn = None;
+        st.status[self.pid.index()] = Status::Running;
+        let cmd = st.mailboxes[self.pid.index()]
+            .pop_front()
+            .expect("mailbox checked non-empty");
+        st.push_log(self.pid, LogPayload::CommandConsumed);
+        drop(st);
+        self.shared.driver_cv.notify_all();
+        *cmd.downcast::<T>()
+            .expect("driver sent a command of unexpected type")
+    }
+}
+
+/// Builds a [`Sim`]: allocate base objects, register process closures,
+/// then [`start`](SimBuilder::start).
+///
+/// # Examples
+///
+/// ```
+/// use ptm_sim::{SimBuilder, Home, Primitive};
+///
+/// let mut b = SimBuilder::new(2);
+/// let cell = b.alloc("cell", 0, Home::Global);
+/// b.add_process(move |ctx| {
+///     ctx.write(cell, 7);
+/// });
+/// b.add_process(move |ctx| {
+///     let _ = ctx.read(cell);
+/// });
+/// let sim = b.start();
+/// sim.step(0.into()).unwrap(); // p0 writes
+/// sim.step(1.into()).unwrap(); // p1 reads
+/// assert_eq!(sim.peek(cell), 7);
+/// ```
+pub struct SimBuilder {
+    n: usize,
+    memory: Memory,
+    caches: CacheSet,
+    bodies: Vec<Box<dyn FnOnce(&Ctx) + Send + 'static>>,
+}
+
+impl fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("n", &self.n)
+            .field("objects", &self.memory.len())
+            .field("processes_registered", &self.bodies.len())
+            .finish()
+    }
+}
+
+impl SimBuilder {
+    /// Creates a builder for a system of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a system needs at least one process");
+        SimBuilder {
+            n,
+            memory: Memory::new(),
+            caches: CacheSet::new(n),
+            bodies: Vec::new(),
+        }
+    }
+
+    /// Number of processes in the system.
+    pub fn n_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Allocates a base object before the run.
+    pub fn alloc(&mut self, name: impl Into<String>, init: Word, home: Home) -> BaseObjectId {
+        let id = self.memory.alloc(name, init, home);
+        self.caches.register_object(home);
+        id
+    }
+
+    /// Registers the body of the next process (ids are assigned in
+    /// registration order) and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all `n` processes are already registered.
+    pub fn add_process(
+        &mut self,
+        body: impl FnOnce(&Ctx) + Send + 'static,
+    ) -> ProcessId {
+        assert!(
+            self.bodies.len() < self.n,
+            "all {} processes already registered",
+            self.n
+        );
+        let pid = ProcessId::new(self.bodies.len());
+        self.bodies.push(Box::new(body));
+        pid
+    }
+
+    /// Spawns the process threads and returns the driver handle. Processes
+    /// registered so far run their bodies; if fewer than `n` bodies were
+    /// registered the remaining processes are trivially finished.
+    ///
+    /// Blocks until every process reaches its first scheduling point (or
+    /// finishes), so the returned simulation is in a deterministic state.
+    pub fn start(self) -> Sim {
+        install_quiet_shutdown_hook();
+        let n = self.n;
+        let shared = Arc::new(Shared {
+            st: Mutex::new(SimState {
+                memory: self.memory,
+                caches: self.caches,
+                metrics: Metrics::new(n),
+                log: Vec::new(),
+                turn: None,
+                status: (0..n).map(|_| Status::Running).collect(),
+                mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
+                panics: vec![None; n],
+                shutdown: false,
+            }),
+            proc_cv: Condvar::new(),
+            driver_cv: Condvar::new(),
+        });
+
+        let registered = self.bodies.len();
+        let mut threads = Vec::with_capacity(registered);
+        for (i, body) in self.bodies.into_iter().enumerate() {
+            let pid = ProcessId::new(i);
+            let ctx = Ctx { pid, shared: Arc::clone(&shared) };
+            let shared_for_exit = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("ptm-sim-{i}"))
+                .spawn(move || {
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                    let mut st = shared_for_exit.lock();
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<ShutdownToken>().is_none() {
+                            let msg = panic_message(payload.as_ref());
+                            st.panics[pid.index()] = Some(msg);
+                        }
+                    }
+                    st.status[pid.index()] = Status::Finished;
+                    // A grant may still be pending for us; release it so the
+                    // driver does not wait forever.
+                    if st.turn == Some(pid.index()) {
+                        st.turn = None;
+                    }
+                    drop(st);
+                    shared_for_exit.driver_cv.notify_all();
+                })
+                .expect("spawn simulated process thread");
+            threads.push(handle);
+        }
+        // Unregistered processes are trivially finished.
+        {
+            let mut st = shared.lock();
+            for i in registered..n {
+                st.status[i] = Status::Finished;
+            }
+        }
+
+        let sim = Sim { shared, threads, n };
+        for i in 0..registered {
+            sim.wait_stable(ProcessId::new(i));
+        }
+        sim
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Outcome of a bounded driver run ([`Sim::run_until`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The predicate matched on this step; `usize` is the number of steps
+    /// granted including the matching one.
+    Matched(usize),
+    /// The process finished before the predicate matched.
+    Finished(usize),
+    /// The process blocked waiting for a command.
+    Blocked(usize),
+    /// The step budget was exhausted.
+    Budget(usize),
+}
+
+impl RunOutcome {
+    /// Number of steps granted during the run.
+    pub fn steps(self) -> usize {
+        match self {
+            RunOutcome::Matched(s)
+            | RunOutcome::Finished(s)
+            | RunOutcome::Blocked(s)
+            | RunOutcome::Budget(s) => s,
+        }
+    }
+}
+
+/// Driver handle for a running simulation.
+///
+/// Dropping the `Sim` shuts the process threads down (they unwind at their
+/// next scheduling point) and joins them.
+pub struct Sim {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    n: usize,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim").field("n", &self.n).finish()
+    }
+}
+
+impl Sim {
+    /// Number of processes in the system.
+    pub fn n_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Waits until `pid` is at a stable point (poised, awaiting a command,
+    /// or finished).
+    fn wait_stable(&self, pid: ProcessId) {
+        let mut st = self.shared.lock();
+        loop {
+            match st.status[pid.index()] {
+                Status::Running => {}
+                _ => return,
+            }
+            let (g, timeout) = match self.shared.driver_cv.wait_timeout(st, DRIVER_WAIT) {
+                Ok(r) => r,
+                Err(p) => {
+                    let (g, t) = p.into_inner();
+                    (g, t)
+                }
+            };
+            st = g;
+            if timeout.timed_out() {
+                panic!("{}", SimError::Wedged(pid));
+            }
+        }
+    }
+
+    /// Current scheduling status of a process.
+    pub fn status(&self, pid: ProcessId) -> ProcStatus {
+        let st = self.shared.lock();
+        match st.status[pid.index()] {
+            Status::Running => ProcStatus::Running,
+            Status::Poised(_) => ProcStatus::Poised,
+            Status::AwaitingCommand => ProcStatus::AwaitingCommand,
+            Status::Finished => ProcStatus::Finished,
+        }
+    }
+
+    /// The event `pid` is poised to perform, if it is at a scheduling
+    /// point — the paper's *enabled event* of an incomplete transaction.
+    pub fn poised_event(&self, pid: ProcessId) -> Option<PoisedEvent> {
+        let st = self.shared.lock();
+        match &st.status[pid.index()] {
+            Status::Poised(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Predicts the RMR charge of `pid`'s poised memory event, if it is
+    /// poised on one (without mutating coherence state). Markers and
+    /// command consumptions predict as free.
+    pub fn predicted_rmr(&self, pid: ProcessId) -> Option<RmrCharge> {
+        let st = self.shared.lock();
+        match &st.status[pid.index()] {
+            Status::Poised(PoisedEvent::Mem(obj, prim)) => {
+                Some(st.caches.predict(pid, *obj, prim.access_kind()))
+            }
+            Status::Poised(_) => Some(RmrCharge::default()),
+            _ => None,
+        }
+    }
+
+    /// Sends a command to a process's mailbox (does not grant a step).
+    pub fn send<T: Any + Send>(&self, pid: ProcessId, cmd: T) {
+        let mut st = self.shared.lock();
+        st.mailboxes[pid.index()].push_back(Box::new(cmd));
+        drop(st);
+        // The process may be blocked in `recv` with an empty mailbox; wake
+        // it so it can become poised.
+        self.shared.proc_cv.notify_all();
+        self.wait_stable(pid);
+    }
+
+    /// Grants one step to `pid` and returns what it did.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Finished`] if the process already finished;
+    /// [`SimError::AwaitingCommand`] if it needs a command first;
+    /// [`SimError::Panicked`] if it panicked.
+    pub fn step(&self, pid: ProcessId) -> Result<StepEvent, SimError> {
+        self.wait_stable(pid);
+        let mut st = self.shared.lock();
+        if let Some(msg) = &st.panics[pid.index()] {
+            return Err(SimError::Panicked(pid, msg.clone()));
+        }
+        match st.status[pid.index()] {
+            Status::Finished => return Err(SimError::Finished(pid)),
+            // The process may not have re-noticed a freshly delivered
+            // command yet; granting the turn is correct as long as the
+            // mailbox is non-empty (its recv loop re-checks both).
+            Status::AwaitingCommand if st.mailboxes[pid.index()].is_empty() => {
+                return Err(SimError::AwaitingCommand(pid))
+            }
+            Status::AwaitingCommand | Status::Poised(_) => {}
+            Status::Running => unreachable!("wait_stable returned while running"),
+        }
+        let log_before = st.log.len();
+        st.turn = Some(pid.index());
+        drop(st);
+        self.shared.proc_cv.notify_all();
+
+        // Wait until the step completed *and* the process reached its next
+        // stable point, so the driver observes a quiescent system.
+        let mut st = self.shared.lock();
+        loop {
+            let stepped = st.log.len() > log_before;
+            let stable = !matches!(st.status[pid.index()], Status::Running);
+            if stepped && st.turn.is_none() && stable {
+                break;
+            }
+            // The process may have finished without logging (it was granted
+            // a step but unwound instead, e.g. on shutdown or panic).
+            if matches!(st.status[pid.index()], Status::Finished) && st.turn.is_none() {
+                if let Some(msg) = &st.panics[pid.index()] {
+                    return Err(SimError::Panicked(pid, msg.clone()));
+                }
+                if !stepped {
+                    return Err(SimError::Finished(pid));
+                }
+                break;
+            }
+            let (g, timeout) = match self.shared.driver_cv.wait_timeout(st, DRIVER_WAIT) {
+                Ok(r) => r,
+                Err(p) => p.into_inner(),
+            };
+            st = g;
+            if timeout.timed_out() {
+                panic!("{}", SimError::Wedged(pid));
+            }
+        }
+        let entry = st.log[log_before];
+        debug_assert_eq!(entry.pid, pid);
+        Ok(match entry.payload {
+            LogPayload::Mem(e) => StepEvent::Mem(e),
+            LogPayload::Marker(m) => StepEvent::Marker(m),
+            LogPayload::CommandConsumed => StepEvent::Command,
+        })
+    }
+
+    /// Grants steps to `pid` until `pred` matches a step, the process
+    /// finishes or blocks, or `max_steps` have been granted.
+    pub fn run_until(
+        &self,
+        pid: ProcessId,
+        max_steps: usize,
+        mut pred: impl FnMut(&StepEvent) -> bool,
+    ) -> RunOutcome {
+        let mut taken = 0;
+        while taken < max_steps {
+            match self.step(pid) {
+                Ok(ev) => {
+                    taken += 1;
+                    if pred(&ev) {
+                        return RunOutcome::Matched(taken);
+                    }
+                }
+                Err(SimError::Finished(_)) => return RunOutcome::Finished(taken),
+                Err(SimError::AwaitingCommand(_)) => return RunOutcome::Blocked(taken),
+                Err(e) => panic!("simulated process failed: {e}"),
+            }
+        }
+        RunOutcome::Budget(taken)
+    }
+
+    /// Runs `pid` until it finishes or blocks for a command; returns the
+    /// number of steps granted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget of `max_steps` is exhausted first — used by
+    /// tests that expect termination.
+    pub fn run_to_block(&self, pid: ProcessId, max_steps: usize) -> usize {
+        match self.run_until(pid, max_steps, |_| false) {
+            RunOutcome::Finished(s) | RunOutcome::Blocked(s) => s,
+            RunOutcome::Budget(_) => panic!("process {pid} exceeded step budget {max_steps}"),
+            RunOutcome::Matched(_) => unreachable!("predicate is constant false"),
+        }
+    }
+
+    /// Process ids that can currently be granted a step.
+    pub fn runnable(&self) -> Vec<ProcessId> {
+        let st = self.shared.lock();
+        (0..self.n)
+            .filter(|&i| match st.status[i] {
+                Status::Poised(_) => true,
+                Status::AwaitingCommand => !st.mailboxes[i].is_empty(),
+                _ => false,
+            })
+            .map(ProcessId::new)
+            .collect()
+    }
+
+    /// Allocates a base object while the system is running (driver-side).
+    pub fn alloc(&self, name: impl Into<String>, init: Word, home: Home) -> BaseObjectId {
+        let mut st = self.shared.lock();
+        let id = st.memory.alloc(name, init, home);
+        st.caches.register_object(home);
+        id
+    }
+
+    /// Driver-side peek of a base object (not a step of any process).
+    pub fn peek(&self, obj: BaseObjectId) -> Word {
+        self.shared.lock().memory.peek(obj)
+    }
+
+    /// Driver-side poke of a base object, for setting up configurations.
+    pub fn poke(&self, obj: BaseObjectId, value: Word) {
+        self.shared.lock().memory.poke(obj, value);
+    }
+
+    /// Snapshot of the metrics counters.
+    pub fn metrics(&self) -> Metrics {
+        self.shared.lock().metrics.clone()
+    }
+
+    /// Length of the execution log.
+    pub fn log_len(&self) -> usize {
+        self.shared.lock().log.len()
+    }
+
+    /// Copy of the execution log from `from` (use `0` for the whole log).
+    pub fn log_from(&self, from: usize) -> Vec<LogEntry> {
+        self.shared.lock().log[from..].to_vec()
+    }
+
+    /// Copy of the whole execution log.
+    pub fn log(&self) -> Vec<LogEntry> {
+        self.log_from(0)
+    }
+
+    /// Panic message of a process, if it panicked.
+    pub fn panic_of(&self, pid: ProcessId) -> Option<String> {
+        self.shared.lock().panics[pid.index()].clone()
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.proc_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::analysis;
+
+    #[test]
+    fn single_process_runs_to_completion() {
+        let mut b = SimBuilder::new(1);
+        let a = b.alloc("a", 0, Home::Global);
+        b.add_process(move |ctx| {
+            ctx.write(a, 1);
+            ctx.write(a, 2);
+        });
+        let sim = b.start();
+        let steps = sim.run_to_block(0.into(), 10);
+        assert_eq!(steps, 2);
+        assert_eq!(sim.peek(a), 2);
+        assert_eq!(sim.status(0.into()), ProcStatus::Finished);
+    }
+
+    #[test]
+    fn driver_controls_interleaving_exactly() {
+        let mut b = SimBuilder::new(2);
+        let a = b.alloc("a", 0, Home::Global);
+        b.add_process(move |ctx| {
+            let v = ctx.read(a);
+            ctx.write(a, v + 1);
+        });
+        b.add_process(move |ctx| {
+            let v = ctx.read(a);
+            ctx.write(a, v + 10);
+        });
+        let sim = b.start();
+        // Classic lost-update interleaving, forced deterministically:
+        sim.step(0.into()).unwrap(); // p0 reads 0
+        sim.step(1.into()).unwrap(); // p1 reads 0
+        sim.step(0.into()).unwrap(); // p0 writes 1
+        sim.step(1.into()).unwrap(); // p1 writes 10 (lost update)
+        assert_eq!(sim.peek(a), 10);
+    }
+
+    #[test]
+    fn poised_event_is_visible() {
+        let mut b = SimBuilder::new(1);
+        let a = b.alloc("a", 5, Home::Global);
+        b.add_process(move |ctx| {
+            ctx.read(a);
+        });
+        let sim = b.start();
+        assert_eq!(
+            sim.poised_event(0.into()),
+            Some(PoisedEvent::Mem(a, Primitive::Read))
+        );
+        sim.step(0.into()).unwrap();
+    }
+
+    #[test]
+    fn finished_process_errors() {
+        let mut b = SimBuilder::new(1);
+        b.add_process(move |_ctx| {});
+        let sim = b.start();
+        assert_eq!(sim.step(0.into()), Err(SimError::Finished(0.into())));
+    }
+
+    #[test]
+    fn command_roundtrip() {
+        let mut b = SimBuilder::new(1);
+        let a = b.alloc("a", 0, Home::Global);
+        b.add_process(move |ctx| loop {
+            let v: u64 = ctx.recv();
+            if v == 0 {
+                return;
+            }
+            ctx.write(a, v);
+        });
+        let sim = b.start();
+        assert_eq!(sim.status(0.into()), ProcStatus::AwaitingCommand);
+        assert_eq!(sim.step(0.into()), Err(SimError::AwaitingCommand(0.into())));
+        sim.send(0.into(), 42u64);
+        assert_eq!(sim.step(0.into()).unwrap(), StepEvent::Command);
+        sim.step(0.into()).unwrap(); // the write
+        assert_eq!(sim.peek(a), 42);
+        sim.send(0.into(), 0u64);
+        sim.step(0.into()).unwrap();
+        assert_eq!(sim.status(0.into()), ProcStatus::Finished);
+    }
+
+    #[test]
+    fn markers_are_logged_in_grant_order() {
+        let mut b = SimBuilder::new(2);
+        b.add_process(move |ctx| {
+            ctx.marker(Marker::Note { tag: "a", a: 0, b: 0 });
+        });
+        b.add_process(move |ctx| {
+            ctx.marker(Marker::Note { tag: "b", a: 0, b: 0 });
+        });
+        let sim = b.start();
+        sim.step(1.into()).unwrap();
+        sim.step(0.into()).unwrap();
+        let log = sim.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].pid, ProcessId::new(1));
+        assert_eq!(log[1].pid, ProcessId::new(0));
+    }
+
+    #[test]
+    fn metrics_count_steps_and_rmrs() {
+        let mut b = SimBuilder::new(2);
+        let a = b.alloc("a", 0, Home::Process(ProcessId::new(0)));
+        b.add_process(move |ctx| {
+            ctx.read(a); // dsm local
+            ctx.read(a);
+        });
+        b.add_process(move |ctx| {
+            ctx.read(a); // dsm remote
+        });
+        let sim = b.start();
+        sim.run_to_block(0.into(), 10);
+        sim.run_to_block(1.into(), 10);
+        let m = sim.metrics();
+        assert_eq!(m.steps(0.into()), 2);
+        assert_eq!(m.rmr_dsm(0.into()), 0);
+        assert_eq!(m.rmr_dsm(1.into()), 1);
+        // First read remote in CC-WT, second cached.
+        assert_eq!(m.rmr_write_through(0.into()), 1);
+    }
+
+    #[test]
+    fn spinning_process_can_be_stepped_bounded() {
+        let mut b = SimBuilder::new(2);
+        let flag = b.alloc("flag", 0, Home::Global);
+        b.add_process(move |ctx| {
+            while ctx.read(flag) == 0 {}
+        });
+        b.add_process(move |ctx| {
+            ctx.write(flag, 1);
+        });
+        let sim = b.start();
+        // Let the spinner spin 5 times; it keeps being poised.
+        for _ in 0..5 {
+            sim.step(0.into()).unwrap();
+        }
+        assert_eq!(sim.status(0.into()), ProcStatus::Poised);
+        sim.step(1.into()).unwrap();
+        // One more read observes the flag and the process finishes.
+        sim.step(0.into()).unwrap();
+        sim.wait_stable(0.into());
+        assert_eq!(sim.status(0.into()), ProcStatus::Finished);
+    }
+
+    #[test]
+    fn panicking_process_is_reported() {
+        let mut b = SimBuilder::new(1);
+        let a = b.alloc("a", 0, Home::Global);
+        b.add_process(move |ctx| {
+            ctx.read(a);
+            panic!("boom");
+        });
+        let sim = b.start();
+        sim.step(0.into()).unwrap();
+        // The process panics on its way to the next scheduling point.
+        match sim.step(0.into()) {
+            Err(SimError::Panicked(_, msg)) => assert!(msg.contains("boom")),
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_sim_unblocks_waiting_processes() {
+        let mut b = SimBuilder::new(1);
+        let a = b.alloc("a", 0, Home::Global);
+        b.add_process(move |ctx| {
+            // Would spin forever without shutdown.
+            while ctx.read(a) == 0 {}
+        });
+        let sim = b.start();
+        sim.step(0.into()).unwrap();
+        drop(sim); // must not hang
+    }
+
+    #[test]
+    fn runnable_reflects_mailboxes() {
+        let mut b = SimBuilder::new(2);
+        let a = b.alloc("a", 0, Home::Global);
+        b.add_process(move |ctx| {
+            let _: u64 = ctx.recv();
+        });
+        b.add_process(move |ctx| {
+            ctx.read(a);
+        });
+        let sim = b.start();
+        assert_eq!(sim.runnable(), vec![ProcessId::new(1)]);
+        sim.send(0.into(), 1u64);
+        assert_eq!(sim.runnable(), vec![ProcessId::new(0), ProcessId::new(1)]);
+    }
+
+    #[test]
+    fn log_analysis_on_fragments() {
+        let mut b = SimBuilder::new(1);
+        let a = b.alloc("a", 0, Home::Global);
+        let c = b.alloc("c", 0, Home::Global);
+        b.add_process(move |ctx| {
+            ctx.read(a);
+            ctx.write(c, 1);
+        });
+        let sim = b.start();
+        let from = sim.log_len();
+        sim.run_to_block(0.into(), 10);
+        let frag = sim.log_from(from);
+        assert_eq!(analysis::steps_of(&frag, 0.into()), 2);
+        assert_eq!(analysis::distinct_objects(&frag, 0.into()).len(), 2);
+        assert!(analysis::has_nontrivial(&frag, 0.into()));
+    }
+
+    #[test]
+    fn late_allocation_is_visible_to_processes() {
+        // Driver allocates an object after start; a process learns its id
+        // via a command and uses it.
+        let mut b = SimBuilder::new(1);
+        b.add_process(move |ctx| {
+            let obj: BaseObjectId = ctx.recv();
+            ctx.write(obj, 9);
+        });
+        let sim = b.start();
+        let late = sim.alloc("late", 0, Home::Global);
+        sim.send(0.into(), late);
+        sim.step(0.into()).unwrap();
+        sim.step(0.into()).unwrap();
+        assert_eq!(sim.peek(late), 9);
+    }
+}

@@ -1,0 +1,304 @@
+//! The simulated shared memory: an array of base objects addressed by
+//! [`BaseObjectId`], each holding a [`Word`], with LL/SC link bookkeeping.
+//!
+//! DSM *homes* are recorded here (each register in the distributed
+//! shared-memory model is local to exactly one process and remote to all
+//! others); the cache-coherent models keep their state in
+//! [`crate::cache`].
+
+use crate::ids::{BaseObjectId, ProcessId, Word};
+use crate::primitive::Primitive;
+
+/// Where a base object lives in the DSM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Home {
+    /// Not assigned to any process: remote to everyone (e.g. truly global
+    /// metadata such as a TM's global clock).
+    #[default]
+    Global,
+    /// Local to the given process, remote to all others.
+    Process(ProcessId),
+}
+
+impl Home {
+    /// Whether an access by `pid` is remote under the DSM model.
+    pub fn is_remote_for(self, pid: ProcessId) -> bool {
+        match self {
+            Home::Global => true,
+            Home::Process(owner) => owner != pid,
+        }
+    }
+}
+
+/// One base object.
+#[derive(Debug, Clone)]
+struct Cell {
+    value: Word,
+    home: Home,
+    name: String,
+    /// Processes currently holding a valid load-link on this object.
+    links: Vec<ProcessId>,
+}
+
+/// Result of applying a primitive: the response word plus the old and new
+/// values of the object (recorded in the event log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The response returned to the calling process.
+    pub response: Word,
+    /// Value of the base object before the application.
+    pub old: Word,
+    /// Value after the application (equal to `old` for trivial primitives
+    /// and failed conditionals).
+    pub new: Word,
+}
+
+impl ApplyOutcome {
+    /// Whether this particular application mutated the object.
+    pub fn mutated(&self) -> bool {
+        self.old != self.new
+    }
+}
+
+/// The flat store of base objects.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    cells: Vec<Cell>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Allocates a base object with an initial value, a DSM home, and a
+    /// debug name, returning its id.
+    pub fn alloc(&mut self, name: impl Into<String>, init: Word, home: Home) -> BaseObjectId {
+        let id = BaseObjectId::new(self.cells.len());
+        self.cells.push(Cell {
+            value: init,
+            home,
+            name: name.into(),
+            links: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of allocated base objects.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no base object has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Current value of a base object (driver-side peek; does not count as
+    /// a step of any process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` was not allocated by this memory.
+    pub fn peek(&self, obj: BaseObjectId) -> Word {
+        self.cells[obj.index()].value
+    }
+
+    /// Driver-side poke, used to set up initial configurations between
+    /// experiment phases. Invalidates links on the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` was not allocated by this memory.
+    pub fn poke(&mut self, obj: BaseObjectId, value: Word) {
+        let cell = &mut self.cells[obj.index()];
+        cell.value = value;
+        cell.links.clear();
+    }
+
+    /// DSM home of a base object.
+    pub fn home(&self, obj: BaseObjectId) -> Home {
+        self.cells[obj.index()].home
+    }
+
+    /// Debug name of a base object.
+    pub fn name(&self, obj: BaseObjectId) -> &str {
+        &self.cells[obj.index()].name
+    }
+
+    /// Applies `prim` to `obj` on behalf of `pid` and returns the outcome.
+    ///
+    /// Mutating applications (write, successful CAS/SC, fetch-and-add,
+    /// swap) invalidate all load-links on the object, per the usual LL/SC
+    /// semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` was not allocated by this memory.
+    pub fn apply(&mut self, pid: ProcessId, obj: BaseObjectId, prim: Primitive) -> ApplyOutcome {
+        let cell = &mut self.cells[obj.index()];
+        let old = cell.value;
+        let (response, new) = match prim {
+            Primitive::Read => (old, old),
+            Primitive::Write(v) => (old, v),
+            Primitive::Cas { expected, new } => {
+                if old == expected {
+                    (1, new)
+                } else {
+                    (0, old)
+                }
+            }
+            Primitive::FetchAdd(d) => (old, old.wrapping_add(d)),
+            Primitive::Swap(v) => (old, v),
+            Primitive::LoadLinked => {
+                if !cell.links.contains(&pid) {
+                    cell.links.push(pid);
+                }
+                (old, old)
+            }
+            Primitive::StoreConditional(v) => {
+                if cell.links.contains(&pid) {
+                    (1, v)
+                } else {
+                    (0, old)
+                }
+            }
+        };
+        if new != old {
+            cell.links.clear();
+        }
+        cell.value = new;
+        ApplyOutcome { response, old, new }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn alloc_and_peek() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 7, Home::Global);
+        let b = m.alloc("b", 9, Home::Process(p(1)));
+        assert_eq!(m.peek(a), 7);
+        assert_eq!(m.peek(b), 9);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.name(a), "a");
+        assert_eq!(m.home(b), Home::Process(p(1)));
+    }
+
+    #[test]
+    fn read_and_write() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 1, Home::Global);
+        let r = m.apply(p(0), a, Primitive::Read);
+        assert_eq!(r, ApplyOutcome { response: 1, old: 1, new: 1 });
+        let w = m.apply(p(0), a, Primitive::Write(5));
+        assert_eq!(w.new, 5);
+        assert_eq!(m.peek(a), 5);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 0, Home::Global);
+        let ok = m.apply(p(0), a, Primitive::Cas { expected: 0, new: 3 });
+        assert_eq!(ok.response, 1);
+        assert!(ok.mutated());
+        let fail = m.apply(p(1), a, Primitive::Cas { expected: 0, new: 4 });
+        assert_eq!(fail.response, 0);
+        assert!(!fail.mutated());
+        assert_eq!(m.peek(a), 3);
+    }
+
+    #[test]
+    fn fetch_add_wraps() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", Word::MAX, Home::Global);
+        let r = m.apply(p(0), a, Primitive::FetchAdd(2));
+        assert_eq!(r.response, Word::MAX);
+        assert_eq!(m.peek(a), 1);
+    }
+
+    #[test]
+    fn swap_returns_old() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 10, Home::Global);
+        let r = m.apply(p(0), a, Primitive::Swap(20));
+        assert_eq!(r.response, 10);
+        assert_eq!(m.peek(a), 20);
+    }
+
+    #[test]
+    fn ll_sc_success() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 0, Home::Global);
+        m.apply(p(0), a, Primitive::LoadLinked);
+        let sc = m.apply(p(0), a, Primitive::StoreConditional(9));
+        assert_eq!(sc.response, 1);
+        assert_eq!(m.peek(a), 9);
+    }
+
+    #[test]
+    fn sc_fails_after_interfering_write() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 0, Home::Global);
+        m.apply(p(0), a, Primitive::LoadLinked);
+        m.apply(p(1), a, Primitive::Write(1));
+        let sc = m.apply(p(0), a, Primitive::StoreConditional(9));
+        assert_eq!(sc.response, 0);
+        assert_eq!(m.peek(a), 1);
+    }
+
+    #[test]
+    fn sc_fails_without_link() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 0, Home::Global);
+        let sc = m.apply(p(0), a, Primitive::StoreConditional(9));
+        assert_eq!(sc.response, 0);
+    }
+
+    #[test]
+    fn sc_consumes_all_links() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 0, Home::Global);
+        m.apply(p(0), a, Primitive::LoadLinked);
+        m.apply(p(1), a, Primitive::LoadLinked);
+        assert_eq!(m.apply(p(0), a, Primitive::StoreConditional(5)).response, 1);
+        // p1's link was invalidated by p0's successful SC.
+        assert_eq!(m.apply(p(1), a, Primitive::StoreConditional(6)).response, 0);
+    }
+
+    #[test]
+    fn failed_cas_preserves_links() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 0, Home::Global);
+        m.apply(p(0), a, Primitive::LoadLinked);
+        // A CAS that does not mutate must not invalidate the link.
+        m.apply(p(1), a, Primitive::Cas { expected: 7, new: 8 });
+        assert_eq!(m.apply(p(0), a, Primitive::StoreConditional(5)).response, 1);
+    }
+
+    #[test]
+    fn poke_clears_links() {
+        let mut m = Memory::new();
+        let a = m.alloc("a", 0, Home::Global);
+        m.apply(p(0), a, Primitive::LoadLinked);
+        m.poke(a, 42);
+        assert_eq!(m.apply(p(0), a, Primitive::StoreConditional(5)).response, 0);
+        assert_eq!(m.peek(a), 42);
+    }
+
+    #[test]
+    fn home_remoteness() {
+        assert!(Home::Global.is_remote_for(p(0)));
+        assert!(!Home::Process(p(2)).is_remote_for(p(2)));
+        assert!(Home::Process(p(2)).is_remote_for(p(3)));
+    }
+}

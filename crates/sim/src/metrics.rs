@@ -1,0 +1,177 @@
+//! Step and RMR counters, per process.
+//!
+//! A *step* is the application of one RMW primitive to one base object —
+//! exactly the quantity Theorem 3(1) bounds. RMRs are counted per cost
+//! model as defined in [`crate::cache`]. The driver can snapshot counters
+//! before and after an execution fragment and subtract to cost a fragment
+//! (e.g. “steps taken by `T_φ` during its i-th t-read”).
+
+use crate::cache::RmrCharge;
+use crate::ids::ProcessId;
+use std::ops::Sub;
+
+/// Counter snapshot for all processes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Metrics {
+    steps: Vec<u64>,
+    rmr_write_through: Vec<u64>,
+    rmr_write_back: Vec<u64>,
+    rmr_dsm: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed counters for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            steps: vec![0; n],
+            rmr_write_through: vec![0; n],
+            rmr_write_back: vec![0; n],
+            rmr_dsm: vec![0; n],
+        }
+    }
+
+    /// Number of processes tracked.
+    pub fn n_processes(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Records one memory step by `pid` with its RMR charge.
+    pub fn record(&mut self, pid: ProcessId, charge: RmrCharge) {
+        let p = pid.index();
+        self.steps[p] += 1;
+        if charge.write_through {
+            self.rmr_write_through[p] += 1;
+        }
+        if charge.write_back {
+            self.rmr_write_back[p] += 1;
+        }
+        if charge.dsm {
+            self.rmr_dsm[p] += 1;
+        }
+    }
+
+    /// Steps taken by one process.
+    pub fn steps(&self, pid: ProcessId) -> u64 {
+        self.steps[pid.index()]
+    }
+
+    /// Total steps across all processes.
+    pub fn total_steps(&self) -> u64 {
+        self.steps.iter().sum()
+    }
+
+    /// Write-through CC RMRs of one process.
+    pub fn rmr_write_through(&self, pid: ProcessId) -> u64 {
+        self.rmr_write_through[pid.index()]
+    }
+
+    /// Write-back CC RMRs of one process.
+    pub fn rmr_write_back(&self, pid: ProcessId) -> u64 {
+        self.rmr_write_back[pid.index()]
+    }
+
+    /// DSM RMRs of one process.
+    pub fn rmr_dsm(&self, pid: ProcessId) -> u64 {
+        self.rmr_dsm[pid.index()]
+    }
+
+    /// Total write-through CC RMRs across all processes.
+    pub fn total_rmr_write_through(&self) -> u64 {
+        self.rmr_write_through.iter().sum()
+    }
+
+    /// Total write-back CC RMRs across all processes.
+    pub fn total_rmr_write_back(&self) -> u64 {
+        self.rmr_write_back.iter().sum()
+    }
+
+    /// Total DSM RMRs across all processes.
+    pub fn total_rmr_dsm(&self) -> u64 {
+        self.rmr_dsm.iter().sum()
+    }
+}
+
+impl Sub<&Metrics> for &Metrics {
+    type Output = Metrics;
+
+    /// Pointwise difference `self - earlier`, used to cost a fragment
+    /// between two snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots track different process counts or if
+    /// `earlier` is not actually earlier (a counter would underflow).
+    fn sub(self, earlier: &Metrics) -> Metrics {
+        assert_eq!(self.steps.len(), earlier.steps.len(), "process count mismatch");
+        let diff = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.checked_sub(*y).expect("snapshot order"))
+                .collect()
+        };
+        Metrics {
+            steps: diff(&self.steps, &earlier.steps),
+            rmr_write_through: diff(&self.rmr_write_through, &earlier.rmr_write_through),
+            rmr_write_back: diff(&self.rmr_write_back, &earlier.rmr_write_back),
+            rmr_dsm: diff(&self.rmr_dsm, &earlier.rmr_dsm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = Metrics::new(2);
+        m.record(
+            p(0),
+            RmrCharge { write_through: true, write_back: false, dsm: true },
+        );
+        m.record(
+            p(0),
+            RmrCharge { write_through: false, write_back: true, dsm: false },
+        );
+        m.record(
+            p(1),
+            RmrCharge { write_through: true, write_back: true, dsm: true },
+        );
+        assert_eq!(m.steps(p(0)), 2);
+        assert_eq!(m.steps(p(1)), 1);
+        assert_eq!(m.total_steps(), 3);
+        assert_eq!(m.rmr_write_through(p(0)), 1);
+        assert_eq!(m.rmr_write_back(p(0)), 1);
+        assert_eq!(m.rmr_dsm(p(0)), 1);
+        assert_eq!(m.total_rmr_write_through(), 2);
+        assert_eq!(m.total_rmr_write_back(), 2);
+        assert_eq!(m.total_rmr_dsm(), 2);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let mut m = Metrics::new(1);
+        m.record(p(0), RmrCharge { write_through: true, write_back: true, dsm: true });
+        let snap = m.clone();
+        m.record(p(0), RmrCharge { write_through: true, write_back: false, dsm: false });
+        m.record(p(0), RmrCharge { write_through: false, write_back: false, dsm: false });
+        let d = &m - &snap;
+        assert_eq!(d.steps(p(0)), 2);
+        assert_eq!(d.rmr_write_through(p(0)), 1);
+        assert_eq!(d.rmr_write_back(p(0)), 0);
+        assert_eq!(d.rmr_dsm(p(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot order")]
+    fn reversed_snapshots_panic() {
+        let mut m = Metrics::new(1);
+        let early = m.clone();
+        m.record(p(0), RmrCharge::default());
+        let _ = &early - &m;
+    }
+}

@@ -1,0 +1,152 @@
+//! Read-modify-write primitives.
+//!
+//! The paper models every shared-memory access as the application of an RMW
+//! primitive `⟨g, h⟩` to a base object: `g` updates the object state, `h`
+//! computes the response. A primitive is *trivial* if it never changes the
+//! state, *nontrivial* otherwise, and *conditional* if its update function
+//! sometimes leaves the state unchanged and sometimes does not (CAS and
+//! LL/SC are the canonical conditional primitives; fetch-and-add is
+//! nontrivial but unconditional). Theorem 9 applies to TMs built from
+//! read, write and **conditional** primitives only, so the classification
+//! is part of the public API and checked by the experiment harness.
+
+use crate::ids::Word;
+
+/// An RMW primitive applied to a single base object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Trivial read: response is the current value.
+    Read,
+    /// Unconditional write of a value; response is the overwritten value.
+    Write(Word),
+    /// Compare-and-swap: if the current value equals `expected`, install
+    /// `new` and respond `1`, else respond `0`.
+    Cas {
+        /// Value the object must currently hold for the swap to happen.
+        expected: Word,
+        /// Value installed on success.
+        new: Word,
+    },
+    /// Fetch-and-add (wrapping); response is the value before the add.
+    /// This primitive is nontrivial but **not** conditional.
+    FetchAdd(Word),
+    /// Unconditional swap; response is the value before the swap.
+    Swap(Word),
+    /// Load-linked: trivial read that establishes a link for the calling
+    /// process; response is the current value.
+    LoadLinked,
+    /// Store-conditional: writes `Word` and responds `1` iff the calling
+    /// process still holds a valid link (no intervening mutation).
+    StoreConditional(Word),
+}
+
+/// How a primitive interacts with the cache-coherence protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The primitive can never mutate the object (trivial).
+    ReadOnly,
+    /// The primitive may mutate the object (nontrivial); coherence
+    /// protocols treat it as a write access regardless of the outcome,
+    /// matching the paper's cost model where the *primitive*, not the
+    /// outcome, is classified.
+    Update,
+}
+
+impl Primitive {
+    /// Whether the primitive is *trivial*: it never changes the value of
+    /// the base object it is applied to.
+    pub fn is_trivial(self) -> bool {
+        matches!(self, Primitive::Read | Primitive::LoadLinked)
+    }
+
+    /// Whether the primitive is *nontrivial* (may change the value).
+    pub fn is_nontrivial(self) -> bool {
+        !self.is_trivial()
+    }
+
+    /// Whether the primitive is *conditional*: there exist states in which
+    /// its update function leaves the object unchanged and states in which
+    /// it does not ([Fich–Hendler–Shavit]). CAS and SC are conditional;
+    /// write, fetch-and-add and swap are not.
+    ///
+    /// `FetchAdd(0)` and a `Swap`/`Write` of the current value are still
+    /// unconditional: the classification is per *primitive*, i.e. over all
+    /// argument/state pairs of the generic procedure.
+    pub fn is_conditional(self) -> bool {
+        matches!(
+            self,
+            Primitive::Cas { .. } | Primitive::StoreConditional(_)
+        )
+    }
+
+    /// The access class used by the coherence models.
+    pub fn access_kind(self) -> AccessKind {
+        if self.is_trivial() {
+            AccessKind::ReadOnly
+        } else {
+            AccessKind::Update
+        }
+    }
+
+    /// Whether this primitive is one of `read`, `write`, or a conditional
+    /// primitive — the instruction set Theorem 9's lower bound applies to.
+    pub fn in_theorem9_class(self) -> bool {
+        matches!(
+            self,
+            Primitive::Read
+                | Primitive::Write(_)
+                | Primitive::Cas { .. }
+                | Primitive::LoadLinked
+                | Primitive::StoreConditional(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triviality_classification() {
+        assert!(Primitive::Read.is_trivial());
+        assert!(Primitive::LoadLinked.is_trivial());
+        assert!(Primitive::Write(3).is_nontrivial());
+        assert!(Primitive::Cas { expected: 0, new: 1 }.is_nontrivial());
+        assert!(Primitive::FetchAdd(1).is_nontrivial());
+        assert!(Primitive::Swap(2).is_nontrivial());
+        assert!(Primitive::StoreConditional(9).is_nontrivial());
+    }
+
+    #[test]
+    fn conditionality_classification() {
+        assert!(Primitive::Cas { expected: 0, new: 1 }.is_conditional());
+        assert!(Primitive::StoreConditional(1).is_conditional());
+        assert!(!Primitive::Write(1).is_conditional());
+        assert!(!Primitive::FetchAdd(1).is_conditional());
+        assert!(!Primitive::Swap(1).is_conditional());
+        assert!(!Primitive::Read.is_conditional());
+    }
+
+    #[test]
+    fn theorem9_instruction_set() {
+        assert!(Primitive::Read.in_theorem9_class());
+        assert!(Primitive::Write(0).in_theorem9_class());
+        assert!(Primitive::Cas { expected: 0, new: 1 }.in_theorem9_class());
+        assert!(Primitive::LoadLinked.in_theorem9_class());
+        assert!(Primitive::StoreConditional(0).in_theorem9_class());
+        // fetch-and-add and swap are outside the Theorem 9 class
+        assert!(!Primitive::FetchAdd(1).in_theorem9_class());
+        assert!(!Primitive::Swap(1).in_theorem9_class());
+    }
+
+    #[test]
+    fn access_kind_matches_triviality() {
+        assert_eq!(Primitive::Read.access_kind(), AccessKind::ReadOnly);
+        assert_eq!(Primitive::LoadLinked.access_kind(), AccessKind::ReadOnly);
+        assert_eq!(Primitive::Write(0).access_kind(), AccessKind::Update);
+        assert_eq!(
+            Primitive::Cas { expected: 1, new: 2 }.access_kind(),
+            AccessKind::Update
+        );
+    }
+}

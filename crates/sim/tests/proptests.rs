@@ -1,0 +1,171 @@
+//! Property-based tests of the simulator substrate: memory semantics,
+//! coherence-model invariants, and scheduler determinism.
+
+use proptest::prelude::*;
+use ptm_sim::{
+    AccessKind, BaseObjectId, CacheSet, Home, Memory, Primitive, ProcessId, RandomPolicy,
+    SimBuilder,
+};
+
+/// Arbitrary primitive (without LL/SC, which need link-state context).
+fn arb_primitive() -> impl Strategy<Value = Primitive> {
+    prop_oneof![
+        Just(Primitive::Read),
+        (0u64..16).prop_map(Primitive::Write),
+        (0u64..4, 0u64..16).prop_map(|(e, n)| Primitive::Cas { expected: e, new: n }),
+        (0u64..8).prop_map(Primitive::FetchAdd),
+        (0u64..16).prop_map(Primitive::Swap),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The memory is a deterministic sequential object: replaying the
+    /// same primitive sequence yields identical responses and state.
+    #[test]
+    fn memory_is_deterministic(prims in proptest::collection::vec(arb_primitive(), 0..40)) {
+        let run = || {
+            let mut m = Memory::new();
+            let a = m.alloc("a", 3, Home::Global);
+            let mut responses = Vec::new();
+            for &p in &prims {
+                responses.push(m.apply(ProcessId::new(0), a, p));
+            }
+            (responses, m.peek(a))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Trivial primitives never change the value.
+    #[test]
+    fn trivial_primitives_never_mutate(
+        init in 0u64..100,
+        prims in proptest::collection::vec(arb_primitive(), 0..30),
+    ) {
+        let mut m = Memory::new();
+        let a = m.alloc("a", init, Home::Global);
+        for &p in &prims {
+            let before = m.peek(a);
+            let out = m.apply(ProcessId::new(0), a, p);
+            if p.is_trivial() {
+                prop_assert_eq!(out.new, before);
+                prop_assert_eq!(m.peek(a), before);
+            }
+            prop_assert_eq!(out.old, before);
+        }
+    }
+
+    /// CAS responds 1 exactly when the expected value matched, and the
+    /// resulting state reflects it.
+    #[test]
+    fn cas_semantics(
+        init in 0u64..4,
+        expected in 0u64..4,
+        new in 0u64..16,
+    ) {
+        let mut m = Memory::new();
+        let a = m.alloc("a", init, Home::Global);
+        let out = m.apply(ProcessId::new(0), a, Primitive::Cas { expected, new });
+        if init == expected {
+            prop_assert_eq!(out.response, 1);
+            prop_assert_eq!(m.peek(a), new);
+        } else {
+            prop_assert_eq!(out.response, 0);
+            prop_assert_eq!(m.peek(a), init);
+        }
+    }
+
+    /// Coherence invariant (write-back): after any access sequence, at
+    /// most one process holds a line exclusive, and predictions always
+    /// match the charge of the access that follows.
+    #[test]
+    fn cache_predictions_match_charges(
+        accesses in proptest::collection::vec((0usize..3, 0usize..2, any::<bool>()), 1..60),
+    ) {
+        let mut c = CacheSet::new(3);
+        c.register_object(Home::Process(ProcessId::new(0)));
+        c.register_object(Home::Global);
+        for (p, o, upd) in accesses {
+            let pid = ProcessId::new(p);
+            let obj = BaseObjectId::new(o);
+            let kind = if upd { AccessKind::Update } else { AccessKind::ReadOnly };
+            let predicted = c.predict(pid, obj, kind);
+            let charged = c.access(pid, obj, kind);
+            prop_assert_eq!(predicted, charged);
+        }
+    }
+
+    /// Lockstep executions under a seeded random schedule are fully
+    /// deterministic: same seed, same final state and same log length.
+    #[test]
+    fn scheduled_runs_are_reproducible(seed in 0u64..50) {
+        let run = |seed: u64| {
+            let mut b = SimBuilder::new(3);
+            let a = b.alloc("a", 0, Home::Global);
+            for _ in 0..3 {
+                b.add_process(move |ctx| {
+                    for _ in 0..5 {
+                        let v = ctx.read(a);
+                        ctx.cas(a, v, v + 1);
+                    }
+                });
+            }
+            let sim = b.start();
+            ptm_sim::run_policy(&sim, &mut RandomPolicy::seeded(seed), 100_000);
+            (sim.peek(a), sim.log_len(), sim.metrics().total_steps())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Steps equal the number of memory events in the log, and RMR
+    /// charges never exceed steps, in every model.
+    #[test]
+    fn metrics_are_consistent_with_log(seed in 0u64..30) {
+        let mut b = SimBuilder::new(2);
+        let a = b.alloc("a", 0, Home::Process(ProcessId::new(0)));
+        let c = b.alloc("c", 0, Home::Global);
+        for _ in 0..2 {
+            b.add_process(move |ctx| {
+                for i in 0..6 {
+                    if i % 2 == 0 {
+                        ctx.fetch_add(a, 1);
+                    } else {
+                        let _ = ctx.read(c);
+                    }
+                }
+            });
+        }
+        let sim = b.start();
+        ptm_sim::run_policy(&sim, &mut RandomPolicy::seeded(seed), 100_000);
+        let m = sim.metrics();
+        let mem_events = sim
+            .log()
+            .iter()
+            .filter(|e| e.mem().is_some())
+            .count() as u64;
+        prop_assert_eq!(m.total_steps(), mem_events);
+        prop_assert!(m.total_rmr_write_through() <= m.total_steps());
+        prop_assert!(m.total_rmr_write_back() <= m.total_steps());
+        prop_assert!(m.total_rmr_dsm() <= m.total_steps());
+    }
+}
+
+#[test]
+fn fetch_add_from_many_processes_is_atomic() {
+    // Sanity outside proptest: interleaved unconditional RMWs never lose
+    // updates (unlike the read-then-write races the simulator can show).
+    let n = 4;
+    let mut b = SimBuilder::new(n);
+    let a = b.alloc("a", 0, Home::Global);
+    for _ in 0..n {
+        b.add_process(move |ctx| {
+            for _ in 0..25 {
+                ctx.fetch_add(a, 1);
+            }
+        });
+    }
+    let sim = b.start();
+    ptm_sim::run_policy(&sim, &mut RandomPolicy::seeded(1), 100_000);
+    assert_eq!(sim.peek(a), (n * 25) as u64);
+}

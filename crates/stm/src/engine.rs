@@ -1,0 +1,648 @@
+//! The transaction engine: three validation algorithms behind one API.
+//!
+//! * [`Algorithm::Tl2`] — global version clock; reads validate in O(1)
+//!   against the snapshot time; commit locks the write set, stamps values
+//!   with a fresh clock tick, validates the read set once.
+//! * [`Algorithm::Incremental`] — no clock read on the read path; every
+//!   t-read re-validates the entire read set by version equality. This is
+//!   the paper's invisible-read weak-DAP progressive TM transplanted to
+//!   real hardware: quadratic validation work, observable in
+//!   [`StmStats::snapshot`] and in wall-clock time.
+//! * [`Algorithm::Norec`] — a single global sequence lock and value-based
+//!   validation; no per-variable version traffic on commit besides the
+//!   value itself.
+//!
+//! All modes buffer writes and publish them only at commit, so a failed
+//! transaction never dirties shared state.
+
+use crate::stats::StmStats;
+use crate::tvar::{AnyTVar, TVar, TxValue};
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The validation algorithm an [`Stm`] instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Global version clock, O(1) read validation (default).
+    Tl2,
+    /// Full read-set re-validation on every read (paper's tight upper
+    /// bound for weak-DAP + invisible reads; Θ(m²) total read cost).
+    Incremental,
+    /// Global sequence lock with value-based validation.
+    Norec,
+}
+
+/// The transaction aborted and should be retried; returned by
+/// transactional operations so user code can propagate it with `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retry;
+
+impl fmt::Display for Retry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction conflict; retry")
+    }
+}
+
+impl std::error::Error for Retry {}
+
+/// Software transactional memory instance.
+///
+/// All transactions created from one `Stm` coordinate through its clock /
+/// sequence lock; variables ([`TVar`]) are free-standing and may be used
+/// with any `Stm`, but must not be shared between instances running
+/// different algorithms.
+pub struct Stm {
+    algorithm: Algorithm,
+    /// TL2/Incremental: version clock. NOrec: sequence lock (odd = busy).
+    clock: AtomicU64,
+    stats: Arc<StmStats>,
+    max_attempts: usize,
+}
+
+impl fmt::Debug for Stm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stm")
+            .field("algorithm", &self.algorithm)
+            .field("clock", &self.clock.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Stm {
+    /// Creates an instance running the given algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Stm {
+            algorithm,
+            clock: AtomicU64::new(0),
+            stats: Arc::new(StmStats::default()),
+            max_attempts: 10_000_000,
+        }
+    }
+
+    /// TL2 instance (the default algorithm).
+    pub fn tl2() -> Self {
+        Stm::new(Algorithm::Tl2)
+    }
+
+    /// Incremental-validation instance.
+    pub fn incremental() -> Self {
+        Stm::new(Algorithm::Incremental)
+    }
+
+    /// NOrec instance.
+    pub fn norec() -> Self {
+        Stm::new(Algorithm::Norec)
+    }
+
+    /// The algorithm this instance runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Progress statistics for this instance.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// Runs `body` in a transaction, retrying on conflict until it
+    /// commits, and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction still conflicts after an extreme number
+    /// of attempts (ten million) — in practice only reachable if user code
+    /// returns [`Retry`] unconditionally.
+    pub fn atomically<A>(
+        &self,
+        mut body: impl FnMut(&mut Transaction<'_>) -> Result<A, Retry>,
+    ) -> A {
+        for attempt in 0..self.max_attempts {
+            let mut tx = Transaction::new(self);
+            match body(&mut tx) {
+                Ok(out) => {
+                    if tx.commit() {
+                        self.stats.commit();
+                        return out;
+                    }
+                }
+                Err(Retry) => {}
+            }
+            self.stats.abort();
+            backoff(attempt);
+        }
+        panic!("transaction failed to commit after {} attempts", self.max_attempts);
+    }
+
+    /// Runs `body` once, committing if it succeeds; returns `None` on
+    /// conflict instead of retrying.
+    pub fn try_once<A>(
+        &self,
+        body: impl FnOnce(&mut Transaction<'_>) -> Result<A, Retry>,
+    ) -> Option<A> {
+        let mut tx = Transaction::new(self);
+        match body(&mut tx) {
+            Ok(out) if tx.commit() => {
+                self.stats.commit();
+                Some(out)
+            }
+            _ => {
+                self.stats.abort();
+                None
+            }
+        }
+    }
+
+    /// Reads a variable outside any transaction (single-variable
+    /// snapshot).
+    pub fn read_now<T: TxValue>(&self, var: &TVar<T>) -> T {
+        var.load()
+    }
+}
+
+fn backoff(attempt: usize) {
+    if attempt > 2 {
+        for _ in 0..(1 << attempt.min(12)) {
+            std::hint::spin_loop();
+        }
+    }
+    if attempt > 16 {
+        std::thread::yield_now();
+    }
+}
+
+struct ReadEntry {
+    id: usize,
+    var: Arc<dyn AnyTVar>,
+    /// Meta word observed at read time (TL2/Incremental).
+    meta: u64,
+    /// Value snapshot (NOrec only).
+    snapshot: Option<Box<dyn Any + Send>>,
+}
+
+struct WriteEntry {
+    id: usize,
+    var: Arc<dyn AnyTVar>,
+    value: Box<dyn Any + Send>,
+}
+
+/// An in-flight transaction; created by [`Stm::atomically`].
+pub struct Transaction<'s> {
+    stm: &'s Stm,
+    /// Snapshot time (TL2: clock at begin; NOrec: sequence-lock value).
+    rv: u64,
+    started: bool,
+    reads: Vec<ReadEntry>,
+    writes: Vec<WriteEntry>,
+}
+
+impl fmt::Debug for Transaction<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transaction")
+            .field("rv", &self.rv)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+impl<'s> Transaction<'s> {
+    fn new(stm: &'s Stm) -> Self {
+        Transaction { stm, rv: 0, started: false, reads: Vec::new(), writes: Vec::new() }
+    }
+
+    /// Lazily samples the snapshot time at the first operation.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.rv = match self.stm.algorithm {
+            Algorithm::Tl2 => self.stm.clock.load(Ordering::Acquire),
+            Algorithm::Norec => loop {
+                let t = self.stm.clock.load(Ordering::Acquire);
+                if t & 1 == 0 {
+                    break t;
+                }
+                std::hint::spin_loop();
+            },
+            Algorithm::Incremental => 0,
+        };
+        self.started = true;
+    }
+
+    /// Reads a variable.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] if a concurrent commit made a consistent snapshot
+    /// impossible; propagate it with `?`.
+    pub fn read<T: TxValue>(&mut self, var: &TVar<T>) -> Result<T, Retry> {
+        self.ensure_started();
+        self.stm.stats.read();
+        let id = var.id();
+        if let Some(w) = self.writes.iter().find(|w| w.id == id) {
+            let v = w.value.downcast_ref::<T>().expect("write-set type");
+            return Ok(v.clone());
+        }
+        match self.stm.algorithm {
+            Algorithm::Tl2 => {
+                let m1 = var.inner.meta().load(Ordering::Acquire);
+                if m1 & 1 == 1 || (m1 >> 1) > self.rv {
+                    return Err(Retry);
+                }
+                let v = var.load();
+                if var.inner.meta().load(Ordering::Acquire) != m1 {
+                    return Err(Retry);
+                }
+                self.reads.push(ReadEntry { id, var: var.as_dyn(), meta: m1, snapshot: None });
+                Ok(v)
+            }
+            Algorithm::Incremental => {
+                let m1 = var.inner.meta().load(Ordering::Acquire);
+                if m1 & 1 == 1 {
+                    return Err(Retry);
+                }
+                let v = var.load();
+                if var.inner.meta().load(Ordering::Acquire) != m1 {
+                    return Err(Retry);
+                }
+                // Incremental validation: every prior read, every time.
+                self.validate_by_version(None)?;
+                self.reads.push(ReadEntry { id, var: var.as_dyn(), meta: m1, snapshot: None });
+                Ok(v)
+            }
+            Algorithm::Norec => loop {
+                let v = var.load();
+                let t = self.stm.clock.load(Ordering::Acquire);
+                if t == self.rv {
+                    self.reads.push(ReadEntry {
+                        id,
+                        var: var.as_dyn(),
+                        meta: 0,
+                        snapshot: Some(Box::new(v.clone())),
+                    });
+                    return Ok(v);
+                }
+                self.rv = self.validate_by_value()?;
+            },
+        }
+    }
+
+    /// Reads, applies `f`, and writes back — the read-modify-write
+    /// shorthand.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] if the underlying read conflicts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ptm_stm::{Stm, TVar};
+    ///
+    /// let stm = Stm::tl2();
+    /// let v = TVar::new(10u64);
+    /// stm.atomically(|tx| tx.modify(&v, |x| x * 2));
+    /// assert_eq!(v.load(), 20);
+    /// ```
+    pub fn modify<T: TxValue>(
+        &mut self,
+        var: &TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<(), Retry> {
+        let v = self.read(var)?;
+        self.write(var, f(v))
+    }
+
+    /// Buffers a write; visible to this transaction's later reads and
+    /// published at commit.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] is reserved for symmetry (buffering never conflicts).
+    pub fn write<T: TxValue>(&mut self, var: &TVar<T>, value: T) -> Result<(), Retry> {
+        self.ensure_started();
+        self.stm.stats.write();
+        let id = var.id();
+        if let Some(w) = self.writes.iter_mut().find(|w| w.id == id) {
+            w.value = Box::new(value);
+        } else {
+            self.writes.push(WriteEntry { id, var: var.as_dyn(), value: Box::new(value) });
+        }
+        Ok(())
+    }
+
+    /// Version-equality validation of the read set; `held` marks entries
+    /// whose locks this transaction holds (their meta has the lock bit).
+    fn validate_by_version(&self, held: Option<&[(usize, u64)]>) -> Result<(), Retry> {
+        self.stm.stats.probes(self.reads.len() as u64);
+        for r in &self.reads {
+            if let Some(held) = held {
+                if let Some(&(_, pre)) = held.iter().find(|(id, _)| *id == r.id) {
+                    if pre != r.meta {
+                        return Err(Retry);
+                    }
+                    continue;
+                }
+            }
+            if r.var.meta().load(Ordering::Acquire) != r.meta {
+                return Err(Retry);
+            }
+        }
+        Ok(())
+    }
+
+    /// NOrec: waits for an even sequence value, then compares every read
+    /// snapshot with the current value. Returns the validated time.
+    fn validate_by_value(&mut self) -> Result<u64, Retry> {
+        loop {
+            let t = loop {
+                let t = self.stm.clock.load(Ordering::Acquire);
+                if t & 1 == 0 {
+                    break t;
+                }
+                std::hint::spin_loop();
+            };
+            self.stm.stats.probes(self.reads.len() as u64);
+            for r in &self.reads {
+                let snap = r.snapshot.as_ref().expect("norec keeps snapshots");
+                if !r.var.value_eq(snap.as_ref()) {
+                    return Err(Retry);
+                }
+            }
+            if self.stm.clock.load(Ordering::Acquire) == t {
+                return Ok(t);
+            }
+        }
+    }
+
+    /// Attempts to commit; returns whether the transaction is now durable.
+    fn commit(&mut self) -> bool {
+        self.ensure_started();
+        if self.writes.is_empty() {
+            return true; // read-only: serialized at its last validation
+        }
+        match self.stm.algorithm {
+            Algorithm::Tl2 | Algorithm::Incremental => self.commit_versioned(),
+            Algorithm::Norec => self.commit_norec(),
+        }
+    }
+
+    fn commit_versioned(&mut self) -> bool {
+        // Try-lock the write set in id order.
+        self.writes.sort_by_key(|w| w.id);
+        let mut held: Vec<(usize, u64)> = Vec::with_capacity(self.writes.len());
+        for w in &self.writes {
+            let m = w.var.meta().load(Ordering::Acquire);
+            let lock_ok = m & 1 == 0
+                && w.var
+                    .meta()
+                    .compare_exchange(m, m | 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok();
+            if !lock_ok {
+                self.release(&held, None);
+                return false;
+            }
+            held.push((w.id, m));
+        }
+        if self.validate_by_version(Some(&held)).is_err() {
+            self.release(&held, None);
+            return false;
+        }
+        let wv = self.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        for w in &self.writes {
+            w.var.write_boxed(w.value.as_ref());
+        }
+        self.release(&held, Some(wv << 1));
+        true
+    }
+
+    /// Releases held locks: to their pre-lock meta (on abort) or to a new
+    /// stamped version (on commit).
+    fn release(&self, held: &[(usize, u64)], stamp: Option<u64>) {
+        for &(id, pre) in held {
+            let w = self
+                .writes
+                .iter()
+                .find(|w| w.id == id)
+                .expect("held lock belongs to write set");
+            w.var.meta().store(stamp.unwrap_or(pre), Ordering::Release);
+        }
+    }
+
+    fn commit_norec(&mut self) -> bool {
+        loop {
+            let rv = self.rv;
+            if self
+                .stm
+                .clock
+                .compare_exchange(rv, rv + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+            match self.validate_by_value() {
+                Ok(t) => self.rv = t,
+                Err(Retry) => return false,
+            }
+        }
+        for w in &self.writes {
+            w.var.write_boxed(w.value.as_ref());
+        }
+        self.stm.clock.store(self.rv + 2, Ordering::Release);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engines() -> Vec<Stm> {
+        vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_modes() {
+        for stm in engines() {
+            let v = TVar::new(1u64);
+            stm.atomically(|tx| {
+                let x = tx.read(&v)?;
+                tx.write(&v, x + 10)?;
+                Ok(())
+            });
+            assert_eq!(v.load(), 11, "{:?}", stm.algorithm());
+        }
+    }
+
+    #[test]
+    fn read_own_write_all_modes() {
+        for stm in engines() {
+            let v = TVar::new(5u64);
+            let seen = stm.atomically(|tx| {
+                tx.write(&v, 9)?;
+                tx.read(&v)
+            });
+            assert_eq!(seen, 9);
+        }
+    }
+
+    #[test]
+    fn aborted_attempt_leaves_no_trace() {
+        for stm in engines() {
+            let v = TVar::new(0u64);
+            let out = stm.try_once(|tx| {
+                tx.write(&v, 99)?;
+                Err::<(), Retry>(Retry)
+            });
+            assert!(out.is_none());
+            assert_eq!(v.load(), 0);
+        }
+    }
+
+    #[test]
+    fn stats_track_commits_and_aborts() {
+        let stm = Stm::tl2();
+        let v = TVar::new(0u64);
+        stm.atomically(|tx| tx.write(&v, 1));
+        let _ = stm.try_once(|tx| {
+            tx.read(&v)?;
+            Err::<(), Retry>(Retry)
+        });
+        let s = stm.stats().snapshot();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn incremental_mode_probes_quadratically() {
+        let stm = Stm::incremental();
+        let m = 32;
+        let vars: Vec<TVar<u64>> = (0..m).map(|_| TVar::new(0)).collect();
+        let before = stm.stats().snapshot();
+        stm.atomically(|tx| {
+            for v in &vars {
+                tx.read(v)?;
+            }
+            Ok(())
+        });
+        let d = stm.stats().snapshot().since(&before);
+        // Read i validates i-1 prior entries: m(m-1)/2 probes total.
+        assert_eq!(d.validation_probes, (m * (m - 1) / 2) as u64);
+
+        let stm2 = Stm::tl2();
+        let before = stm2.stats().snapshot();
+        stm2.atomically(|tx| {
+            for v in &vars {
+                tx.read(v)?;
+            }
+            Ok(())
+        });
+        let d2 = stm2.stats().snapshot().since(&before);
+        // TL2 read-only transactions never probe the read set.
+        assert_eq!(d2.validation_probes, 0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        for stm in engines() {
+            let stm = Arc::new(stm);
+            let v = TVar::new(0u64);
+            let threads = 4;
+            let per = 500;
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let stm = Arc::clone(&stm);
+                    let v = v.clone();
+                    s.spawn(move || {
+                        for _ in 0..per {
+                            stm.atomically(|tx| {
+                                let x = tx.read(&v)?;
+                                tx.write(&v, x + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(v.load(), threads * per, "{:?}", stm.algorithm());
+        }
+    }
+
+    #[test]
+    fn concurrent_bank_conserves_total() {
+        for stm in engines() {
+            let stm = Arc::new(stm);
+            let accounts: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(1000)).collect();
+            let threads = 4;
+            let per = 300;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let stm = Arc::clone(&stm);
+                    let accounts = accounts.clone();
+                    s.spawn(move || {
+                        let mut x = t as usize;
+                        for i in 0..per {
+                            let from = (x + i) % accounts.len();
+                            let to = (x + i * 7 + 1) % accounts.len();
+                            if from == to {
+                                continue;
+                            }
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            stm.atomically(|tx| {
+                                let a = tx.read(&accounts[from])?;
+                                let b = tx.read(&accounts[to])?;
+                                let amt = a.min(17);
+                                tx.write(&accounts[from], a - amt)?;
+                                tx.write(&accounts[to], b + amt)
+                            });
+                        }
+                    });
+                }
+            });
+            let total: u64 = accounts.iter().map(TVar::load).sum();
+            assert_eq!(total, 8000, "{:?}", stm.algorithm());
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_is_not_allowed_write_skew() {
+        // Write skew: two transactions each read both vars and write one.
+        // A serializable STM must not let both commit from the same
+        // snapshot; run many racing pairs and check the invariant
+        // x + y <= 1 is never violated.
+        for stm in engines() {
+            let stm = Arc::new(stm);
+            for _ in 0..200 {
+                let x = TVar::new(0u64);
+                let y = TVar::new(0u64);
+                std::thread::scope(|s| {
+                    let stm1 = Arc::clone(&stm);
+                    let (x1, y1) = (x.clone(), y.clone());
+                    s.spawn(move || {
+                        stm1.atomically(|tx| {
+                            let (a, b) = (tx.read(&x1)?, tx.read(&y1)?);
+                            if a + b == 0 {
+                                tx.write(&x1, 1)?;
+                            }
+                            Ok(())
+                        });
+                    });
+                    let stm2 = Arc::clone(&stm);
+                    let (x2, y2) = (x.clone(), y.clone());
+                    s.spawn(move || {
+                        stm2.atomically(|tx| {
+                            let (a, b) = (tx.read(&x2)?, tx.read(&y2)?);
+                            if a + b == 0 {
+                                tx.write(&y2, 1)?;
+                            }
+                            Ok(())
+                        });
+                    });
+                });
+                assert!(x.load() + y.load() <= 1, "{:?}", stm.algorithm());
+            }
+        }
+    }
+}

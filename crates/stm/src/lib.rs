@@ -1,0 +1,60 @@
+//! # ptm-stm — a native software transactional memory
+//!
+//! The real-threads companion to the simulated TMs in `ptm-core`: a small,
+//! entirely **safe-Rust** STM with three interchangeable validation
+//! algorithms, so the cost structure the paper analyses can be measured on
+//! actual hardware.
+//!
+//! * [`Stm::tl2`] — global version clock, O(1) read validation (the
+//!   production default);
+//! * [`Stm::incremental`] — the paper's weak-DAP/invisible-reads design
+//!   point: every read re-validates the whole read set, Θ(m²) total work
+//!   for an `m`-read transaction (watch `validation_probes` in
+//!   [`StmStats`]);
+//! * [`Stm::norec`] — single global sequence lock with value-based
+//!   validation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ptm_stm::{Stm, TVar};
+//!
+//! let stm = Stm::tl2();
+//! let checking = TVar::new(90u64);
+//! let savings = TVar::new(10u64);
+//!
+//! // Transfer atomically; the closure re-runs on conflict.
+//! stm.atomically(|tx| {
+//!     let c = tx.read(&checking)?;
+//!     let s = tx.read(&savings)?;
+//!     tx.write(&checking, c - 30)?;
+//!     tx.write(&savings, s + 30)?;
+//!     Ok(())
+//! });
+//!
+//! assert_eq!(checking.load() + savings.load(), 100);
+//! ```
+//!
+//! ## Design notes
+//!
+//! Values live under a per-variable `parking_lot::Mutex` beside an atomic
+//! versioned-lock word; reads snapshot by clone and double-check the
+//! version. This forgoes the last bit of performance a seqlock +
+//! `UnsafeCell` design would give, in exchange for zero `unsafe` — an
+//! explicit choice for a reference implementation whose purpose is
+//! measurable algorithmics, not peak throughput. Writes are buffered and
+//! published at commit under per-variable try-locks (TL2/Incremental) or
+//! the global sequence lock (NOrec), so aborted transactions leave no
+//! trace.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod stats;
+mod tvar;
+
+pub use engine::{Algorithm, Retry, Stm, Transaction};
+pub use stats::{StatsSnapshot, StmStats};
+pub use tvar::{TVar, TxValue};

@@ -1,0 +1,121 @@
+//! Progress statistics, the native-side instrument for Theorem 3(1).
+//!
+//! The simulator counts steps exactly; on real hardware we count the
+//! analogous quantities with atomic counters: commits, aborts, and —
+//! crucially — *validation probes* (one per read-set entry re-checked).
+//! The `bench_native_validation` experiment shows probes growing
+//! quadratically with the read-set size in incremental mode and linearly
+//! in TL2 mode, the hardware echo of the paper's bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters for one [`Stm`](crate::Stm) instance.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    validation_probes: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Transactions that committed.
+    pub commits: u64,
+    /// Transaction attempts that aborted.
+    pub aborts: u64,
+    /// Individual read-set entries re-checked during validation.
+    pub validation_probes: u64,
+    /// `read` operations executed.
+    pub reads: u64,
+    /// `write` operations executed.
+    pub writes: u64,
+}
+
+impl StmStats {
+    pub(crate) fn commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn probes(&self, n: u64) {
+        self.validation_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            validation_probes: self.validation_probes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference from an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let d = |a: u64, b: u64| a.checked_sub(b).expect("snapshot order");
+        StatsSnapshot {
+            commits: d(self.commits, earlier.commits),
+            aborts: d(self.aborts, earlier.aborts),
+            validation_probes: d(self.validation_probes, earlier.validation_probes),
+            reads: d(self.reads, earlier.reads),
+            writes: d(self.writes, earlier.writes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StmStats::default();
+        s.commit();
+        s.commit();
+        s.abort();
+        s.probes(5);
+        s.read();
+        s.write();
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.validation_probes, 5);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.writes, 1);
+    }
+
+    #[test]
+    fn since_differences() {
+        let s = StmStats::default();
+        s.commit();
+        let a = s.snapshot();
+        s.commit();
+        s.probes(3);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.validation_probes, 3);
+    }
+}

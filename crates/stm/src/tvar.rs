@@ -1,0 +1,191 @@
+//! Transactional variables.
+//!
+//! A [`TVar<T>`] is a shared mutable cell that can only be read and
+//! written inside a transaction. Each variable carries a versioned-lock
+//! word (`version << 1 | locked`) beside its value; the value itself lives
+//! under a mutex so snapshots are never torn — the library is entirely
+//! safe Rust, trading a few nanoseconds for memory safety (see the crate
+//! docs for the design rationale).
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Values storable in a [`TVar`]: cloneable (reads snapshot), comparable
+/// (NOrec validates by value), and thread-safe.
+///
+/// Implemented automatically for every eligible type.
+pub trait TxValue: Any + Send + Sync + Clone + PartialEq {}
+
+impl<T: Any + Send + Sync + Clone + PartialEq> TxValue for T {}
+
+/// Type-erased view of a `TVarInner<T>`, used by transaction read/write
+/// sets, which are heterogeneous.
+pub(crate) trait AnyTVar: Send + Sync {
+    /// The versioned-lock word.
+    fn meta(&self) -> &AtomicU64;
+    /// Stores a value boxed by a typed write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boxed value is of the wrong type (transaction-engine
+    /// bug, not reachable from the public API).
+    fn write_boxed(&self, v: &(dyn Any + Send));
+    /// Whether the current value equals the given snapshot.
+    fn value_eq(&self, v: &(dyn Any + Send)) -> bool;
+}
+
+pub(crate) struct TVarInner<T> {
+    meta: AtomicU64,
+    value: Mutex<T>,
+}
+
+impl<T: TxValue> AnyTVar for TVarInner<T> {
+    fn meta(&self) -> &AtomicU64 {
+        &self.meta
+    }
+
+    fn write_boxed(&self, v: &(dyn Any + Send)) {
+        let v = v.downcast_ref::<T>().expect("write_boxed type");
+        *self.value.lock() = v.clone();
+    }
+
+    fn value_eq(&self, v: &(dyn Any + Send)) -> bool {
+        match v.downcast_ref::<T>() {
+            Some(v) => *self.value.lock() == *v,
+            None => false,
+        }
+    }
+}
+
+/// A transactional variable holding a `T`.
+///
+/// Cheap to clone (it is an `Arc` handle); clones refer to the same cell.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_stm::{Stm, TVar};
+///
+/// let stm = Stm::tl2();
+/// let acct = TVar::new(100u64);
+/// stm.atomically(|tx| {
+///     let v = tx.read(&acct)?;
+///     tx.write(&acct, v + 1)?;
+///     Ok(())
+/// });
+/// assert_eq!(stm.read_now(&acct), 101);
+/// ```
+pub struct TVar<T> {
+    pub(crate) inner: Arc<TVarInner<T>>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: fmt::Debug + TxValue> fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TVar")
+            .field("value", &*self.inner.value.lock())
+            .field("version", &(self.inner.meta.load(Ordering::Relaxed) >> 1))
+            .finish()
+    }
+}
+
+impl<T: TxValue> TVar<T> {
+    /// Creates a variable with an initial value.
+    pub fn new(value: T) -> Self {
+        TVar {
+            inner: Arc::new(TVarInner { meta: AtomicU64::new(0), value: Mutex::new(value) }),
+        }
+    }
+
+    /// Stable identity of the cell (used to key read/write sets and to
+    /// order lock acquisition).
+    pub(crate) fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
+    /// Type-erased handle for transaction logs.
+    pub(crate) fn as_dyn(&self) -> Arc<dyn AnyTVar> {
+        Arc::clone(&self.inner) as Arc<dyn AnyTVar>
+    }
+
+    /// Reads the value non-transactionally (a consistent snapshot of this
+    /// single variable). Useful for inspecting results after the
+    /// concurrent phase is over.
+    pub fn load(&self) -> T {
+        self.inner.value.lock().clone()
+    }
+
+    /// Whether two handles refer to the same cell (identity, not value).
+    /// Useful when building linked structures out of `TVar`s, where a
+    /// node's `PartialEq` should compare pointer identity.
+    pub fn same_cell(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl<T: TxValue + Default> Default for TVar<T> {
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_load() {
+        let v = TVar::new(41u32);
+        assert_eq!(v.load(), 41);
+    }
+
+    #[test]
+    fn clones_share_the_cell() {
+        let a = TVar::new(String::from("x"));
+        let b = a.clone();
+        assert_eq!(a.id(), b.id());
+        a.inner.write_boxed(&(String::from("y")) as &(dyn Any + Send));
+        assert_eq!(b.load(), "y");
+    }
+
+    #[test]
+    fn distinct_vars_have_distinct_ids() {
+        let a = TVar::new(0u8);
+        let b = TVar::new(0u8);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn boxed_roundtrip_and_eq() {
+        let v = TVar::new(7i64);
+        let snap: Box<dyn Any + Send> = Box::new(7i64);
+        assert!(v.inner.value_eq(snap.as_ref()));
+        v.inner.write_boxed(&9i64 as &(dyn Any + Send));
+        assert!(!v.inner.value_eq(snap.as_ref()));
+        assert_eq!(v.load(), 9);
+        // Wrong-type snapshots never compare equal.
+        let wrong: Box<dyn Any + Send> = Box::new("9");
+        assert!(!v.inner.value_eq(wrong.as_ref()));
+    }
+
+    #[test]
+    fn default_impl() {
+        let v: TVar<u64> = TVar::default();
+        assert_eq!(v.load(), 0);
+    }
+
+    #[test]
+    fn tvar_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TVar<u64>>();
+        assert_send_sync::<TVar<String>>();
+    }
+}

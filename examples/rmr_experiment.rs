@@ -1,0 +1,40 @@
+//! Theorem 9 hands-on: build the Algorithm 1 mutex `L(M)` from a strongly
+//! progressive TM, run `n` contending processes on the simulator, and
+//! print RMRs per passage in all three memory models next to MCS and a
+//! test-and-set lock.
+//!
+//! ```text
+//! cargo run --release --example rmr_experiment
+//! ```
+
+use ptm_bench::rmr::run_rmr;
+
+fn main() {
+    let passages = 5;
+    println!(
+        "RMRs per critical-section passage, {passages} passages/process\n\
+         (L(M) = Algorithm 1 over the named TM)\n"
+    );
+    for algo in ["L(glock)", "L(ir-progressive)", "mcs", "tas"] {
+        println!("{algo}:");
+        println!(
+            "  {:>4} {:>16} {:>14} {:>8}",
+            "n", "CC write-through", "CC write-back", "DSM"
+        );
+        for n in [2usize, 4, 8, 16] {
+            let r = run_rmr(algo, n, passages, 0xFEED);
+            println!(
+                "  {n:>4} {:>16.1} {:>14.1} {:>8.1}",
+                r.rmr_per_passage_wt(),
+                r.rmr_per_passage_wb(),
+                r.rmr_per_passage_dsm()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Every run is audited for mutual exclusion. The TM-based lock tracks\n\
+         its TM within a constant factor (Theorem 7); TAS degrades with n\n\
+         while the queue-based MCS and the L(M) handoff spin locally."
+    );
+}

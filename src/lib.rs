@@ -1,0 +1,45 @@
+//! # progressive-tm — reproduction of *Progressive Transactional Memory
+//! in Time and Space* (Kuznetsov & Ravi, PACT 2015)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — the paper's abstract machine: a deterministic shared-memory
+//!   simulator with step counting and RMR accounting in the write-through
+//!   CC, write-back CC and DSM models;
+//! * [`model`] — the formal definitions of Sections 2–3 as checkers:
+//!   opacity, strict serializability, (strong) progressiveness,
+//!   invisible/weak-invisible reads, weak DAP;
+//! * [`core`] — the TM algorithms spanning the design space the theorems
+//!   carve out, plus Algorithm 1 (`L(M)`, the mutex reduction of
+//!   Theorem 9) and the execution-driving harness;
+//! * [`mutex`] — classic mutual-exclusion baselines with known RMR
+//!   profiles;
+//! * [`stm`] — a native, safe-Rust STM for real threads with TL2 /
+//!   NOrec / incremental-validation modes.
+//!
+//! See `README.md` for the quick start, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Example: the headline result in five lines
+//!
+//! ```
+//! use progressive_tm::core::{ProgressiveTm, TmHarness};
+//! use std::sync::Arc;
+//!
+//! // An invisible-read, weak-DAP progressive TM pays for opacity with
+//! // incremental validation: the i-th read costs 3 + i steps.
+//! let mut h = TmHarness::new(1, |b| Arc::new(ProgressiveTm::install(b, 8)));
+//! h.begin(0.into());
+//! let costs: Vec<usize> = (0..8)
+//!     .map(|i| h.read(0.into(), i.into()).1.steps)
+//!     .collect();
+//! assert_eq!(costs, vec![3, 4, 5, 6, 7, 8, 9, 10]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ptm_core as core;
+pub use ptm_model as model;
+pub use ptm_mutex as mutex;
+pub use ptm_sim as sim;
+pub use ptm_stm as stm;

@@ -1,0 +1,78 @@
+//! E1/E2 — the executions of Figure 1 and Claim 4 as integration tests,
+//! across all TMs and a range of transaction sizes.
+
+use ptm_bench::figure1::{claim4, figure1a, figure1b, NEW_VALUE};
+use progressive_tm::core::{TmKind, ALL_TMS};
+use progressive_tm::sim::TOpResult;
+
+#[test]
+fn figure1a_strict_serializability_forces_new_value() {
+    for &tm in ALL_TMS {
+        for i in [2usize, 3, 6] {
+            let e = figure1a(tm, i);
+            assert_eq!(e.final_read, TOpResult::Value(NEW_VALUE), "{} i={i}", e.name);
+            assert!(e.opaque && e.strictly_serializable, "{} i={i}", e.name);
+        }
+    }
+}
+
+#[test]
+fn figure1b_lemma2_weak_dap_tms_return_new_value() {
+    // Lemma 2's statement targets weak-DAP TMs: ir-progressive and
+    // visible-reads must return nv.
+    for tm in [TmKind::Progressive, TmKind::Visible] {
+        for i in [2usize, 4, 8] {
+            let e = figure1b(tm, i);
+            assert_eq!(e.final_read, TOpResult::Value(NEW_VALUE), "{} i={i}", e.name);
+            assert!(e.opaque, "{} i={i}", e.name);
+        }
+    }
+}
+
+#[test]
+fn figure1b_non_dap_tms_may_abort_but_stay_correct() {
+    // (The global-lock TM is excluded: its reader holds the lock, so the
+    // paper's interleaving is not producible — see INTERLEAVABLE_TMS.)
+    for tm in [TmKind::Tl2, TmKind::Norec] {
+        let e = figure1b(tm, 4);
+        // Whatever they answer, the execution must be opaque and never
+        // return a stale (initial) value for X_i.
+        assert_ne!(e.final_read, TOpResult::Value(0), "{}", e.name);
+        assert!(e.opaque, "{}", e.name);
+    }
+}
+
+#[test]
+fn claim4_dichotomy_old_value_or_abort() {
+    for &tm in ptm_bench::figure1::INTERLEAVABLE_TMS {
+        for (i, l) in [(3usize, 0usize), (4, 1), (6, 2)] {
+            let e = claim4(tm, i, l);
+            assert!(
+                e.final_read == TOpResult::Aborted || e.final_read == TOpResult::Value(0),
+                "{} (i={i}, l={l}): got {}",
+                e.name,
+                e.final_read
+            );
+            assert_ne!(e.final_read, TOpResult::Value(NEW_VALUE), "{}", e.name);
+            assert!(e.opaque, "{}", e.name);
+        }
+    }
+}
+
+#[test]
+fn claim4_incremental_validation_catches_the_stale_read() {
+    // The paper's matching upper bound detects β^ℓ's interference during
+    // the i-th read's validation and aborts.
+    for (i, l) in [(3usize, 1usize), (5, 2), (8, 0)] {
+        let e = claim4(TmKind::Progressive, i, l);
+        assert_eq!(e.final_read, TOpResult::Aborted, "i={i} l={l}");
+    }
+}
+
+#[test]
+fn traces_mention_every_transaction() {
+    let e = figure1b(TmKind::Progressive, 3);
+    let t = e.trace();
+    assert!(t.contains("T1"), "reader missing:\n{t}");
+    assert!(t.contains("tryC -> C"), "writer commit missing:\n{t}");
+}

@@ -1,0 +1,163 @@
+//! Theorem 7 end-to-end: `L(M)` (Algorithm 1) is a correct mutex for
+//! every strongly progressive TM in the workspace, under many schedules,
+//! and its RMR cost tracks the wrapped TM's within a constant factor.
+
+use progressive_tm::core::{TmKind, TmMutex};
+use progressive_tm::model::{mutual_exclusion_violations, passages, satisfies_mutual_exclusion};
+use progressive_tm::mutex::{mutex_process_body, run_workload, SimMutex};
+use progressive_tm::sim::{BurstPolicy, RandomPolicy, RoundRobin, SchedulePolicy, SimBuilder};
+use std::sync::Arc;
+
+fn lm_over(tm: TmKind) -> impl FnOnce(&mut SimBuilder) -> Arc<dyn SimMutex> {
+    move |b| {
+        Arc::new(TmMutex::install(b, |b| tm.install(b, 1)))
+    }
+}
+
+/// Every strongly progressive TM yields a working lock.
+const TM_ARMS: &[TmKind] = &[
+    TmKind::Glock,
+    TmKind::Progressive,
+    TmKind::Visible,
+    TmKind::Tl2,
+    TmKind::Norec,
+];
+
+#[test]
+fn reduction_is_safe_for_every_tm_arm() {
+    for &tm in TM_ARMS {
+        for seed in [1u64, 7] {
+            let r = run_workload(3, 3, lm_over(tm), &mut RandomPolicy::seeded(seed));
+            assert!(
+                satisfies_mutual_exclusion(&r.log),
+                "L({}) seed={seed}: {:?}",
+                tm.name(),
+                mutual_exclusion_violations(&r.log)
+            );
+            assert_eq!(passages(&r.log, 3), vec![3, 3, 3], "L({})", tm.name());
+        }
+    }
+}
+
+#[test]
+fn reduction_is_safe_under_burst_schedules() {
+    for &tm in [TmKind::Glock, TmKind::Progressive].iter() {
+        for seed in 0..6 {
+            let mut policy = BurstPolicy::seeded(seed, 25);
+            let r = run_workload(4, 3, lm_over(tm), &mut policy);
+            assert!(
+                satisfies_mutual_exclusion(&r.log),
+                "L({}) burst seed={seed}",
+                tm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reduction_is_safe_under_round_robin() {
+    for &tm in TM_ARMS {
+        let mut policy = RoundRobin::new();
+        let r = run_workload(4, 4, lm_over(tm), &mut policy);
+        assert!(satisfies_mutual_exclusion(&r.log), "L({})", tm.name());
+        assert_eq!(r.total_passages(), 16);
+    }
+}
+
+#[test]
+fn deadlock_freedom_under_heavy_contention() {
+    // 8 processes, all hammering the lock: the workload must finish
+    // (run_workload panics on budget exhaustion).
+    let r = run_workload(8, 4, lm_over(TmKind::Glock), &mut RandomPolicy::seeded(3));
+    assert_eq!(r.total_passages(), 32);
+    assert!(satisfies_mutual_exclusion(&r.log));
+}
+
+#[test]
+fn uncontended_passage_rmr_is_constant() {
+    // A single process acquiring repeatedly: per-passage RMR must not
+    // grow with the passage count (finite-exit + O(1) handoff).
+    let r5 = run_workload(1, 5, lm_over(TmKind::Glock), &mut RoundRobin::new());
+    let r50 = run_workload(1, 50, lm_over(TmKind::Glock), &mut RoundRobin::new());
+    let per5 = r5.rmr_per_passage_wb();
+    let per50 = r50.rmr_per_passage_wb();
+    assert!(
+        (per50 - per5).abs() < 2.0,
+        "per-passage RMR drifted: {per5} vs {per50}"
+    );
+}
+
+#[test]
+fn reduction_rmr_tracks_tm_rmr() {
+    // Theorem 7: RMR(L(M)) = O(RMR(M)). Measure the same workload with
+    // the raw TM (transactions on one item, no mutex wrapper) and with
+    // L(M); the ratio must be bounded by a small constant.
+    let n = 4;
+    let rounds = 5;
+
+    // Raw TM workload: each process runs `rounds` read-then-write
+    // transactions on the single item, retried until commit.
+    let mut b = SimBuilder::new(n);
+    let tm = TmKind::Glock.install(&mut b, 1);
+    for _ in 0..n {
+        let tm = Arc::clone(&tm);
+        b.add_process(move |ctx| {
+            for k in 0..rounds {
+                loop {
+                    let mut txn = tm.begin(ptm_sim::TxId::new(k as u64));
+                    let ok = txn
+                        .read(ctx, ptm_sim::TObjId::new(0))
+                        .and_then(|v| txn.write(ctx, ptm_sim::TObjId::new(0), v + 1))
+                        .and_then(|()| txn.try_commit(ctx));
+                    if ok.is_ok() {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    let sim = b.start();
+    let mut policy = RandomPolicy::seeded(11);
+    progressive_tm::sim::run_policy(&sim, &mut policy, 2_000_000);
+    assert!(sim.runnable().is_empty());
+    let raw_rmr = sim.metrics().total_rmr_write_back() as f64 / (n * rounds) as f64;
+
+    let lm = run_workload(n, rounds, lm_over(TmKind::Glock), &mut RandomPolicy::seeded(11));
+    let lm_rmr = lm.rmr_per_passage_wb();
+
+    assert!(
+        lm_rmr <= raw_rmr * 6.0 + 24.0,
+        "L(M) per-passage RMR {lm_rmr} not within a constant of raw TM {raw_rmr}"
+    );
+}
+
+#[test]
+fn reduction_composes_with_standard_harness() {
+    // Direct use without run_workload: custom process bodies.
+    let mut b = SimBuilder::new(2);
+    let lock: Arc<dyn SimMutex> =
+        Arc::new(TmMutex::install(&mut b, |b| TmKind::Progressive.install(b, 1)));
+    for _ in 0..2 {
+        let l = Arc::clone(&lock);
+        b.add_process(move |ctx| mutex_process_body(l, 2, ctx));
+    }
+    let sim = b.start();
+    let mut policy = RandomPolicy::seeded(2);
+    progressive_tm::sim::run_policy(&sim, &mut policy, 1_000_000);
+    assert!(sim.runnable().is_empty());
+    assert!(satisfies_mutual_exclusion(&sim.log()));
+}
+
+#[test]
+fn schedule_policy_trait_objects_compose() {
+    // The reduction works behind any SchedulePolicy trait object.
+    let policies: Vec<Box<dyn SchedulePolicy>> = vec![
+        Box::new(RoundRobin::new()),
+        Box::new(RandomPolicy::seeded(5)),
+        Box::new(BurstPolicy::seeded(5, 8)),
+    ];
+    for mut p in policies {
+        let r = run_workload(3, 2, lm_over(TmKind::Glock), p.as_mut());
+        assert!(satisfies_mutual_exclusion(&r.log));
+    }
+}

@@ -1,0 +1,131 @@
+//! E9 — progress guarantees under conflict storms.
+//!
+//! Definition 1 (strong progressiveness) says: in any conflict-closed set
+//! of transactions whose conflicts involve at most one item, somebody
+//! commits. The storm workload throws `n` single-item transactions at the
+//! same t-object under adversarial schedules and lets the checker audit
+//! every resulting history.
+
+use progressive_tm::core::{ScriptOp, TmHarness, TmKind, TxScript, ALL_TMS};
+use progressive_tm::model;
+use progressive_tm::sim::{BurstPolicy, ProcessId, RandomPolicy, TObjId};
+
+/// All processes update the single item X0 concurrently, one attempt each.
+fn single_item_storm(tm: TmKind, n: usize, seed: u64) -> model::History {
+    let mut h = TmHarness::new(n, |b| tm.install(b, 1));
+    for p in 0..n {
+        h.run_script(
+            ProcessId::new(p),
+            TxScript {
+                ops: vec![
+                    ScriptOp::Read(TObjId::new(0)),
+                    ScriptOp::Write(TObjId::new(0), p as u64 + 1),
+                ],
+                retry_until_commit: false,
+            },
+        );
+    }
+    h.run_all(&mut RandomPolicy::seeded(seed), 500_000);
+    h.stop_all();
+    h.history()
+}
+
+#[test]
+fn storms_satisfy_strong_progressiveness() {
+    for &tm in ALL_TMS {
+        for seed in 0..10 {
+            let hist = single_item_storm(tm, 4, seed);
+            assert!(
+                model::is_strongly_progressive(&hist),
+                "{} seed={seed}: strong progressiveness violated",
+                tm.name()
+            );
+            // At least one of the contenders must have committed.
+            assert!(
+                !hist.committed().is_empty(),
+                "{} seed={seed}: everyone aborted",
+                tm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn storms_are_strictly_serializable() {
+    for &tm in ALL_TMS {
+        let hist = single_item_storm(tm, 5, 123);
+        assert!(model::is_strictly_serializable(&hist), "{}", tm.name());
+    }
+}
+
+#[test]
+fn sequential_runs_always_commit() {
+    // Sequential TM-progress (minimal progressiveness): a transaction
+    // running alone from a quiescent configuration commits.
+    for &tm in ALL_TMS {
+        let mut h = TmHarness::new(1, |b| tm.install(b, 2));
+        for round in 0..5 {
+            h.run_writer(ProcessId::new(0), &[(TObjId::new(round % 2), round as u64)]);
+        }
+        h.stop_all();
+        let hist = h.history();
+        assert_eq!(hist.committed().len(), 5, "{}", tm.name());
+        assert!(model::sequential_progress_violations(&hist).is_empty());
+    }
+}
+
+#[test]
+fn burst_storms_preserve_progress() {
+    for &tm in ALL_TMS {
+        let mut h = TmHarness::new(4, |b| tm.install(b, 1));
+        for p in 0..4 {
+            h.run_script(
+                ProcessId::new(p),
+                TxScript {
+                    ops: vec![ScriptOp::Write(TObjId::new(0), p as u64 + 1)],
+                    retry_until_commit: true, // blind writes, retried
+                },
+            );
+        }
+        let mut policy = BurstPolicy::seeded(5, 10);
+        let steps = progressive_tm::sim::run_policy(h.sim(), &mut policy, 500_000);
+        assert!(steps < 500_000, "{}: livelock", tm.name());
+        h.stop_all();
+        let hist = h.history();
+        // Retried until committed: each process has exactly one commit.
+        assert_eq!(hist.committed().len(), 4, "{}", tm.name());
+        assert!(model::is_strongly_progressive(&hist), "{}", tm.name());
+    }
+}
+
+#[test]
+fn aborts_are_always_excused_by_conflicts() {
+    // Progressiveness in mixed workloads: any abort has a concurrent
+    // conflicting transaction.
+    for &tm in ALL_TMS {
+        for seed in [7u64, 21, 63] {
+            let mut h = TmHarness::new(3, |b| tm.install(b, 2));
+            for p in 0..3 {
+                h.run_script(
+                    ProcessId::new(p),
+                    TxScript {
+                        ops: vec![
+                            ScriptOp::Read(TObjId::new(p % 2)),
+                            ScriptOp::Write(TObjId::new((p + 1) % 2), 9),
+                        ],
+                        retry_until_commit: false,
+                    },
+                );
+            }
+            h.run_all(&mut RandomPolicy::seeded(seed), 500_000);
+            h.stop_all();
+            let hist = h.history();
+            let violations = model::progressiveness_violations(&hist);
+            assert!(
+                violations.is_empty(),
+                "{} seed={seed}: {violations:?}",
+                tm.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the formal-model checkers and the simulated
+//! TMs, driven by proptest.
+//!
+//! Two families:
+//!
+//! 1. **Checker metamorphic properties** on synthetic histories (serial
+//!    histories are opaque; opacity implies strict serializability;
+//!    committed-projection monotonicity).
+//! 2. **TM invariants** on randomly scripted simulator executions
+//!    (opacity and progressiveness of every TM under arbitrary seeds).
+
+use progressive_tm::core::{ScriptOp, TmHarness, TmKind, TxScript};
+use progressive_tm::model;
+use progressive_tm::sim::{ProcessId, RandomPolicy, TObjId};
+use proptest::prelude::*;
+
+/// A serial workload: a sequence of (object, value, commit?) transactions
+/// run back-to-back on one process.
+fn serial_history(ops: &[(usize, u64, bool)]) -> model::History {
+    let mut h = TmHarness::new(1, |b| TmKind::Progressive.install(b, 3));
+    let p = ProcessId::new(0);
+    for &(x, v, commit) in ops {
+        h.begin(p);
+        let _ = h.read(p, TObjId::new(x % 3));
+        let _ = h.write(p, TObjId::new(x % 3), v);
+        if commit {
+            let _ = h.try_commit(p);
+        } else {
+            // Leave it live; the next begin is only legal after
+            // completion, so force a commit anyway — sequential
+            // executions on this TM never abort.
+            let _ = h.try_commit(p);
+        }
+    }
+    h.stop_all();
+    h.history()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial executions are always opaque and strongly progressive.
+    #[test]
+    fn serial_executions_are_opaque(
+        ops in proptest::collection::vec((0usize..3, 1u64..50, any::<bool>()), 1..6)
+    ) {
+        let hist = serial_history(&ops);
+        prop_assert!(model::is_opaque(&hist));
+        prop_assert!(model::is_strictly_serializable(&hist));
+        prop_assert!(model::is_strongly_progressive(&hist));
+    }
+
+    /// Opacity implies strict serializability on every history our
+    /// harness can produce.
+    #[test]
+    fn opacity_implies_strict_serializability(
+        seed in 0u64..500,
+        n_procs in 2usize..4,
+    ) {
+        let n_objects = 2;
+        let mut h = TmHarness::new(n_procs, |b| TmKind::Progressive.install(b, n_objects));
+        let mut rng_state = seed;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state >> 33
+        };
+        for p in 0..n_procs {
+            let len = 1 + (next() as usize) % 3;
+            let ops = (0..len)
+                .map(|_| {
+                    let x = TObjId::new((next() as usize) % n_objects);
+                    if next() % 2 == 0 {
+                        ScriptOp::Read(x)
+                    } else {
+                        ScriptOp::Write(x, next() % 10)
+                    }
+                })
+                .collect();
+            h.run_script(ProcessId::new(p), TxScript { ops, retry_until_commit: false });
+        }
+        h.run_all(&mut RandomPolicy::seeded(seed), 300_000);
+        h.stop_all();
+        let hist = h.history();
+        let opaque = model::is_opaque(&hist);
+        let strict = model::is_strictly_serializable(&hist);
+        prop_assert!(opaque, "seed {seed}: TM must be opaque");
+        prop_assert!(!opaque || strict, "opacity must imply strict serializability");
+    }
+
+    /// Every TM stays opaque on arbitrary single-object storms.
+    #[test]
+    fn storms_are_opaque_for_every_tm(
+        seed in 0u64..200,
+        tm_idx in 0usize..5,
+    ) {
+        let tm = progressive_tm::core::ALL_TMS[tm_idx];
+        let mut h = TmHarness::new(3, |b| tm.install(b, 1));
+        for p in 0..3 {
+            h.run_script(
+                ProcessId::new(p),
+                TxScript {
+                    ops: vec![
+                        ScriptOp::Read(TObjId::new(0)),
+                        ScriptOp::Write(TObjId::new(0), p as u64 + 1),
+                    ],
+                    retry_until_commit: false,
+                },
+            );
+        }
+        h.run_all(&mut RandomPolicy::seeded(seed), 300_000);
+        h.stop_all();
+        let hist = h.history();
+        prop_assert!(model::is_opaque(&hist), "{} seed={seed}", tm.name());
+        prop_assert!(model::is_strongly_progressive(&hist), "{} seed={seed}", tm.name());
+    }
+}
+
+#[test]
+fn committed_projection_of_opaque_history_is_strict() {
+    // Deterministic spot-check of the metamorphic relation used above.
+    let mut h = TmHarness::new(2, |b| TmKind::Tl2.install(b, 2));
+    let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+    h.run_writer(p0, &[(TObjId::new(0), 1)]);
+    h.run_writer(p1, &[(TObjId::new(1), 2)]);
+    h.stop_all();
+    let hist = h.history();
+    assert!(model::is_opaque(&hist));
+    assert!(model::is_strictly_serializable(&hist));
+}

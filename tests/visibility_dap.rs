@@ -1,0 +1,120 @@
+//! Each TM's claimed properties ([`TmProperties`]) audited by the
+//! log-level checkers: read visibility (strong and weak invisible reads)
+//! and weak disjoint-access parallelism.
+
+use progressive_tm::core::{ScriptOp, TmHarness, TmKind, TxScript, ALL_TMS};
+use progressive_tm::model;
+use progressive_tm::sim::{ProcessId, TObjId, TOpResult};
+
+/// Runs one solo read-only transaction over `m` items; returns (history,
+/// log).
+fn solo_reader(tm: TmKind, m: usize) -> (model::History, Vec<progressive_tm::sim::LogEntry>) {
+    let mut h = TmHarness::new(1, |b| tm.install(b, m));
+    let p = ProcessId::new(0);
+    h.begin(p);
+    for i in 0..m {
+        let (res, _) = h.read(p, TObjId::new(i));
+        assert_eq!(res, TOpResult::Value(0));
+    }
+    let (res, _) = h.try_commit(p);
+    assert_eq!(res, TOpResult::Committed);
+    h.stop_all();
+    (h.history(), h.log())
+}
+
+#[test]
+fn invisible_reads_claims_match_reality() {
+    let mut b = ptm_sim::SimBuilder::new(1);
+    for &tm in ALL_TMS {
+        let claimed = tm.install(&mut b, 1).properties().invisible_reads;
+        let (hist, log) = solo_reader(tm, 3);
+        let violations = model::invisible_reads_violations(&hist, &log);
+        if claimed {
+            assert!(violations.is_empty(), "{}: claimed invisible, found {violations:?}", tm.name());
+        } else if tm == TmKind::Visible || tm == TmKind::Glock {
+            assert!(!violations.is_empty(), "{}: expected visible reads", tm.name());
+        }
+    }
+}
+
+#[test]
+fn weak_invisible_reads_hold_for_all_invisible_tms() {
+    // Weak invisible reads: t-reads of an isolated transaction apply no
+    // nontrivial events. Stronger TMs (invisible) imply it; the visible
+    // TM violates it by construction.
+    for &tm in [TmKind::Progressive, TmKind::Tl2, TmKind::Norec].iter() {
+        let (hist, log) = solo_reader(tm, 4);
+        assert!(
+            model::weak_invisible_reads_violations(&hist, &log).is_empty(),
+            "{}",
+            tm.name()
+        );
+    }
+    let (hist, log) = solo_reader(TmKind::Visible, 4);
+    assert!(!model::weak_invisible_reads_violations(&hist, &log).is_empty());
+}
+
+/// Two concurrent updating transactions on disjoint items, fully
+/// interleaved; returns (history, log).
+fn disjoint_pair(tm: TmKind) -> (model::History, Vec<progressive_tm::sim::LogEntry>) {
+    let mut h = TmHarness::new(2, |b| tm.install(b, 2));
+    for p in 0..2 {
+        h.run_script(
+            ProcessId::new(p),
+            TxScript {
+                ops: vec![
+                    ScriptOp::Read(TObjId::new(p)),
+                    ScriptOp::Write(TObjId::new(p), 5),
+                ],
+                retry_until_commit: true,
+            },
+        );
+    }
+    // Strict alternation keeps them concurrent the whole way.
+    let mut rr = progressive_tm::sim::RoundRobin::new();
+    progressive_tm::sim::run_policy(h.sim(), &mut rr, 100_000);
+    h.stop_all();
+    (h.history(), h.log())
+}
+
+#[test]
+fn weak_dap_claims_match_reality() {
+    let mut b = ptm_sim::SimBuilder::new(1);
+    for &tm in ALL_TMS {
+        let claimed = tm.install(&mut b, 1).properties().weak_dap;
+        let (hist, log) = disjoint_pair(tm);
+        let violations = model::weak_dap_violations(&hist, &log);
+        if claimed {
+            assert!(
+                violations.is_empty(),
+                "{}: claimed weak DAP, found {violations:?}",
+                tm.name()
+            );
+        } else {
+            assert!(
+                !violations.is_empty(),
+                "{}: expected a base-object race between disjoint transactions",
+                tm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn visible_reader_is_aborted_not_corrupted() {
+    // The visible-reads TM aborts readers instead of validating; the
+    // resulting histories must still be opaque.
+    let mut h = TmHarness::new(2, |b| TmKind::Visible.install(b, 2));
+    let (p0, p1) = (ProcessId::new(0), ProcessId::new(1));
+    h.begin(p0);
+    let (r, _) = h.read(p0, TObjId::new(0));
+    assert_eq!(r, TOpResult::Value(0));
+    h.run_writer(p1, &[(TObjId::new(0), 9)]);
+    // The reader was aborted by the committing writer.
+    let (r2, _) = h.read(p0, TObjId::new(1));
+    assert_eq!(r2, TOpResult::Aborted);
+    h.stop_all();
+    let hist = h.history();
+    assert!(model::is_opaque(&hist));
+    assert!(model::is_progressive(&hist));
+}
