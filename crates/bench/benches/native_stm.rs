@@ -1,113 +1,13 @@
-//! E11 / E12 — Criterion microbenchmarks of the native STM.
+//! E11 / E12 — native-STM microbenchmarks (custom harness; the build
+//! environment has no criterion).
 //!
-//! * `read_only_txn/<algo>/<m>` — wall-clock cost of a read-only
-//!   transaction over `m` TVars: the hardware echo of Theorem 3(1)
-//!   (incremental mode scales quadratically, TL2/NOrec linearly).
-//! * `counter_increment/<algo>` — uncontended update-transaction latency.
-//! * `bank_contended/<algo>` — 4 threads hammering 8 accounts: end-to-end
-//!   throughput with retries (E12).
+//! Run with `cargo bench -p ptm-bench --bench native_stm`; pass `quick`
+//! to shrink workloads. Emits `BENCH_native_stm.json` in the working
+//! directory — the read-heavy throughput baseline successive PRs compare
+//! against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ptm_stm::{Algorithm, Stm, TVar};
-use std::sync::Arc;
-use std::time::Instant;
-
-const ALGOS: &[(&str, Algorithm)] = &[
-    ("tl2", Algorithm::Tl2),
-    ("incremental", Algorithm::Incremental),
-    ("norec", Algorithm::Norec),
-];
-
-fn bench_read_only(c: &mut Criterion) {
-    let mut g = c.benchmark_group("read_only_txn");
-    g.sample_size(20);
-    for &(name, algo) in ALGOS {
-        for m in [16usize, 64, 256] {
-            let stm = Stm::new(algo);
-            let vars: Vec<TVar<u64>> = (0..m).map(|_| TVar::new(1)).collect();
-            g.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
-                b.iter(|| {
-                    stm.atomically(|tx| {
-                        let mut acc = 0u64;
-                        for v in &vars {
-                            acc = acc.wrapping_add(tx.read(v)?);
-                        }
-                        Ok(acc)
-                    })
-                });
-            });
-        }
-    }
-    g.finish();
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a.contains("quick"));
+    ptm_bench::native::run_and_emit(quick, "BENCH_native_stm.json");
 }
-
-fn bench_counter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("counter_increment");
-    g.sample_size(20);
-    for &(name, algo) in ALGOS {
-        let stm = Stm::new(algo);
-        let v = TVar::new(0u64);
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                stm.atomically(|tx| {
-                    let x = tx.read(&v)?;
-                    tx.write(&v, x.wrapping_add(1))
-                })
-            });
-        });
-    }
-    g.finish();
-}
-
-fn bench_bank_contended(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bank_contended");
-    g.sample_size(10);
-    let threads = 4;
-    let txns_per_thread = 2_000;
-    for &(name, algo) in ALGOS {
-        g.bench_function(name, |b| {
-            b.iter_custom(|iters| {
-                let mut total = std::time::Duration::ZERO;
-                for _ in 0..iters {
-                    let stm = Arc::new(Stm::new(algo));
-                    let accounts: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(1_000)).collect();
-                    let start = Instant::now();
-                    std::thread::scope(|s| {
-                        for t in 0..threads {
-                            let stm = Arc::clone(&stm);
-                            let accounts = accounts.clone();
-                            s.spawn(move || {
-                                let mut seed = t as u64 + 1;
-                                for _ in 0..txns_per_thread {
-                                    seed = seed
-                                        .wrapping_mul(6364136223846793005)
-                                        .wrapping_add(1442695040888963407);
-                                    let from = (seed >> 33) as usize % accounts.len();
-                                    let to = (seed >> 13) as usize % accounts.len();
-                                    if from == to {
-                                        continue;
-                                    }
-                                    stm.atomically(|tx| {
-                                        let a = tx.read(&accounts[from])?;
-                                        let b = tx.read(&accounts[to])?;
-                                        let amt = a.min(5);
-                                        tx.write(&accounts[from], a - amt)?;
-                                        tx.write(&accounts[to], b + amt)
-                                    });
-                                }
-                            });
-                        }
-                    });
-                    total += start.elapsed();
-                    let sum: u64 = accounts.iter().map(TVar::load).sum();
-                    assert_eq!(sum, 8_000, "conservation violated");
-                }
-                total
-            });
-        });
-    }
-    g.finish();
-}
-
-criterion_group!(benches, bench_read_only, bench_counter, bench_bank_contended);
-criterion_main!(benches);

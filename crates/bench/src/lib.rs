@@ -19,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figure1;
+pub mod native;
 pub mod rmr;
 pub mod space;
 pub mod table;
@@ -27,17 +28,34 @@ pub mod validation;
 /// Renders every paper table to stdout with the given sweep parameters
 /// (`quick` shrinks the sweeps for CI-speed runs).
 pub fn print_all_tables(quick: bool) {
-    let sizes: &[usize] = if quick { &[2, 4, 8, 16] } else { &[2, 4, 8, 16, 32, 64, 128] };
-    let ns: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16, 32] };
+    let sizes: &[usize] = if quick {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
+    let ns: &[usize] = if quick {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
     let passages = if quick { 4 } else { 6 };
 
     println!("# Paper tables — Progressive Transactional Memory in Time and Space\n");
 
     println!("## E1/E2 — Figure 1 executions (ir-progressive)\n");
     for (name, e) in [
-        ("Figure 1a", figure1::figure1a(ptm_core::TmKind::Progressive, 4)),
-        ("Figure 1b", figure1::figure1b(ptm_core::TmKind::Progressive, 4)),
-        ("Claim 4", figure1::claim4(ptm_core::TmKind::Progressive, 4, 1)),
+        (
+            "Figure 1a",
+            figure1::figure1a(ptm_core::TmKind::Progressive, 4),
+        ),
+        (
+            "Figure 1b",
+            figure1::figure1b(ptm_core::TmKind::Progressive, 4),
+        ),
+        (
+            "Claim 4",
+            figure1::claim4(ptm_core::TmKind::Progressive, 4, 1),
+        ),
     ] {
         println!("{name}: final read -> {}", e.final_read);
         println!(

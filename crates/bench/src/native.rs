@@ -1,0 +1,325 @@
+//! E11/E12 — native-STM microbenchmarks with a JSON baseline.
+//!
+//! Measures the three native algorithms on real threads and emits
+//! `BENCH_native_stm.json` so successive PRs can compare read-path
+//! throughput against a recorded baseline:
+//!
+//! * `read_only_txn/<algo>/<m>` — wall-clock cost of a read-only
+//!   transaction over `m` TVars: the hardware echo of Theorem 3(1)
+//!   (incremental mode scales quadratically, TL2/NOrec linearly);
+//! * `read_scaling/<algo>/<threads>` — concurrent read-only scans of a
+//!   shared array: the payoff of the lock-free read path (the seed's
+//!   mutex-per-read design serialized here);
+//! * `counter_increment/<algo>` — uncontended update-transaction latency;
+//! * `bank_contended/<algo>` — 4 threads hammering 8 accounts:
+//!   end-to-end throughput with retries (E12).
+//!
+//! The harness is deliberately criterion-free (the build environment is
+//! offline): fixed-size workloads, wall-clock timing, one warmup run.
+
+use ptm_stm::{Algorithm, Stm, TVar};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The algorithms under measurement, with their report names.
+pub const ALGOS: &[(&str, Algorithm)] = &[
+    ("tl2", Algorithm::Tl2),
+    ("incremental", Algorithm::Incremental),
+    ("norec", Algorithm::Norec),
+];
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark family (`read_only_txn`, `counter_increment`, ...).
+    pub name: String,
+    /// Algorithm name (`tl2`, `incremental`, `norec`).
+    pub algo: String,
+    /// Read-set size, where applicable (0 otherwise).
+    pub m: usize,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Committed transactions across all threads.
+    pub ops: u64,
+    /// Total wall-clock nanoseconds.
+    pub nanos: u128,
+}
+
+impl BenchResult {
+    /// Committed transactions per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            return f64::INFINITY;
+        }
+        self.ops as f64 * 1e9 / self.nanos as f64
+    }
+}
+
+fn time<F: FnOnce()>(f: F) -> u128 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos()
+}
+
+/// Read-only transactions over `m` variables, single thread.
+pub fn bench_read_only(algo: Algorithm, name: &str, m: usize, txns: u64) -> BenchResult {
+    let stm = Stm::new(algo);
+    let vars: Vec<TVar<u64>> = (0..m).map(|_| TVar::new(1)).collect();
+    let body = || {
+        for _ in 0..txns {
+            let sum = stm.atomically(|tx| {
+                let mut acc = 0u64;
+                for v in &vars {
+                    acc = acc.wrapping_add(tx.read(v)?);
+                }
+                Ok(acc)
+            });
+            assert_eq!(sum, m as u64);
+        }
+    };
+    body(); // warmup
+    let nanos = time(body);
+    BenchResult {
+        name: "read_only_txn".into(),
+        algo: name.into(),
+        m,
+        threads: 1,
+        ops: txns,
+        nanos,
+    }
+}
+
+/// Concurrent read-only scans of one shared array of `m` variables.
+pub fn bench_read_scaling(
+    algo: Algorithm,
+    name: &str,
+    m: usize,
+    threads: usize,
+    txns_per_thread: u64,
+) -> BenchResult {
+    let stm = Arc::new(Stm::new(algo));
+    let vars: Vec<TVar<u64>> = (0..m).map(|_| TVar::new(1)).collect();
+    let run = || {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let stm = Arc::clone(&stm);
+                let vars = vars.clone();
+                s.spawn(move || {
+                    for _ in 0..txns_per_thread {
+                        let sum = stm.atomically(|tx| {
+                            let mut acc = 0u64;
+                            for v in &vars {
+                                acc = acc.wrapping_add(tx.read(v)?);
+                            }
+                            Ok(acc)
+                        });
+                        assert_eq!(sum, m as u64);
+                    }
+                });
+            }
+        });
+    };
+    run(); // warmup
+    let nanos = time(run);
+    BenchResult {
+        name: "read_scaling".into(),
+        algo: name.into(),
+        m,
+        threads,
+        ops: txns_per_thread * threads as u64,
+        nanos,
+    }
+}
+
+/// Uncontended single-thread counter increments.
+pub fn bench_counter(algo: Algorithm, name: &str, txns: u64) -> BenchResult {
+    let stm = Stm::new(algo);
+    let v = TVar::new(0u64);
+    let body = || {
+        for _ in 0..txns {
+            stm.atomically(|tx| {
+                let x = tx.read(&v)?;
+                tx.write(&v, x.wrapping_add(1))
+            });
+        }
+    };
+    body(); // warmup
+    let nanos = time(body);
+    BenchResult {
+        name: "counter_increment".into(),
+        algo: name.into(),
+        m: 1,
+        threads: 1,
+        ops: txns,
+        nanos,
+    }
+}
+
+/// Contended bank transfers: `threads` threads, 8 accounts.
+pub fn bench_bank_contended(
+    algo: Algorithm,
+    name: &str,
+    threads: usize,
+    txns_per_thread: u64,
+) -> BenchResult {
+    let run = || {
+        let stm = Arc::new(Stm::new(algo));
+        let accounts: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(1_000)).collect();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let stm = Arc::clone(&stm);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    let mut seed = t as u64 + 1;
+                    for _ in 0..txns_per_thread {
+                        seed = seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let from = (seed >> 33) as usize % accounts.len();
+                        let to = (seed >> 13) as usize % accounts.len();
+                        if from == to {
+                            continue;
+                        }
+                        stm.atomically(|tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            let amt = a.min(5);
+                            tx.write(&accounts[from], a - amt)?;
+                            tx.write(&accounts[to], b + amt)
+                        });
+                    }
+                });
+            }
+        });
+        let sum: u64 = accounts.iter().map(TVar::load).sum();
+        assert_eq!(sum, 8_000, "conservation violated");
+    };
+    run(); // warmup
+    let nanos = time(run);
+    BenchResult {
+        name: "bank_contended".into(),
+        algo: name.into(),
+        m: 8,
+        threads,
+        ops: txns_per_thread * threads as u64,
+        nanos,
+    }
+}
+
+/// Runs the full suite. `quick` shrinks every workload for CI.
+pub fn run_all(quick: bool) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    let read_txns: u64 = if quick { 300 } else { 5_000 };
+    let counter_txns: u64 = if quick { 5_000 } else { 200_000 };
+    let bank_txns: u64 = if quick { 500 } else { 5_000 };
+    let scale_txns: u64 = if quick { 200 } else { 2_000 };
+
+    for &(name, algo) in ALGOS {
+        for m in [16usize, 64, 256] {
+            out.push(bench_read_only(algo, name, m, read_txns));
+        }
+    }
+    for &(name, algo) in ALGOS {
+        for threads in [1usize, 2, 4, 8] {
+            out.push(bench_read_scaling(algo, name, 128, threads, scale_txns));
+        }
+    }
+    for &(name, algo) in ALGOS {
+        out.push(bench_counter(algo, name, counter_txns));
+    }
+    for &(name, algo) in ALGOS {
+        out.push(bench_bank_contended(algo, name, 4, bank_txns));
+    }
+    out
+}
+
+/// Renders results as an aligned text table.
+pub fn render_table(results: &[BenchResult]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<18} {:>12} {:>5} {:>8} {:>12} {:>14}\n",
+        "bench", "algo", "m", "threads", "ops", "ops/sec"
+    ));
+    for r in results {
+        s.push_str(&format!(
+            "{:<18} {:>12} {:>5} {:>8} {:>12} {:>14.0}\n",
+            r.name,
+            r.algo,
+            r.m,
+            r.threads,
+            r.ops,
+            r.ops_per_sec()
+        ));
+    }
+    s
+}
+
+/// Serializes results as the `BENCH_native_stm.json` baseline document.
+pub fn to_json(results: &[BenchResult], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"native_stm\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        available_threads()
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"algo\": \"{}\", \"m\": {}, \"threads\": {}, \"ops\": {}, \"nanos\": {}, \"ops_per_sec\": {:.1}}}{sep}\n",
+            r.name, r.algo, r.m, r.threads, r.ops, r.nanos, r.ops_per_sec()
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Full entry point shared by the bench target and the binary: run,
+/// print, and write the JSON baseline to `path`.
+pub fn run_and_emit(quick: bool, path: &str) {
+    eprintln!(
+        "running native STM benchmarks ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let results = run_all(quick);
+    print!("{}", render_table(&results));
+    let json = to_json(&results, quick);
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_produces_complete_results() {
+        let results = vec![
+            bench_read_only(Algorithm::Tl2, "tl2", 8, 10),
+            bench_counter(Algorithm::Norec, "norec", 10),
+            bench_bank_contended(Algorithm::Tl2, "tl2", 2, 20),
+            bench_read_scaling(Algorithm::Tl2, "tl2", 8, 2, 10),
+        ];
+        for r in &results {
+            assert!(r.ops > 0);
+            assert!(r.ops_per_sec() > 0.0);
+        }
+        let table = render_table(&results);
+        assert!(table.contains("read_only_txn"));
+        let json = to_json(&results, true);
+        assert!(json.contains("\"bench\": \"native_stm\""));
+        assert!(json.contains("\"quick\": true"));
+        // The JSON must stay machine-parseable enough for a diff-based
+        // baseline check: balanced braces, one result object per line.
+        assert_eq!(json.matches("{\"name\"").count(), results.len());
+    }
+}

@@ -46,7 +46,12 @@ pub fn run_space(tm: TmKind, m: usize) -> SpaceRun {
     let mut last_cost = Default::default();
     for i in 0..m {
         let (res, cost) = h.read(reader, TObjId::new(i));
-        assert_eq!(res, TOpResult::Value(7), "{}: solo read must succeed", tm.name());
+        assert_eq!(
+            res,
+            TOpResult::Value(7),
+            "{}: solo read must succeed",
+            tm.name()
+        );
         last_cost = cost;
     }
     let (res, commit_cost) = h.try_commit(reader);
@@ -96,7 +101,12 @@ mod tests {
         for tm in [TmKind::Visible, TmKind::Tl2, TmKind::Norec, TmKind::Glock] {
             let small = run_space(tm, 4).last_read_objects;
             let large = run_space(tm, 32).last_read_objects;
-            assert_eq!(small, large, "{}: last-read footprint must not grow", tm.name());
+            assert_eq!(
+                small,
+                large,
+                "{}: last-read footprint must not grow",
+                tm.name()
+            );
         }
     }
 

@@ -56,10 +56,21 @@ pub fn run_validation(tm: TmKind, m: usize) -> ValidationRun {
         per_read_steps.push(cost.steps);
     }
     let (res, commit_cost) = h.try_commit(reader);
-    assert_eq!(res, TOpResult::Committed, "{}: solo reader must commit", tm.name());
+    assert_eq!(
+        res,
+        TOpResult::Committed,
+        "{}: solo reader must commit",
+        tm.name()
+    );
     let total_steps = per_read_steps.iter().sum::<usize>() + commit_cost.steps;
     h.stop_all();
-    ValidationRun { tm, m, per_read_steps, commit_steps: commit_cost.steps, total_steps }
+    ValidationRun {
+        tm,
+        m,
+        per_read_steps,
+        commit_steps: commit_cost.steps,
+        total_steps,
+    }
 }
 
 /// Sweeps all TMs over the given read-set sizes and renders the E3
@@ -67,7 +78,14 @@ pub fn run_validation(tm: TmKind, m: usize) -> ValidationRun {
 pub fn validation_tables(sizes: &[usize]) -> (Table, Table, Table) {
     let mut totals = Table::new(
         "E3 (Theorem 3(1)) — total steps of an m-read read-only transaction",
-        &["m", "ir-progressive", "visible-reads", "tl2", "norec", "glock"],
+        &[
+            "m",
+            "ir-progressive",
+            "visible-reads",
+            "tl2",
+            "norec",
+            "glock",
+        ],
     );
     let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); ALL_TMS.len()];
     let mut last_runs: Vec<Option<ValidationRun>> = vec![None; ALL_TMS.len()];
@@ -85,7 +103,14 @@ pub fn validation_tables(sizes: &[usize]) -> (Table, Table, Table) {
     let biggest = *sizes.last().expect("at least one size");
     let mut per_read = Table::new(
         format!("E3 — steps of the i-th t-read (m = {biggest})"),
-        &["i", "ir-progressive", "visible-reads", "tl2", "norec", "glock"],
+        &[
+            "i",
+            "ir-progressive",
+            "visible-reads",
+            "tl2",
+            "norec",
+            "glock",
+        ],
     );
     let probe_indices: Vec<usize> = [1, biggest / 4, biggest / 2, biggest]
         .iter()
@@ -127,9 +152,15 @@ mod tests {
         let mut tl2 = Vec::new();
         let mut vis = Vec::new();
         for &m in &sizes {
-            prog.push((m as f64, run_validation(TmKind::Progressive, m).total_steps as f64));
+            prog.push((
+                m as f64,
+                run_validation(TmKind::Progressive, m).total_steps as f64,
+            ));
             tl2.push((m as f64, run_validation(TmKind::Tl2, m).total_steps as f64));
-            vis.push((m as f64, run_validation(TmKind::Visible, m).total_steps as f64));
+            vis.push((
+                m as f64,
+                run_validation(TmKind::Visible, m).total_steps as f64,
+            ));
         }
         let kp = power_law_exponent(&prog);
         let kt = power_law_exponent(&tl2);

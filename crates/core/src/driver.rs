@@ -17,8 +17,8 @@
 
 use crate::api::{SimTm, SimTxn};
 use ptm_sim::{
-    Ctx, LogEntry, Marker, Metrics, ProcessId, SchedulePolicy, Sim, SimBuilder, StepEvent,
-    TObjId, TOpDesc, TOpResult, TxId, Word,
+    Ctx, LogEntry, Marker, Metrics, ProcessId, SchedulePolicy, Sim, SimBuilder, StepEvent, TObjId,
+    TOpDesc, TOpResult, TxId, Word,
 };
 use std::sync::Arc;
 
@@ -57,16 +57,29 @@ pub enum TxCommand {
     Stop,
 }
 
-pub(crate) fn logged_read(txn: &mut dyn SimTxn, ctx: &Ctx, tx: TxId, x: TObjId) -> Result<Word, ()> {
+pub(crate) fn logged_read(
+    txn: &mut dyn SimTxn,
+    ctx: &Ctx,
+    tx: TxId,
+    x: TObjId,
+) -> Result<Word, ()> {
     let op = TOpDesc::Read(x);
     ctx.marker(Marker::TxInvoke { tx, op });
     match txn.read(ctx, x) {
         Ok(v) => {
-            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Value(v) });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op,
+                res: TOpResult::Value(v),
+            });
             Ok(v)
         }
         Err(_) => {
-            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Aborted });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op,
+                res: TOpResult::Aborted,
+            });
             Err(())
         }
     }
@@ -83,11 +96,19 @@ pub(crate) fn logged_write(
     ctx.marker(Marker::TxInvoke { tx, op });
     match txn.write(ctx, x, v) {
         Ok(()) => {
-            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Ok });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op,
+                res: TOpResult::Ok,
+            });
             Ok(())
         }
         Err(_) => {
-            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Aborted });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op,
+                res: TOpResult::Aborted,
+            });
             Err(())
         }
     }
@@ -98,11 +119,19 @@ pub(crate) fn logged_commit(txn: &mut dyn SimTxn, ctx: &Ctx, tx: TxId) -> Result
     ctx.marker(Marker::TxInvoke { tx, op });
     match txn.try_commit(ctx) {
         Ok(()) => {
-            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Committed });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op,
+                res: TOpResult::Committed,
+            });
             Ok(())
         }
         Err(_) => {
-            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Aborted });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op,
+                res: TOpResult::Aborted,
+            });
             Err(())
         }
     }
@@ -207,7 +236,11 @@ impl TmHarness {
             let tm = Arc::clone(&tm);
             builder.add_process(move |ctx| tm_process_body(tm, ctx));
         }
-        TmHarness { sim: builder.start(), tm_name, next_tx: 0 }
+        TmHarness {
+            sim: builder.start(),
+            tm_name,
+            next_tx: 0,
+        }
     }
 
     /// The underlying simulation, for fine-grained stepping.
@@ -262,7 +295,10 @@ impl TmHarness {
         }
         let after = self.sim.metrics();
         let frag = self.sim.log_from(log_from);
-        (result.expect("loop sets result"), op_cost(&frag, pid, &before, &after))
+        (
+            result.expect("loop sets result"),
+            op_cost(&frag, pid, &before, &after),
+        )
     }
 
     /// `read_k(X)` on `pid`, run to completion.
@@ -306,7 +342,10 @@ impl TmHarness {
     /// Panics if the budget of `max_steps` is exhausted (livelock).
     pub fn run_all(&mut self, policy: &mut dyn SchedulePolicy, max_steps: usize) -> usize {
         let steps = ptm_sim::run_policy(&self.sim, policy, max_steps);
-        assert!(steps < max_steps, "script execution exceeded {max_steps} steps");
+        assert!(
+            steps < max_steps,
+            "script execution exceeded {max_steps} steps"
+        );
         steps
     }
 
@@ -441,7 +480,10 @@ mod tests {
     #[test]
     fn run_writer_setup_helper() {
         let mut h = harness(1, 3);
-        h.run_writer(ProcessId::new(0), &[(TObjId::new(0), 1), (TObjId::new(2), 9)]);
+        h.run_writer(
+            ProcessId::new(0),
+            &[(TObjId::new(0), 1), (TObjId::new(2), 9)],
+        );
         let hist = h.history();
         assert_eq!(hist.committed().len(), 1);
     }

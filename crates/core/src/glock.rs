@@ -38,7 +38,9 @@ impl GlockTm {
         let val = (0..n_tobjects)
             .map(|i| builder.alloc(format!("glock.val[X{i}]"), 0, Home::Global))
             .collect();
-        GlockTm { layout: Arc::new(Layout { lock, val }) }
+        GlockTm {
+            layout: Arc::new(Layout { lock, val }),
+        }
     }
 }
 

@@ -64,11 +64,7 @@ impl MvTm {
     /// # Panics
     ///
     /// Panics if `k < 2`.
-    pub fn install_with_versions(
-        builder: &mut SimBuilder,
-        n_tobjects: usize,
-        k: usize,
-    ) -> Self {
+    pub fn install_with_versions(builder: &mut SimBuilder, n_tobjects: usize, k: usize) -> Self {
         assert!(k >= 2, "a version ring needs at least 2 slots");
         let clock = builder.alloc("mv.clock", 0, Home::Global);
         let lock = (0..n_tobjects)
@@ -91,7 +87,16 @@ impl MvTm {
                     .collect()
             })
             .collect();
-        MvTm { layout: Arc::new(Layout { clock, lock, head, stamp, val, k }) }
+        MvTm {
+            layout: Arc::new(Layout {
+                clock,
+                lock,
+                head,
+                stamp,
+                val,
+                k,
+            }),
+        }
     }
 }
 
@@ -148,7 +153,11 @@ impl MvTxn {
     }
 
     fn buffered(&self, x: TObjId) -> Option<Word> {
-        self.wset.iter().rev().find(|(y, _)| *y == x).map(|(_, v)| *v)
+        self.wset
+            .iter()
+            .rev()
+            .find(|(y, _)| *y == x)
+            .map(|(_, v)| *v)
     }
 
     /// Walks the ring backwards from `head` to the newest version with
@@ -348,7 +357,11 @@ mod tests {
         let (r0, _) = h.try_commit(p0);
         let (r1, _) = h.try_commit(p1);
         assert_eq!(r0, TOpResult::Committed);
-        assert_eq!(r1, TOpResult::Aborted, "second writer validated against the commit");
+        assert_eq!(
+            r1,
+            TOpResult::Aborted,
+            "second writer validated against the commit"
+        );
         h.stop_all();
         assert!(ptm_model::is_opaque(&h.history()));
     }

@@ -47,7 +47,9 @@ impl NorecTm {
         let val = (0..n_tobjects)
             .map(|i| builder.alloc(format!("norec.val[X{i}]"), 0, Home::Global))
             .collect();
-        NorecTm { layout: Arc::new(Layout { seqlock, val }) }
+        NorecTm {
+            layout: Arc::new(Layout { seqlock, val }),
+        }
     }
 }
 
@@ -104,7 +106,11 @@ impl NorecTxn {
     }
 
     fn buffered(&self, x: TObjId) -> Option<Word> {
-        self.wset.iter().rev().find(|(y, _)| *y == x).map(|(_, v)| *v)
+        self.wset
+            .iter()
+            .rev()
+            .find(|(y, _)| *y == x)
+            .map(|(_, v)| *v)
     }
 
     /// Waits for an even counter, then value-validates the read set.

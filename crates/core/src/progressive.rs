@@ -95,7 +95,10 @@ impl ProgressiveTm {
         let val = (0..n_tobjects)
             .map(|i| builder.alloc(format!("prog.val[X{i}]"), 0, Home::Global))
             .collect();
-        ProgressiveTm { layout: Arc::new(Layout { meta, val }), lock_prim }
+        ProgressiveTm {
+            layout: Arc::new(Layout { meta, val }),
+            lock_prim,
+        }
     }
 }
 
@@ -143,7 +146,11 @@ struct ProgressiveTxn {
 
 impl ProgressiveTxn {
     fn buffered(&self, x: TObjId) -> Option<Word> {
-        self.wset.iter().rev().find(|(y, _)| *y == x).map(|(_, v)| *v)
+        self.wset
+            .iter()
+            .rev()
+            .find(|(y, _)| *y == x)
+            .map(|(_, v)| *v)
     }
 
     fn recorded_version(&self, x: TObjId) -> Option<Word> {
@@ -272,7 +279,10 @@ impl ProgressiveTxn {
                 if cur != m {
                     return false;
                 }
-                ctx.apply(self.layout.meta(x), ptm_sim::Primitive::StoreConditional(m | 1)) == 1
+                ctx.apply(
+                    self.layout.meta(x),
+                    ptm_sim::Primitive::StoreConditional(m | 1),
+                ) == 1
             }
         }
     }
@@ -387,7 +397,11 @@ mod tests {
                 t.write(ctx, TObjId::new(0), pid + 10).unwrap();
                 let _: u8 = ctx.recv();
                 let r = t.try_commit(ctx);
-                ctx.marker(ptm_sim::Marker::Note { tag: "c", a: pid, b: r.is_ok() as u64 });
+                ctx.marker(ptm_sim::Marker::Note {
+                    tag: "c",
+                    a: pid,
+                    b: r.is_ok() as u64,
+                });
             });
         }
         let sim = b.start();

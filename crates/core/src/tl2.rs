@@ -51,7 +51,9 @@ impl Tl2Tm {
         let val = (0..n_tobjects)
             .map(|i| builder.alloc(format!("tl2.val[X{i}]"), 0, Home::Global))
             .collect();
-        Tl2Tm { layout: Arc::new(Layout { clock, meta, val }) }
+        Tl2Tm {
+            layout: Arc::new(Layout { clock, meta, val }),
+        }
     }
 }
 
@@ -107,7 +109,11 @@ impl Tl2Txn {
     }
 
     fn buffered(&self, x: TObjId) -> Option<Word> {
-        self.wset.iter().rev().find(|(y, _)| *y == x).map(|(_, v)| *v)
+        self.wset
+            .iter()
+            .rev()
+            .find(|(y, _)| *y == x)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -298,11 +304,19 @@ mod tests {
             .iter()
             .filter_map(|e| e.marker())
             .filter_map(|m| match m {
-                ptm_sim::Marker::Note { tag: "commit", a, b } if *b == 1 => Some(*a),
+                ptm_sim::Marker::Note {
+                    tag: "commit",
+                    a,
+                    b,
+                } if *b == 1 => Some(*a),
                 _ => None,
             })
             .collect();
-        assert_eq!(winners.len(), 1, "exactly one of two single-item writers commits");
+        assert_eq!(
+            winners.len(),
+            1,
+            "exactly one of two single-item writers commits"
+        );
     }
 
     #[test]

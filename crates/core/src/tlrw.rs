@@ -61,7 +61,9 @@ impl TlrwTm {
         let val = (0..n_tobjects)
             .map(|i| builder.alloc(format!("tlrw.val[X{i}]"), 0, Home::Global))
             .collect();
-        TlrwTm { layout: Arc::new(Layout { rw, val }) }
+        TlrwTm {
+            layout: Arc::new(Layout { rw, val }),
+        }
     }
 }
 
@@ -105,7 +107,11 @@ struct TlrwTxn {
 
 impl TlrwTxn {
     fn buffered(&self, x: TObjId) -> Option<Word> {
-        self.wset.iter().rev().find(|(y, _)| *y == x).map(|(_, v)| *v)
+        self.wset
+            .iter()
+            .rev()
+            .find(|(y, _)| *y == x)
+            .map(|(_, v)| *v)
     }
 
     fn drop_read_locks(&mut self, ctx: &Ctx) {
@@ -266,7 +272,7 @@ mod tests {
         h.sim().step(w).unwrap(); // consume command
         h.sim().step(w).unwrap(); // TxInvoke marker
         h.sim().step(w).unwrap(); // CAS rw[X0] -> writer locked
-        // Reader now collides with the held write lock.
+                                  // Reader now collides with the held write lock.
         h.begin(r);
         let (res, _) = h.read(r, TObjId::new(0));
         assert_eq!(res, TOpResult::Aborted);

@@ -218,7 +218,10 @@ mod tests {
     fn count_enters(log: &[ptm_sim::LogEntry]) -> usize {
         log.iter()
             .filter(|e| {
-                matches!(e.marker(), Some(Marker::MutexResponse { op: MutexOp::Enter }))
+                matches!(
+                    e.marker(),
+                    Some(Marker::MutexResponse { op: MutexOp::Enter })
+                )
             })
             .count()
     }

@@ -77,7 +77,12 @@ impl VisibleReadTm {
             })
             .collect();
         VisibleReadTm {
-            layout: Arc::new(Layout { val, wlock, readers, status }),
+            layout: Arc::new(Layout {
+                val,
+                wlock,
+                readers,
+                status,
+            }),
         }
     }
 }
@@ -141,7 +146,11 @@ impl VisibleTxn {
     }
 
     fn buffered(&self, x: TObjId) -> Option<Word> {
-        self.wset.iter().rev().find(|(y, _)| *y == x).map(|(_, v)| *v)
+        self.wset
+            .iter()
+            .rev()
+            .find(|(y, _)| *y == x)
+            .map(|(_, v)| *v)
     }
 
     /// Whether this transaction is still in its active epoch.

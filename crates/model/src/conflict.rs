@@ -26,10 +26,12 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 pub fn conflict_objects(h: &History, a: TxId, b: TxId) -> BTreeSet<TObjId> {
     let ta = h.tx(a).expect("transaction in history");
     let tb = h.tx(b).expect("transaction in history");
-    let shared: BTreeSet<TObjId> =
-        ta.data_set().intersection(&tb.data_set()).copied().collect();
-    let writes: BTreeSet<TObjId> =
-        ta.write_set().union(&tb.write_set()).copied().collect();
+    let shared: BTreeSet<TObjId> = ta
+        .data_set()
+        .intersection(&tb.data_set())
+        .copied()
+        .collect();
+    let writes: BTreeSet<TObjId> = ta.write_set().union(&tb.write_set()).copied().collect();
     shared.intersection(&writes).copied().collect()
 }
 
@@ -63,8 +65,7 @@ pub fn cobj_of(h: &History, t: TxId) -> BTreeSet<TObjId> {
 /// `CTrans(H)` can be checked component-wise.
 pub fn conflict_components(h: &History) -> Vec<BTreeSet<TxId>> {
     let ids: Vec<TxId> = h.transactions().map(|t| t.id).collect();
-    let index: BTreeMap<TxId, usize> =
-        ids.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let index: BTreeMap<TxId, usize> = ids.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
     for (i, &a) in ids.iter().enumerate() {
         for &b in &ids[i + 1..] {
@@ -132,8 +133,7 @@ pub fn disjoint_access(h: &History, a: TxId, b: TxId) -> bool {
         objects.extend(h.tx(t).expect("in history").data_set());
     }
     let ids: Vec<TObjId> = objects.iter().copied().collect();
-    let index: BTreeMap<TObjId, usize> =
-        ids.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    let index: BTreeMap<TObjId, usize> = ids.iter().enumerate().map(|(i, &x)| (x, i)).collect();
     let mut parent: Vec<usize> = (0..ids.len()).collect();
     fn find(parent: &mut Vec<usize>, i: usize) -> usize {
         if parent[i] != i {
@@ -143,7 +143,12 @@ pub fn disjoint_access(h: &History, a: TxId, b: TxId) -> bool {
         parent[i]
     }
     for &t in &tau {
-        let dset: Vec<TObjId> = h.tx(t).expect("in history").data_set().into_iter().collect();
+        let dset: Vec<TObjId> = h
+            .tx(t)
+            .expect("in history")
+            .data_set()
+            .into_iter()
+            .collect();
         for w in dset.windows(2) {
             let (x, y) = (index[&w[0]], index[&w[1]]);
             let (rx, ry) = (find(&mut parent, x), find(&mut parent, y));

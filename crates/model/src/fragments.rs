@@ -205,21 +205,25 @@ pub fn weak_dap_violations(h: &History, log: &[LogEntry]) -> Vec<DapViolation> {
             if !h.concurrent(a, b) {
                 continue;
             }
-            let (Some(fa), Some(fb)) = (frags.get(&a), frags.get(&b)) else { continue };
+            let (Some(fa), Some(fb)) = (frags.get(&a), frags.get(&b)) else {
+                continue;
+            };
             // Contended objects: accessed by both, nontrivially by one.
             let shared: Vec<BaseObjectId> = fa
                 .objects
                 .intersection(&fb.objects)
                 .copied()
-                .filter(|o| {
-                    fa.nontrivial_objects.contains(o) || fb.nontrivial_objects.contains(o)
-                })
+                .filter(|o| fa.nontrivial_objects.contains(o) || fb.nontrivial_objects.contains(o))
                 .collect();
             if shared.is_empty() {
                 continue;
             }
             if disjoint_access(h, a, b) {
-                out.push(DapViolation { a, b, object: shared[0] });
+                out.push(DapViolation {
+                    a,
+                    b,
+                    object: shared[0],
+                });
             }
         }
     }
@@ -245,10 +249,18 @@ mod tests {
                 ctx.apply(meta, Primitive::FetchAdd(1)); // announce the read
             }
             let v = ctx.read(val);
-            ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Value(v) });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op,
+                res: TOpResult::Value(v),
+            });
             let opc = TOpDesc::TryCommit;
             ctx.marker(Marker::TxInvoke { tx, op: opc });
-            ctx.marker(Marker::TxResponse { tx, op: opc, res: TOpResult::Committed });
+            ctx.marker(Marker::TxResponse {
+                tx,
+                op: opc,
+                res: TOpResult::Committed,
+            });
         });
         let sim = b.start();
         sim.run_to_block(0.into(), 100);
@@ -268,7 +280,10 @@ mod tests {
     fn visible_reader_is_flagged() {
         let (h, log) = run_reader(true);
         assert_eq!(invisible_reads_violations(&h, &log), vec![TxId::new(1)]);
-        assert_eq!(weak_invisible_reads_violations(&h, &log), vec![(TxId::new(1), 0)]);
+        assert_eq!(
+            weak_invisible_reads_violations(&h, &log),
+            vec![(TxId::new(1), 0)]
+        );
     }
 
     #[test]
@@ -308,11 +323,19 @@ mod tests {
                 let op = TOpDesc::Write(TObjId::new(x), 5);
                 ctx.marker(Marker::TxInvoke { tx, op });
                 ctx.write(val, 5);
-                ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Ok });
+                ctx.marker(Marker::TxResponse {
+                    tx,
+                    op,
+                    res: TOpResult::Ok,
+                });
                 let opc = TOpDesc::TryCommit;
                 ctx.marker(Marker::TxInvoke { tx, op: opc });
                 ctx.apply(clock, Primitive::FetchAdd(1)); // global metadata
-                ctx.marker(Marker::TxResponse { tx, op: opc, res: TOpResult::Committed });
+                ctx.marker(Marker::TxResponse {
+                    tx,
+                    op: opc,
+                    res: TOpResult::Committed,
+                });
             });
         }
         let sim = b.start();
@@ -339,10 +362,18 @@ mod tests {
                 let op = TOpDesc::Write(TObjId::new(x), 5);
                 ctx.marker(Marker::TxInvoke { tx, op });
                 ctx.write(val, 5);
-                ctx.marker(Marker::TxResponse { tx, op, res: TOpResult::Ok });
+                ctx.marker(Marker::TxResponse {
+                    tx,
+                    op,
+                    res: TOpResult::Ok,
+                });
                 let opc = TOpDesc::TryCommit;
                 ctx.marker(Marker::TxInvoke { tx, op: opc });
-                ctx.marker(Marker::TxResponse { tx, op: opc, res: TOpResult::Committed });
+                ctx.marker(Marker::TxResponse {
+                    tx,
+                    op: opc,
+                    res: TOpResult::Committed,
+                });
             });
         }
         let sim = b.start();

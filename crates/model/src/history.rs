@@ -180,22 +180,37 @@ impl fmt::Display for HistoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HistoryError::UnmatchedResponse(t, s) => {
-                write!(f, "response for {t} at log seq {s} has no pending invocation")
+                write!(
+                    f,
+                    "response for {t} at log seq {s} has no pending invocation"
+                )
             }
             HistoryError::MismatchedResponse(t, s) => {
-                write!(f, "response for {t} at log seq {s} does not match the pending op")
+                write!(
+                    f,
+                    "response for {t} at log seq {s} does not match the pending op"
+                )
             }
             HistoryError::OverlappingOps(t, s) => {
-                write!(f, "{t} invoked an operation at log seq {s} while one was pending")
+                write!(
+                    f,
+                    "{t} invoked an operation at log seq {s} while one was pending"
+                )
             }
             HistoryError::OverlappingTxs(p, t, s) => {
-                write!(f, "{p} started {t} at log seq {s} before its previous transaction completed")
+                write!(
+                    f,
+                    "{p} started {t} at log seq {s} before its previous transaction completed"
+                )
             }
             HistoryError::TxOnTwoProcesses(t, s) => {
                 write!(f, "{t} at log seq {s} spans two processes")
             }
             HistoryError::OpAfterEnd(t, s) => {
-                write!(f, "{t} issued an operation at log seq {s} after committing/aborting")
+                write!(
+                    f,
+                    "{t} issued an operation at log seq {s} after committing/aborting"
+                )
             }
         }
     }
@@ -222,7 +237,9 @@ impl History {
         let mut current: BTreeMap<ProcessId, TxId> = BTreeMap::new();
 
         for entry in log {
-            let Some(marker) = entry.marker() else { continue };
+            let Some(marker) = entry.marker() else {
+                continue;
+            };
             match *marker {
                 Marker::TxInvoke { tx, op } => {
                     if let Some(rec) = txs.get(&tx) {
@@ -238,15 +255,18 @@ impl History {
                     } else {
                         if let Some(prev) = current.get(&entry.pid) {
                             if !txs[prev].t_complete() {
-                                return Err(HistoryError::OverlappingTxs(
-                                    entry.pid, tx, entry.seq,
-                                ));
+                                return Err(HistoryError::OverlappingTxs(entry.pid, tx, entry.seq));
                             }
                         }
                         current.insert(entry.pid, tx);
                         txs.insert(
                             tx,
-                            TxRecord { id: tx, pid: entry.pid, ops: Vec::new(), pending: None },
+                            TxRecord {
+                                id: tx,
+                                pid: entry.pid,
+                                ops: Vec::new(),
+                                pending: None,
+                            },
                         );
                     }
                     txs.get_mut(&tx).expect("inserted above").pending = Some((op, entry.seq));
@@ -391,17 +411,31 @@ pub(crate) mod testutil {
         }
 
         pub fn invoke(&mut self, pid: usize, tx: u64, op: TOpDesc) -> &mut Self {
-            self.push(pid, Marker::TxInvoke { tx: TxId::new(tx), op })
+            self.push(
+                pid,
+                Marker::TxInvoke {
+                    tx: TxId::new(tx),
+                    op,
+                },
+            )
         }
 
         pub fn respond(&mut self, pid: usize, tx: u64, op: TOpDesc, res: TOpResult) -> &mut Self {
-            self.push(pid, Marker::TxResponse { tx: TxId::new(tx), op, res })
+            self.push(
+                pid,
+                Marker::TxResponse {
+                    tx: TxId::new(tx),
+                    op,
+                    res,
+                },
+            )
         }
 
         /// Complete read: invocation immediately followed by response.
         pub fn read(&mut self, pid: usize, tx: u64, x: usize, v: Word) -> &mut Self {
             let op = TOpDesc::Read(TObjId::new(x));
-            self.invoke(pid, tx, op).respond(pid, tx, op, TOpResult::Value(v))
+            self.invoke(pid, tx, op)
+                .respond(pid, tx, op, TOpResult::Value(v))
         }
 
         /// Complete write returning ok.
@@ -462,7 +496,10 @@ mod tests {
     #[test]
     fn sets_and_kinds() {
         let mut b = LogBuilder::new();
-        b.read(0, 1, 0, 0).read(0, 1, 1, 0).write(0, 1, 2, 9).commit(0, 1);
+        b.read(0, 1, 0, 0)
+            .read(0, 1, 1, 0)
+            .write(0, 1, 2, 9)
+            .commit(0, 1);
         let h = b.history();
         let t = h.tx(TxId::new(1)).unwrap();
         assert_eq!(t.read_set().len(), 2);
@@ -508,7 +545,10 @@ mod tests {
         b.read(0, 1, 0, 0);
         b.invoke(0, 1, TOpDesc::TryCommit);
         let h = b.history();
-        assert_eq!(h.tx(TxId::new(1)).unwrap().status(), TxStatus::CommitPending);
+        assert_eq!(
+            h.tx(TxId::new(1)).unwrap().status(),
+            TxStatus::CommitPending
+        );
         assert!(!h.is_complete());
 
         let mut b2 = LogBuilder::new();
@@ -522,7 +562,11 @@ mod tests {
         let mut b = LogBuilder::new();
         b.invoke(0, 1, TOpDesc::Read(TObjId::new(3)));
         let h = b.history();
-        assert!(h.tx(TxId::new(1)).unwrap().read_set().contains(&TObjId::new(3)));
+        assert!(h
+            .tx(TxId::new(1))
+            .unwrap()
+            .read_set()
+            .contains(&TObjId::new(3)));
     }
 
     #[test]

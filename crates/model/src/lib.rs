@@ -67,8 +67,8 @@ pub use mutex_props::{
 };
 pub use progress::{
     is_progressive, is_strongly_progressive, progressiveness_violations,
-    sequential_progress_violations, strong_progressiveness_violations,
-    ProgressivenessViolation, StrongProgressivenessViolation,
+    sequential_progress_violations, strong_progressiveness_violations, ProgressivenessViolation,
+    StrongProgressivenessViolation,
 };
 pub use serialization::{
     completions, find_opaque_serialization, find_strict_serialization, is_legal_serialization,

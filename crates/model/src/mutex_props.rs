@@ -26,7 +26,9 @@ pub fn mutual_exclusion_violations(log: &[LogEntry]) -> Vec<MutexViolation> {
     let mut in_cs: BTreeSet<ProcessId> = BTreeSet::new();
     let mut out = Vec::new();
     for entry in log {
-        let LogPayload::Marker(marker) = &entry.payload else { continue };
+        let LogPayload::Marker(marker) = &entry.payload else {
+            continue;
+        };
         match marker {
             Marker::MutexResponse { op: MutexOp::Enter } => {
                 if let Some(&holder) = in_cs.iter().next() {

@@ -23,10 +23,7 @@ pub const INITIAL_VALUE: Word = 0;
 /// Replays one transaction's operations against the committed state,
 /// checking read legality. Returns the transaction's write overlay if the
 /// replay is legal, `None` otherwise.
-fn replay_tx(
-    tx: &TxRecord,
-    state: &BTreeMap<TObjId, Word>,
-) -> Option<BTreeMap<TObjId, Word>> {
+fn replay_tx(tx: &TxRecord, state: &BTreeMap<TObjId, Word>) -> Option<BTreeMap<TObjId, Word>> {
     let mut local: BTreeMap<TObjId, Word> = BTreeMap::new();
     for op in &tx.ops {
         match (op.desc, op.result) {
@@ -67,7 +64,9 @@ pub fn is_legal_serialization(h: &History, order: &[TxId]) -> bool {
     let mut state: BTreeMap<TObjId, Word> = BTreeMap::new();
     for &id in order {
         let Some(tx) = h.tx(id) else { return false };
-        let Some(overlay) = replay_tx(tx, &state) else { return false };
+        let Some(overlay) = replay_tx(tx, &state) else {
+            return false;
+        };
         if tx.status() == TxStatus::Committed {
             state.extend(overlay);
         }
@@ -93,7 +92,10 @@ pub fn respects_real_time(h: &History, order: &[TxId]) -> bool {
 /// respects real-time order. Returns a witness order if one exists.
 fn search_serialization(h: &History, candidates: &[TxId]) -> Option<Vec<TxId>> {
     let n = candidates.len();
-    assert!(n <= 128, "serialization search supports at most 128 transactions");
+    assert!(
+        n <= 128,
+        "serialization search supports at most 128 transactions"
+    );
     // pred_mask[i]: transactions (by candidate index) that must precede i.
     let mut pred_mask = vec![0u128; n];
     for (i, &a) in candidates.iter().enumerate() {
@@ -122,7 +124,10 @@ fn search_serialization(h: &History, candidates: &[TxId]) -> Option<Vec<TxId>> {
             if order.len() == n {
                 return true;
             }
-            let key = (placed, state.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>());
+            let key = (
+                placed,
+                state.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
+            );
             if self.failed.contains(&key) {
                 return false;
             }
@@ -151,7 +156,12 @@ fn search_serialization(h: &History, candidates: &[TxId]) -> Option<Vec<TxId>> {
         }
     }
 
-    let mut dfs = Dfs { h, candidates, pred_mask, failed: HashSet::new() };
+    let mut dfs = Dfs {
+        h,
+        candidates,
+        pred_mask,
+        failed: HashSet::new(),
+    };
     let mut order = Vec::with_capacity(n);
     if dfs.go(0, &BTreeMap::new(), &mut order) {
         Some(order)
@@ -181,11 +191,7 @@ pub fn completions(h: &History) -> Vec<History> {
         .filter(|&id| h.tx(id).expect("listed").status() == TxStatus::CommitPending)
         .collect();
 
-    let max_seq = h
-        .transactions()
-        .map(TxRecord::last_seq)
-        .max()
-        .unwrap_or(0);
+    let max_seq = h.transactions().map(TxRecord::last_seq).max().unwrap_or(0);
 
     let mut out = Vec::new();
     // Enumerate commit/abort choices for commit-pending transactions.
@@ -214,7 +220,12 @@ pub fn completions(h: &History) -> Vec<History> {
             } else {
                 TOpResult::Aborted
             };
-            rec.ops.push(TOp { desc, result, invoke_seq, response_seq: next_seq });
+            rec.ops.push(TOp {
+                desc,
+                result,
+                invoke_seq,
+                response_seq: next_seq,
+            });
             next_seq += 1;
         }
         out.push(variant);

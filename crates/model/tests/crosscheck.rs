@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use ptm_model::{
-    completions, is_legal_serialization, is_opaque, is_strictly_serializable,
-    respects_real_time, History,
+    completions, is_legal_serialization, is_opaque, is_strictly_serializable, respects_real_time,
+    History,
 };
 use ptm_sim::{LogEntry, LogPayload, Marker, ProcessId, TObjId, TOpDesc, TOpResult, TxId};
 
@@ -64,7 +64,11 @@ fn build_history(txs: &[TxDesc], interleave: u64) -> Option<History> {
     let mut log: Vec<LogEntry> = Vec::new();
     let push = |pid: usize, m: Marker, log: &mut Vec<LogEntry>| {
         let seq = log.len();
-        log.push(LogEntry { seq, pid: ProcessId::new(pid), payload: LogPayload::Marker(m) });
+        log.push(LogEntry {
+            seq,
+            pid: ProcessId::new(pid),
+            payload: LogPayload::Marker(m),
+        });
     };
     // Round-robin-ish merge of per-process transaction streams, flipping
     // between "finish the op now" and "let another process go" using the
@@ -83,11 +87,25 @@ fn build_history(txs: &[TxDesc], interleave: u64) -> Option<History> {
                 // Read values are filled in later by value oracle? No —
                 // we just guess 0..3; most guesses are illegal, which is
                 // fine: the checkers must agree either way.
-                events.push((tx.pid, Marker::TxResponse { tx: id, op, res: TOpResult::Value(val) }));
+                events.push((
+                    tx.pid,
+                    Marker::TxResponse {
+                        tx: id,
+                        op,
+                        res: TOpResult::Value(val),
+                    },
+                ));
             } else {
                 let op = TOpDesc::Write(x, val);
                 events.push((tx.pid, Marker::TxInvoke { tx: id, op }));
-                events.push((tx.pid, Marker::TxResponse { tx: id, op, res: TOpResult::Ok }));
+                events.push((
+                    tx.pid,
+                    Marker::TxResponse {
+                        tx: id,
+                        op,
+                        res: TOpResult::Ok,
+                    },
+                ));
             }
         }
         let opc = TOpDesc::TryCommit;
@@ -97,7 +115,11 @@ fn build_history(txs: &[TxDesc], interleave: u64) -> Option<History> {
             Marker::TxResponse {
                 tx: id,
                 op: opc,
-                res: if tx.commit { TOpResult::Committed } else { TOpResult::Aborted },
+                res: if tx.commit {
+                    TOpResult::Committed
+                } else {
+                    TOpResult::Aborted
+                },
             },
         ));
         streams.push(events);
@@ -135,9 +157,7 @@ fn build_history(txs: &[TxDesc], interleave: u64) -> Option<History> {
                 }
             }
         }
-        if !progressed
-            && active.iter().all(Option::is_none)
-            && queues.iter().all(|q| q.is_empty())
+        if !progressed && active.iter().all(Option::is_none) && queues.iter().all(|q| q.is_empty())
         {
             break;
         }
@@ -193,9 +213,19 @@ fn brute_force_matches_on_known_cases() {
         for &(pid, tx, v) in ops {
             let w = TOpDesc::Write(TObjId::new(0), v);
             for m in [
-                Marker::TxInvoke { tx: TxId::new(tx), op: w },
-                Marker::TxResponse { tx: TxId::new(tx), op: w, res: TOpResult::Ok },
-                Marker::TxInvoke { tx: TxId::new(tx), op: TOpDesc::TryCommit },
+                Marker::TxInvoke {
+                    tx: TxId::new(tx),
+                    op: w,
+                },
+                Marker::TxResponse {
+                    tx: TxId::new(tx),
+                    op: w,
+                    res: TOpResult::Ok,
+                },
+                Marker::TxInvoke {
+                    tx: TxId::new(tx),
+                    op: TOpDesc::TryCommit,
+                },
                 Marker::TxResponse {
                     tx: TxId::new(tx),
                     op: TOpDesc::TryCommit,

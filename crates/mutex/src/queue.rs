@@ -30,10 +30,22 @@ impl McsLock {
         let n = builder.n_processes();
         let tail = builder.alloc("mcs.tail", 0, Home::Global);
         let locked = (0..n)
-            .map(|i| builder.alloc(format!("mcs.locked[p{i}]"), 0, Home::Process(ProcessId::new(i))))
+            .map(|i| {
+                builder.alloc(
+                    format!("mcs.locked[p{i}]"),
+                    0,
+                    Home::Process(ProcessId::new(i)),
+                )
+            })
             .collect();
         let next = (0..n)
-            .map(|i| builder.alloc(format!("mcs.next[p{i}]"), 0, Home::Process(ProcessId::new(i))))
+            .map(|i| {
+                builder.alloc(
+                    format!("mcs.next[p{i}]"),
+                    0,
+                    Home::Process(ProcessId::new(i)),
+                )
+            })
             .collect();
         McsLock { tail, locked, next }
     }
@@ -99,12 +111,20 @@ impl ClhLock {
         let n = builder.n_processes();
         let flags: Vec<BaseObjectId> = (0..=n)
             .map(|i| {
-                let home = if i < n { Home::Process(ProcessId::new(i)) } else { Home::Global };
+                let home = if i < n {
+                    Home::Process(ProcessId::new(i))
+                } else {
+                    Home::Global
+                };
                 builder.alloc(format!("clh.node[{i}]"), 0, home)
             })
             .collect();
         let tail = builder.alloc("clh.tail", n as u64, Home::Global);
-        ClhLock { tail, flags, my_node: Mutex::new((0..n).collect()) }
+        ClhLock {
+            tail,
+            flags,
+            my_node: Mutex::new((0..n).collect()),
+        }
     }
 }
 
@@ -163,7 +183,10 @@ mod tests {
     fn count_enters(log: &[ptm_sim::LogEntry]) -> usize {
         log.iter()
             .filter(|e| {
-                matches!(e.marker(), Some(Marker::MutexResponse { op: MutexOp::Enter }))
+                matches!(
+                    e.marker(),
+                    Some(Marker::MutexResponse { op: MutexOp::Enter })
+                )
             })
             .count()
     }

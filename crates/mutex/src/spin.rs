@@ -18,7 +18,9 @@ pub struct TasLock {
 impl TasLock {
     /// Allocates the lock word.
     pub fn install(builder: &mut SimBuilder) -> Self {
-        TasLock { word: builder.alloc("tas.lock", 0, Home::Global) }
+        TasLock {
+            word: builder.alloc("tas.lock", 0, Home::Global),
+        }
     }
 }
 
@@ -50,7 +52,9 @@ pub struct TtasLock {
 impl TtasLock {
     /// Allocates the lock word.
     pub fn install(builder: &mut SimBuilder) -> Self {
-        TtasLock { word: builder.alloc("ttas.lock", 0, Home::Global) }
+        TtasLock {
+            word: builder.alloc("ttas.lock", 0, Home::Global),
+        }
     }
 }
 
@@ -106,7 +110,9 @@ mod tests {
             .filter(|e| {
                 matches!(
                     e.marker(),
-                    Some(ptm_sim::Marker::MutexResponse { op: ptm_sim::MutexOp::Enter })
+                    Some(ptm_sim::Marker::MutexResponse {
+                        op: ptm_sim::MutexOp::Enter
+                    })
                 )
             })
             .count();
@@ -121,7 +127,9 @@ mod tests {
             .filter(|e| {
                 matches!(
                     e.marker(),
-                    Some(ptm_sim::Marker::MutexResponse { op: ptm_sim::MutexOp::Enter })
+                    Some(ptm_sim::Marker::MutexResponse {
+                        op: ptm_sim::MutexOp::Enter
+                    })
                 )
             })
             .count();

@@ -63,7 +63,11 @@ impl AndersonLock {
         let slots = (0..n)
             .map(|i| {
                 let init = u64::from(i == 0); // slot 0 starts granted
-                builder.alloc(format!("anderson.slot[{i}]"), init, Home::Process(ProcessId::new(i)))
+                builder.alloc(
+                    format!("anderson.slot[{i}]"),
+                    init,
+                    Home::Process(ProcessId::new(i)),
+                )
             })
             .collect();
         AndersonLock { ticket, slots }
@@ -102,7 +106,10 @@ mod tests {
     fn count_enters(log: &[ptm_sim::LogEntry]) -> usize {
         log.iter()
             .filter(|e| {
-                matches!(e.marker(), Some(Marker::MutexResponse { op: MutexOp::Enter }))
+                matches!(
+                    e.marker(),
+                    Some(Marker::MutexResponse { op: MutexOp::Enter })
+                )
             })
             .count()
     }

@@ -299,7 +299,10 @@ mod tests {
 
     #[test]
     fn top_desc_accessors() {
-        assert_eq!(TOpDesc::Read(TObjId::new(4)).t_object(), Some(TObjId::new(4)));
+        assert_eq!(
+            TOpDesc::Read(TObjId::new(4)).t_object(),
+            Some(TObjId::new(4))
+        );
         assert_eq!(TOpDesc::TryCommit.t_object(), None);
         assert_eq!(TOpDesc::Read(TObjId::new(4)).to_string(), "read(X4)");
         assert_eq!(TOpResult::Committed.to_string(), "C");

@@ -52,8 +52,12 @@ mod sched;
 pub use cache::{CacheSet, RmrCharge};
 pub use event::{analysis, LogEntry, LogPayload, Marker, MemEvent, MutexOp, TOpDesc, TOpResult};
 pub use ids::{BaseObjectId, ProcessId, TObjId, TxId, Word};
-pub use lockstep::{Ctx, PoisedEvent, ProcStatus, RunOutcome, Sim, SimBuilder, SimError, StepEvent};
+pub use lockstep::{
+    Ctx, PoisedEvent, ProcStatus, RunOutcome, Sim, SimBuilder, SimError, StepEvent,
+};
 pub use memory::{ApplyOutcome, Home, Memory};
 pub use metrics::Metrics;
 pub use primitive::{AccessKind, Primitive};
-pub use sched::{run_policy, BurstPolicy, GreedyRmrPolicy, RandomPolicy, RmrTarget, RoundRobin, SchedulePolicy};
+pub use sched::{
+    run_policy, BurstPolicy, GreedyRmrPolicy, RandomPolicy, RmrTarget, RoundRobin, SchedulePolicy,
+};

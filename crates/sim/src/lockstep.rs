@@ -51,7 +51,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::Finished(p) => write!(f, "process {p} already finished"),
             SimError::AwaitingCommand(p) => {
-                write!(f, "process {p} is waiting for a command and its mailbox is empty")
+                write!(
+                    f,
+                    "process {p} is waiting for a command and its mailbox is empty"
+                )
             }
             SimError::Panicked(p, msg) => write!(f, "process {p} panicked: {msg}"),
             SimError::Wedged(p) => {
@@ -306,6 +309,9 @@ impl Ctx {
     }
 }
 
+/// A registered process body, not yet started.
+type ProcessBody = Box<dyn FnOnce(&Ctx) + Send + 'static>;
+
 /// Builds a [`Sim`]: allocate base objects, register process closures,
 /// then [`start`](SimBuilder::start).
 ///
@@ -331,7 +337,7 @@ pub struct SimBuilder {
     n: usize,
     memory: Memory,
     caches: CacheSet,
-    bodies: Vec<Box<dyn FnOnce(&Ctx) + Send + 'static>>,
+    bodies: Vec<ProcessBody>,
 }
 
 impl fmt::Debug for SimBuilder {
@@ -378,10 +384,7 @@ impl SimBuilder {
     /// # Panics
     ///
     /// Panics if all `n` processes are already registered.
-    pub fn add_process(
-        &mut self,
-        body: impl FnOnce(&Ctx) + Send + 'static,
-    ) -> ProcessId {
+    pub fn add_process(&mut self, body: impl FnOnce(&Ctx) + Send + 'static) -> ProcessId {
         assert!(
             self.bodies.len() < self.n,
             "all {} processes already registered",
@@ -421,7 +424,10 @@ impl SimBuilder {
         let mut threads = Vec::with_capacity(registered);
         for (i, body) in self.bodies.into_iter().enumerate() {
             let pid = ProcessId::new(i);
-            let ctx = Ctx { pid, shared: Arc::clone(&shared) };
+            let ctx = Ctx {
+                pid,
+                shared: Arc::clone(&shared),
+            };
             let shared_for_exit = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("ptm-sim-{i}"))
@@ -857,10 +863,18 @@ mod tests {
     fn markers_are_logged_in_grant_order() {
         let mut b = SimBuilder::new(2);
         b.add_process(move |ctx| {
-            ctx.marker(Marker::Note { tag: "a", a: 0, b: 0 });
+            ctx.marker(Marker::Note {
+                tag: "a",
+                a: 0,
+                b: 0,
+            });
         });
         b.add_process(move |ctx| {
-            ctx.marker(Marker::Note { tag: "b", a: 0, b: 0 });
+            ctx.marker(Marker::Note {
+                tag: "b",
+                a: 0,
+                b: 0,
+            });
         });
         let sim = b.start();
         sim.step(1.into()).unwrap();
@@ -897,9 +911,7 @@ mod tests {
     fn spinning_process_can_be_stepped_bounded() {
         let mut b = SimBuilder::new(2);
         let flag = b.alloc("flag", 0, Home::Global);
-        b.add_process(move |ctx| {
-            while ctx.read(flag) == 0 {}
-        });
+        b.add_process(move |ctx| while ctx.read(flag) == 0 {});
         b.add_process(move |ctx| {
             ctx.write(flag, 1);
         });

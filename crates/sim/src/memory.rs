@@ -198,7 +198,14 @@ mod tests {
         let mut m = Memory::new();
         let a = m.alloc("a", 1, Home::Global);
         let r = m.apply(p(0), a, Primitive::Read);
-        assert_eq!(r, ApplyOutcome { response: 1, old: 1, new: 1 });
+        assert_eq!(
+            r,
+            ApplyOutcome {
+                response: 1,
+                old: 1,
+                new: 1
+            }
+        );
         let w = m.apply(p(0), a, Primitive::Write(5));
         assert_eq!(w.new, 5);
         assert_eq!(m.peek(a), 5);
@@ -208,10 +215,24 @@ mod tests {
     fn cas_success_and_failure() {
         let mut m = Memory::new();
         let a = m.alloc("a", 0, Home::Global);
-        let ok = m.apply(p(0), a, Primitive::Cas { expected: 0, new: 3 });
+        let ok = m.apply(
+            p(0),
+            a,
+            Primitive::Cas {
+                expected: 0,
+                new: 3,
+            },
+        );
         assert_eq!(ok.response, 1);
         assert!(ok.mutated());
-        let fail = m.apply(p(1), a, Primitive::Cas { expected: 0, new: 4 });
+        let fail = m.apply(
+            p(1),
+            a,
+            Primitive::Cas {
+                expected: 0,
+                new: 4,
+            },
+        );
         assert_eq!(fail.response, 0);
         assert!(!fail.mutated());
         assert_eq!(m.peek(a), 3);
@@ -281,7 +302,14 @@ mod tests {
         let a = m.alloc("a", 0, Home::Global);
         m.apply(p(0), a, Primitive::LoadLinked);
         // A CAS that does not mutate must not invalidate the link.
-        m.apply(p(1), a, Primitive::Cas { expected: 7, new: 8 });
+        m.apply(
+            p(1),
+            a,
+            Primitive::Cas {
+                expected: 7,
+                new: 8,
+            },
+        );
         assert_eq!(m.apply(p(0), a, Primitive::StoreConditional(5)).response, 1);
     }
 

@@ -102,7 +102,11 @@ impl Sub<&Metrics> for &Metrics {
     /// Panics if the snapshots track different process counts or if
     /// `earlier` is not actually earlier (a counter would underflow).
     fn sub(self, earlier: &Metrics) -> Metrics {
-        assert_eq!(self.steps.len(), earlier.steps.len(), "process count mismatch");
+        assert_eq!(
+            self.steps.len(),
+            earlier.steps.len(),
+            "process count mismatch"
+        );
         let diff = |a: &[u64], b: &[u64]| -> Vec<u64> {
             a.iter()
                 .zip(b)
@@ -131,15 +135,27 @@ mod tests {
         let mut m = Metrics::new(2);
         m.record(
             p(0),
-            RmrCharge { write_through: true, write_back: false, dsm: true },
+            RmrCharge {
+                write_through: true,
+                write_back: false,
+                dsm: true,
+            },
         );
         m.record(
             p(0),
-            RmrCharge { write_through: false, write_back: true, dsm: false },
+            RmrCharge {
+                write_through: false,
+                write_back: true,
+                dsm: false,
+            },
         );
         m.record(
             p(1),
-            RmrCharge { write_through: true, write_back: true, dsm: true },
+            RmrCharge {
+                write_through: true,
+                write_back: true,
+                dsm: true,
+            },
         );
         assert_eq!(m.steps(p(0)), 2);
         assert_eq!(m.steps(p(1)), 1);
@@ -155,10 +171,31 @@ mod tests {
     #[test]
     fn snapshot_difference() {
         let mut m = Metrics::new(1);
-        m.record(p(0), RmrCharge { write_through: true, write_back: true, dsm: true });
+        m.record(
+            p(0),
+            RmrCharge {
+                write_through: true,
+                write_back: true,
+                dsm: true,
+            },
+        );
         let snap = m.clone();
-        m.record(p(0), RmrCharge { write_through: true, write_back: false, dsm: false });
-        m.record(p(0), RmrCharge { write_through: false, write_back: false, dsm: false });
+        m.record(
+            p(0),
+            RmrCharge {
+                write_through: true,
+                write_back: false,
+                dsm: false,
+            },
+        );
+        m.record(
+            p(0),
+            RmrCharge {
+                write_through: false,
+                write_back: false,
+                dsm: false,
+            },
+        );
         let d = &m - &snap;
         assert_eq!(d.steps(p(0)), 2);
         assert_eq!(d.rmr_write_through(p(0)), 1);

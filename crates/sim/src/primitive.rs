@@ -73,10 +73,7 @@ impl Primitive {
     /// unconditional: the classification is per *primitive*, i.e. over all
     /// argument/state pairs of the generic procedure.
     pub fn is_conditional(self) -> bool {
-        matches!(
-            self,
-            Primitive::Cas { .. } | Primitive::StoreConditional(_)
-        )
+        matches!(self, Primitive::Cas { .. } | Primitive::StoreConditional(_))
     }
 
     /// The access class used by the coherence models.
@@ -111,7 +108,11 @@ mod tests {
         assert!(Primitive::Read.is_trivial());
         assert!(Primitive::LoadLinked.is_trivial());
         assert!(Primitive::Write(3).is_nontrivial());
-        assert!(Primitive::Cas { expected: 0, new: 1 }.is_nontrivial());
+        assert!(Primitive::Cas {
+            expected: 0,
+            new: 1
+        }
+        .is_nontrivial());
         assert!(Primitive::FetchAdd(1).is_nontrivial());
         assert!(Primitive::Swap(2).is_nontrivial());
         assert!(Primitive::StoreConditional(9).is_nontrivial());
@@ -119,7 +120,11 @@ mod tests {
 
     #[test]
     fn conditionality_classification() {
-        assert!(Primitive::Cas { expected: 0, new: 1 }.is_conditional());
+        assert!(Primitive::Cas {
+            expected: 0,
+            new: 1
+        }
+        .is_conditional());
         assert!(Primitive::StoreConditional(1).is_conditional());
         assert!(!Primitive::Write(1).is_conditional());
         assert!(!Primitive::FetchAdd(1).is_conditional());
@@ -131,7 +136,11 @@ mod tests {
     fn theorem9_instruction_set() {
         assert!(Primitive::Read.in_theorem9_class());
         assert!(Primitive::Write(0).in_theorem9_class());
-        assert!(Primitive::Cas { expected: 0, new: 1 }.in_theorem9_class());
+        assert!(Primitive::Cas {
+            expected: 0,
+            new: 1
+        }
+        .in_theorem9_class());
         assert!(Primitive::LoadLinked.in_theorem9_class());
         assert!(Primitive::StoreConditional(0).in_theorem9_class());
         // fetch-and-add and swap are outside the Theorem 9 class
@@ -145,7 +154,11 @@ mod tests {
         assert_eq!(Primitive::LoadLinked.access_kind(), AccessKind::ReadOnly);
         assert_eq!(Primitive::Write(0).access_kind(), AccessKind::Update);
         assert_eq!(
-            Primitive::Cas { expected: 1, new: 2 }.access_kind(),
+            Primitive::Cas {
+                expected: 1,
+                new: 2
+            }
+            .access_kind(),
             AccessKind::Update
         );
     }

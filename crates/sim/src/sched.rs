@@ -63,7 +63,9 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// Creates a random policy from a seed.
     pub fn seeded(seed: u64) -> Self {
-        RandomPolicy { rng: StdRng::seed_from_u64(seed) }
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -150,7 +152,13 @@ pub struct GreedyRmrPolicy {
 impl GreedyRmrPolicy {
     /// Creates a greedy policy for the given cost model.
     pub fn new(target: RmrTarget) -> Self {
-        GreedyRmrPolicy { target, burst_cap: 4, last: None, streak: 0, rr: RoundRobin::new() }
+        GreedyRmrPolicy {
+            target,
+            burst_cap: 4,
+            last: None,
+            streak: 0,
+            rr: RoundRobin::new(),
+        }
     }
 
     fn charges(&self, c: crate::cache::RmrCharge) -> bool {
@@ -167,12 +175,7 @@ impl SchedulePolicy for GreedyRmrPolicy {
         self.rr.pick(runnable, step_index)
     }
 
-    fn pick_with_sim(
-        &mut self,
-        sim: &Sim,
-        runnable: &[ProcessId],
-        step_index: usize,
-    ) -> ProcessId {
+    fn pick_with_sim(&mut self, sim: &Sim, runnable: &[ProcessId], step_index: usize) -> ProcessId {
         // Fairness valve: a plain round-robin step every fourth pick.
         if step_index % 4 == 0 {
             let choice = self.rr.pick(runnable, step_index);
@@ -188,10 +191,7 @@ impl SchedulePolicy for GreedyRmrPolicy {
             .iter()
             .copied()
             .filter(|p| Some(*p) != banned)
-            .find(|&p| {
-                sim.predicted_rmr(p)
-                    .is_some_and(|c| self.charges(c))
-            })
+            .find(|&p| sim.predicted_rmr(p).is_some_and(|c| self.charges(c)))
             .unwrap_or_else(|| {
                 let eligible: Vec<ProcessId> = runnable
                     .iter()
@@ -220,7 +220,10 @@ pub fn run_policy(sim: &Sim, policy: &mut dyn SchedulePolicy, max_steps: usize) 
             break;
         }
         let pid = policy.pick_with_sim(sim, &runnable, taken);
-        debug_assert!(runnable.contains(&pid), "policy picked a non-runnable process");
+        debug_assert!(
+            runnable.contains(&pid),
+            "policy picked a non-runnable process"
+        );
         match sim.step(pid) {
             Ok(_) => taken += 1,
             Err(e) => panic!("scheduled process failed: {e}"),
@@ -293,7 +296,11 @@ mod tests {
 
     #[test]
     fn greedy_rmr_policy_completes_workloads() {
-        for target in [RmrTarget::WriteThrough, RmrTarget::WriteBack, RmrTarget::Dsm] {
+        for target in [
+            RmrTarget::WriteThrough,
+            RmrTarget::WriteBack,
+            RmrTarget::Dsm,
+        ] {
             let (sim, a) = two_counter_sim();
             let steps = run_policy(&sim, &mut GreedyRmrPolicy::new(target), 10_000);
             assert_eq!(steps, 20, "{target:?}");
@@ -315,7 +322,11 @@ mod tests {
         let rr = sim_rr.metrics().total_rmr_write_back();
 
         let (sim_adv, _) = two_counter_sim();
-        run_policy(&sim_adv, &mut GreedyRmrPolicy::new(RmrTarget::WriteBack), 10_000);
+        run_policy(
+            &sim_adv,
+            &mut GreedyRmrPolicy::new(RmrTarget::WriteBack),
+            10_000,
+        );
         let adv = sim_adv.metrics().total_rmr_write_back();
 
         assert!(adv >= burst, "adversary {adv} < burst {burst}");

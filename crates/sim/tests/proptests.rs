@@ -12,7 +12,10 @@ fn arb_primitive() -> impl Strategy<Value = Primitive> {
     prop_oneof![
         Just(Primitive::Read),
         (0u64..16).prop_map(Primitive::Write),
-        (0u64..4, 0u64..16).prop_map(|(e, n)| Primitive::Cas { expected: e, new: n }),
+        (0u64..4, 0u64..16).prop_map(|(e, n)| Primitive::Cas {
+            expected: e,
+            new: n
+        }),
         (0u64..8).prop_map(Primitive::FetchAdd),
         (0u64..16).prop_map(Primitive::Swap),
     ]

@@ -1,0 +1,195 @@
+//! Pluggable contention management.
+//!
+//! The seed engine hard-coded its retry policy: spin exponentially, yield
+//! late, give up after a buried `10_000_000` attempts. This module makes
+//! the policy a value: a [`ContentionManager`] decides, after each
+//! aborted attempt, whether to retry (after waiting however it likes) or
+//! to give up. Select one per [`Stm`](crate::Stm) instance through
+//! [`StmBuilder::contention_manager`](crate::StmBuilder::contention_manager).
+//!
+//! Three policies ship with the crate:
+//!
+//! * [`ImmediateRetry`] — retry instantly; best when conflicts are rare
+//!   and short, worst under sustained contention;
+//! * [`ExponentialBackoff`] — the default; replicates the seed's
+//!   behaviour (spin doubling per attempt, yielding to the scheduler once
+//!   attempts pile up);
+//! * [`CappedAttempts`] — wraps another policy and gives up after a fixed
+//!   number of attempts, for latency-bounded callers.
+
+use std::fmt;
+
+/// What to do after an aborted attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the transaction again.
+    Retry,
+    /// Stop retrying; `Stm::atomically` panics, `Stm::run` reports the
+    /// exhaustion to the caller.
+    GiveUp,
+}
+
+/// A retry policy consulted between transaction attempts.
+///
+/// `on_abort` is called after the `attempt`-th consecutive abort of one
+/// logical transaction (counting from 0) and may block (spin, yield,
+/// sleep) before answering.
+pub trait ContentionManager: Send + Sync + fmt::Debug {
+    /// Waits as the policy dictates, then decides whether to retry.
+    fn on_abort(&self, attempt: u64) -> Decision;
+}
+
+/// Retry immediately, forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImmediateRetry;
+
+impl ContentionManager for ImmediateRetry {
+    fn on_abort(&self, _attempt: u64) -> Decision {
+        Decision::Retry
+    }
+}
+
+/// Exponential busy-wait backoff with a late scheduler yield.
+///
+/// Attempts `0..=spin_threshold` retry immediately; later attempts spin
+/// `2^min(attempt, max_spin_shift)` iterations; attempts past
+/// `yield_threshold` additionally yield the thread.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialBackoff {
+    /// Attempts at or below this retry without waiting.
+    pub spin_threshold: u64,
+    /// Cap on the spin exponent. Values above
+    /// [`ExponentialBackoff::SHIFT_CEILING`] are treated as the ceiling
+    /// (a ~10⁶-iteration spin), keeping a stray configuration from
+    /// overflowing the shift or busy-waiting for hours.
+    pub max_spin_shift: u32,
+    /// Attempts beyond this also call `thread::yield_now`.
+    pub yield_threshold: u64,
+}
+
+impl ExponentialBackoff {
+    /// Largest effective spin exponent, whatever `max_spin_shift` says.
+    pub const SHIFT_CEILING: u32 = 20;
+}
+
+impl Default for ExponentialBackoff {
+    /// The seed engine's hard-coded policy.
+    fn default() -> Self {
+        ExponentialBackoff {
+            spin_threshold: 2,
+            max_spin_shift: 12,
+            yield_threshold: 16,
+        }
+    }
+}
+
+impl ContentionManager for ExponentialBackoff {
+    fn on_abort(&self, attempt: u64) -> Decision {
+        if attempt > self.spin_threshold {
+            let shift = attempt
+                .min(self.max_spin_shift as u64)
+                .min(Self::SHIFT_CEILING as u64) as u32;
+            for _ in 0..(1u64 << shift) {
+                std::hint::spin_loop();
+            }
+        }
+        if attempt > self.yield_threshold {
+            std::thread::yield_now();
+        }
+        Decision::Retry
+    }
+}
+
+/// Wraps another policy and gives up after `limit` aborted attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct CappedAttempts<C = ExponentialBackoff> {
+    inner: C,
+    limit: u64,
+}
+
+impl CappedAttempts<ExponentialBackoff> {
+    /// Caps the default backoff policy at `limit` attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn new(limit: u64) -> Self {
+        CappedAttempts::wrapping(limit, ExponentialBackoff::default())
+    }
+}
+
+impl<C: ContentionManager> CappedAttempts<C> {
+    /// Caps an arbitrary inner policy at `limit` attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn wrapping(limit: u64, inner: C) -> Self {
+        assert!(limit > 0, "attempt cap must be at least 1");
+        CappedAttempts { inner, limit }
+    }
+}
+
+impl<C: ContentionManager> ContentionManager for CappedAttempts<C> {
+    fn on_abort(&self, attempt: u64) -> Decision {
+        // `attempt` counts aborts so far; the (limit)-th abort exhausts
+        // the budget of `limit` attempts.
+        if attempt + 1 >= self.limit {
+            return Decision::GiveUp;
+        }
+        self.inner.on_abort(attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_always_retries() {
+        for a in [0, 1, 1 << 40] {
+            assert_eq!(ImmediateRetry.on_abort(a), Decision::Retry);
+        }
+    }
+
+    #[test]
+    fn backoff_always_retries_but_waits() {
+        let cm = ExponentialBackoff::default();
+        assert_eq!(cm.on_abort(0), Decision::Retry);
+        assert_eq!(cm.on_abort(20), Decision::Retry);
+    }
+
+    #[test]
+    fn oversized_spin_shift_is_clamped_not_overflowed() {
+        // A shift >= 64 would overflow `1u64 << shift`; the ceiling keeps
+        // this both panic-free and bounded (2^20 spins, not 2^63).
+        let cm = ExponentialBackoff {
+            spin_threshold: 2,
+            max_spin_shift: 64,
+            yield_threshold: 16,
+        };
+        assert_eq!(cm.on_abort(100), Decision::Retry);
+    }
+
+    #[test]
+    fn capped_gives_up_at_limit() {
+        let cm = CappedAttempts::wrapping(3, ImmediateRetry);
+        assert_eq!(cm.on_abort(0), Decision::Retry);
+        assert_eq!(cm.on_abort(1), Decision::Retry);
+        assert_eq!(cm.on_abort(2), Decision::GiveUp);
+        assert_eq!(cm.on_abort(7), Decision::GiveUp);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt cap")]
+    fn zero_cap_is_rejected() {
+        let _ = CappedAttempts::new(0);
+    }
+
+    #[test]
+    fn policies_are_debuggable() {
+        let boxed: Box<dyn ContentionManager> = Box::new(CappedAttempts::new(5));
+        let s = format!("{boxed:?}");
+        assert!(s.contains("CappedAttempts"), "{s}");
+    }
+}

@@ -1,8 +1,10 @@
 //! The transaction engine: three validation algorithms behind one API.
 //!
-//! * [`Algorithm::Tl2`] — global version clock; reads validate in O(1)
-//!   against the snapshot time; commit locks the write set, stamps values
-//!   with a fresh clock tick, validates the read set once.
+//! * [`Algorithm::Tl2`] — global version clock plus the striped orec
+//!   table ([`crate::orec`]): reads validate in O(1) against the snapshot
+//!   time with an optimistic word-check/read/re-check and **acquire no
+//!   lock**; commit locks the write set's stripes in sorted order, stamps
+//!   them with a fresh clock tick, validates the read set once.
 //! * [`Algorithm::Incremental`] — no clock read on the read path; every
 //!   t-read re-validates the entire read set by version equality. This is
 //!   the paper's invisible-read weak-DAP progressive TM transplanted to
@@ -12,12 +14,17 @@
 //!   validation; no per-variable version traffic on commit besides the
 //!   value itself.
 //!
-//! All modes buffer writes and publish them only at commit, so a failed
-//! transaction never dirties shared state.
+//! All modes buffer writes in the shared transaction log
+//! ([`crate::txlog`]) and publish them only at commit, so a failed
+//! transaction never dirties shared state. Retry behaviour is a pluggable
+//! [`ContentionManager`] chosen through [`StmBuilder`].
 
+use crate::cm::{ContentionManager, Decision, ExponentialBackoff};
+use crate::epoch;
+use crate::orec::{self, OrecTable};
 use crate::stats::StmStats;
-use crate::tvar::{AnyTVar, TVar, TxValue};
-use std::any::Any;
+use crate::tvar::{TVar, TxValue};
+use crate::txlog::{TxLog, ValueRead, VersionedRead};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,7 +32,7 @@ use std::sync::Arc;
 /// The validation algorithm an [`Stm`] instance runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
-    /// Global version clock, O(1) read validation (default).
+    /// Global version clock, O(1) lock-free read validation (default).
     Tl2,
     /// Full read-set re-validation on every read (paper's tight upper
     /// bound for weak-DAP + invisible reads; Θ(m²) total read cost).
@@ -47,18 +54,121 @@ impl fmt::Display for Retry {
 
 impl std::error::Error for Retry {}
 
+/// The retry budget ran out before the transaction committed: either the
+/// instance's `max_attempts` was reached or its contention manager gave
+/// up. Returned by [`Stm::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetriesExhausted {
+    /// Attempts consumed before giving up.
+    pub attempts: u64,
+}
+
+impl fmt::Display for RetriesExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transaction failed to commit after {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for RetriesExhausted {}
+
+/// Configures and builds an [`Stm`] instance.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_stm::{Algorithm, CappedAttempts, Stm};
+///
+/// let stm = Stm::builder(Algorithm::Tl2)
+///     .max_attempts(1_000)
+///     .orec_stripes(256)
+///     .contention_manager(CappedAttempts::new(500))
+///     .build();
+/// assert!(format!("{stm:?}").contains("max_attempts: 1000"));
+/// ```
+#[derive(Debug)]
+pub struct StmBuilder {
+    algorithm: Algorithm,
+    max_attempts: u64,
+    orec_stripes: usize,
+    cm: Box<dyn ContentionManager>,
+}
+
+impl StmBuilder {
+    /// Starts from the defaults: 10 million attempts, exponential
+    /// backoff, 1024 orec stripes.
+    pub fn new(algorithm: Algorithm) -> Self {
+        StmBuilder {
+            algorithm,
+            max_attempts: 10_000_000,
+            orec_stripes: orec::DEFAULT_STRIPES,
+            cm: Box::new(ExponentialBackoff::default()),
+        }
+    }
+
+    /// Hard ceiling on attempts per transaction before the engine gives
+    /// up (panic from [`Stm::atomically`], error from [`Stm::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn max_attempts(mut self, n: u64) -> Self {
+        assert!(n > 0, "max_attempts must be at least 1");
+        self.max_attempts = n;
+        self
+    }
+
+    /// Number of orec stripes (rounded up to a power of two). More
+    /// stripes mean fewer false conflicts; fewer mean less memory.
+    /// Ignored by NOrec, which has no orecs.
+    pub fn orec_stripes(mut self, stripes: usize) -> Self {
+        self.orec_stripes = stripes;
+        self
+    }
+
+    /// The retry policy consulted between aborted attempts.
+    pub fn contention_manager(mut self, cm: impl ContentionManager + 'static) -> Self {
+        self.cm = Box::new(cm);
+        self
+    }
+
+    /// Builds the instance.
+    pub fn build(self) -> Stm {
+        // NOrec never touches orecs; don't pay ~128 KB of padded words
+        // for a table no code path reads.
+        let stripes = match self.algorithm {
+            Algorithm::Norec => 1,
+            Algorithm::Tl2 | Algorithm::Incremental => self.orec_stripes,
+        };
+        Stm {
+            algorithm: self.algorithm,
+            clock: AtomicU64::new(0),
+            orecs: OrecTable::new(stripes),
+            stats: Arc::new(StmStats::default()),
+            max_attempts: self.max_attempts,
+            cm: self.cm,
+        }
+    }
+}
+
 /// Software transactional memory instance.
 ///
 /// All transactions created from one `Stm` coordinate through its clock /
-/// sequence lock; variables ([`TVar`]) are free-standing and may be used
-/// with any `Stm`, but must not be shared between instances running
-/// different algorithms.
+/// sequence lock and its orec table; variables ([`TVar`]) are
+/// free-standing and may be used with any `Stm`, but must not be shared
+/// between instances running concurrently.
 pub struct Stm {
     algorithm: Algorithm,
     /// TL2/Incremental: version clock. NOrec: sequence lock (odd = busy).
     clock: AtomicU64,
+    /// Striped versioned-lock words (TL2/Incremental; unused by NOrec).
+    orecs: OrecTable,
     stats: Arc<StmStats>,
-    max_attempts: usize,
+    max_attempts: u64,
+    cm: Box<dyn ContentionManager>,
 }
 
 impl fmt::Debug for Stm {
@@ -66,19 +176,23 @@ impl fmt::Debug for Stm {
         f.debug_struct("Stm")
             .field("algorithm", &self.algorithm)
             .field("clock", &self.clock.load(Ordering::Relaxed))
+            .field("orec_stripes", &self.orecs.len())
+            .field("max_attempts", &self.max_attempts)
+            .field("contention_manager", &self.cm)
             .finish()
     }
 }
 
 impl Stm {
-    /// Creates an instance running the given algorithm.
+    /// Creates an instance running the given algorithm with default
+    /// settings (see [`StmBuilder::new`]).
     pub fn new(algorithm: Algorithm) -> Self {
-        Stm {
-            algorithm,
-            clock: AtomicU64::new(0),
-            stats: Arc::new(StmStats::default()),
-            max_attempts: 10_000_000,
-        }
+        StmBuilder::new(algorithm).build()
+    }
+
+    /// Starts configuring an instance.
+    pub fn builder(algorithm: Algorithm) -> StmBuilder {
+        StmBuilder::new(algorithm)
     }
 
     /// TL2 instance (the default algorithm).
@@ -101,6 +215,11 @@ impl Stm {
         self.algorithm
     }
 
+    /// The per-transaction attempt ceiling.
+    pub fn max_attempts(&self) -> u64 {
+        self.max_attempts
+    }
+
     /// Progress statistics for this instance.
     pub fn stats(&self) -> &StmStats {
         &self.stats
@@ -111,28 +230,48 @@ impl Stm {
     ///
     /// # Panics
     ///
-    /// Panics if the transaction still conflicts after an extreme number
-    /// of attempts (ten million) — in practice only reachable if user code
-    /// returns [`Retry`] unconditionally.
-    pub fn atomically<A>(
+    /// Panics if the retry budget runs out — `max_attempts` is reached
+    /// (default: ten million) or the contention manager gives up. Use
+    /// [`Stm::run`] to handle exhaustion as a value instead.
+    pub fn atomically<A>(&self, body: impl FnMut(&mut Transaction<'_>) -> Result<A, Retry>) -> A {
+        match self.run(body) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs `body` in a transaction, retrying on conflict, and reports
+    /// retry-budget exhaustion as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RetriesExhausted`] if `max_attempts` attempts all aborted or the
+    /// contention manager returned [`Decision::GiveUp`].
+    pub fn run<A>(
         &self,
         mut body: impl FnMut(&mut Transaction<'_>) -> Result<A, Retry>,
-    ) -> A {
-        for attempt in 0..self.max_attempts {
-            let mut tx = Transaction::new(self);
+    ) -> Result<A, RetriesExhausted> {
+        let mut log = TxLog::default();
+        let mut attempt: u64 = 0;
+        loop {
+            let mut tx = Transaction::begin(self, log);
             match body(&mut tx) {
-                Ok(out) => {
-                    if tx.commit() {
-                        self.stats.commit();
-                        return out;
-                    }
+                Ok(out) if tx.commit() => {
+                    self.stats.commit();
+                    return Ok(out);
                 }
-                Err(Retry) => {}
+                _ => {}
             }
+            log = tx.into_log();
             self.stats.abort();
-            backoff(attempt);
+            attempt += 1;
+            if attempt >= self.max_attempts {
+                return Err(RetriesExhausted { attempts: attempt });
+            }
+            if self.cm.on_abort(attempt - 1) == Decision::GiveUp {
+                return Err(RetriesExhausted { attempts: attempt });
+            }
         }
-        panic!("transaction failed to commit after {} attempts", self.max_attempts);
     }
 
     /// Runs `body` once, committing if it succeeds; returns `None` on
@@ -141,7 +280,7 @@ impl Stm {
         &self,
         body: impl FnOnce(&mut Transaction<'_>) -> Result<A, Retry>,
     ) -> Option<A> {
-        let mut tx = Transaction::new(self);
+        let mut tx = Transaction::begin(self, TxLog::default());
         match body(&mut tx) {
             Ok(out) if tx.commit() => {
                 self.stats.commit();
@@ -161,55 +300,44 @@ impl Stm {
     }
 }
 
-fn backoff(attempt: usize) {
-    if attempt > 2 {
-        for _ in 0..(1 << attempt.min(12)) {
-            std::hint::spin_loop();
-        }
-    }
-    if attempt > 16 {
-        std::thread::yield_now();
-    }
-}
-
-struct ReadEntry {
-    id: usize,
-    var: Arc<dyn AnyTVar>,
-    /// Meta word observed at read time (TL2/Incremental).
-    meta: u64,
-    /// Value snapshot (NOrec only).
-    snapshot: Option<Box<dyn Any + Send>>,
-}
-
-struct WriteEntry {
-    id: usize,
-    var: Arc<dyn AnyTVar>,
-    value: Box<dyn Any + Send>,
-}
-
 /// An in-flight transaction; created by [`Stm::atomically`].
 pub struct Transaction<'s> {
     stm: &'s Stm,
     /// Snapshot time (TL2: clock at begin; NOrec: sequence-lock value).
     rv: u64,
     started: bool,
-    reads: Vec<ReadEntry>,
-    writes: Vec<WriteEntry>,
+    log: TxLog,
+    /// Epoch pin: keeps every pointer this transaction may dereference
+    /// alive for its whole lifetime (also makes `Transaction: !Send`).
+    pin: epoch::Guard,
 }
 
 impl fmt::Debug for Transaction<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Transaction")
             .field("rv", &self.rv)
-            .field("reads", &self.reads.len())
-            .field("writes", &self.writes.len())
+            .field("log", &self.log)
             .finish()
     }
 }
 
 impl<'s> Transaction<'s> {
-    fn new(stm: &'s Stm) -> Self {
-        Transaction { stm, rv: 0, started: false, reads: Vec::new(), writes: Vec::new() }
+    fn begin(stm: &'s Stm, log: TxLog) -> Self {
+        Transaction {
+            stm,
+            rv: 0,
+            started: false,
+            log,
+            pin: epoch::pin(),
+        }
+    }
+
+    /// Recovers the log for reuse by the next attempt (capacity is kept,
+    /// entries are cleared).
+    fn into_log(self) -> TxLog {
+        let mut log = self.log;
+        log.reset();
+        log
     }
 
     /// Lazily samples the snapshot time at the first operation.
@@ -241,46 +369,48 @@ impl<'s> Transaction<'s> {
         self.ensure_started();
         self.stm.stats.read();
         let id = var.id();
-        if let Some(w) = self.writes.iter().find(|w| w.id == id) {
+        if let Some(w) = self.log.lookup_write(id) {
             let v = w.value.downcast_ref::<T>().expect("write-set type");
             return Ok(v.clone());
         }
         match self.stm.algorithm {
             Algorithm::Tl2 => {
-                let m1 = var.inner.meta().load(Ordering::Acquire);
-                if m1 & 1 == 1 || (m1 >> 1) > self.rv {
+                let stripe = self.stm.orecs.stripe_of(id);
+                let word = self.stm.orecs.word(stripe);
+                let m1 = word.load(Ordering::Acquire);
+                if orec::is_locked(m1) || orec::version_of(m1) > self.rv {
                     return Err(Retry);
                 }
-                let v = var.load();
-                if var.inner.meta().load(Ordering::Acquire) != m1 {
+                let v = var.inner.read_snapshot(&self.pin);
+                if word.load(Ordering::Acquire) != m1 {
                     return Err(Retry);
                 }
-                self.reads.push(ReadEntry { id, var: var.as_dyn(), meta: m1, snapshot: None });
+                self.log.reads.push(VersionedRead { stripe, meta: m1 });
                 Ok(v)
             }
             Algorithm::Incremental => {
-                let m1 = var.inner.meta().load(Ordering::Acquire);
-                if m1 & 1 == 1 {
+                let stripe = self.stm.orecs.stripe_of(id);
+                let word = self.stm.orecs.word(stripe);
+                let m1 = word.load(Ordering::Acquire);
+                if orec::is_locked(m1) {
                     return Err(Retry);
                 }
-                let v = var.load();
-                if var.inner.meta().load(Ordering::Acquire) != m1 {
+                let v = var.inner.read_snapshot(&self.pin);
+                if word.load(Ordering::Acquire) != m1 {
                     return Err(Retry);
                 }
                 // Incremental validation: every prior read, every time.
                 self.validate_by_version(None)?;
-                self.reads.push(ReadEntry { id, var: var.as_dyn(), meta: m1, snapshot: None });
+                self.log.reads.push(VersionedRead { stripe, meta: m1 });
                 Ok(v)
             }
             Algorithm::Norec => loop {
-                let v = var.load();
+                let v = var.inner.read_snapshot(&self.pin);
                 let t = self.stm.clock.load(Ordering::Acquire);
                 if t == self.rv {
-                    self.reads.push(ReadEntry {
-                        id,
+                    self.log.value_reads.push(ValueRead {
                         var: var.as_dyn(),
-                        meta: 0,
-                        snapshot: Some(Box::new(v.clone())),
+                        snapshot: Box::new(v.clone()),
                     });
                     return Ok(v);
                 }
@@ -324,29 +454,25 @@ impl<'s> Transaction<'s> {
     pub fn write<T: TxValue>(&mut self, var: &TVar<T>, value: T) -> Result<(), Retry> {
         self.ensure_started();
         self.stm.stats.write();
-        let id = var.id();
-        if let Some(w) = self.writes.iter_mut().find(|w| w.id == id) {
-            w.value = Box::new(value);
-        } else {
-            self.writes.push(WriteEntry { id, var: var.as_dyn(), value: Box::new(value) });
-        }
+        self.log
+            .buffer_write(var.id(), var.as_dyn(), Box::new(value));
         Ok(())
     }
 
-    /// Version-equality validation of the read set; `held` marks entries
-    /// whose locks this transaction holds (their meta has the lock bit).
+    /// Version-equality validation of the read set; `held` lists stripes
+    /// this transaction has locked, with their pre-lock words.
     fn validate_by_version(&self, held: Option<&[(usize, u64)]>) -> Result<(), Retry> {
-        self.stm.stats.probes(self.reads.len() as u64);
-        for r in &self.reads {
+        self.stm.stats.probes(self.log.reads.len() as u64);
+        for r in &self.log.reads {
             if let Some(held) = held {
-                if let Some(&(_, pre)) = held.iter().find(|(id, _)| *id == r.id) {
+                if let Some(&(_, pre)) = held.iter().find(|(s, _)| *s == r.stripe) {
                     if pre != r.meta {
                         return Err(Retry);
                     }
                     continue;
                 }
             }
-            if r.var.meta().load(Ordering::Acquire) != r.meta {
+            if self.stm.orecs.word(r.stripe).load(Ordering::Acquire) != r.meta {
                 return Err(Retry);
             }
         }
@@ -364,10 +490,9 @@ impl<'s> Transaction<'s> {
                 }
                 std::hint::spin_loop();
             };
-            self.stm.stats.probes(self.reads.len() as u64);
-            for r in &self.reads {
-                let snap = r.snapshot.as_ref().expect("norec keeps snapshots");
-                if !r.var.value_eq(snap.as_ref()) {
+            self.stm.stats.probes(self.log.value_reads.len() as u64);
+            for r in &self.log.value_reads {
+                if !r.var.value_eq(&self.pin, r.snapshot.as_ref()) {
                     return Err(Retry);
                 }
             }
@@ -380,7 +505,7 @@ impl<'s> Transaction<'s> {
     /// Attempts to commit; returns whether the transaction is now durable.
     fn commit(&mut self) -> bool {
         self.ensure_started();
-        if self.writes.is_empty() {
+        if self.log.writes.is_empty() {
             return true; // read-only: serialized at its last validation
         }
         match self.stm.algorithm {
@@ -390,44 +515,68 @@ impl<'s> Transaction<'s> {
     }
 
     fn commit_versioned(&mut self) -> bool {
-        // Try-lock the write set in id order.
-        self.writes.sort_by_key(|w| w.id);
-        let mut held: Vec<(usize, u64)> = Vec::with_capacity(self.writes.len());
-        for w in &self.writes {
-            let m = w.var.meta().load(Ordering::Acquire);
-            let lock_ok = m & 1 == 0
-                && w.var
-                    .meta()
+        // The scratch buffers live in the log so a retrying transaction
+        // reallocates nothing; take them out for the duration (restored
+        // cleared below, on every exit path).
+        let mut stripes = std::mem::take(&mut self.log.stripe_buf);
+        let mut held = std::mem::take(&mut self.log.held_buf);
+        let ok = self.commit_versioned_with(&mut stripes, &mut held);
+        stripes.clear();
+        held.clear();
+        self.log.stripe_buf = stripes;
+        self.log.held_buf = held;
+        ok
+    }
+
+    fn commit_versioned_with(
+        &mut self,
+        stripes: &mut Vec<usize>,
+        held: &mut Vec<(usize, u64)>,
+    ) -> bool {
+        // Try-lock the write set's stripes in sorted order (deduplicated:
+        // several variables may share a stripe).
+        stripes.extend(
+            self.log
+                .writes
+                .iter()
+                .map(|w| self.stm.orecs.stripe_of(w.id)),
+        );
+        stripes.sort_unstable();
+        stripes.dedup();
+        for &stripe in stripes.iter() {
+            let word = self.stm.orecs.word(stripe);
+            let m = word.load(Ordering::Acquire);
+            let lock_ok = !orec::is_locked(m)
+                && word
                     .compare_exchange(m, m | 1, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok();
             if !lock_ok {
-                self.release(&held, None);
+                self.release(held, None);
                 return false;
             }
-            held.push((w.id, m));
+            held.push((stripe, m));
         }
-        if self.validate_by_version(Some(&held)).is_err() {
-            self.release(&held, None);
+        if self.validate_by_version(Some(held)).is_err() {
+            self.release(held, None);
             return false;
         }
         let wv = self.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
-        for w in &self.writes {
-            w.var.write_boxed(w.value.as_ref());
-        }
-        self.release(&held, Some(wv << 1));
+        let retired = self.log.publish_writes();
+        self.release(held, Some(orec::stamped(wv)));
+        // Retire only after every swap above: the epoch tag must postdate
+        // the last moment a reader could have loaded an old pointer.
+        epoch::retire_batch(retired);
         true
     }
 
-    /// Releases held locks: to their pre-lock meta (on abort) or to a new
-    /// stamped version (on commit).
+    /// Releases held stripe locks: to their pre-lock word (on abort) or
+    /// to a new stamped version (on commit).
     fn release(&self, held: &[(usize, u64)], stamp: Option<u64>) {
-        for &(id, pre) in held {
-            let w = self
-                .writes
-                .iter()
-                .find(|w| w.id == id)
-                .expect("held lock belongs to write set");
-            w.var.meta().store(stamp.unwrap_or(pre), Ordering::Release);
+        for &(stripe, pre) in held {
+            self.stm
+                .orecs
+                .word(stripe)
+                .store(stamp.unwrap_or(pre), Ordering::Release);
         }
     }
 
@@ -447,10 +596,9 @@ impl<'s> Transaction<'s> {
                 Err(Retry) => return false,
             }
         }
-        for w in &self.writes {
-            w.var.write_boxed(w.value.as_ref());
-        }
+        let retired = self.log.publish_writes();
         self.stm.clock.store(self.rv + 2, Ordering::Release);
+        epoch::retire_batch(retired);
         true
     }
 }
@@ -458,6 +606,7 @@ impl<'s> Transaction<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cm::{CappedAttempts, ImmediateRetry};
 
     fn engines() -> Vec<Stm> {
         vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
@@ -644,5 +793,116 @@ mod tests {
                 assert!(x.load() + y.load() <= 1, "{:?}", stm.algorithm());
             }
         }
+    }
+
+    #[test]
+    fn run_reports_exhaustion_instead_of_panicking() {
+        let stm = Stm::builder(Algorithm::Tl2).max_attempts(3).build();
+        let v = TVar::new(0u64);
+        let out = stm.run(|tx| {
+            tx.read(&v)?;
+            Err::<(), Retry>(Retry)
+        });
+        assert_eq!(out, Err(RetriesExhausted { attempts: 3 }));
+        assert_eq!(stm.stats().snapshot().aborts, 3);
+    }
+
+    #[test]
+    fn contention_manager_give_up_is_honored() {
+        let stm = Stm::builder(Algorithm::Norec)
+            .contention_manager(CappedAttempts::wrapping(2, ImmediateRetry))
+            .build();
+        let out = stm.run(|_tx| Err::<(), Retry>(Retry));
+        assert_eq!(out, Err(RetriesExhausted { attempts: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to commit after 1 attempts")]
+    fn atomically_panics_when_budget_runs_out() {
+        let stm = Stm::builder(Algorithm::Tl2).max_attempts(1).build();
+        stm.atomically(|_tx| Err::<(), Retry>(Retry));
+    }
+
+    #[test]
+    fn debug_output_names_policy_and_budget() {
+        let stm = Stm::builder(Algorithm::Incremental)
+            .max_attempts(42)
+            .contention_manager(ImmediateRetry)
+            .build();
+        let s = format!("{stm:?}");
+        assert!(s.contains("max_attempts: 42"), "{s}");
+        assert!(s.contains("ImmediateRetry"), "{s}");
+        assert!(s.contains("Incremental"), "{s}");
+    }
+
+    #[test]
+    fn values_whose_drop_reenters_the_epoch_machinery() {
+        // Regression: the collector used to drop displaced value boxes
+        // while holding the thread-local epoch borrow, so a value whose
+        // `Drop` pins the epoch again (here: `TVar::load` on a peer)
+        // panicked with a RefCell BorrowMutError mid-commit.
+        #[derive(Clone)]
+        struct PinsOnDrop {
+            peer: TVar<u64>,
+            tag: u64,
+        }
+        impl PartialEq for PinsOnDrop {
+            fn eq(&self, other: &Self) -> bool {
+                self.tag == other.tag
+            }
+        }
+        impl Drop for PinsOnDrop {
+            fn drop(&mut self) {
+                let _ = self.peer.load(); // pins the epoch
+            }
+        }
+
+        let stm = Stm::tl2();
+        let peer = TVar::new(0u64);
+        let var = TVar::new(PinsOnDrop {
+            peer: peer.clone(),
+            tag: 0,
+        });
+        // Enough writing commits to push the thread bag past the collect
+        // threshold several times over.
+        for i in 1..=300u64 {
+            stm.atomically(|tx| {
+                tx.write(
+                    &var,
+                    PinsOnDrop {
+                        peer: peer.clone(),
+                        tag: i,
+                    },
+                )
+            });
+        }
+        assert_eq!(var.load().tag, 300);
+    }
+
+    #[test]
+    fn tiny_orec_table_still_serializes_correctly() {
+        // One stripe: every variable conflicts with every other. The
+        // engine must stay correct (if slower).
+        let stm = Arc::new(Stm::builder(Algorithm::Tl2).orec_stripes(1).build());
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                let (a, b) = (a.clone(), b.clone());
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        stm.atomically(|tx| {
+                            let x = tx.read(&a)?;
+                            let y = tx.read(&b)?;
+                            tx.write(&a, x + 1)?;
+                            tx.write(&b, y + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(), 800);
+        assert_eq!(b.load(), 800);
     }
 }

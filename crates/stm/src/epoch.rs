@@ -1,0 +1,309 @@
+//! Epoch-based memory reclamation for the lock-free read path.
+//!
+//! [`TVar`](crate::TVar) values are immutable heap boxes published through
+//! an atomic pointer; a transactional read is therefore just
+//! *load-pointer, clone* with no lock acquired. The hazard is the writer
+//! side: a commit swaps the pointer and must not free the old box while
+//! some reader is still cloning it.
+//!
+//! This module implements the classic deferred-reclamation answer:
+//!
+//! * every transaction **pins** the current global epoch in a per-thread,
+//!   cache-padded slot for its duration (two atomic ops per transaction,
+//!   *not* per read — so reads stay invisible, in the paper's sense);
+//! * a committing writer swaps its pointers first and only then tags the
+//!   retired boxes with a fresh epoch ([`retire_batch`]), so any reader
+//!   that can still hold an old pointer is pinned at a *strictly older*
+//!   epoch;
+//! * garbage with tag `t` is freed once every pinned slot shows an epoch
+//!   `>= t` — at that point the scan proves no reader can dereference it.
+//!
+//! All epoch traffic uses `SeqCst`: the pin loop (store slot, re-check
+//! the global epoch) and the collector's scan need a total order for the
+//! "the scan cannot miss a dangerous reader" argument, and the cost sits
+//! on transaction boundaries, never inside the read loop.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Epoch value meaning "this slot's thread is not inside a transaction".
+const QUIESCENT: u64 = u64::MAX;
+
+/// Collect the local bag once it holds this many retired boxes.
+const COLLECT_THRESHOLD: usize = 64;
+
+/// Global epoch counter, bumped once per writing commit.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// All live participant slots; scanned (under the lock) by collectors.
+static REGISTRY: Mutex<Vec<Arc<Slot>>> = Mutex::new(Vec::new());
+
+/// Garbage from threads that exited before their bag drained.
+static ORPHANS: Mutex<Vec<Retired>> = Mutex::new(Vec::new());
+
+/// Cheap-to-read size of [`ORPHANS`], so the retire path can trigger an
+/// orphan sweep without taking the lock just to look.
+static ORPHAN_PRESSURE: AtomicU64 = AtomicU64::new(0);
+
+/// One participant's published epoch; padded so pin/unpin stores never
+/// false-share with a neighbour's.
+#[repr(align(128))]
+struct Slot {
+    epoch: AtomicU64,
+}
+
+/// A value box swapped out of a `TVar`, awaiting a safe free.
+pub(crate) struct Retired {
+    ptr: *mut (),
+    drop_fn: unsafe fn(*mut ()),
+    epoch: u64,
+}
+
+// SAFETY: `ptr` is the sole remaining owner of the boxed value (it was
+// swapped out of the `TVar` and exists only in one bag at a time), and
+// `Retired::new` requires `T: Send`, so dropping on another thread is fine.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// Takes ownership of a box previously leaked with `Box::into_raw`.
+    pub(crate) fn new<T: Send + 'static>(ptr: *mut T) -> Self {
+        unsafe fn drop_box<T>(p: *mut ()) {
+            // SAFETY: `p` came from `Box::into_raw::<T>` in `Retired::new`
+            // and is dropped exactly once, by `Retired::drop`.
+            drop(unsafe { Box::from_raw(p.cast::<T>()) });
+        }
+        Retired {
+            ptr: ptr.cast(),
+            drop_fn: drop_box::<T>,
+            epoch: 0,
+        }
+    }
+}
+
+impl Drop for Retired {
+    fn drop(&mut self) {
+        // SAFETY: see `Retired::new`; the collector only drops a `Retired`
+        // once its epoch is provably unreachable by pinned readers.
+        unsafe { (self.drop_fn)(self.ptr) }
+    }
+}
+
+struct Local {
+    slot: Arc<Slot>,
+    bag: Vec<Retired>,
+    pins: usize,
+}
+
+impl Local {
+    fn register() -> Local {
+        let slot = Arc::new(Slot {
+            epoch: AtomicU64::new(QUIESCENT),
+        });
+        REGISTRY
+            .lock()
+            .expect("epoch registry poisoned")
+            .push(Arc::clone(&slot));
+        Local {
+            slot,
+            bag: Vec::new(),
+            pins: 0,
+        }
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        // Hand unfinished garbage to the global orphan list and retire the
+        // slot so it no longer blocks collection.
+        self.slot.epoch.store(QUIESCENT, Ordering::SeqCst);
+        if !self.bag.is_empty() {
+            // Do not drop user values here: thread-local storage is being
+            // torn down, and a value's `Drop` may legitimately pin the
+            // epoch again. Hand everything to the orphan list; the next
+            // collection on any live thread sweeps it (ORPHAN_PRESSURE
+            // makes sure small bags still trigger that sweep).
+            ORPHAN_PRESSURE.fetch_add(self.bag.len() as u64, Ordering::Relaxed);
+            if let Ok(mut orphans) = ORPHANS.lock() {
+                orphans.append(&mut self.bag);
+            }
+        }
+        if let Ok(mut registry) = REGISTRY.lock() {
+            registry.retain(|s| !Arc::ptr_eq(s, &self.slot));
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::register());
+}
+
+/// Proof of participation: while alive, this thread's slot publishes an
+/// epoch no newer than any pointer it may have loaded. Not `Send` — the
+/// pin lives in a thread-local slot.
+pub(crate) struct Guard {
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+/// Pins the current thread. Reentrant: nested pins keep the outermost
+/// (oldest, most conservative) published epoch.
+pub(crate) fn pin() -> Guard {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.pins == 0 {
+            // Publish the epoch, then re-check it did not advance under
+            // us: after this loop, collectors are guaranteed to observe
+            // either our published value or a fresher global epoch that
+            // postdates every pointer we can subsequently load.
+            loop {
+                let e = EPOCH.load(Ordering::SeqCst);
+                l.slot.epoch.store(e, Ordering::SeqCst);
+                if EPOCH.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+        l.pins += 1;
+    });
+    Guard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        // A thread-local can be torn down before late guards on the same
+        // thread; losing the unpin store then is harmless (the slot was
+        // already retired from the registry).
+        let _ = LOCAL.try_with(|l| {
+            let mut l = l.borrow_mut();
+            l.pins -= 1;
+            if l.pins == 0 {
+                l.slot.epoch.store(QUIESCENT, Ordering::SeqCst);
+            }
+        });
+    }
+}
+
+/// Retires value boxes swapped out by one commit. Must be called *after*
+/// all the pointer swaps it covers (the epoch tag must postdate them).
+pub(crate) fn retire_batch(mut retired: Vec<Retired>) {
+    if retired.is_empty() {
+        return;
+    }
+    let tag = EPOCH.fetch_add(1, Ordering::SeqCst) + 1;
+    for r in &mut retired {
+        r.epoch = tag;
+    }
+    let mut to_free: Vec<Retired> = Vec::new();
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        l.bag.append(&mut retired);
+        if l.bag.len() >= COLLECT_THRESHOLD
+            || ORPHAN_PRESSURE.load(Ordering::Relaxed) >= COLLECT_THRESHOLD as u64
+        {
+            let min = min_pinned_epoch();
+            let mut i = 0;
+            while i < l.bag.len() {
+                if l.bag[i].epoch < min {
+                    to_free.push(l.bag.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            drop(l);
+            collect_orphans(min, &mut to_free);
+        }
+    });
+    // Drop collected garbage only now, outside the thread-local borrow
+    // and the orphan lock: a value's `Drop` may itself pin the epoch or
+    // retire more garbage (e.g. it holds or reads `TVar`s).
+    drop(to_free);
+}
+
+/// The oldest epoch any currently pinned thread could be reading under.
+fn min_pinned_epoch() -> u64 {
+    let registry = REGISTRY.lock().expect("epoch registry poisoned");
+    registry
+        .iter()
+        .map(|s| s.epoch.load(Ordering::SeqCst))
+        .min()
+        .unwrap_or(QUIESCENT)
+}
+
+/// Moves every collectible orphan into `out` (the caller drops them after
+/// releasing all locks and borrows).
+fn collect_orphans(min: u64, out: &mut Vec<Retired>) {
+    if let Ok(mut orphans) = ORPHANS.lock() {
+        let mut freed = 0u64;
+        let mut i = 0;
+        while i < orphans.len() {
+            if orphans[i].epoch < min {
+                out.push(orphans.swap_remove(i));
+                freed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if freed > 0 {
+            ORPHAN_PRESSURE.fetch_sub(freed, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Increments its counter on drop; counters are per-test so parallel
+    /// tests sharing the global epoch machinery do not interfere.
+    struct Counted(Arc<AtomicUsize>);
+
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn retired_boxes_are_eventually_freed() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        // This thread holds no pin, so our garbage becomes collectible as
+        // soon as every *other* thread's transient pin moves past its tag;
+        // keep retiring until the collector catches up.
+        for round in 0.. {
+            let b = Box::into_raw(Box::new(Counted(Arc::clone(&drops))));
+            retire_batch(vec![Retired::new(b)]);
+            if drops.load(Ordering::SeqCst) > 0 {
+                break;
+            }
+            assert!(round < 100_000, "garbage was never collected");
+            if round % 1_000 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_reader_blocks_collection_of_newer_garbage() {
+        let _guard = pin();
+        let drops = Arc::new(AtomicUsize::new(0));
+        for _ in 0..(COLLECT_THRESHOLD * 2) {
+            let b = Box::into_raw(Box::new(Counted(Arc::clone(&drops))));
+            retire_batch(vec![Retired::new(b)]);
+        }
+        // Everything retired after our pin carries a newer epoch than our
+        // slot publishes, so nothing may be freed while we are pinned.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn pin_is_reentrant() {
+        let a = pin();
+        let b = pin();
+        drop(a);
+        drop(b);
+        let _c = pin();
+    }
+}

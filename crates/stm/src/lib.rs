@@ -1,12 +1,11 @@
 //! # ptm-stm — a native software transactional memory
 //!
-//! The real-threads companion to the simulated TMs in `ptm-core`: a small,
-//! entirely **safe-Rust** STM with three interchangeable validation
-//! algorithms, so the cost structure the paper analyses can be measured on
-//! actual hardware.
+//! The real-threads companion to the simulated TMs in `ptm-core`: a small
+//! STM with three interchangeable validation algorithms, so the cost
+//! structure the paper analyses can be measured on actual hardware.
 //!
-//! * [`Stm::tl2`] — global version clock, O(1) read validation (the
-//!   production default);
+//! * [`Stm::tl2`] — global version clock, O(1) **lock-free** read
+//!   validation against a striped orec table (the production default);
 //! * [`Stm::incremental`] — the paper's weak-DAP/invisible-reads design
 //!   point: every read re-validates the whole read set, Θ(m²) total work
 //!   for an `m`-read transaction (watch `validation_probes` in
@@ -35,26 +34,61 @@
 //! assert_eq!(checking.load() + savings.load(), 100);
 //! ```
 //!
+//! Retry policy and orec geometry are configurable per instance:
+//!
+//! ```
+//! use ptm_stm::{Algorithm, CappedAttempts, Stm};
+//!
+//! let stm = Stm::builder(Algorithm::Tl2)
+//!     .max_attempts(100_000)
+//!     .contention_manager(CappedAttempts::new(10_000))
+//!     .build();
+//! let v = ptm_stm::TVar::new(1u64);
+//! assert_eq!(stm.run(|tx| tx.read(&v)), Ok(1));
+//! ```
+//!
+//! ## Architecture
+//!
+//! The engine is layered into one module per concern:
+//!
+//! | module | concern |
+//! |--------|---------|
+//! | [`mod@engine`](crate::Stm) | the three algorithms, [`Stm`] / [`Transaction`] / [`StmBuilder`] |
+//! | `txlog` | read-set / write-set log shared by all algorithms |
+//! | `orec`  | striped, cache-padded versioned-lock table (TL2 / Incremental) |
+//! | `tvar`  | value cells: immutable boxes behind an atomic pointer |
+//! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe |
+//! | [`cm`](ContentionManager) | pluggable retry policies |
+//! | `stats` | commit/abort/validation-probe counters |
+//!
 //! ## Design notes
 //!
-//! Values live under a per-variable `parking_lot::Mutex` beside an atomic
-//! versioned-lock word; reads snapshot by clone and double-check the
-//! version. This forgoes the last bit of performance a seqlock +
-//! `UnsafeCell` design would give, in exchange for zero `unsafe` — an
-//! explicit choice for a reference implementation whose purpose is
-//! measurable algorithmics, not peak throughput. Writes are buffered and
-//! published at commit under per-variable try-locks (TL2/Incremental) or
-//! the global sequence lock (NOrec), so aborted transactions leave no
-//! trace.
+//! A transactional read is *load orec word, load value pointer, clone,
+//! re-check word* — it acquires no lock and performs **no shared-memory
+//! write**, which is exactly the invisible-reads regime the paper prices
+//! out. Values are immutable once published, so readers can never observe
+//! a torn value; writers swap whole boxes under their commit-time
+//! exclusion and retire the old ones to an epoch collector, which frees
+//! them once every pinned reader has moved on. The `unsafe` needed for
+//! this (pointer dereference on the read path, deferred frees) is
+//! confined to the `tvar` and `epoch` modules, each carrying the safety
+//! argument next to the code; the rest of the crate is `#![deny(unsafe_code)]`-clean.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
+pub mod cm;
 mod engine;
+#[allow(unsafe_code)]
+mod epoch;
+mod orec;
 mod stats;
+#[allow(unsafe_code)]
 mod tvar;
+mod txlog;
 
-pub use engine::{Algorithm, Retry, Stm, Transaction};
+pub use cm::{CappedAttempts, ContentionManager, Decision, ExponentialBackoff, ImmediateRetry};
+pub use engine::{Algorithm, RetriesExhausted, Retry, Stm, StmBuilder, Transaction};
 pub use stats::{StatsSnapshot, StmStats};
 pub use tvar::{TVar, TxValue};

@@ -1,0 +1,128 @@
+//! Striped ownership records (orecs): the versioned lock words behind the
+//! TL2 / Incremental read path.
+//!
+//! Instead of a lock word *inside* every [`TVar`](crate::TVar) (the seed
+//! design, which also kept the value under a mutex), each [`Stm`]
+//! (crate::Stm) owns a fixed, cache-padded table of `version << 1 |
+//! locked` words. A variable maps to a stripe by hashing its address, the
+//! way production TL2 implementations key their global lock table.
+//! Reads then validate optimistically — load word, read value, re-check
+//! word — and acquire nothing; only commits lock stripes, in sorted order,
+//! for the duration of write-back.
+//!
+//! Striping trades false conflicts (two variables hashing to one stripe
+//! abort each other) for constant space and zero per-variable metadata.
+//! The stripe count is a power of two, tunable per instance via
+//! [`StmBuilder::orec_stripes`](crate::StmBuilder::orec_stripes).
+
+use std::sync::atomic::AtomicU64;
+
+/// Default number of stripes per [`Stm`](crate::Stm) instance.
+pub(crate) const DEFAULT_STRIPES: usize = 1024;
+
+/// Pads a word to its own cache line pair so stripe traffic never
+/// false-shares.
+#[repr(align(128))]
+pub(crate) struct CachePadded<T>(pub T);
+
+/// Whether the lock bit of an orec word is set.
+pub(crate) fn is_locked(word: u64) -> bool {
+    word & 1 == 1
+}
+
+/// The version stamped into an orec word.
+pub(crate) fn version_of(word: u64) -> u64 {
+    word >> 1
+}
+
+/// An unlocked orec word carrying `version`.
+pub(crate) fn stamped(version: u64) -> u64 {
+    version << 1
+}
+
+/// A power-of-two table of versioned lock words.
+pub(crate) struct OrecTable {
+    words: Box<[CachePadded<AtomicU64>]>,
+    mask: usize,
+}
+
+impl OrecTable {
+    /// Builds a table of at least `stripes` words (rounded up to a power
+    /// of two, minimum 1).
+    pub(crate) fn new(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        let words = (0..n).map(|_| CachePadded(AtomicU64::new(0))).collect();
+        OrecTable { words, mask: n - 1 }
+    }
+
+    /// Number of stripes.
+    pub(crate) fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Maps a variable identity (its heap address) to a stripe index.
+    ///
+    /// Fibonacci hashing spreads the aligned, allocator-clustered
+    /// addresses across stripes; equal ids always collapse to the same
+    /// stripe, which is what gives commit-time locking its meaning.
+    pub(crate) fn stripe_of(&self, id: usize) -> usize {
+        (((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.mask
+    }
+
+    /// The lock word of a stripe.
+    pub(crate) fn word(&self, stripe: usize) -> &AtomicU64 {
+        &self.words[stripe].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn word_format_roundtrips() {
+        assert!(!is_locked(stamped(7)));
+        assert!(is_locked(stamped(7) | 1));
+        assert_eq!(version_of(stamped(7)), 7);
+        assert_eq!(version_of(stamped(7) | 1), 7);
+    }
+
+    #[test]
+    fn table_rounds_to_power_of_two() {
+        assert_eq!(OrecTable::new(1000).len(), 1024);
+        assert_eq!(OrecTable::new(1).len(), 1);
+        assert_eq!(OrecTable::new(0).len(), 1);
+    }
+
+    #[test]
+    fn stripe_mapping_is_stable_and_in_range() {
+        let t = OrecTable::new(64);
+        for id in (8..8_000).step_by(8) {
+            let s = t.stripe_of(id);
+            assert!(s < t.len());
+            assert_eq!(s, t.stripe_of(id));
+        }
+    }
+
+    #[test]
+    fn stripes_spread_aligned_addresses() {
+        // Heap addresses are 8/16-byte aligned; the hash must not collapse
+        // them onto a few stripes.
+        let t = OrecTable::new(64);
+        let mut hit = vec![false; t.len()];
+        for id in (0..(64 * 16)).map(|i| 0x7f00_0000_0000usize + i * 16) {
+            hit[t.stripe_of(id)] = true;
+        }
+        let used = hit.iter().filter(|h| **h).count();
+        assert!(used > t.len() / 2, "only {used}/{} stripes used", t.len());
+    }
+
+    #[test]
+    fn words_start_unlocked_at_version_zero() {
+        let t = OrecTable::new(4);
+        for s in 0..t.len() {
+            assert_eq!(t.word(s).load(Ordering::Relaxed), 0);
+        }
+    }
+}

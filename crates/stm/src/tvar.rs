@@ -1,16 +1,24 @@
 //! Transactional variables.
 //!
-//! A [`TVar<T>`] is a shared mutable cell that can only be read and
-//! written inside a transaction. Each variable carries a versioned-lock
-//! word (`version << 1 | locked`) beside its value; the value itself lives
-//! under a mutex so snapshots are never torn — the library is entirely
-//! safe Rust, trading a few nanoseconds for memory safety (see the crate
-//! docs for the design rationale).
+//! A [`TVar<T>`] is a shared mutable cell readable and writable inside a
+//! transaction. The current value lives in an immutable heap box
+//! published through an `AtomicPtr`: readers load the pointer and clone —
+//! **no lock, no reference-count traffic, no tearing** (the box is never
+//! mutated in place). Writers, at commit and under the algorithm's
+//! exclusion (orec stripe locks or the NOrec sequence lock), swap in a
+//! freshly boxed value and hand the old box to the epoch collector
+//! ([`crate::epoch`]), which frees it once no pinned reader can still
+//! dereference it.
+//!
+//! This replaces the seed design (value under a `parking_lot::Mutex`
+//! beside a per-variable version word), which serialized every read on a
+//! lock — precisely the per-read shared-memory cost the paper shows only
+//! weak-DAP/invisible-read TMs are condemned to pay.
 
-use parking_lot::Mutex;
+use crate::epoch::{Guard, Retired};
 use std::any::Any;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 /// Values storable in a [`TVar`]: cloneable (reads snapshot), comparable
@@ -21,40 +29,79 @@ pub trait TxValue: Any + Send + Sync + Clone + PartialEq {}
 
 impl<T: Any + Send + Sync + Clone + PartialEq> TxValue for T {}
 
-/// Type-erased view of a `TVarInner<T>`, used by transaction read/write
-/// sets, which are heterogeneous.
+/// Type-erased view of a `TVarInner<T>`, used by transaction logs, which
+/// are heterogeneous.
 pub(crate) trait AnyTVar: Send + Sync {
-    /// The versioned-lock word.
-    fn meta(&self) -> &AtomicU64;
-    /// Stores a value boxed by a typed write.
+    /// Swaps `value` in as the current value and returns the displaced
+    /// box for epoch retirement.
+    ///
+    /// The caller must hold the exclusion covering this variable (its
+    /// orec stripe lock, or the NOrec sequence lock) and must retire the
+    /// returned garbage *after* all the swaps of its commit.
     ///
     /// # Panics
     ///
     /// Panics if the boxed value is of the wrong type (transaction-engine
     /// bug, not reachable from the public API).
-    fn write_boxed(&self, v: &(dyn Any + Send));
+    fn publish_boxed(&self, value: Box<dyn Any + Send>) -> Retired;
+
     /// Whether the current value equals the given snapshot.
-    fn value_eq(&self, v: &(dyn Any + Send)) -> bool;
+    fn value_eq(&self, pin: &Guard, snapshot: &(dyn Any + Send)) -> bool;
 }
 
 pub(crate) struct TVarInner<T> {
-    meta: AtomicU64,
-    value: Mutex<T>,
+    /// Always points at a live, immutable, fully initialized box. Only
+    /// `publish_boxed` replaces it; displaced boxes are freed by the
+    /// epoch collector, and the final box by `Drop`.
+    ptr: AtomicPtr<T>,
+}
+
+impl<T: TxValue> TVarInner<T> {
+    fn new(value: T) -> Self {
+        TVarInner {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    /// Clones the current value without any lock.
+    ///
+    /// The `pin` witness proves an epoch guard is held, which is what
+    /// keeps the loaded box alive across the dereference.
+    pub(crate) fn read_snapshot(&self, _pin: &Guard) -> T {
+        let p = self.ptr.load(Ordering::Acquire);
+        // SAFETY: `p` was published by `new` or `publish_boxed` (Acquire
+        // pairs with their Release, so the box is fully initialized), is
+        // never mutated in place, and cannot be freed while this thread
+        // is pinned: retirement tags postdate the swap, and the collector
+        // only frees tags newer than every pinned epoch.
+        unsafe { (*p).clone() }
+    }
+}
+
+impl<T> Drop for TVarInner<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access (`&mut self` on the last owner); no
+        // reader can hold this pointer without an `Arc` keeping the cell
+        // alive, and displaced boxes live in epoch bags, not here.
+        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+    }
 }
 
 impl<T: TxValue> AnyTVar for TVarInner<T> {
-    fn meta(&self) -> &AtomicU64 {
-        &self.meta
+    fn publish_boxed(&self, value: Box<dyn Any + Send>) -> Retired {
+        let value: Box<T> = value.downcast().expect("write-set type");
+        let old = self.ptr.swap(Box::into_raw(value), Ordering::AcqRel);
+        Retired::new(old)
     }
 
-    fn write_boxed(&self, v: &(dyn Any + Send)) {
-        let v = v.downcast_ref::<T>().expect("write_boxed type");
-        *self.value.lock() = v.clone();
-    }
-
-    fn value_eq(&self, v: &(dyn Any + Send)) -> bool {
-        match v.downcast_ref::<T>() {
-            Some(v) => *self.value.lock() == *v,
+    fn value_eq(&self, pin: &Guard, snapshot: &(dyn Any + Send)) -> bool {
+        match snapshot.downcast_ref::<T>() {
+            Some(snap) => {
+                let p = self.ptr.load(Ordering::Acquire);
+                // SAFETY: as in `read_snapshot`; `pin` keeps the box alive.
+                let _ = pin;
+                unsafe { *p == *snap }
+            }
             None => false,
         }
     }
@@ -84,16 +131,15 @@ pub struct TVar<T> {
 
 impl<T> Clone for TVar<T> {
     fn clone(&self) -> Self {
-        TVar { inner: Arc::clone(&self.inner) }
+        TVar {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<T: fmt::Debug + TxValue> fmt::Debug for TVar<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TVar")
-            .field("value", &*self.inner.value.lock())
-            .field("version", &(self.inner.meta.load(Ordering::Relaxed) >> 1))
-            .finish()
+        f.debug_struct("TVar").field("value", &self.load()).finish()
     }
 }
 
@@ -101,12 +147,12 @@ impl<T: TxValue> TVar<T> {
     /// Creates a variable with an initial value.
     pub fn new(value: T) -> Self {
         TVar {
-            inner: Arc::new(TVarInner { meta: AtomicU64::new(0), value: Mutex::new(value) }),
+            inner: Arc::new(TVarInner::new(value)),
         }
     }
 
-    /// Stable identity of the cell (used to key read/write sets and to
-    /// order lock acquisition).
+    /// Stable identity of the cell (keys read/write sets and maps the
+    /// cell to its orec stripe).
     pub(crate) fn id(&self) -> usize {
         Arc::as_ptr(&self.inner) as *const () as usize
     }
@@ -120,7 +166,8 @@ impl<T: TxValue> TVar<T> {
     /// single variable). Useful for inspecting results after the
     /// concurrent phase is over.
     pub fn load(&self) -> T {
-        self.inner.value.lock().clone()
+        let pin = crate::epoch::pin();
+        self.inner.read_snapshot(&pin)
     }
 
     /// Whether two handles refer to the same cell (identity, not value).
@@ -140,6 +187,7 @@ impl<T: TxValue + Default> Default for TVar<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch;
 
     #[test]
     fn new_and_load() {
@@ -152,7 +200,7 @@ mod tests {
         let a = TVar::new(String::from("x"));
         let b = a.clone();
         assert_eq!(a.id(), b.id());
-        a.inner.write_boxed(&(String::from("y")) as &(dyn Any + Send));
+        epoch::retire_batch(vec![a.inner.publish_boxed(Box::new(String::from("y")))]);
         assert_eq!(b.load(), "y");
     }
 
@@ -164,16 +212,17 @@ mod tests {
     }
 
     #[test]
-    fn boxed_roundtrip_and_eq() {
+    fn publish_roundtrip_and_value_eq() {
         let v = TVar::new(7i64);
+        let pin = epoch::pin();
         let snap: Box<dyn Any + Send> = Box::new(7i64);
-        assert!(v.inner.value_eq(snap.as_ref()));
-        v.inner.write_boxed(&9i64 as &(dyn Any + Send));
-        assert!(!v.inner.value_eq(snap.as_ref()));
+        assert!(v.inner.value_eq(&pin, snap.as_ref()));
+        epoch::retire_batch(vec![v.inner.publish_boxed(Box::new(9i64))]);
+        assert!(!v.inner.value_eq(&pin, snap.as_ref()));
         assert_eq!(v.load(), 9);
         // Wrong-type snapshots never compare equal.
         let wrong: Box<dyn Any + Send> = Box::new("9");
-        assert!(!v.inner.value_eq(wrong.as_ref()));
+        assert!(!v.inner.value_eq(&pin, wrong.as_ref()));
     }
 
     #[test]
@@ -187,5 +236,17 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TVar<u64>>();
         assert_send_sync::<TVar<String>>();
+    }
+
+    #[test]
+    fn dropping_vars_with_history_does_not_leak_or_crash() {
+        // Publish a few generations, then drop the var while garbage from
+        // its history is still in epoch bags.
+        let v = TVar::new(vec![0u8; 64]);
+        for i in 0..10u8 {
+            epoch::retire_batch(vec![v.inner.publish_boxed(Box::new(vec![i; 64]))]);
+        }
+        assert_eq!(v.load(), vec![9u8; 64]);
+        drop(v);
     }
 }

@@ -1,0 +1,159 @@
+//! The transaction log: read set and write set shared by every algorithm.
+//!
+//! One [`TxLog`] per in-flight transaction holds
+//!
+//! * `reads` — per-read `(stripe, observed orec word)` pairs, 16 bytes
+//!   each, used by TL2 and Incremental for version validation (no `Arc`
+//!   bump, no allocation on the hot read path);
+//! * `value_reads` — `(variable, value snapshot)` pairs, used by NOrec's
+//!   value-based validation;
+//! * `writes` — buffered `(variable, value)` updates, published only at
+//!   commit.
+//!
+//! The log survives aborts: [`TxLog::reset`] clears entries but keeps the
+//! vector capacity, so a retrying transaction reallocates nothing.
+
+use crate::epoch::Retired;
+use crate::tvar::AnyTVar;
+use std::any::Any;
+use std::sync::Arc;
+
+/// A versioned read observation (TL2 / Incremental).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VersionedRead {
+    /// Orec stripe the read validated against.
+    pub stripe: usize,
+    /// The full orec word observed (unlocked, by construction).
+    pub meta: u64,
+}
+
+/// A value-snapshot read observation (NOrec).
+pub(crate) struct ValueRead {
+    /// The variable, kept alive for revalidation.
+    pub var: Arc<dyn AnyTVar>,
+    /// Clone of the value as first read.
+    pub snapshot: Box<dyn Any + Send>,
+}
+
+/// A buffered write, keyed by variable identity.
+pub(crate) struct WriteEntry {
+    /// Stable identity of the cell (orders and keys the write set).
+    pub id: usize,
+    /// The variable, used to publish at commit.
+    pub var: Arc<dyn AnyTVar>,
+    /// The buffered value.
+    pub value: Box<dyn Any + Send>,
+}
+
+/// Read-set / write-set storage for one transaction, reused across
+/// attempts.
+#[derive(Default)]
+pub(crate) struct TxLog {
+    pub reads: Vec<VersionedRead>,
+    pub value_reads: Vec<ValueRead>,
+    pub writes: Vec<WriteEntry>,
+    /// Scratch for commit-time stripe sorting (kept so retries do not
+    /// reallocate).
+    pub stripe_buf: Vec<usize>,
+    /// Scratch for commit-time `(stripe, pre-lock word)` bookkeeping.
+    pub held_buf: Vec<(usize, u64)>,
+}
+
+impl std::fmt::Debug for TxLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxLog")
+            .field("reads", &self.reads.len())
+            .field("value_reads", &self.value_reads.len())
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+impl TxLog {
+    /// Clears all entries, keeping allocated capacity for the retry.
+    pub(crate) fn reset(&mut self) {
+        self.reads.clear();
+        self.value_reads.clear();
+        self.writes.clear();
+        self.stripe_buf.clear();
+        self.held_buf.clear();
+    }
+
+    /// The buffered value for `id`, if this transaction wrote it.
+    pub(crate) fn lookup_write(&self, id: usize) -> Option<&WriteEntry> {
+        self.writes.iter().find(|w| w.id == id)
+    }
+
+    /// Buffers a write, replacing any earlier value for the same cell.
+    pub(crate) fn buffer_write(
+        &mut self,
+        id: usize,
+        var: Arc<dyn AnyTVar>,
+        value: Box<dyn Any + Send>,
+    ) {
+        match self.writes.iter_mut().find(|w| w.id == id) {
+            Some(w) => w.value = value,
+            None => self.writes.push(WriteEntry { id, var, value }),
+        }
+    }
+
+    /// Swaps every buffered value into its variable, consuming the write
+    /// set. Returns the displaced boxes for epoch retirement.
+    ///
+    /// The caller must hold whatever exclusion the algorithm requires
+    /// (orec stripe locks, or the NOrec sequence lock).
+    pub(crate) fn publish_writes(&mut self) -> Vec<Retired> {
+        self.writes
+            .drain(..)
+            .map(|w| w.var.publish_boxed(w.value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch;
+    use crate::tvar::TVar;
+
+    #[test]
+    fn buffer_write_replaces_in_place() {
+        let mut log = TxLog::default();
+        let v = TVar::new(1u64);
+        log.buffer_write(v.id(), v.as_dyn(), Box::new(10u64));
+        log.buffer_write(v.id(), v.as_dyn(), Box::new(20u64));
+        assert_eq!(log.writes.len(), 1);
+        let entry = log.lookup_write(v.id()).expect("buffered");
+        assert_eq!(*entry.value.downcast_ref::<u64>().expect("type"), 20);
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut log = TxLog::default();
+        let vars: Vec<TVar<u64>> = (0..32).map(TVar::new).collect();
+        for v in &vars {
+            log.buffer_write(v.id(), v.as_dyn(), Box::new(0u64));
+            log.reads.push(VersionedRead { stripe: 0, meta: 0 });
+        }
+        let (rc, wc) = (log.reads.capacity(), log.writes.capacity());
+        log.reset();
+        assert!(log.reads.is_empty() && log.writes.is_empty());
+        assert_eq!(log.reads.capacity(), rc);
+        assert_eq!(log.writes.capacity(), wc);
+    }
+
+    #[test]
+    fn publish_writes_installs_values_and_drains() {
+        let mut log = TxLog::default();
+        let a = TVar::new(1u64);
+        let b = TVar::new(String::from("old"));
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(7u64));
+        log.buffer_write(b.id(), b.as_dyn(), Box::new(String::from("new")));
+        let retired = log.publish_writes();
+        assert_eq!(retired.len(), 2);
+        assert!(log.writes.is_empty());
+        assert_eq!(a.load(), 7);
+        assert_eq!(b.load(), "new");
+        epoch::retire_batch(retired);
+    }
+}

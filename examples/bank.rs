@@ -9,7 +9,7 @@
 //! cargo run --release --example bank
 //! ```
 
-use progressive_tm::stm::{Algorithm, Stm, TVar};
+use progressive_tm::stm::{Algorithm, ExponentialBackoff, Stm, TVar};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -19,7 +19,15 @@ const TRANSFERS_PER_THREAD: usize = 20_000;
 const INITIAL: u64 = 1_000;
 
 fn run(algorithm: Algorithm) {
-    let stm = Arc::new(Stm::new(algorithm));
+    // The builder exposes the retry policy and orec geometry; these are
+    // the defaults, spelled out.
+    let stm = Arc::new(
+        Stm::builder(algorithm)
+            .max_attempts(10_000_000)
+            .orec_stripes(1024)
+            .contention_manager(ExponentialBackoff::default())
+            .build(),
+    );
     let accounts: Vec<TVar<u64>> = (0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect();
 
     let start = Instant::now();
@@ -28,7 +36,7 @@ fn run(algorithm: Algorithm) {
             let stm = Arc::clone(&stm);
             let accounts = accounts.clone();
             s.spawn(move || {
-                let mut rng = (t as u64 + 1) * 0x9E3779B97F4A7C15;
+                let mut rng = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
                 let mut next = move || {
                     rng ^= rng << 13;
                     rng ^= rng >> 7;

@@ -96,5 +96,8 @@ fn tlrw_upgrade_deadlock() -> model::History {
 fn main() {
     audit("sequential transfers (ir-progressive)", &happy_path());
     audit("reader aborted by concurrent writer", &aborted_reader());
-    audit("TLRW upgrade deadlock (negative specimen)", &tlrw_upgrade_deadlock());
+    audit(
+        "TLRW upgrade deadlock (negative specimen)",
+        &tlrw_upgrade_deadlock(),
+    );
 }

@@ -45,16 +45,15 @@ struct OrderedSet {
 
 impl OrderedSet {
     fn new(stm: Arc<Stm>) -> Self {
-        OrderedSet { stm, head: TVar::new(Node { key: 0, next: None }) }
+        OrderedSet {
+            stm,
+            head: TVar::new(Node { key: 0, next: None }),
+        }
     }
 
     /// Walks to the node after which `key` belongs. Returns
     /// `(predecessor cell, predecessor value)`.
-    fn locate(
-        &self,
-        tx: &mut Transaction<'_>,
-        key: u64,
-    ) -> Result<(TVar<Node>, Node), Retry> {
+    fn locate(&self, tx: &mut Transaction<'_>, key: u64) -> Result<(TVar<Node>, Node), Retry> {
         let mut cell = self.head.clone();
         let mut node = tx.read(&cell)?;
         loop {
@@ -79,7 +78,10 @@ impl OrderedSet {
                     return Ok(false); // already present
                 }
             }
-            let new = TVar::new(Node { key, next: pred.next.take() });
+            let new = TVar::new(Node {
+                key,
+                next: pred.next.take(),
+            });
             pred.next = Some(new);
             tx.write(&pred_cell, pred)?;
             Ok(true)
@@ -89,7 +91,9 @@ impl OrderedSet {
     fn remove(&self, key: u64) -> bool {
         self.stm.atomically(|tx| {
             let (pred_cell, mut pred) = self.locate(tx, key)?;
-            let Some(next_cell) = pred.next.clone() else { return Ok(false) };
+            let Some(next_cell) = pred.next.clone() else {
+                return Ok(false);
+            };
             let next = tx.read(&next_cell)?;
             if next.key != key {
                 return Ok(false);
@@ -156,7 +160,10 @@ fn main() {
     });
 
     let snap = set.snapshot();
-    assert!(snap.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+    assert!(
+        snap.windows(2).all(|w| w[0] < w[1]),
+        "sorted, no duplicates"
+    );
     let s = stm.stats().snapshot();
     println!(
         "ordered set after {} concurrent ops: {} elements, sorted & duplicate-free",

@@ -6,8 +6,8 @@
 //! cargo run --example proof_executions
 //! ```
 
-use ptm_bench::figure1::{claim4, figure1a, figure1b, ProofExecution, INTERLEAVABLE_TMS};
 use progressive_tm::core::ALL_TMS;
+use ptm_bench::figure1::{claim4, figure1a, figure1b, ProofExecution, INTERLEAVABLE_TMS};
 
 fn show(e: &ProofExecution) {
     println!("== {} ==", e.name);

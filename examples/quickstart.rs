@@ -50,7 +50,11 @@ fn main() {
             TmHarness::new(2, |b| Arc::new(ProgressiveTm::install(b, m))),
             m,
         );
-        let tl2 = measure("tl2", TmHarness::new(2, |b| Arc::new(Tl2Tm::install(b, m))), m);
+        let tl2 = measure(
+            "tl2",
+            TmHarness::new(2, |b| Arc::new(Tl2Tm::install(b, m))),
+            m,
+        );
         println!("{m:>6} {prog:>16} {tl2:>10}");
     }
     println!(

@@ -14,11 +14,13 @@
 //!   Theorem 9) and the execution-driving harness;
 //! * [`mutex`] — classic mutual-exclusion baselines with known RMR
 //!   profiles;
-//! * [`stm`] — a native, safe-Rust STM for real threads with TL2 /
-//!   NOrec / incremental-validation modes.
+//! * [`stm`] — a native STM for real threads with TL2 / NOrec /
+//!   incremental-validation modes: lock-free optimistic reads over a
+//!   striped orec table, a shared transaction log, and pluggable
+//!   contention management.
 //!
-//! See `README.md` for the quick start, `DESIGN.md` for the system
-//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for the quick start, the crate map, and how to run
+//! the benchmarks.
 //!
 //! ## Example: the headline result in five lines
 //!

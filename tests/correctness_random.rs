@@ -24,7 +24,10 @@ fn random_script(rng: &mut StdRng, n_objects: usize) -> TxScript {
             }
         })
         .collect();
-    TxScript { ops, retry_until_commit: false }
+    TxScript {
+        ops,
+        retry_until_commit: false,
+    }
 }
 
 fn run_random(tm: TmKind, seed: u64, n_procs: usize, scripts_per_proc: usize) {
@@ -48,7 +51,10 @@ fn run_random(tm: TmKind, seed: u64, n_procs: usize, scripts_per_proc: usize) {
         model::is_strictly_serializable(&hist),
         "{label}: strict serializability violated"
     );
-    assert!(model::is_progressive(&hist), "{label}: progressiveness violated");
+    assert!(
+        model::is_progressive(&hist),
+        "{label}: progressiveness violated"
+    );
     // Strong progressiveness only where the TM claims it (the TLRW and
     // bounded-MV extensions deliberately trade it away).
     let mut probe = ptm_sim::SimBuilder::new(1);

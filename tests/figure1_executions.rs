@@ -1,16 +1,21 @@
 //! E1/E2 — the executions of Figure 1 and Claim 4 as integration tests,
 //! across all TMs and a range of transaction sizes.
 
-use ptm_bench::figure1::{claim4, figure1a, figure1b, NEW_VALUE};
 use progressive_tm::core::{TmKind, ALL_TMS};
 use progressive_tm::sim::TOpResult;
+use ptm_bench::figure1::{claim4, figure1a, figure1b, NEW_VALUE};
 
 #[test]
 fn figure1a_strict_serializability_forces_new_value() {
     for &tm in ALL_TMS {
         for i in [2usize, 3, 6] {
             let e = figure1a(tm, i);
-            assert_eq!(e.final_read, TOpResult::Value(NEW_VALUE), "{} i={i}", e.name);
+            assert_eq!(
+                e.final_read,
+                TOpResult::Value(NEW_VALUE),
+                "{} i={i}",
+                e.name
+            );
             assert!(e.opaque && e.strictly_serializable, "{} i={i}", e.name);
         }
     }
@@ -23,7 +28,12 @@ fn figure1b_lemma2_weak_dap_tms_return_new_value() {
     for tm in [TmKind::Progressive, TmKind::Visible] {
         for i in [2usize, 4, 8] {
             let e = figure1b(tm, i);
-            assert_eq!(e.final_read, TOpResult::Value(NEW_VALUE), "{} i={i}", e.name);
+            assert_eq!(
+                e.final_read,
+                TOpResult::Value(NEW_VALUE),
+                "{} i={i}",
+                e.name
+            );
             assert!(e.opaque, "{} i={i}", e.name);
         }
     }

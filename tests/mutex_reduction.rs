@@ -9,9 +9,7 @@ use progressive_tm::sim::{BurstPolicy, RandomPolicy, RoundRobin, SchedulePolicy,
 use std::sync::Arc;
 
 fn lm_over(tm: TmKind) -> impl FnOnce(&mut SimBuilder) -> Arc<dyn SimMutex> {
-    move |b| {
-        Arc::new(TmMutex::install(b, |b| tm.install(b, 1)))
-    }
+    move |b| Arc::new(TmMutex::install(b, |b| tm.install(b, 1)))
 }
 
 /// Every strongly progressive TM yields a working lock.
@@ -122,7 +120,12 @@ fn reduction_rmr_tracks_tm_rmr() {
     assert!(sim.runnable().is_empty());
     let raw_rmr = sim.metrics().total_rmr_write_back() as f64 / (n * rounds) as f64;
 
-    let lm = run_workload(n, rounds, lm_over(TmKind::Glock), &mut RandomPolicy::seeded(11));
+    let lm = run_workload(
+        n,
+        rounds,
+        lm_over(TmKind::Glock),
+        &mut RandomPolicy::seeded(11),
+    );
     let lm_rmr = lm.rmr_per_passage_wb();
 
     assert!(
@@ -135,8 +138,9 @@ fn reduction_rmr_tracks_tm_rmr() {
 fn reduction_composes_with_standard_harness() {
     // Direct use without run_workload: custom process bodies.
     let mut b = SimBuilder::new(2);
-    let lock: Arc<dyn SimMutex> =
-        Arc::new(TmMutex::install(&mut b, |b| TmKind::Progressive.install(b, 1)));
+    let lock: Arc<dyn SimMutex> = Arc::new(TmMutex::install(&mut b, |b| {
+        TmKind::Progressive.install(b, 1)
+    }));
     for _ in 0..2 {
         let l = Arc::clone(&lock);
         b.add_process(move |ctx| mutex_process_body(l, 2, ctx));

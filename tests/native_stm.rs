@@ -3,7 +3,7 @@
 //! conflict statistics, and the quadratic-validation signature of the
 //! paper's design point on real threads.
 
-use progressive_tm::stm::{Algorithm, Retry, Stm, TVar};
+use progressive_tm::stm::{Algorithm, CappedAttempts, RetriesExhausted, Retry, Stm, TVar};
 use std::sync::Arc;
 
 const ALGOS: [Algorithm; 3] = [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec];
@@ -87,11 +87,12 @@ fn try_once_reports_conflicts_without_retrying() {
     let stm = Stm::tl2();
     let v = TVar::new(1u64);
     // A transaction that always requests retry commits nothing.
-    assert!(stm.try_once(|tx| {
-        tx.write(&v, 2)?;
-        Err::<(), Retry>(Retry)
-    })
-    .is_none());
+    assert!(stm
+        .try_once(|tx| {
+            tx.write(&v, 2)?;
+            Err::<(), Retry>(Retry)
+        })
+        .is_none());
     assert_eq!(v.load(), 1);
     // A clean one commits.
     assert_eq!(stm.try_once(|tx| tx.read(&v)), Some(1));
@@ -113,6 +114,132 @@ fn heterogeneous_value_types() {
     });
     assert_eq!(summary, "alice:10:4");
     assert_eq!(tags.load(), vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn bank_stress_final_balances_identical_across_algorithms() {
+    // Fixed transfer amounts and ample initial balances make the final
+    // per-account balance a pure function of the (deterministic) set of
+    // transfers, independent of scheduling — so all three algorithms must
+    // converge to the *same* balances, not just the same total.
+    const ACCOUNTS: usize = 16;
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 400;
+    const INITIAL: u64 = 1_000_000;
+
+    let run = |algo: Algorithm| -> Vec<u64> {
+        let stm = Arc::new(Stm::new(algo));
+        let accounts: Vec<TVar<u64>> = (0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let stm = Arc::clone(&stm);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    let mut seed = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                    for _ in 0..PER_THREAD {
+                        seed = seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let from = (seed >> 33) as usize % ACCOUNTS;
+                        let to = (seed >> 13) as usize % ACCOUNTS;
+                        let amt = 1 + (seed >> 50) % 7;
+                        if from == to {
+                            continue;
+                        }
+                        stm.atomically(|tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a - amt)?;
+                            tx.write(&accounts[to], b + amt)
+                        });
+                    }
+                });
+            }
+        });
+        let balances: Vec<u64> = accounts.iter().map(TVar::load).collect();
+        assert_eq!(
+            balances.iter().sum::<u64>(),
+            ACCOUNTS as u64 * INITIAL,
+            "{algo:?}: conservation violated"
+        );
+        balances
+    };
+
+    let tl2 = run(Algorithm::Tl2);
+    let incremental = run(Algorithm::Incremental);
+    let norec = run(Algorithm::Norec);
+    assert_eq!(tl2, incremental, "TL2 vs Incremental balances diverge");
+    assert_eq!(tl2, norec, "TL2 vs NOrec balances diverge");
+}
+
+#[test]
+fn norec_value_validation_survives_equal_write_back() {
+    // ABA at the value level: a concurrent commit bumps NOrec's sequence
+    // clock but writes back the *same* value. Value-based validation must
+    // accept this (a version-based check would abort), so the outer
+    // transaction commits on its first and only attempt.
+    let stm = Stm::norec();
+    let v = TVar::new(7u64);
+    let w = TVar::new(0u64);
+    let mut interfered = false;
+    let (a, b) = stm.atomically(|tx| {
+        let a = tx.read(&v)?;
+        if !interfered {
+            interfered = true;
+            // Same-Stm commit from inside the body: bumps the sequence
+            // lock, writes v := 7 (an equal value).
+            stm.atomically(|tx2| tx2.write(&v, 7));
+        }
+        // The clock moved, so this read triggers full revalidation; the
+        // snapshot of `v` still matches by value.
+        let b = tx.read(&w)?;
+        Ok((a, b))
+    });
+    assert_eq!((a, b), (7, 0));
+    let stats = stm.stats().snapshot();
+    // Two commits (inner + outer), zero aborts: the equal write-back was
+    // absorbed, not retried.
+    assert_eq!(stats.commits, 2);
+    assert_eq!(
+        stats.aborts, 0,
+        "value validation must tolerate equal write-back"
+    );
+
+    // Contrast: an *unequal* write-back must abort the reader exactly once.
+    let stm = Stm::norec();
+    let v = TVar::new(7u64);
+    let w = TVar::new(0u64);
+    let mut interfered = false;
+    stm.atomically(|tx| {
+        let _ = tx.read(&v)?;
+        if !interfered {
+            interfered = true;
+            stm.atomically(|tx2| tx2.write(&v, 8));
+        }
+        let _ = tx.read(&w)?;
+        Ok(())
+    });
+    assert_eq!(
+        stm.stats().snapshot().aborts,
+        1,
+        "changed value must force one retry"
+    );
+}
+
+#[test]
+fn capped_contention_manager_reports_exhaustion() {
+    let stm = Stm::builder(Algorithm::Tl2)
+        .contention_manager(CappedAttempts::new(5))
+        .build();
+    let v = TVar::new(0u64);
+    let out = stm.run(|tx| {
+        tx.read(&v)?;
+        Err::<(), Retry>(Retry)
+    });
+    assert_eq!(out, Err(RetriesExhausted { attempts: 5 }));
+    // The instance advertises its policy.
+    let dbg = format!("{stm:?}");
+    assert!(dbg.contains("CappedAttempts"), "{dbg}");
 }
 
 #[test]

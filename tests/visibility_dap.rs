@@ -30,9 +30,17 @@ fn invisible_reads_claims_match_reality() {
         let (hist, log) = solo_reader(tm, 3);
         let violations = model::invisible_reads_violations(&hist, &log);
         if claimed {
-            assert!(violations.is_empty(), "{}: claimed invisible, found {violations:?}", tm.name());
+            assert!(
+                violations.is_empty(),
+                "{}: claimed invisible, found {violations:?}",
+                tm.name()
+            );
         } else if tm == TmKind::Visible || tm == TmKind::Glock {
-            assert!(!violations.is_empty(), "{}: expected visible reads", tm.name());
+            assert!(
+                !violations.is_empty(),
+                "{}: expected visible reads",
+                tm.name()
+            );
         }
     }
 }
