@@ -1,0 +1,14 @@
+//! Standalone runner for the data-structure benchmarks: `cargo run
+//! --release -p ptm-bench --bin structs-bench [-- --quick] [-- --out PATH]`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_structs.json");
+    ptm_bench::structs::run_and_emit(quick, out);
+}

@@ -12,8 +12,9 @@
 //!
 //! The `paper_tables` bench target (`cargo bench -p ptm-bench --bench
 //! paper_tables`, or `cargo run -p ptm-bench --bin paper-tables`) renders
-//! every table; `native_stm` holds the Criterion microbenchmarks of the
-//! native STM (E11/E12).
+//! every table; `native_stm` holds the microbenchmarks of the native STM
+//! (E11/E12) and `structs` the transactional data-structure workloads
+//! (E13), each emitting a JSON throughput baseline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,6 +23,7 @@ pub mod figure1;
 pub mod native;
 pub mod rmr;
 pub mod space;
+pub mod structs;
 pub mod table;
 pub mod validation;
 

@@ -28,6 +28,16 @@ pub const ALGOS: &[(&str, Algorithm)] = &[
     ("norec", Algorithm::Norec),
 ];
 
+/// Small deterministic PRNG (PCG-style LCG step) shared by the bench
+/// workloads; seed it with the thread index for reproducible per-thread
+/// streams.
+pub fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -172,11 +182,9 @@ pub fn bench_bank_contended(
                 s.spawn(move || {
                     let mut seed = t as u64 + 1;
                     for _ in 0..txns_per_thread {
-                        seed = seed
-                            .wrapping_mul(6364136223846793005)
-                            .wrapping_add(1442695040888963407);
-                        let from = (seed >> 33) as usize % accounts.len();
-                        let to = (seed >> 13) as usize % accounts.len();
+                        let r = next_rand(&mut seed);
+                        let from = (r >> 22) as usize % accounts.len();
+                        let to = (r >> 2) as usize % accounts.len();
                         if from == to {
                             continue;
                         }
@@ -256,8 +264,14 @@ pub fn render_table(results: &[BenchResult]) -> String {
 
 /// Serializes results as the `BENCH_native_stm.json` baseline document.
 pub fn to_json(results: &[BenchResult], quick: bool) -> String {
+    to_json_named("native_stm", results, quick)
+}
+
+/// Serializes results as a baseline document under an arbitrary bench
+/// family name (shared by the `structs` suite).
+pub fn to_json_named(bench: &str, results: &[BenchResult], quick: bool) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"native_stm\",\n");
+    s.push_str(&format!("  \"bench\": \"{bench}\",\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!(
         "  \"hardware_threads\": {},\n",

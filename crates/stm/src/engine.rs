@@ -22,9 +22,11 @@
 use crate::cm::{ContentionManager, Decision, ExponentialBackoff};
 use crate::epoch;
 use crate::orec::{self, OrecTable};
+use crate::recorder::{word_of, HistoryRecorder, RecTx};
 use crate::stats::StmStats;
 use crate::tvar::{TVar, TxValue};
 use crate::txlog::{TxLog, ValueRead, VersionedRead};
+use ptm_sim::{TOpDesc, TOpResult};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -95,17 +97,19 @@ pub struct StmBuilder {
     max_attempts: u64,
     orec_stripes: usize,
     cm: Box<dyn ContentionManager>,
+    recorder: Option<HistoryRecorder>,
 }
 
 impl StmBuilder {
     /// Starts from the defaults: 10 million attempts, exponential
-    /// backoff, 1024 orec stripes.
+    /// backoff, 1024 orec stripes, no history recording.
     pub fn new(algorithm: Algorithm) -> Self {
         StmBuilder {
             algorithm,
             max_attempts: 10_000_000,
             orec_stripes: orec::DEFAULT_STRIPES,
             cm: Box::new(ExponentialBackoff::default()),
+            recorder: None,
         }
     }
 
@@ -135,6 +139,18 @@ impl StmBuilder {
         self
     }
 
+    /// Records every transaction of this instance as a t-operation
+    /// history into `recorder`, for cross-checking real concurrent runs
+    /// against the `ptm-model` opacity/serializability checkers. Keep a
+    /// clone of the recorder to [`HistoryRecorder::drain`] afterwards.
+    ///
+    /// Recording adds one globally sequenced marker per operation
+    /// boundary, so it perturbs timing; leave it off for benchmarks.
+    pub fn record_history(mut self, recorder: HistoryRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Builds the instance.
     pub fn build(self) -> Stm {
         // NOrec never touches orecs; don't pay ~128 KB of padded words
@@ -150,6 +166,7 @@ impl StmBuilder {
             stats: Arc::new(StmStats::default()),
             max_attempts: self.max_attempts,
             cm: self.cm,
+            recorder: self.recorder,
         }
     }
 }
@@ -169,6 +186,8 @@ pub struct Stm {
     stats: Arc<StmStats>,
     max_attempts: u64,
     cm: Box<dyn ContentionManager>,
+    /// Present when this instance records t-operation histories.
+    recorder: Option<HistoryRecorder>,
 }
 
 impl fmt::Debug for Stm {
@@ -179,6 +198,7 @@ impl fmt::Debug for Stm {
             .field("orec_stripes", &self.orecs.len())
             .field("max_attempts", &self.max_attempts)
             .field("contention_manager", &self.cm)
+            .field("recording", &self.recorder.is_some())
             .finish()
     }
 }
@@ -225,6 +245,12 @@ impl Stm {
         &self.stats
     }
 
+    /// The history recorder attached via [`StmBuilder::record_history`],
+    /// if any.
+    pub fn recorder(&self) -> Option<&HistoryRecorder> {
+        self.recorder.as_ref()
+    }
+
     /// Runs `body` in a transaction, retrying on conflict until it
     /// commits, and returns its result.
     ///
@@ -262,6 +288,7 @@ impl Stm {
                 }
                 _ => {}
             }
+            tx.close_aborted();
             log = tx.into_log();
             self.stats.abort();
             attempt += 1;
@@ -287,6 +314,7 @@ impl Stm {
                 Some(out)
             }
             _ => {
+                tx.close_aborted();
                 self.stats.abort();
                 None
             }
@@ -306,7 +334,16 @@ pub struct Transaction<'s> {
     /// Snapshot time (TL2: clock at begin; NOrec: sequence-lock value).
     rv: u64,
     started: bool,
+    /// Set when an operation returned [`Retry`]: the attempt is doomed
+    /// (and t-complete in any recorded history), so every later operation
+    /// short-circuits to `Retry` and commit refuses. User code that
+    /// swallows a `Retry` instead of propagating it therefore cannot
+    /// commit an attempt the engine already aborted.
+    poisoned: bool,
     log: TxLog,
+    /// History-recording state for this attempt, when the instance has a
+    /// recorder attached.
+    rec: Option<RecTx>,
     /// Epoch pin: keeps every pointer this transaction may dereference
     /// alive for its whole lifetime (also makes `Transaction: !Send`).
     pin: epoch::Guard,
@@ -316,6 +353,7 @@ impl fmt::Debug for Transaction<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Transaction")
             .field("rv", &self.rv)
+            .field("poisoned", &self.poisoned)
             .field("log", &self.log)
             .finish()
     }
@@ -327,7 +365,9 @@ impl<'s> Transaction<'s> {
             stm,
             rv: 0,
             started: false,
+            poisoned: false,
             log,
+            rec: stm.recorder.as_ref().map(HistoryRecorder::begin_tx),
             pin: epoch::pin(),
         }
     }
@@ -359,15 +399,65 @@ impl<'s> Transaction<'s> {
         self.started = true;
     }
 
+    /// Records an invocation marker (no-op without a recorder).
+    fn rec_invoke(&mut self, op: TOpDesc) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.invoke(op);
+            self.stm.stats.recorded(1);
+        }
+    }
+
+    /// Records a response marker (no-op without a recorder).
+    fn rec_respond(&mut self, op: TOpDesc, res: TOpResult) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.respond(op, res);
+            self.stm.stats.recorded(1);
+        }
+    }
+
+    /// Closes an abandoned attempt in the recorded history with a
+    /// `tryC -> A_k` pair: a user body that returned its own error never
+    /// reaches commit, but the history needs every transaction
+    /// t-complete before its process starts the next one.
+    fn close_aborted(&mut self) {
+        if self.rec.as_ref().is_some_and(RecTx::needs_close) {
+            self.rec_invoke(TOpDesc::TryCommit);
+            self.rec_respond(TOpDesc::TryCommit, TOpResult::Aborted);
+        }
+    }
+
     /// Reads a variable.
     ///
     /// # Errors
     ///
     /// [`Retry`] if a concurrent commit made a consistent snapshot
-    /// impossible; propagate it with `?`.
+    /// impossible, or if this attempt already returned [`Retry`] once;
+    /// propagate it with `?`.
     pub fn read<T: TxValue>(&mut self, var: &TVar<T>) -> Result<T, Retry> {
+        if self.poisoned {
+            return Err(Retry);
+        }
         self.ensure_started();
         self.stm.stats.read();
+        let op = self.rec.as_ref().map(|r| TOpDesc::Read(r.object_of(var)));
+        if let Some(op) = op {
+            self.rec_invoke(op);
+        }
+        let out = self.read_raw(var);
+        if let Some(op) = op {
+            match &out {
+                Ok(v) => self.rec_respond(op, TOpResult::Value(word_of(v))),
+                Err(Retry) => self.rec_respond(op, TOpResult::Aborted),
+            }
+        }
+        if out.is_err() {
+            self.poisoned = true;
+        }
+        out
+    }
+
+    /// The algorithm-specific read path, without instrumentation.
+    fn read_raw<T: TxValue>(&mut self, var: &TVar<T>) -> Result<T, Retry> {
         let id = var.id();
         if let Some(w) = self.log.lookup_write(id) {
             let v = w.value.downcast_ref::<T>().expect("write-set type");
@@ -450,12 +540,26 @@ impl<'s> Transaction<'s> {
     ///
     /// # Errors
     ///
-    /// [`Retry`] is reserved for symmetry (buffering never conflicts).
+    /// [`Retry`] if this attempt already returned [`Retry`] once
+    /// (buffering itself never conflicts).
     pub fn write<T: TxValue>(&mut self, var: &TVar<T>, value: T) -> Result<(), Retry> {
+        if self.poisoned {
+            return Err(Retry);
+        }
         self.ensure_started();
         self.stm.stats.write();
+        let op = self
+            .rec
+            .as_ref()
+            .map(|r| TOpDesc::Write(r.object_of(var), word_of(&value)));
+        if let Some(op) = op {
+            self.rec_invoke(op);
+        }
         self.log
             .buffer_write(var.id(), var.as_dyn(), Box::new(value));
+        if let Some(op) = op {
+            self.rec_respond(op, TOpResult::Ok);
+        }
         Ok(())
     }
 
@@ -504,14 +608,26 @@ impl<'s> Transaction<'s> {
 
     /// Attempts to commit; returns whether the transaction is now durable.
     fn commit(&mut self) -> bool {
+        if self.poisoned {
+            return false;
+        }
         self.ensure_started();
-        if self.log.writes.is_empty() {
-            return true; // read-only: serialized at its last validation
-        }
-        match self.stm.algorithm {
-            Algorithm::Tl2 | Algorithm::Incremental => self.commit_versioned(),
-            Algorithm::Norec => self.commit_norec(),
-        }
+        self.rec_invoke(TOpDesc::TryCommit);
+        let ok = if self.log.writes.is_empty() {
+            true // read-only: serialized at its last validation
+        } else {
+            match self.stm.algorithm {
+                Algorithm::Tl2 | Algorithm::Incremental => self.commit_versioned(),
+                Algorithm::Norec => self.commit_norec(),
+            }
+        };
+        let res = if ok {
+            TOpResult::Committed
+        } else {
+            TOpResult::Aborted
+        };
+        self.rec_respond(TOpDesc::TryCommit, res);
+        ok
     }
 
     fn commit_versioned(&mut self) -> bool {

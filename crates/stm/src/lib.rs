@@ -60,6 +60,7 @@
 //! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe |
 //! | [`cm`](ContentionManager) | pluggable retry policies |
 //! | `stats` | commit/abort/validation-probe counters |
+//! | [`recorder`] | opt-in t-operation history recording for the `ptm-model` checkers |
 //!
 //! ## Design notes
 //!
@@ -83,6 +84,7 @@ mod engine;
 #[allow(unsafe_code)]
 mod epoch;
 mod orec;
+pub mod recorder;
 mod stats;
 #[allow(unsafe_code)]
 mod tvar;
@@ -90,5 +92,6 @@ mod txlog;
 
 pub use cm::{CappedAttempts, ContentionManager, Decision, ExponentialBackoff, ImmediateRetry};
 pub use engine::{Algorithm, RetriesExhausted, Retry, Stm, StmBuilder, Transaction};
+pub use recorder::HistoryRecorder;
 pub use stats::{StatsSnapshot, StmStats};
 pub use tvar::{TVar, TxValue};

@@ -7,6 +7,7 @@
 //! quadratically with the read-set size in incremental mode and linearly
 //! in TL2 mode, the hardware echo of the paper's bound.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic event counters for one [`Stm`](crate::Stm) instance.
@@ -17,6 +18,7 @@ pub struct StmStats {
     validation_probes: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+    recorded_events: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -32,6 +34,10 @@ pub struct StatsSnapshot {
     pub reads: u64,
     /// `write` operations executed.
     pub writes: u64,
+    /// History markers captured by an attached
+    /// [`HistoryRecorder`](crate::HistoryRecorder) (0 when recording is
+    /// off).
+    pub recorded_events: u64,
 }
 
 impl StmStats {
@@ -55,6 +61,10 @@ impl StmStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn recorded(&self, n: u64) {
+        self.recorded_events.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -63,6 +73,7 @@ impl StmStats {
             validation_probes: self.validation_probes.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            recorded_events: self.recorded_events.load(Ordering::Relaxed),
         }
     }
 }
@@ -81,7 +92,25 @@ impl StatsSnapshot {
             validation_probes: d(self.validation_probes, earlier.validation_probes),
             reads: d(self.reads, earlier.reads),
             writes: d(self.writes, earlier.writes),
+            recorded_events: d(self.recorded_events, earlier.recorded_events),
         }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    /// One-line counter summary, so bench output and tests do not format
+    /// counters by hand.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "commits={} aborts={} reads={} writes={} probes={} recorded={}",
+            self.commits,
+            self.aborts,
+            self.reads,
+            self.writes,
+            self.validation_probes,
+            self.recorded_events
+        )
     }
 }
 
@@ -98,12 +127,27 @@ mod tests {
         s.probes(5);
         s.read();
         s.write();
+        s.recorded(4);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
         assert_eq!(snap.validation_probes, 5);
         assert_eq!(snap.reads, 1);
         assert_eq!(snap.writes, 1);
+        assert_eq!(snap.recorded_events, 4);
+    }
+
+    #[test]
+    fn display_summarizes_every_counter() {
+        let s = StmStats::default();
+        s.commit();
+        s.probes(2);
+        s.recorded(6);
+        let line = s.snapshot().to_string();
+        assert_eq!(
+            line,
+            "commits=1 aborts=0 reads=0 writes=0 probes=2 recorded=6"
+        );
     }
 
     #[test]

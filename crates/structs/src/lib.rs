@@ -1,0 +1,64 @@
+//! # ptm-structs — transactional data structures over the native STM
+//!
+//! The engine in [`ptm_stm`] exposes raw [`TVar`](ptm_stm::TVar)s; this
+//! crate builds the data-structure layer the ROADMAP's workload families
+//! need, each usable from ordinary transactions under **any** of the
+//! three validation algorithms (TL2 / NOrec / incremental):
+//!
+//! * [`TArray`] — a fixed-length array of `TVar` slots with transactional
+//!   indexing, swap, and whole-array snapshots;
+//! * [`THashMap`] — a bucket-striped hash map: keys conflict only when
+//!   they hash to the same bucket, so disjoint-key transactions commit in
+//!   parallel (the weak-DAP regime the paper prices);
+//! * [`TQueue`] — a Michael–Scott-style linked queue with a sentinel
+//!   node, so producers (tail) and consumers (head) touch disjoint
+//!   `TVar`s whenever the queue is non-empty;
+//! * [`TSet`] — an ordered linked-list set with transactional insert,
+//!   remove, membership, and range scans.
+//!
+//! Every operation takes an in-flight [`Transaction`](ptm_stm::Transaction)
+//! and composes: a user transaction can move an element from a queue into
+//! a map and a set atomically, and the whole step commits or retries as
+//! one.
+//!
+//! ```
+//! use ptm_stm::Stm;
+//! use ptm_structs::{THashMap, TQueue};
+//!
+//! let stm = Stm::tl2();
+//! let inbox: TQueue<u64> = TQueue::new();
+//! let seen: THashMap<u64, u64> = THashMap::new();
+//!
+//! stm.atomically(|tx| inbox.enqueue(tx, 7));
+//! // Atomically move the head of the queue into the map.
+//! let moved = stm.atomically(|tx| {
+//!     match inbox.dequeue(tx)? {
+//!         Some(x) => {
+//!             seen.insert(tx, x, x * x)?;
+//!             Ok(Some(x))
+//!         }
+//!         None => Ok(None),
+//!     }
+//! });
+//! assert_eq!(moved, Some(7));
+//! ```
+//!
+//! Linked structures ([`TQueue`], [`TSet`]) drop their node chains
+//! recursively; keep individual instances below roughly ten thousand
+//! live elements at drop time (the workload sizes this crate's tests and
+//! benchmarks exercise are far below that).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+mod array;
+mod link;
+mod map;
+mod queue;
+mod set;
+
+pub use array::TArray;
+pub use map::THashMap;
+pub use queue::TQueue;
+pub use set::TSet;

@@ -1,0 +1,55 @@
+//! Shared-node plumbing for the linked structures.
+//!
+//! [`TQueue`](crate::TQueue) and [`TSet`](crate::TSet) store their links
+//! as `TVar<Option<NodeRef<N>>>`. A [`NodeRef`] is an `Arc` handle whose
+//! `PartialEq` compares **pointer identity**, which is what NOrec's
+//! value-based validation must see: two links are "the same value"
+//! exactly when they reference the same node, never when two distinct
+//! nodes happen to hold equal payloads (that would let a concurrent
+//! unlink/relink slip past revalidation).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared handle to a structure node; equality is node identity.
+pub(crate) struct NodeRef<N>(pub(crate) Arc<N>);
+
+impl<N> Clone for NodeRef<N> {
+    fn clone(&self) -> Self {
+        NodeRef(Arc::clone(&self.0))
+    }
+}
+
+impl<N> PartialEq for NodeRef<N> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl<N> fmt::Debug for NodeRef<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeRef({:p})", Arc::as_ptr(&self.0))
+    }
+}
+
+impl<N> NodeRef<N> {
+    pub(crate) fn new(node: N) -> Self {
+        NodeRef(Arc::new(node))
+    }
+}
+
+/// An optional link to the next node.
+pub(crate) type Link<N> = Option<NodeRef<N>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_identity_not_value() {
+        let a = NodeRef::new(1u64);
+        let b = NodeRef::new(1u64);
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+    }
+}

@@ -171,9 +171,7 @@ fn main() {
         snap.len()
     );
     println!(
-        "commits {}  aborts {}  (conflict rate {:.2}%)",
-        s.commits,
-        s.aborts,
+        "{s}  (conflict rate {:.2}%)",
         100.0 * s.aborts as f64 / (s.commits + s.aborts) as f64
     );
 }

@@ -16,8 +16,11 @@
 //!   profiles;
 //! * [`stm`] — a native STM for real threads with TL2 / NOrec /
 //!   incremental-validation modes: lock-free optimistic reads over a
-//!   striped orec table, a shared transaction log, and pluggable
-//!   contention management.
+//!   striped orec table, a shared transaction log, pluggable contention
+//!   management, and opt-in t-operation history recording;
+//! * [`structs`] — transactional data structures over the native STM
+//!   (`TArray`, `THashMap`, `TQueue`, `TSet`), each usable under any of
+//!   the three algorithms.
 //!
 //! See `README.md` for the quick start, the crate map, and how to run
 //! the benchmarks.
@@ -45,3 +48,4 @@ pub use ptm_model as model;
 pub use ptm_mutex as mutex;
 pub use ptm_sim as sim;
 pub use ptm_stm as stm;
+pub use ptm_structs as structs;

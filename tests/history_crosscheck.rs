@@ -1,0 +1,317 @@
+//! The bridge between the native engine and the paper's formal model:
+//! record real multi-threaded executions of all three algorithms with
+//! [`HistoryRecorder`], parse them with `ptm_model::History::from_log`,
+//! and run the opacity / strict-serializability checkers on them — the
+//! same checkers the simulator's logs go through. A hand-corrupted log
+//! is rejected, proving the cross-check is not vacuous.
+
+use progressive_tm::model::{is_opaque, is_strictly_serializable, History};
+use progressive_tm::sim::{LogEntry, LogPayload, Marker, TOpDesc, TOpResult};
+use progressive_tm::stm::{Algorithm, HistoryRecorder, Retry, Stm, TVar};
+use progressive_tm::structs::TArray;
+use std::sync::Arc;
+
+const ALGOS: [Algorithm; 3] = [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec];
+
+/// Builds a recording instance and hands back the recorder for draining.
+fn recording_stm(algo: Algorithm) -> (Arc<Stm>, HistoryRecorder) {
+    let rec = HistoryRecorder::new();
+    let stm = Stm::builder(algo).record_history(rec.clone()).build();
+    (Arc::new(stm), rec)
+}
+
+/// Parses a drained log, requiring well-formedness.
+fn history_of(log: &[LogEntry]) -> History {
+    History::from_log(log).expect("recorded histories are well-formed")
+}
+
+/// Asserts the checker accepts `h`: opacity when the backtracking search
+/// is in range, strict serializability of the (bounded) committed set
+/// otherwise (abort storms can inflate the transaction count past the
+/// search's 128-candidate limit).
+fn assert_checker_accepts(h: &History, ctx: &str) {
+    if h.len() <= 120 {
+        assert!(is_opaque(h), "{ctx}: recorded history is not opaque");
+    } else {
+        assert!(
+            is_strictly_serializable(h),
+            "{ctx}: recorded history is not strictly serializable"
+        );
+    }
+}
+
+/// Total the counter workload must reach: the `(t + i) % 3 == 0`
+/// transactions bump both counters, the rest bump one.
+fn expected_counter_total(threads: usize, per: u64) -> u64 {
+    (0..threads as u64)
+        .flat_map(|t| (0..per).map(move |i| if (t + i) % 3 == 0 { 2 } else { 1 }))
+        .sum()
+}
+
+/// Counter increments across `threads` threads; every committed read is
+/// value-constrained, so the checker genuinely verifies the run.
+fn record_counter_run(algo: Algorithm, threads: usize, per: u64) -> (Vec<LogEntry>, u64) {
+    let (stm, rec) = recording_stm(algo);
+    let a = TVar::new(0u64);
+    let b = TVar::new(0u64);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let stm = Arc::clone(&stm);
+            let (a, b) = (a.clone(), b.clone());
+            s.spawn(move || {
+                for i in 0..per {
+                    stm.atomically(|tx| {
+                        // Alternate between the shared counters, touching
+                        // both on every third transaction.
+                        if (t as u64 + i) % 3 == 0 {
+                            let x = tx.read(&a)?;
+                            let y = tx.read(&b)?;
+                            tx.write(&a, x + 1)?;
+                            tx.write(&b, y + 1)
+                        } else if (t as u64 + i) % 2 == 0 {
+                            tx.modify(&a, |x| x + 1)
+                        } else {
+                            tx.modify(&b, |x| x + 1)
+                        }
+                    });
+                }
+            });
+        }
+    });
+    let stats = stm.stats().snapshot();
+    assert!(stats.recorded_events > 0, "recording was on");
+    assert_eq!(
+        rec.events_recorded(),
+        stats.recorded_events,
+        "one recorder, one instance: the counters must agree"
+    );
+    let log = rec.drain();
+    // Counters start at zero, so no preamble: the drained log is exactly
+    // the instance's recorded events.
+    assert_eq!(log.len() as u64, stats.recorded_events);
+    (log, a.load() + b.load())
+}
+
+#[test]
+fn native_counter_histories_are_opaque_all_algorithms() {
+    for algo in ALGOS {
+        for threads in [2usize, 4] {
+            let per = 4;
+            let (log, total) = record_counter_run(algo, threads, per);
+            assert_eq!(total, expected_counter_total(threads, per), "{algo:?}");
+            let h = history_of(&log);
+            assert!(h.is_complete(), "{algo:?}: every attempt is t-complete");
+            assert_eq!(h.committed().len() as u64, (threads as u64) * per);
+            assert_checker_accepts(&h, &format!("{algo:?}/{threads}t"));
+        }
+    }
+}
+
+#[test]
+fn eight_thread_histories_parse_and_serialize() {
+    for algo in ALGOS {
+        let (log, total) = record_counter_run(algo, 8, 2);
+        assert_eq!(total, expected_counter_total(8, 2), "{algo:?}");
+        let h = history_of(&log);
+        assert_eq!(h.committed().len(), 16, "{algo:?}");
+        assert!(
+            is_strictly_serializable(&h),
+            "{algo:?}: 8-thread history must strictly serialize"
+        );
+        assert_checker_accepts(&h, &format!("{algo:?}/8t"));
+    }
+}
+
+#[test]
+fn nonzero_initial_values_are_installed_by_the_preamble() {
+    for algo in ALGOS {
+        let (stm, rec) = recording_stm(algo);
+        let accounts: Vec<TVar<u64>> = (0..4).map(|_| TVar::new(100)).collect();
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let stm = Arc::clone(&stm);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    for i in 0..3usize {
+                        let from = (t + i) % accounts.len();
+                        let to = (t + 2 * i + 1) % accounts.len();
+                        if from == to {
+                            continue;
+                        }
+                        stm.atomically(|tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            let amt = a.min(7);
+                            tx.write(&accounts[from], a - amt)?;
+                            tx.write(&accounts[to], b + amt)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(accounts.iter().map(TVar::load).sum::<u64>(), 400);
+        let log = rec.drain();
+        // The preamble writes the four initial 100s: without it, the
+        // first read of 100 would be illegal (the model starts at 0).
+        let writes_of_100 = log
+            .iter()
+            .filter_map(LogEntry::marker)
+            .filter(|m| {
+                matches!(
+                    m,
+                    Marker::TxInvoke {
+                        op: TOpDesc::Write(_, 100),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(writes_of_100 >= 4, "preamble installs initial balances");
+        assert_checker_accepts(&history_of(&log), &format!("{algo:?}/bank"));
+    }
+}
+
+#[test]
+fn tarray_workload_histories_are_opaque() {
+    // The data-structure layer over the recorder: TArray slots hold u64,
+    // so recorded words are the real values and the checker validates
+    // the structure's behaviour, not just its event shape.
+    for algo in ALGOS {
+        let (stm, rec) = recording_stm(algo);
+        let arr = TArray::new(4, 5u64);
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let stm = Arc::clone(&stm);
+                let arr = arr.clone();
+                s.spawn(move || {
+                    for i in 0..3usize {
+                        let from = (t + i) % arr.len();
+                        let to = (t + i + 1) % arr.len();
+                        stm.atomically(|tx| {
+                            let a = arr.get(tx, from)?;
+                            let amt = a.min(2);
+                            arr.update(tx, from, |x| x - amt)?;
+                            arr.update(tx, to, |x| x + amt)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(arr.load_all().iter().sum::<u64>(), 20);
+        let h = history_of(&rec.drain());
+        assert_checker_accepts(&h, &format!("{algo:?}/tarray"));
+    }
+}
+
+#[test]
+fn user_retries_and_try_once_close_their_transactions() {
+    for algo in ALGOS {
+        let rec = HistoryRecorder::new();
+        // Tiny attempt budget: the always-failing bodies below must not
+        // spin for the default ten million attempts.
+        let stm = Stm::builder(algo)
+            .max_attempts(3)
+            .record_history(rec.clone())
+            .build();
+        let v = TVar::new(0u64);
+        // A body that gives up on odd values: the engine must close the
+        // abandoned attempt in the history (tryC -> A) even though no
+        // operation conflicted.
+        let mut gave_up = 0u32;
+        for i in 0..6u64 {
+            let out = stm.run(|tx| {
+                let x = tx.read(&v)?;
+                if i % 2 == 1 {
+                    return Err(Retry);
+                }
+                tx.write(&v, x + 1)
+            });
+            if out.is_err() {
+                gave_up += 1;
+            }
+        }
+        assert!(gave_up > 0, "odd iterations exhausted their budget");
+        // try_once aborts are closed the same way.
+        let _ = stm.try_once(|tx| {
+            tx.read(&v)?;
+            Err::<(), Retry>(Retry)
+        });
+        let h = history_of(&rec.drain());
+        assert!(h.is_complete(), "{algo:?}: abandoned attempts were closed");
+        assert!(!h.aborted().is_empty(), "{algo:?}: aborts were recorded");
+        assert_checker_accepts(&h, &format!("{algo:?}/user-retry"));
+    }
+}
+
+#[test]
+fn poisoned_transactions_cannot_commit_after_a_swallowed_retry() {
+    let rec = HistoryRecorder::new();
+    let stm = Stm::builder(Algorithm::Tl2)
+        .max_attempts(2)
+        .record_history(rec.clone())
+        .build();
+    let v = TVar::new(0u64);
+    // The body swallows a (synthetic) failed read by ignoring the error
+    // and blundering on; poisoning forces every later op and the commit
+    // to fail, so the recorded history stays well-formed.
+    let out = stm.run(|tx| {
+        let _ = tx.read(&v)?; // records the read
+        Err::<(), Retry>(Retry)
+    });
+    assert!(out.is_err());
+    let h = history_of(&rec.drain());
+    assert!(h.is_complete());
+    assert!(is_opaque(&h));
+}
+
+#[test]
+fn corrupted_read_value_is_rejected_by_the_checker() {
+    for algo in ALGOS {
+        let (mut log, _) = record_counter_run(algo, 2, 3);
+        assert!(is_opaque(&history_of(&log)), "{algo:?}: pristine log");
+        // Flip the first read response to a value nothing ever wrote.
+        let target = log
+            .iter_mut()
+            .find_map(|e| match &mut e.payload {
+                LogPayload::Marker(Marker::TxResponse {
+                    op: TOpDesc::Read(_),
+                    res: res @ TOpResult::Value(_),
+                    ..
+                }) => Some(res),
+                _ => None,
+            })
+            .expect("counter runs contain read responses");
+        *target = TOpResult::Value(1_000_003);
+        let h = history_of(&log);
+        assert!(
+            !is_opaque(&h),
+            "{algo:?}: corrupted read value must not be opaque"
+        );
+        assert!(
+            !is_strictly_serializable(&h),
+            "{algo:?}: corrupted read value must not serialize"
+        );
+    }
+}
+
+#[test]
+fn corrupted_response_marker_is_rejected_by_the_parser() {
+    let (mut log, _) = record_counter_run(Algorithm::Tl2, 2, 2);
+    // Point a response at the wrong operation: the well-formedness pass
+    // itself must refuse the log.
+    let target = log
+        .iter_mut()
+        .find_map(|e| match &mut e.payload {
+            LogPayload::Marker(Marker::TxResponse {
+                op: op @ TOpDesc::Read(_),
+                ..
+            }) => Some(op),
+            _ => None,
+        })
+        .expect("read responses exist");
+    *target = TOpDesc::TryCommit;
+    assert!(
+        History::from_log(&log).is_err(),
+        "mismatched response must fail to parse"
+    );
+}
