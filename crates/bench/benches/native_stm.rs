@@ -2,12 +2,12 @@
 //! environment has no criterion).
 //!
 //! Run with `cargo bench -p ptm-bench --bench native_stm`; pass `quick`
-//! to shrink workloads. Emits `BENCH_native_stm.json` in the working
-//! directory — the read-heavy throughput baseline successive PRs compare
-//! against.
+//! to shrink workloads. Emits the canonical `BENCH_native_stm.json` at
+//! the workspace root — the read-heavy throughput baseline successive
+//! PRs compare against.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a.contains("quick"));
-    ptm_bench::native::run_and_emit(quick, "BENCH_native_stm.json");
+    ptm_bench::native::run_and_emit(quick, &ptm_bench::native::native_baseline_path());
 }

@@ -2,12 +2,12 @@
 //! build environment has no criterion).
 //!
 //! Run with `cargo bench -p ptm-bench --bench structs`; pass `quick` to
-//! shrink workloads. Emits `BENCH_structs.json` in the working directory
-//! — the structure-level throughput baseline successive PRs compare
-//! against.
+//! shrink workloads. Emits the canonical `BENCH_structs.json` at the
+//! workspace root — the structure-level throughput baseline successive
+//! PRs compare against.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a.contains("quick"));
-    ptm_bench::structs::run_and_emit(quick, "BENCH_structs.json");
+    ptm_bench::structs::run_and_emit(quick, &ptm_bench::structs::structs_baseline_path());
 }

@@ -1,5 +1,6 @@
 //! Standalone runner for the native-STM benchmarks: `cargo run --release
-//! -p ptm-bench --bin native-stm-bench [-- --quick] [-- --out PATH]`.
+//! -p ptm-bench --bin native-stm-bench [-- --quick] [-- --out PATH]`;
+//! without `--out` the canonical workspace-root baseline is rewritten.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -8,7 +9,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("BENCH_native_stm.json");
-    ptm_bench::native::run_and_emit(quick, out);
+        .cloned()
+        .unwrap_or_else(ptm_bench::native::native_baseline_path);
+    ptm_bench::native::run_and_emit(quick, &out);
 }

@@ -1,5 +1,6 @@
 //! Standalone runner for the data-structure benchmarks: `cargo run
-//! --release -p ptm-bench --bin structs-bench [-- --quick] [-- --out PATH]`.
+//! --release -p ptm-bench --bin structs-bench [-- --quick] [-- --out PATH]`;
+//! without `--out` the canonical workspace-root baseline is rewritten.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -8,7 +9,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("BENCH_structs.json");
-    ptm_bench::structs::run_and_emit(quick, out);
+        .cloned()
+        .unwrap_or_else(ptm_bench::structs::structs_baseline_path);
+    ptm_bench::structs::run_and_emit(quick, &out);
 }

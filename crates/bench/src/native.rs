@@ -1,6 +1,6 @@
 //! E11/E12 — native-STM microbenchmarks with a JSON baseline.
 //!
-//! Measures the three native algorithms on real threads and emits
+//! Measures the four native algorithms on real threads and emits
 //! `BENCH_native_stm.json` so successive PRs can compare read-path
 //! throughput against a recorded baseline:
 //!
@@ -10,6 +10,11 @@
 //! * `read_scaling/<algo>/<threads>` — concurrent read-only scans of a
 //!   shared array: the payoff of the lock-free read path (the seed's
 //!   mutex-per-read design serialized here);
+//! * `read_mostly/<algo>/<threads>` — the paper's time–space tradeoff,
+//!   measured: a read-dominated mix (16-variable scans, every 8th
+//!   transaction also writes) contrasting Tlrw's O(1) visible reads
+//!   against Tl2's snapshot validation and Incremental's quadratic
+//!   re-validation across a thread ladder;
 //! * `counter_increment/<algo>` — uncontended update-transaction latency;
 //! * `bank_contended/<algo>` — 4 threads hammering 8 accounts:
 //!   end-to-end throughput with retries (E12).
@@ -26,7 +31,38 @@ pub const ALGOS: &[(&str, Algorithm)] = &[
     ("tl2", Algorithm::Tl2),
     ("incremental", Algorithm::Incremental),
     ("norec", Algorithm::Norec),
+    ("tlrw", Algorithm::Tlrw),
 ];
+
+/// Canonical location of a baseline file: the workspace root, regardless
+/// of the working directory `cargo bench` or `cargo run` chose (bench
+/// targets run from the package directory, binaries from wherever the
+/// user stands — the two used to scatter duplicate `BENCH_*.json`
+/// files). The root is found at runtime by walking up from the current
+/// directory to the nearest ancestor holding a `Cargo.lock`, so a moved
+/// or copied checkout still writes next to its own code; out-of-tree
+/// invocations fall back to this crate's compile-time workspace.
+pub fn baseline_path(file: &str) -> String {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        // Only accept a root that is *this* workspace (its manifest
+        // lists the bench crate), so running from inside some unrelated
+        // Cargo project does not drop the baseline there.
+        if d.join("Cargo.lock").exists()
+            && std::fs::read_to_string(d.join("Cargo.toml"))
+                .is_ok_and(|m| m.contains("crates/bench"))
+        {
+            return d.join(file).to_string_lossy().into_owned();
+        }
+        dir = d.parent().map(std::path::Path::to_path_buf);
+    }
+    format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The native-STM baseline's canonical path (see [`baseline_path`]).
+pub fn native_baseline_path() -> String {
+    baseline_path("BENCH_native_stm.json")
+}
 
 /// Small deterministic PRNG (PCG-style LCG step) shared by the bench
 /// workloads; seed it with the thread index for reproducible per-thread
@@ -141,6 +177,61 @@ pub fn bench_read_scaling(
     }
 }
 
+/// Read-mostly mix over one shared array: every transaction scans a
+/// 16-variable window; every 8th transaction per thread also writes one
+/// slot (the same value, so the scan invariant holds and the only
+/// traffic is the synchronization itself). This is the paper's tradeoff
+/// as a ladder: Tlrw pays an RMW per first-touch stripe but never
+/// validates; Tl2 validates each read against its snapshot; Incremental
+/// re-validates the whole read set per read.
+pub fn bench_read_mostly(
+    algo: Algorithm,
+    name: &str,
+    m: usize,
+    threads: usize,
+    txns_per_thread: u64,
+) -> BenchResult {
+    const WINDOW: usize = 16;
+    let stm = Arc::new(Stm::new(algo));
+    let vars: Vec<TVar<u64>> = (0..m).map(|_| TVar::new(1)).collect();
+    let run = || {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let stm = Arc::clone(&stm);
+                let vars = vars.clone();
+                s.spawn(move || {
+                    let mut seed = t as u64 + 1;
+                    for i in 0..txns_per_thread {
+                        let start = next_rand(&mut seed) as usize % m;
+                        let writing = i % 8 == 7;
+                        let sum = stm.atomically(|tx| {
+                            let mut acc = 0u64;
+                            for k in 0..WINDOW {
+                                acc = acc.wrapping_add(tx.read(&vars[(start + k) % m])?);
+                            }
+                            if writing {
+                                tx.write(&vars[start], 1)?;
+                            }
+                            Ok(acc)
+                        });
+                        assert_eq!(sum, WINDOW as u64);
+                    }
+                });
+            }
+        });
+    };
+    run(); // warmup
+    let nanos = time(run);
+    BenchResult {
+        name: "read_mostly".into(),
+        algo: name.into(),
+        m,
+        threads,
+        ops: txns_per_thread * threads as u64,
+        nanos,
+    }
+}
+
 /// Uncontended single-thread counter increments.
 pub fn bench_counter(algo: Algorithm, name: &str, txns: u64) -> BenchResult {
     let stm = Stm::new(algo);
@@ -233,6 +324,11 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
         }
     }
     for &(name, algo) in ALGOS {
+        for threads in [1usize, 2, 4, 8] {
+            out.push(bench_read_mostly(algo, name, 128, threads, scale_txns));
+        }
+    }
+    for &(name, algo) in ALGOS {
         out.push(bench_counter(algo, name, counter_txns));
     }
     for &(name, algo) in ALGOS {
@@ -316,12 +412,30 @@ mod tests {
     use super::*;
 
     #[test]
+    fn baseline_path_resolves_to_this_workspace_root() {
+        // Under `cargo test` the CWD is the package dir; the walk-up
+        // must land on the workspace root (which holds the bench crate),
+        // not merely the nearest Cargo.lock of whatever project.
+        let p = std::path::PathBuf::from(baseline_path("PROBE.json"));
+        assert_eq!(p.file_name().unwrap(), "PROBE.json");
+        let root = p.parent().unwrap();
+        assert!(root.join("Cargo.lock").exists(), "{}", root.display());
+        assert!(root.join("crates/bench").is_dir(), "{}", root.display());
+        assert_eq!(
+            native_baseline_path(),
+            root.join("BENCH_native_stm.json").to_string_lossy()
+        );
+    }
+
+    #[test]
     fn quick_suite_produces_complete_results() {
         let results = vec![
             bench_read_only(Algorithm::Tl2, "tl2", 8, 10),
             bench_counter(Algorithm::Norec, "norec", 10),
             bench_bank_contended(Algorithm::Tl2, "tl2", 2, 20),
             bench_read_scaling(Algorithm::Tl2, "tl2", 8, 2, 10),
+            bench_read_mostly(Algorithm::Tlrw, "tlrw", 32, 2, 10),
+            bench_read_mostly(Algorithm::Tl2, "tl2", 32, 2, 10),
         ];
         for r in &results {
             assert!(r.ops > 0);

@@ -1,7 +1,7 @@
 //! E13 — transactional data-structure workloads with a JSON baseline.
 //!
 //! Four workload families over `ptm-structs`, each swept across the
-//! three native algorithms and a thread ladder, emitting
+//! four native algorithms and a thread ladder, emitting
 //! `BENCH_structs.json` so successive PRs can compare structure-level
 //! throughput (the raw-`TVar` suite in [`crate::native`] measures the
 //! engine; this suite measures the layer users actually program
@@ -21,6 +21,12 @@
 //!   [`TArray`], the structure-level bank workload.
 
 use crate::native::{next_rand, BenchResult, ALGOS};
+
+/// Canonical workspace-root location of the structure baseline (see
+/// [`crate::native::baseline_path`] for the resolution rules).
+pub fn structs_baseline_path() -> String {
+    crate::native::baseline_path("BENCH_structs.json")
+}
 use ptm_stm::{Algorithm, Stm};
 use ptm_structs::{TArray, THashMap, TQueue, TSet};
 use std::sync::Arc;

@@ -32,6 +32,14 @@
 //! abort variant trades Definition 1). The test suite demonstrates the
 //! violation and the `ptm-model` checker catching it — a negative
 //! specimen the checker-driven methodology is designed to expose.
+//!
+//! The **native twin** of this protocol is `ptm_stm::Algorithm::Tlrw`
+//! (`crates/stm`), which transplants the same fetch-add reader
+//! announcement onto the real-threads engine's striped orec table —
+//! there the simulator's exact step counts become `StatsSnapshot`
+//! counters (`validation_probes` stays 0, `reader_conflicts` counts the
+//! lock-word aborts) and wall-clock throughput in
+//! `BENCH_native_stm.json`'s `read_mostly` ladder.
 
 use crate::api::{Aborted, SimTm, SimTxn, TmProperties};
 use ptm_sim::{BaseObjectId, Ctx, Home, SimBuilder, TObjId, TxId, Word};
@@ -178,6 +186,13 @@ impl SimTxn for TlrwTxn {
                         WRITER.wrapping_neg()
                     };
                     ctx.fetch_add(self.layout.rw[y.index()], delta);
+                    if was_read {
+                        // The restored read lock must be released by
+                        // `die` below — forgetting to re-register it
+                        // here leaked the lock and starved every later
+                        // writer on the item.
+                        self.read_locked.push(y);
+                    }
                 }
                 return Err(self.die(ctx));
             }
@@ -334,6 +349,39 @@ mod tests {
         // Plain progressiveness still holds (mutual conflict excuses).
         assert!(ptm_model::is_progressive(&hist));
         assert!(ptm_model::is_opaque(&hist));
+    }
+
+    #[test]
+    fn upgrade_rollback_releases_restored_read_locks() {
+        // Regression: a two-item upgrade whose second CAS fails restores
+        // the first item's read lock arithmetically — but used to forget
+        // to re-register it in `read_locked`, so the restored lock was
+        // never dropped and every later writer on X0 aborted forever.
+        let mut h = harness(3, 2);
+        let (p0, p1, p2) = (ProcessId::new(0), ProcessId::new(1), ProcessId::new(2));
+        h.begin(p0);
+        assert_eq!(h.read(p0, TObjId::new(0)).0, TOpResult::Value(0));
+        assert_eq!(h.read(p0, TObjId::new(1)).0, TOpResult::Value(0));
+        assert_eq!(h.write(p0, TObjId::new(0), 1).0, TOpResult::Ok);
+        assert_eq!(h.write(p0, TObjId::new(1), 1).0, TOpResult::Ok);
+        // A foreign reader camps on X1, so p0's upgrade locks X0, fails
+        // on X1, and rolls back.
+        h.begin(p1);
+        assert_eq!(h.read(p1, TObjId::new(1)).0, TOpResult::Value(0));
+        assert_eq!(h.try_commit(p0).0, TOpResult::Aborted);
+        assert_eq!(h.try_commit(p1).0, TOpResult::Committed);
+        // No leak: a fresh writer acquires both items and commits.
+        h.begin(p2);
+        assert_eq!(h.write(p2, TObjId::new(0), 9).0, TOpResult::Ok);
+        assert_eq!(h.write(p2, TObjId::new(1), 9).0, TOpResult::Ok);
+        assert_eq!(h.try_commit(p2).0, TOpResult::Committed);
+        h.begin(p0);
+        assert_eq!(h.read(p0, TObjId::new(0)).0, TOpResult::Value(9));
+        assert_eq!(h.try_commit(p0).0, TOpResult::Committed);
+        h.stop_all();
+        let hist = h.history();
+        assert!(ptm_model::is_opaque(&hist));
+        assert!(ptm_model::is_progressive(&hist));
     }
 
     #[test]

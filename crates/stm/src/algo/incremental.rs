@@ -1,0 +1,38 @@
+//! Incremental: the paper's invisible-read weak-DAP progressive TM
+//! transplanted to real hardware.
+//!
+//! No clock read on the read path; every t-read re-validates the entire
+//! read set by version equality — quadratic validation work, observable
+//! in [`StmStats::snapshot`](crate::StmStats::snapshot) and in
+//! wall-clock time. Commit is the shared versioned-orec path
+//! ([`super::versioned`]).
+
+use crate::engine::{Retry, Stm, Transaction};
+use crate::orec;
+use crate::tvar::{TVar, TxValue};
+use std::sync::atomic::Ordering;
+
+pub(crate) use super::versioned::commit;
+
+/// No snapshot clock: consistency comes from re-validation alone.
+pub(crate) fn begin(_stm: &Stm) -> u64 {
+    0
+}
+
+/// Invisible read followed by full read-set re-validation — every prior
+/// read, every time (the Θ(m²) signature of Theorem 3(1)).
+pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
+    let stripe = tx.stm.orecs.stripe_of(var.id());
+    let word = tx.stm.orecs.word(stripe);
+    let m1 = word.load(Ordering::Acquire);
+    if orec::is_locked(m1) {
+        return Err(Retry);
+    }
+    let v = var.inner.read_snapshot(&tx.pin);
+    if word.load(Ordering::Acquire) != m1 {
+        return Err(Retry);
+    }
+    super::versioned::validate(tx, None)?;
+    super::versioned::record_read(tx, stripe, m1);
+    Ok(v)
+}

@@ -1,0 +1,90 @@
+//! The algorithm-strategy layer: one module per validation algorithm,
+//! three hooks each.
+//!
+//! The engine ([`crate::Stm`] / [`crate::Transaction`]) owns everything
+//! algorithm-*independent* — the transaction log, the retry loop,
+//! contention management, epoch pinning, history recording, statistics —
+//! and delegates the algorithm-*specific* steps to this layer through
+//! exactly three hooks, dispatched once each:
+//!
+//! | hook | contract |
+//! |------|----------|
+//! | `begin(stm) -> u64` | sample the snapshot time (clock, sequence lock, or nothing) at the transaction's first operation |
+//! | `read(tx, var) -> Result<T, Retry>` | produce a value consistent with every earlier read of the attempt, recording whatever the commit hook needs (versioned read, value snapshot, or a held read lock) |
+//! | `commit(tx) -> bool` | atomically publish the buffered write set or fail without trace; only called when the write set is non-empty |
+//!
+//! Read-only commits are generic: an attempt whose last read validated
+//! (invisible-read algorithms) or whose read locks are still held (Tlrw)
+//! is already serialized, so the engine commits it without calling back
+//! in here. Likewise generic is read-lock release — the engine undoes
+//! `TxLog::rw_reads` on every exit path, including `Drop`, so a panicking
+//! body cannot leak a visible read's lock.
+//!
+//! Validation helpers shared between algorithms live in [`versioned`]
+//! (orec version equality, used by Tl2 and Incremental) and in the
+//! modules that own them; a fifth algorithm is one new module plus one
+//! arm in each dispatch below.
+
+pub(crate) mod incremental;
+pub(crate) mod norec;
+pub(crate) mod tl2;
+pub(crate) mod tlrw;
+pub(crate) mod versioned;
+
+use crate::engine::{Algorithm, Retry, Stm, Transaction};
+use crate::tvar::{TVar, TxValue};
+
+/// Runs a locking commit body with the write set's stripes collected,
+/// sorted, and deduplicated (several variables may share a stripe), and
+/// with the log's recycled scratch buffers — restored cleared on every
+/// exit path, so a retrying transaction reallocates nothing. Shared by
+/// every stripe-locking commit hook (versioned and Tlrw).
+fn with_write_stripes(
+    tx: &mut Transaction<'_>,
+    body: impl FnOnce(&mut Transaction<'_>, &[usize], &mut Vec<(usize, u64)>) -> bool,
+) -> bool {
+    let mut stripes = std::mem::take(&mut tx.log.stripe_buf);
+    let mut held = std::mem::take(&mut tx.log.held_buf);
+    stripes.extend(tx.log.writes.iter().map(|w| tx.stm.orecs.stripe_of(w.id)));
+    stripes.sort_unstable();
+    stripes.dedup();
+    let ok = body(tx, &stripes, &mut held);
+    stripes.clear();
+    held.clear();
+    tx.log.stripe_buf = stripes;
+    tx.log.held_buf = held;
+    ok
+}
+
+/// Begin hook: the algorithm's snapshot time, sampled lazily at the
+/// attempt's first operation.
+pub(crate) fn begin(stm: &Stm) -> u64 {
+    match stm.algorithm {
+        Algorithm::Tl2 => tl2::begin(stm),
+        Algorithm::Incremental => incremental::begin(stm),
+        Algorithm::Norec => norec::begin(stm),
+        Algorithm::Tlrw => tlrw::begin(stm),
+    }
+}
+
+/// Read hook: the algorithm-specific consistent-read path (the engine
+/// has already consulted the write set).
+pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
+    match tx.stm.algorithm {
+        Algorithm::Tl2 => tl2::read(tx, var),
+        Algorithm::Incremental => incremental::read(tx, var),
+        Algorithm::Norec => norec::read(tx, var),
+        Algorithm::Tlrw => tlrw::read(tx, var),
+    }
+}
+
+/// Commit hook: publish the (non-empty) write set atomically, or fail
+/// leaving shared state untouched.
+pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
+    match tx.stm.algorithm {
+        Algorithm::Tl2 => tl2::commit(tx),
+        Algorithm::Incremental => incremental::commit(tx),
+        Algorithm::Norec => norec::commit(tx),
+        Algorithm::Tlrw => tlrw::commit(tx),
+    }
+}

@@ -1,0 +1,87 @@
+//! NOrec: a single global sequence lock and value-based validation.
+//!
+//! No per-variable version traffic on commit besides the value itself;
+//! reads snapshot values and revalidate the whole read set *by value*
+//! whenever the sequence clock moves, which makes equal-value
+//! write-backs (value-level ABA) invisible instead of abort-inducing.
+
+use crate::engine::{Retry, Stm, Transaction};
+use crate::epoch;
+use crate::tvar::{TVar, TxValue};
+use crate::txlog::ValueRead;
+use std::sync::atomic::Ordering;
+
+/// Snapshot time: the sequence lock, spun to an even (quiescent) value.
+pub(crate) fn begin(stm: &Stm) -> u64 {
+    loop {
+        let t = stm.clock.load(Ordering::Acquire);
+        if t & 1 == 0 {
+            return t;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Value-snapshot read: consistent as long as the sequence clock has not
+/// moved; otherwise revalidate everything by value and retry the read.
+pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
+    loop {
+        let v = var.inner.read_snapshot(&tx.pin);
+        let t = tx.stm.clock.load(Ordering::Acquire);
+        if t == tx.rv {
+            tx.log.value_reads.push(ValueRead {
+                var: var.as_dyn(),
+                snapshot: Box::new(v.clone()),
+            });
+            return Ok(v);
+        }
+        tx.rv = validate(tx)?;
+    }
+}
+
+/// Waits for an even sequence value, then compares every read snapshot
+/// with the current value. Returns the validated time.
+pub(crate) fn validate(tx: &Transaction<'_>) -> Result<u64, Retry> {
+    loop {
+        let t = loop {
+            let t = tx.stm.clock.load(Ordering::Acquire);
+            if t & 1 == 0 {
+                break t;
+            }
+            std::hint::spin_loop();
+        };
+        tx.stm.stats.probes(tx.log.value_reads.len() as u64);
+        for r in &tx.log.value_reads {
+            if !r.var.value_eq(&tx.pin, r.snapshot.as_ref()) {
+                return Err(Retry);
+            }
+        }
+        if tx.stm.clock.load(Ordering::Acquire) == t {
+            return Ok(t);
+        }
+    }
+}
+
+/// Commit hook: acquire the sequence lock (odd value), publish, bump to
+/// the next even value.
+pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
+    loop {
+        let rv = tx.rv;
+        if tx
+            .stm
+            .clock
+            .compare_exchange(rv, rv + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            break;
+        }
+        match validate(tx) {
+            Ok(t) => tx.rv = t,
+            Err(Retry) => return false,
+        }
+    }
+    let retired = tx.log.publish_writes();
+    tx.stm.clock.store(tx.rv + 2, Ordering::Release);
+    epoch::retire_batch(retired);
+    true
+}

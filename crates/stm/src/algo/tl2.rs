@@ -1,0 +1,36 @@
+//! Tl2: global version clock, invisible O(1) reads.
+//!
+//! A read validates in O(1) against the snapshot time with an optimistic
+//! word-check / read / re-check and **acquires no lock**; commit is the
+//! shared versioned-orec path ([`super::versioned`]): lock the write
+//! set's stripes in sorted order, stamp them with a fresh clock tick,
+//! validate the read set once.
+
+use crate::engine::{Retry, Stm, Transaction};
+use crate::orec;
+use crate::tvar::{TVar, TxValue};
+use std::sync::atomic::Ordering;
+
+pub(crate) use super::versioned::commit;
+
+/// Snapshot time: the global version clock at transaction begin.
+pub(crate) fn begin(stm: &Stm) -> u64 {
+    stm.clock.load(Ordering::Acquire)
+}
+
+/// Optimistic invisible read: any stripe version newer than the
+/// snapshot (or a held lock) means a concurrent commit and aborts.
+pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
+    let stripe = tx.stm.orecs.stripe_of(var.id());
+    let word = tx.stm.orecs.word(stripe);
+    let m1 = word.load(Ordering::Acquire);
+    if orec::is_locked(m1) || orec::version_of(m1) > tx.rv {
+        return Err(Retry);
+    }
+    let v = var.inner.read_snapshot(&tx.pin);
+    if word.load(Ordering::Acquire) != m1 {
+        return Err(Retry);
+    }
+    super::versioned::record_read(tx, stripe, m1);
+    Ok(v)
+}

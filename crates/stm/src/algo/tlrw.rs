@@ -1,0 +1,125 @@
+//! Tlrw: TLRW-style **visible reads** (Dice–Shavit, SPAA'10) — the other
+//! side of the paper's time–space tradeoff, on real hardware.
+//!
+//! Where the invisible-read algorithms pay validation work (up to Θ(m²)
+//! for Incremental), Tlrw pays **synchronization inside every read**: the
+//! first read of a stripe announces itself with one `fetch_add` on the
+//! stripe's reader–writer word and holds that read lock until the
+//! transaction resolves. A held read lock excludes writers from the whole
+//! stripe, so reads are trivially consistent — **no validation, ever**;
+//! read-only transactions commit with zero probes
+//! (`StatsSnapshot::validation_probes` stays 0).
+//!
+//! ## Protocol (per stripe word, see [`crate::orec`])
+//!
+//! * **read**: if the stripe is already read-locked by this transaction,
+//!   just load the value. Otherwise `fetch_add(+RW_READER)`; if the
+//!   writer flag was set, undo with `fetch_add(-RW_READER)` and abort.
+//! * **write**: buffered (generic engine path).
+//! * **commit**: for each write stripe in sorted order, CAS the word from
+//!   exactly "no foreign owner" (our own read lock, or nothing) to the
+//!   writer flag — any other state proves a concurrent reader or writer
+//!   and aborts. Publish values, release write locks, then the engine
+//!   releases the remaining read locks.
+//!
+//! All lock releases are arithmetic (`fetch_add`/`fetch_sub`, never blind
+//! stores), so transient reader increments racing with a rollback
+//! survive. A failed upgrade CAS restores the consumed read lock *and*
+//! re-registers it in `TxLog::rw_reads` — dropping it from the set while
+//! restoring the count would leak the lock and starve every later writer
+//! on the stripe (the simulated twin in `ptm-core` had exactly this bug
+//! in its rollback path).
+//!
+//! Aborts happen only when the lock word proves a concurrent conflicting
+//! transaction — progressive. It is **not strongly progressive**: two
+//! read-to-write upgraders on the same stripe each see the other's read
+//! lock and both abort; the pluggable contention manager (backoff) is
+//! what makes them eventually diverge.
+
+use crate::engine::{Retry, Stm, Transaction};
+use crate::epoch;
+use crate::orec::{rw_write_locked, RW_READER, RW_WRITER};
+use crate::tvar::{TVar, TxValue};
+use std::sync::atomic::Ordering;
+
+/// No snapshot clock: consistency comes from the held read locks.
+pub(crate) fn begin(_stm: &Stm) -> u64 {
+    0
+}
+
+/// Visible read: announce a reader on the stripe (one `fetch_add`), then
+/// load the value under the held lock. O(1), no validation.
+pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
+    let stripe = tx.stm.orecs.stripe_of(var.id());
+    if !tx.log.rw_contains(stripe) {
+        let word = tx.stm.orecs.word(stripe);
+        let prev = word.fetch_add(RW_READER, Ordering::AcqRel);
+        if rw_write_locked(prev) {
+            // A writer owns the stripe: undo the announcement and abort.
+            word.fetch_sub(RW_READER, Ordering::AcqRel);
+            tx.stm.stats.reader_conflict();
+            return Err(Retry);
+        }
+        tx.log.rw_insert(stripe);
+    }
+    // The held read lock excludes writers until this transaction
+    // resolves, so the loaded value cannot be concurrently replaced.
+    Ok(var.inner.read_snapshot(&tx.pin))
+}
+
+/// Commit hook: upgrade/acquire write locks stripe by stripe, publish,
+/// release. Read locks that were not upgraded are released by the
+/// engine's generic path right after this returns.
+pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
+    super::with_write_stripes(tx, commit_with)
+}
+
+/// `held` entries are `(stripe, was_read)`: whether the write lock was
+/// acquired by upgrading our own read lock (1) or from an unowned word
+/// (0) — rollback and release must undo exactly what was done.
+fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
+    for &stripe in stripes.iter() {
+        let upgrading = tx.log.rw_contains(stripe);
+        let expected = if upgrading { RW_READER } else { 0 };
+        let word = tx.stm.orecs.word(stripe);
+        if word
+            .compare_exchange(expected, RW_WRITER, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // Foreign readers or a writer hold the stripe: roll back.
+            rollback(tx, held);
+            tx.stm.stats.reader_conflict();
+            return false;
+        }
+        if upgrading {
+            // The CAS consumed our read lock; track it as a write lock.
+            tx.log.rw_remove(stripe);
+        }
+        held.push((stripe, u64::from(upgrading)));
+    }
+    let retired = tx.log.publish_writes();
+    for &(stripe, _) in held.iter() {
+        tx.stm
+            .orecs
+            .word(stripe)
+            .fetch_sub(RW_WRITER, Ordering::AcqRel);
+    }
+    epoch::retire_batch(retired);
+    true
+}
+
+fn rollback(tx: &mut Transaction<'_>, held: &[(usize, u64)]) {
+    for &(stripe, was_read) in held {
+        let word = tx.stm.orecs.word(stripe);
+        if was_read == 1 {
+            // Restore the consumed read lock (writer flag off, our
+            // reader back) and re-register it so abort cleanup releases
+            // it — restoring the count without re-registering would leak
+            // the lock.
+            word.fetch_add(RW_READER.wrapping_sub(RW_WRITER), Ordering::AcqRel);
+            tx.log.rw_insert(stripe);
+        } else {
+            word.fetch_sub(RW_WRITER, Ordering::AcqRel);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared machinery of the versioned-orec algorithms (Tl2 and
+//! Incremental): version-equality validation of the read set and the
+//! lock–validate–stamp commit over the striped orec table.
+
+use crate::engine::{Retry, Transaction};
+use crate::orec;
+use crate::{epoch, txlog::VersionedRead};
+use std::sync::atomic::Ordering;
+
+/// Pushes one versioned read observation into the log.
+pub(super) fn record_read(tx: &mut Transaction<'_>, stripe: usize, meta: u64) {
+    tx.log.reads.push(VersionedRead { stripe, meta });
+}
+
+/// Version-equality validation of the read set; `held` lists stripes
+/// this transaction has locked, with their pre-lock words.
+pub(crate) fn validate(tx: &Transaction<'_>, held: Option<&[(usize, u64)]>) -> Result<(), Retry> {
+    tx.stm.stats.probes(tx.log.reads.len() as u64);
+    for r in &tx.log.reads {
+        if let Some(held) = held {
+            if let Some(&(_, pre)) = held.iter().find(|(s, _)| *s == r.stripe) {
+                if pre != r.meta {
+                    return Err(Retry);
+                }
+                continue;
+            }
+        }
+        if tx.stm.orecs.word(r.stripe).load(Ordering::Acquire) != r.meta {
+            return Err(Retry);
+        }
+    }
+    Ok(())
+}
+
+/// Commit hook shared by Tl2 and Incremental: try-lock the write set's
+/// stripes in sorted order, validate the read set once against the held
+/// locks, stamp a fresh clock tick, publish.
+pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
+    super::with_write_stripes(tx, commit_with)
+}
+
+fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
+    for &stripe in stripes.iter() {
+        let word = tx.stm.orecs.word(stripe);
+        let m = word.load(Ordering::Acquire);
+        let lock_ok = !orec::is_locked(m)
+            && word
+                .compare_exchange(m, m | 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+        if !lock_ok {
+            release(tx, held, None);
+            return false;
+        }
+        held.push((stripe, m));
+    }
+    if validate(tx, Some(held)).is_err() {
+        release(tx, held, None);
+        return false;
+    }
+    let wv = tx.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+    let retired = tx.log.publish_writes();
+    release(tx, held, Some(orec::stamped(wv)));
+    // Retire only after every swap above: the epoch tag must postdate
+    // the last moment a reader could have loaded an old pointer.
+    epoch::retire_batch(retired);
+    true
+}
+
+/// Releases held stripe locks: to their pre-lock word (on abort) or to a
+/// new stamped version (on commit).
+fn release(tx: &Transaction<'_>, held: &[(usize, u64)], stamp: Option<u64>) {
+    for &(stripe, pre) in held {
+        tx.stm
+            .orecs
+            .word(stripe)
+            .store(stamp.unwrap_or(pre), Ordering::Release);
+    }
+}

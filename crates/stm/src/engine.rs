@@ -1,4 +1,4 @@
-//! The transaction engine: three validation algorithms behind one API.
+//! The transaction engine: four validation algorithms behind one API.
 //!
 //! * [`Algorithm::Tl2`] — global version clock plus the striped orec
 //!   table ([`crate::orec`]): reads validate in O(1) against the snapshot
@@ -13,19 +13,30 @@
 //! * [`Algorithm::Norec`] — a single global sequence lock and value-based
 //!   validation; no per-variable version traffic on commit besides the
 //!   value itself.
+//! * [`Algorithm::Tlrw`] — TLRW-style **visible reads**: the first read
+//!   of a stripe announces a reader on its reader–writer word and holds
+//!   that read lock to commit, so reads cost O(1) with **zero
+//!   validation** and writers abort on foreign readers. The other side
+//!   of the paper's time–space tradeoff, measurable against the three
+//!   invisible-read designs above.
 //!
+//! The algorithm-specific read/commit/snapshot behaviour lives in the
+//! [`crate::algo`] strategy layer (one module per algorithm, three hooks
+//! each); this module owns everything generic: the transaction log, the
+//! retry loop, instrumentation, epoch pinning, and read-lock cleanup.
 //! All modes buffer writes in the shared transaction log
 //! ([`crate::txlog`]) and publish them only at commit, so a failed
 //! transaction never dirties shared state. Retry behaviour is a pluggable
 //! [`ContentionManager`] chosen through [`StmBuilder`].
 
+use crate::algo;
 use crate::cm::{ContentionManager, Decision, ExponentialBackoff};
 use crate::epoch;
 use crate::orec::{self, OrecTable};
 use crate::recorder::{word_of, HistoryRecorder, RecTx};
 use crate::stats::StmStats;
 use crate::tvar::{TVar, TxValue};
-use crate::txlog::{TxLog, ValueRead, VersionedRead};
+use crate::txlog::TxLog;
 use ptm_sim::{TOpDesc, TOpResult};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +52,14 @@ pub enum Algorithm {
     Incremental,
     /// Global sequence lock with value-based validation.
     Norec,
+    /// TLRW-style visible reads (Dice–Shavit): per-stripe reader–writer
+    /// lock words, O(1) reads with **no validation at all** — paid for
+    /// with one shared-memory RMW inside every first read of a stripe,
+    /// and with writers aborting whenever foreign readers are present.
+    /// Progressive but *not* strongly progressive (two read-to-write
+    /// upgraders on one stripe abort each other). The native twin of
+    /// `ptm-core`'s simulated `TlrwTm`.
+    Tlrw,
 }
 
 /// The transaction aborted and should be retried; returned by
@@ -157,7 +176,7 @@ impl StmBuilder {
         // for a table no code path reads.
         let stripes = match self.algorithm {
             Algorithm::Norec => 1,
-            Algorithm::Tl2 | Algorithm::Incremental => self.orec_stripes,
+            Algorithm::Tl2 | Algorithm::Incremental | Algorithm::Tlrw => self.orec_stripes,
         };
         Stm {
             algorithm: self.algorithm,
@@ -178,12 +197,14 @@ impl StmBuilder {
 /// free-standing and may be used with any `Stm`, but must not be shared
 /// between instances running concurrently.
 pub struct Stm {
-    algorithm: Algorithm,
+    pub(crate) algorithm: Algorithm,
     /// TL2/Incremental: version clock. NOrec: sequence lock (odd = busy).
-    clock: AtomicU64,
-    /// Striped versioned-lock words (TL2/Incremental; unused by NOrec).
-    orecs: OrecTable,
-    stats: Arc<StmStats>,
+    /// Tlrw: unused (consistency comes from held read locks).
+    pub(crate) clock: AtomicU64,
+    /// Striped metadata words: versioned locks (TL2/Incremental) or
+    /// reader–writer locks (Tlrw); unused by NOrec.
+    pub(crate) orecs: OrecTable,
+    pub(crate) stats: Arc<StmStats>,
     max_attempts: u64,
     cm: Box<dyn ContentionManager>,
     /// Present when this instance records t-operation histories.
@@ -228,6 +249,11 @@ impl Stm {
     /// NOrec instance.
     pub fn norec() -> Self {
         Stm::new(Algorithm::Norec)
+    }
+
+    /// Tlrw (visible-reads) instance.
+    pub fn tlrw() -> Self {
+        Stm::new(Algorithm::Tlrw)
     }
 
     /// The algorithm this instance runs.
@@ -330,9 +356,10 @@ impl Stm {
 
 /// An in-flight transaction; created by [`Stm::atomically`].
 pub struct Transaction<'s> {
-    stm: &'s Stm,
-    /// Snapshot time (TL2: clock at begin; NOrec: sequence-lock value).
-    rv: u64,
+    pub(crate) stm: &'s Stm,
+    /// Snapshot time (TL2: clock at begin; NOrec: sequence-lock value;
+    /// Incremental/Tlrw: unused). The NOrec read path advances it.
+    pub(crate) rv: u64,
     started: bool,
     /// Set when an operation returned [`Retry`]: the attempt is doomed
     /// (and t-complete in any recorded history), so every later operation
@@ -340,13 +367,23 @@ pub struct Transaction<'s> {
     /// swallows a `Retry` instead of propagating it therefore cannot
     /// commit an attempt the engine already aborted.
     poisoned: bool,
-    log: TxLog,
+    pub(crate) log: TxLog,
     /// History-recording state for this attempt, when the instance has a
     /// recorder attached.
     rec: Option<RecTx>,
     /// Epoch pin: keeps every pointer this transaction may dereference
     /// alive for its whole lifetime (also makes `Transaction: !Send`).
-    pin: epoch::Guard,
+    pub(crate) pin: epoch::Guard,
+}
+
+impl Drop for Transaction<'_> {
+    /// Last-resort release of visible-read locks: commit and the abort
+    /// paths release them eagerly, but a panicking body (or a dropped
+    /// `try_once` attempt) must not leave reader counts behind — a leaked
+    /// read lock would starve every later writer on the stripe.
+    fn drop(&mut self) {
+        self.release_read_locks();
+    }
 }
 
 impl fmt::Debug for Transaction<'_> {
@@ -373,11 +410,25 @@ impl<'s> Transaction<'s> {
     }
 
     /// Recovers the log for reuse by the next attempt (capacity is kept,
-    /// entries are cleared).
-    fn into_log(self) -> TxLog {
-        let mut log = self.log;
+    /// entries are cleared), releasing any read locks the aborted
+    /// attempt still holds.
+    fn into_log(mut self) -> TxLog {
+        self.release_read_locks();
+        let mut log = std::mem::take(&mut self.log);
         log.reset();
         log
+    }
+
+    /// Undoes every visible-read lock this attempt still holds (no-op
+    /// under the invisible-read algorithms, whose `rw_reads` stays
+    /// empty). Arithmetic release: transient foreign increments survive.
+    pub(crate) fn release_read_locks(&mut self) {
+        for stripe in self.log.rw_drain() {
+            self.stm
+                .orecs
+                .word(stripe)
+                .fetch_sub(orec::RW_READER, Ordering::AcqRel);
+        }
     }
 
     /// Lazily samples the snapshot time at the first operation.
@@ -385,17 +436,7 @@ impl<'s> Transaction<'s> {
         if self.started {
             return;
         }
-        self.rv = match self.stm.algorithm {
-            Algorithm::Tl2 => self.stm.clock.load(Ordering::Acquire),
-            Algorithm::Norec => loop {
-                let t = self.stm.clock.load(Ordering::Acquire);
-                if t & 1 == 0 {
-                    break t;
-                }
-                std::hint::spin_loop();
-            },
-            Algorithm::Incremental => 0,
-        };
+        self.rv = algo::begin(self.stm);
         self.started = true;
     }
 
@@ -456,57 +497,14 @@ impl<'s> Transaction<'s> {
         out
     }
 
-    /// The algorithm-specific read path, without instrumentation.
+    /// The algorithm-specific read path (the [`crate::algo`] read hook),
+    /// without instrumentation.
     fn read_raw<T: TxValue>(&mut self, var: &TVar<T>) -> Result<T, Retry> {
-        let id = var.id();
-        if let Some(w) = self.log.lookup_write(id) {
+        if let Some(w) = self.log.lookup_write(var.id()) {
             let v = w.value.downcast_ref::<T>().expect("write-set type");
             return Ok(v.clone());
         }
-        match self.stm.algorithm {
-            Algorithm::Tl2 => {
-                let stripe = self.stm.orecs.stripe_of(id);
-                let word = self.stm.orecs.word(stripe);
-                let m1 = word.load(Ordering::Acquire);
-                if orec::is_locked(m1) || orec::version_of(m1) > self.rv {
-                    return Err(Retry);
-                }
-                let v = var.inner.read_snapshot(&self.pin);
-                if word.load(Ordering::Acquire) != m1 {
-                    return Err(Retry);
-                }
-                self.log.reads.push(VersionedRead { stripe, meta: m1 });
-                Ok(v)
-            }
-            Algorithm::Incremental => {
-                let stripe = self.stm.orecs.stripe_of(id);
-                let word = self.stm.orecs.word(stripe);
-                let m1 = word.load(Ordering::Acquire);
-                if orec::is_locked(m1) {
-                    return Err(Retry);
-                }
-                let v = var.inner.read_snapshot(&self.pin);
-                if word.load(Ordering::Acquire) != m1 {
-                    return Err(Retry);
-                }
-                // Incremental validation: every prior read, every time.
-                self.validate_by_version(None)?;
-                self.log.reads.push(VersionedRead { stripe, meta: m1 });
-                Ok(v)
-            }
-            Algorithm::Norec => loop {
-                let v = var.inner.read_snapshot(&self.pin);
-                let t = self.stm.clock.load(Ordering::Acquire);
-                if t == self.rv {
-                    self.log.value_reads.push(ValueRead {
-                        var: var.as_dyn(),
-                        snapshot: Box::new(v.clone()),
-                    });
-                    return Ok(v);
-                }
-                self.rv = self.validate_by_value()?;
-            },
-        }
+        algo::read(self, var)
     }
 
     /// Reads, applies `f`, and writes back — the read-modify-write
@@ -563,49 +561,6 @@ impl<'s> Transaction<'s> {
         Ok(())
     }
 
-    /// Version-equality validation of the read set; `held` lists stripes
-    /// this transaction has locked, with their pre-lock words.
-    fn validate_by_version(&self, held: Option<&[(usize, u64)]>) -> Result<(), Retry> {
-        self.stm.stats.probes(self.log.reads.len() as u64);
-        for r in &self.log.reads {
-            if let Some(held) = held {
-                if let Some(&(_, pre)) = held.iter().find(|(s, _)| *s == r.stripe) {
-                    if pre != r.meta {
-                        return Err(Retry);
-                    }
-                    continue;
-                }
-            }
-            if self.stm.orecs.word(r.stripe).load(Ordering::Acquire) != r.meta {
-                return Err(Retry);
-            }
-        }
-        Ok(())
-    }
-
-    /// NOrec: waits for an even sequence value, then compares every read
-    /// snapshot with the current value. Returns the validated time.
-    fn validate_by_value(&mut self) -> Result<u64, Retry> {
-        loop {
-            let t = loop {
-                let t = self.stm.clock.load(Ordering::Acquire);
-                if t & 1 == 0 {
-                    break t;
-                }
-                std::hint::spin_loop();
-            };
-            self.stm.stats.probes(self.log.value_reads.len() as u64);
-            for r in &self.log.value_reads {
-                if !r.var.value_eq(&self.pin, r.snapshot.as_ref()) {
-                    return Err(Retry);
-                }
-            }
-            if self.stm.clock.load(Ordering::Acquire) == t {
-                return Ok(t);
-            }
-        }
-    }
-
     /// Attempts to commit; returns whether the transaction is now durable.
     fn commit(&mut self) -> bool {
         if self.poisoned {
@@ -614,13 +569,16 @@ impl<'s> Transaction<'s> {
         self.ensure_started();
         self.rec_invoke(TOpDesc::TryCommit);
         let ok = if self.log.writes.is_empty() {
-            true // read-only: serialized at its last validation
+            // Read-only: serialized at its last validation (invisible
+            // reads) or under its still-held read locks (Tlrw) — either
+            // way nothing to validate, nothing to publish.
+            true
         } else {
-            match self.stm.algorithm {
-                Algorithm::Tl2 | Algorithm::Incremental => self.commit_versioned(),
-                Algorithm::Norec => self.commit_norec(),
-            }
+            algo::commit(self)
         };
+        // Visible-read algorithms hold per-stripe read locks until the
+        // outcome is decided; release them whatever it was.
+        self.release_read_locks();
         let res = if ok {
             TOpResult::Committed
         } else {
@@ -628,94 +586,6 @@ impl<'s> Transaction<'s> {
         };
         self.rec_respond(TOpDesc::TryCommit, res);
         ok
-    }
-
-    fn commit_versioned(&mut self) -> bool {
-        // The scratch buffers live in the log so a retrying transaction
-        // reallocates nothing; take them out for the duration (restored
-        // cleared below, on every exit path).
-        let mut stripes = std::mem::take(&mut self.log.stripe_buf);
-        let mut held = std::mem::take(&mut self.log.held_buf);
-        let ok = self.commit_versioned_with(&mut stripes, &mut held);
-        stripes.clear();
-        held.clear();
-        self.log.stripe_buf = stripes;
-        self.log.held_buf = held;
-        ok
-    }
-
-    fn commit_versioned_with(
-        &mut self,
-        stripes: &mut Vec<usize>,
-        held: &mut Vec<(usize, u64)>,
-    ) -> bool {
-        // Try-lock the write set's stripes in sorted order (deduplicated:
-        // several variables may share a stripe).
-        stripes.extend(
-            self.log
-                .writes
-                .iter()
-                .map(|w| self.stm.orecs.stripe_of(w.id)),
-        );
-        stripes.sort_unstable();
-        stripes.dedup();
-        for &stripe in stripes.iter() {
-            let word = self.stm.orecs.word(stripe);
-            let m = word.load(Ordering::Acquire);
-            let lock_ok = !orec::is_locked(m)
-                && word
-                    .compare_exchange(m, m | 1, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok();
-            if !lock_ok {
-                self.release(held, None);
-                return false;
-            }
-            held.push((stripe, m));
-        }
-        if self.validate_by_version(Some(held)).is_err() {
-            self.release(held, None);
-            return false;
-        }
-        let wv = self.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
-        let retired = self.log.publish_writes();
-        self.release(held, Some(orec::stamped(wv)));
-        // Retire only after every swap above: the epoch tag must postdate
-        // the last moment a reader could have loaded an old pointer.
-        epoch::retire_batch(retired);
-        true
-    }
-
-    /// Releases held stripe locks: to their pre-lock word (on abort) or
-    /// to a new stamped version (on commit).
-    fn release(&self, held: &[(usize, u64)], stamp: Option<u64>) {
-        for &(stripe, pre) in held {
-            self.stm
-                .orecs
-                .word(stripe)
-                .store(stamp.unwrap_or(pre), Ordering::Release);
-        }
-    }
-
-    fn commit_norec(&mut self) -> bool {
-        loop {
-            let rv = self.rv;
-            if self
-                .stm
-                .clock
-                .compare_exchange(rv, rv + 1, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                break;
-            }
-            match self.validate_by_value() {
-                Ok(t) => self.rv = t,
-                Err(Retry) => return false,
-            }
-        }
-        let retired = self.log.publish_writes();
-        self.stm.clock.store(self.rv + 2, Ordering::Release);
-        epoch::retire_batch(retired);
-        true
     }
 }
 
@@ -725,7 +595,21 @@ mod tests {
     use crate::cm::{CappedAttempts, ImmediateRetry};
 
     fn engines() -> Vec<Stm> {
-        vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
+        vec![Stm::tl2(), Stm::incremental(), Stm::norec(), Stm::tlrw()]
+    }
+
+    /// Every orec word back to zero: no lock (versioned or RW) leaked.
+    fn assert_orecs_quiescent(stm: &Stm) {
+        for s in 0..stm.orecs.len() {
+            let w = stm.orecs.word(s).load(Ordering::Relaxed);
+            assert!(
+                !orec::is_locked(w) && !orec::rw_write_locked(w),
+                "stripe {s} left locked: {w:#x}"
+            );
+            if stm.algorithm() == Algorithm::Tlrw {
+                assert_eq!(w, 0, "stripe {s} leaked a reader count: {w:#x}");
+            }
+        }
     }
 
     #[test]
@@ -808,6 +692,162 @@ mod tests {
         let d2 = stm2.stats().snapshot().since(&before);
         // TL2 read-only transactions never probe the read set.
         assert_eq!(d2.validation_probes, 0);
+    }
+
+    #[test]
+    fn tlrw_read_only_transactions_validate_nothing() {
+        let stm = Stm::tlrw();
+        let vars: Vec<TVar<u64>> = (0..64).map(|_| TVar::new(1)).collect();
+        let before = stm.stats().snapshot();
+        let sum = stm.atomically(|tx| {
+            let mut acc = 0;
+            for v in &vars {
+                acc += tx.read(v)?;
+            }
+            Ok(acc)
+        });
+        assert_eq!(sum, 64);
+        let d = stm.stats().snapshot().since(&before);
+        // The acceptance criterion of the visible-read design: zero
+        // validation probes, reads O(1) each.
+        assert_eq!(d.validation_probes, 0);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.reader_conflicts, 0);
+        assert_orecs_quiescent(&stm);
+    }
+
+    #[test]
+    fn tlrw_upgrade_commit_and_abort_leave_locks_quiescent() {
+        let stm = Stm::tlrw();
+        let v = TVar::new(3u64);
+        let w = TVar::new(0u64);
+        // Read-then-write upgrade: the commit CAS consumes the read lock.
+        stm.atomically(|tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x + 1)
+        });
+        assert_eq!(v.load(), 4);
+        assert_orecs_quiescent(&stm);
+        // A user-aborted attempt releases its read locks too.
+        let out = stm.try_once(|tx| {
+            tx.read(&v)?;
+            tx.read(&w)?;
+            Err::<(), Retry>(Retry)
+        });
+        assert!(out.is_none());
+        assert_orecs_quiescent(&stm);
+        // And so does a panicking body (the Drop path).
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stm.atomically(|tx| {
+                tx.read(&v)?;
+                panic!("body dies mid-transaction");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+        }));
+        assert!(res.is_err());
+        assert_orecs_quiescent(&stm);
+    }
+
+    #[test]
+    fn tlrw_upgrade_rollback_restores_and_releases_read_locks() {
+        // Force a multi-stripe upgrade whose second CAS fails: stripe A
+        // upgrades fine, stripe B is held by a foreign reader. The
+        // rollback must restore A's read lock AND release it at abort —
+        // dropping it from the read set while restoring the count would
+        // leak the lock and starve writers forever.
+        let stm = Arc::new(Stm::builder(Algorithm::Tlrw).orec_stripes(2).build());
+        // Find two vars on different stripes; `a` must sort first so the
+        // commit upgrades a's stripe before failing on b's. The pool
+        // keeps rejected allocations alive so fresh addresses keep
+        // coming.
+        let x0 = TVar::new(0u64);
+        let mut pool = Vec::new();
+        let x1 = loop {
+            let cand = TVar::new(0u64);
+            if stm.orecs.stripe_of(cand.id()) != stm.orecs.stripe_of(x0.id()) {
+                break cand;
+            }
+            pool.push(cand);
+        };
+        let (a, b) = if stm.orecs.stripe_of(x0.id()) < stm.orecs.stripe_of(x1.id()) {
+            (x0, x1)
+        } else {
+            (x1, x0)
+        };
+        let hold = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let stm2 = Arc::clone(&stm);
+            let b2 = b.clone();
+            let (hold2, release2) = (Arc::clone(&hold), Arc::clone(&release));
+            s.spawn(move || {
+                // Foreign reader camps on b's stripe until released.
+                stm2.atomically(|tx| {
+                    let x = tx.read(&b2)?;
+                    hold2.store(true, Ordering::SeqCst);
+                    while !release2.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    Ok(x)
+                });
+            });
+            while !hold.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // Reads both stripes, writes both: upgrade of a succeeds,
+            // upgrade of b hits the foreign reader and rolls back.
+            let out = stm.try_once(|tx| {
+                let x = tx.read(&a)?;
+                let y = tx.read(&b)?;
+                tx.write(&a, x + 1)?;
+                tx.write(&b, y + 1)
+            });
+            assert!(out.is_none(), "foreign reader must abort the upgrade");
+            assert!(stm.stats().snapshot().reader_conflicts >= 1);
+            release.store(true, Ordering::SeqCst);
+        });
+        assert_orecs_quiescent(&stm);
+        // The stripes are free again: a writer commits on both.
+        stm.atomically(|tx| {
+            tx.write(&a, 7)?;
+            tx.write(&b, 7)
+        });
+        assert_eq!((a.load(), b.load()), (7, 7));
+    }
+
+    #[test]
+    fn tlrw_writer_aborts_while_reader_holds_the_stripe() {
+        let stm = Arc::new(Stm::builder(Algorithm::Tlrw).max_attempts(3).build());
+        let v = TVar::new(0u64);
+        let hold = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let stm2 = Arc::clone(&stm);
+            let v2 = v.clone();
+            let (hold2, release2) = (Arc::clone(&hold), Arc::clone(&release));
+            s.spawn(move || {
+                stm2.atomically(|tx| {
+                    let x = tx.read(&v2)?;
+                    hold2.store(true, Ordering::SeqCst);
+                    while !release2.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    Ok(x)
+                });
+            });
+            while !hold.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            let out = stm.run(|tx| tx.write(&v, 9));
+            assert_eq!(out, Err(RetriesExhausted { attempts: 3 }));
+            assert_eq!(stm.stats().snapshot().reader_conflicts, 3);
+            release.store(true, Ordering::SeqCst);
+        });
+        // Reader gone: the same write now commits.
+        stm.atomically(|tx| tx.write(&v, 9));
+        assert_eq!(v.load(), 9);
+        assert_orecs_quiescent(&stm);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! # ptm-stm — a native software transactional memory
 //!
 //! The real-threads companion to the simulated TMs in `ptm-core`: a small
-//! STM with three interchangeable validation algorithms, so the cost
-//! structure the paper analyses can be measured on actual hardware.
+//! STM with four interchangeable validation algorithms, so both sides of
+//! the paper's time–space tradeoff can be measured on actual hardware.
 //!
 //! * [`Stm::tl2`] — global version clock, O(1) **lock-free** read
 //!   validation against a striped orec table (the production default);
@@ -11,7 +11,12 @@
 //!   for an `m`-read transaction (watch `validation_probes` in
 //!   [`StmStats`]);
 //! * [`Stm::norec`] — single global sequence lock with value-based
-//!   validation.
+//!   validation;
+//! * [`Stm::tlrw`] — TLRW-style **visible reads**: per-stripe
+//!   reader–writer lock words, O(1) reads with *zero* validation, paid
+//!   for with one shared-memory RMW inside every first read of a stripe
+//!   (watch `reader_conflicts` in [`StmStats`]). Progressive, not
+//!   strongly progressive.
 //!
 //! ## Quick start
 //!
@@ -53,9 +58,10 @@
 //!
 //! | module | concern |
 //! |--------|---------|
-//! | [`mod@engine`](crate::Stm) | the three algorithms, [`Stm`] / [`Transaction`] / [`StmBuilder`] |
+//! | [`mod@engine`](crate::Stm) | generic machinery: [`Stm`] / [`Transaction`] / [`StmBuilder`], retry loop, lock cleanup |
+//! | `algo`  | the strategy layer: one module per algorithm (begin / read / commit hooks) |
 //! | `txlog` | read-set / write-set log shared by all algorithms |
-//! | `orec`  | striped, cache-padded versioned-lock table (TL2 / Incremental) |
+//! | `orec`  | striped, cache-padded metadata words: versioned locks (TL2 / Incremental) or reader–writer locks (Tlrw) |
 //! | `tvar`  | value cells: immutable boxes behind an atomic pointer |
 //! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe |
 //! | [`cm`](ContentionManager) | pluggable retry policies |
@@ -64,10 +70,11 @@
 //!
 //! ## Design notes
 //!
-//! A transactional read is *load orec word, load value pointer, clone,
-//! re-check word* — it acquires no lock and performs **no shared-memory
-//! write**, which is exactly the invisible-reads regime the paper prices
-//! out. Values are immutable once published, so readers can never observe
+//! A TL2 transactional read is *load orec word, load value pointer,
+//! clone, re-check word* — it acquires no lock and performs **no
+//! shared-memory write**, which is exactly the invisible-reads regime the
+//! paper prices out; a Tlrw read instead *announces itself* with one
+//! `fetch_add` on the stripe's reader–writer word and never validates. Values are immutable once published, so readers can never observe
 //! a torn value; writers swap whole boxes under their commit-time
 //! exclusion and retire the old ones to an epoch collector, which frees
 //! them once every pinned reader has moved on. The `unsafe` needed for
@@ -79,6 +86,7 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
 
+mod algo;
 pub mod cm;
 mod engine;
 #[allow(unsafe_code)]

@@ -1,14 +1,23 @@
-//! Striped ownership records (orecs): the versioned lock words behind the
-//! TL2 / Incremental read path.
+//! Striped ownership records (orecs): the per-stripe metadata words
+//! behind every orec-based algorithm.
 //!
 //! Instead of a lock word *inside* every [`TVar`](crate::TVar) (the seed
 //! design, which also kept the value under a mutex), each [`Stm`]
-//! (crate::Stm) owns a fixed, cache-padded table of `version << 1 |
-//! locked` words. A variable maps to a stripe by hashing its address, the
-//! way production TL2 implementations key their global lock table.
-//! Reads then validate optimistically — load word, read value, re-check
-//! word — and acquire nothing; only commits lock stripes, in sorted order,
-//! for the duration of write-back.
+//! (crate::Stm) owns a fixed, cache-padded table of words. A variable
+//! maps to a stripe by hashing its address, the way production TL2
+//! implementations key their global lock table. The same table serves
+//! two word formats, chosen by the instance's algorithm (one instance
+//! runs one algorithm, so the formats never mix):
+//!
+//! * **Versioned lock** (`Tl2` / `Incremental`): `version << 1 | locked`.
+//!   Reads validate optimistically — load word, read value, re-check
+//!   word — and acquire nothing; only commits lock stripes, in sorted
+//!   order, for the duration of write-back.
+//! * **Reader–writer lock** (`Tlrw`): bit 0 is the writer flag, the
+//!   remaining bits count announced readers in units of [`RW_READER`].
+//!   Every t-read `fetch_add`s itself into the count (a *visible* read),
+//!   holds the stripe to commit, and never validates; writers CAS the
+//!   word from "no foreign owner" to the writer flag and abort otherwise.
 //!
 //! Striping trades false conflicts (two variables hashing to one stripe
 //! abort each other) for constant space and zero per-variable metadata.
@@ -38,6 +47,25 @@ pub(crate) fn version_of(word: u64) -> u64 {
 /// An unlocked orec word carrying `version`.
 pub(crate) fn stamped(version: u64) -> u64 {
     version << 1
+}
+
+/// The writer flag of a reader–writer word (`Algorithm::Tlrw`).
+pub(crate) const RW_WRITER: u64 = 1;
+
+/// One announced reader in a reader–writer word: readers arrive and
+/// leave with `fetch_add(±RW_READER)`, so the count occupies the bits
+/// above the writer flag.
+pub(crate) const RW_READER: u64 = 2;
+
+/// Whether the writer flag of a reader–writer word is set.
+pub(crate) fn rw_write_locked(word: u64) -> bool {
+    word & RW_WRITER != 0
+}
+
+/// Announced readers in a reader–writer word.
+#[cfg(test)]
+pub(crate) fn rw_reader_count(word: u64) -> u64 {
+    word >> 1
 }
 
 /// A power-of-two table of versioned lock words.
@@ -86,6 +114,18 @@ mod tests {
         assert!(is_locked(stamped(7) | 1));
         assert_eq!(version_of(stamped(7)), 7);
         assert_eq!(version_of(stamped(7) | 1), 7);
+    }
+
+    #[test]
+    fn rw_word_format_counts_readers_above_the_writer_flag() {
+        assert!(!rw_write_locked(0));
+        assert!(rw_write_locked(RW_WRITER));
+        assert_eq!(rw_reader_count(0), 0);
+        assert_eq!(rw_reader_count(3 * RW_READER), 3);
+        // A transient reader increment on a write-locked word keeps the
+        // flag visible and the count intact.
+        assert!(rw_write_locked(RW_WRITER + 2 * RW_READER));
+        assert_eq!(rw_reader_count(RW_WRITER + 2 * RW_READER), 2);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct StmStats {
     commits: AtomicU64,
     aborts: AtomicU64,
     validation_probes: AtomicU64,
+    reader_conflicts: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     recorded_events: AtomicU64,
@@ -30,6 +31,11 @@ pub struct StatsSnapshot {
     pub aborts: u64,
     /// Individual read-set entries re-checked during validation.
     pub validation_probes: u64,
+    /// Aborts forced by visible-read lock conflicts (`Algorithm::Tlrw`):
+    /// a t-read that hit a write-locked stripe, or a committing writer
+    /// that found foreign readers (or another writer) on a write stripe.
+    /// Always 0 under the invisible-read algorithms.
+    pub reader_conflicts: u64,
     /// `read` operations executed.
     pub reads: u64,
     /// `write` operations executed.
@@ -53,6 +59,10 @@ impl StmStats {
         self.validation_probes.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn reader_conflict(&self) {
+        self.reader_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn read(&self) {
         self.reads.fetch_add(1, Ordering::Relaxed);
     }
@@ -71,6 +81,7 @@ impl StmStats {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             validation_probes: self.validation_probes.load(Ordering::Relaxed),
+            reader_conflicts: self.reader_conflicts.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             recorded_events: self.recorded_events.load(Ordering::Relaxed),
@@ -90,6 +101,7 @@ impl StatsSnapshot {
             commits: d(self.commits, earlier.commits),
             aborts: d(self.aborts, earlier.aborts),
             validation_probes: d(self.validation_probes, earlier.validation_probes),
+            reader_conflicts: d(self.reader_conflicts, earlier.reader_conflicts),
             reads: d(self.reads, earlier.reads),
             writes: d(self.writes, earlier.writes),
             recorded_events: d(self.recorded_events, earlier.recorded_events),
@@ -103,12 +115,13 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "commits={} aborts={} reads={} writes={} probes={} recorded={}",
+            "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} recorded={}",
             self.commits,
             self.aborts,
             self.reads,
             self.writes,
             self.validation_probes,
+            self.reader_conflicts,
             self.recorded_events
         )
     }
@@ -125,6 +138,7 @@ mod tests {
         s.commit();
         s.abort();
         s.probes(5);
+        s.reader_conflict();
         s.read();
         s.write();
         s.recorded(4);
@@ -132,6 +146,7 @@ mod tests {
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
         assert_eq!(snap.validation_probes, 5);
+        assert_eq!(snap.reader_conflicts, 1);
         assert_eq!(snap.reads, 1);
         assert_eq!(snap.writes, 1);
         assert_eq!(snap.recorded_events, 4);
@@ -142,11 +157,12 @@ mod tests {
         let s = StmStats::default();
         s.commit();
         s.probes(2);
+        s.reader_conflict();
         s.recorded(6);
         let line = s.snapshot().to_string();
         assert_eq!(
             line,
-            "commits=1 aborts=0 reads=0 writes=0 probes=2 recorded=6"
+            "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 recorded=6"
         );
     }
 

@@ -7,6 +7,8 @@
 //!   bump, no allocation on the hot read path);
 //! * `value_reads` — `(variable, value snapshot)` pairs, used by NOrec's
 //!   value-based validation;
+//! * `rw_reads` — stripes read-locked by Tlrw's visible reads, held to
+//!   commit (nothing to validate, everything to release);
 //! * `writes` — buffered `(variable, value)` updates, published only at
 //!   commit.
 //!
@@ -16,6 +18,7 @@
 use crate::epoch::Retired;
 use crate::tvar::AnyTVar;
 use std::any::Any;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A versioned read observation (TL2 / Incremental).
@@ -45,12 +48,34 @@ pub(crate) struct WriteEntry {
     pub value: Box<dyn Any + Send>,
 }
 
+/// Held-stripe counts up to this scan linearly on the Tlrw read path;
+/// beyond it a hash index takes over (see `TxLog::rw_index`).
+const RW_INDEX_THRESHOLD: usize = 64;
+
 /// Read-set / write-set storage for one transaction, reused across
 /// attempts.
 #[derive(Default)]
 pub(crate) struct TxLog {
     pub reads: Vec<VersionedRead>,
     pub value_reads: Vec<ValueRead>,
+    /// Stripes whose reader–writer read lock this transaction holds
+    /// (`Algorithm::Tlrw` only). Each entry is one `fetch_add(+RW_READER)`
+    /// on the stripe's word that must be undone exactly once; the engine
+    /// releases them at commit, abort cleanup, or the transaction's
+    /// `Drop` — never through [`TxLog::reset`] alone. Mutate only through
+    /// the `rw_*` helpers, which keep the membership index in sync.
+    pub rw_reads: Vec<usize>,
+    /// Position index (`stripe -> index in rw_reads`), rebuilt lazily
+    /// whenever the set outgrows [`RW_INDEX_THRESHOLD`]: a large-read-set
+    /// Tlrw transaction would otherwise pay Θ(m²) local scan work on
+    /// membership checks (and O(m) per upgrade removal) — the very cost
+    /// profile visible reads exist to avoid — while small sets keep the
+    /// cache-hot linear scan, which beats hashing by ~50 ns/read.
+    /// Invariant: while the index is active
+    /// (`rw_reads.len() > RW_INDEX_THRESHOLD`), it maps exactly the
+    /// stripes in `rw_reads` to their current positions; in linear mode
+    /// its contents are stale and unused (the next crossing rebuilds).
+    rw_index: HashMap<usize, usize>,
     pub writes: Vec<WriteEntry>,
     /// Scratch for commit-time stripe sorting (kept so retries do not
     /// reallocate).
@@ -71,12 +96,68 @@ impl std::fmt::Debug for TxLog {
 
 impl TxLog {
     /// Clears all entries, keeping allocated capacity for the retry.
+    ///
+    /// The caller must have released any read locks tracked in
+    /// `rw_reads` first (clearing the vector does not undo the
+    /// `fetch_add`s it stands for).
     pub(crate) fn reset(&mut self) {
         self.reads.clear();
         self.value_reads.clear();
+        self.rw_reads.clear();
+        self.rw_index.clear();
         self.writes.clear();
         self.stripe_buf.clear();
         self.held_buf.clear();
+    }
+
+    /// Whether this transaction holds the read lock on `stripe`.
+    pub(crate) fn rw_contains(&self, stripe: usize) -> bool {
+        if self.rw_reads.len() <= RW_INDEX_THRESHOLD {
+            self.rw_reads.contains(&stripe)
+        } else {
+            self.rw_index.contains_key(&stripe)
+        }
+    }
+
+    /// Registers a newly acquired read lock.
+    pub(crate) fn rw_insert(&mut self, stripe: usize) {
+        self.rw_reads.push(stripe);
+        match self.rw_reads.len().cmp(&(RW_INDEX_THRESHOLD + 1)) {
+            // Crossing the threshold: index everything held so far (a
+            // clean rebuild — linear-mode removals may have left the
+            // previous index stale).
+            std::cmp::Ordering::Equal => {
+                self.rw_index.clear();
+                self.rw_index
+                    .extend(self.rw_reads.iter().enumerate().map(|(i, &s)| (s, i)));
+            }
+            std::cmp::Ordering::Greater => {
+                self.rw_index.insert(stripe, self.rw_reads.len() - 1);
+            }
+            std::cmp::Ordering::Less => {}
+        }
+    }
+
+    /// Deregisters a read lock consumed by a write-lock upgrade: a short
+    /// scan in linear mode, position lookup + `swap_remove` under the
+    /// index — commit work stays O(write set), not O(read set).
+    pub(crate) fn rw_remove(&mut self, stripe: usize) {
+        if self.rw_reads.len() <= RW_INDEX_THRESHOLD {
+            self.rw_reads.retain(|&s| s != stripe);
+            return;
+        }
+        if let Some(i) = self.rw_index.remove(&stripe) {
+            self.rw_reads.swap_remove(i);
+            if let Some(&moved) = self.rw_reads.get(i) {
+                self.rw_index.insert(moved, i);
+            }
+        }
+    }
+
+    /// Hands out the held stripes for release, clearing the registry.
+    pub(crate) fn rw_drain(&mut self) -> std::vec::Drain<'_, usize> {
+        self.rw_index.clear();
+        self.rw_reads.drain(..)
     }
 
     /// The buffered value for `id`, if this transaction wrote it.
@@ -140,6 +221,41 @@ mod tests {
         assert!(log.reads.is_empty() && log.writes.is_empty());
         assert_eq!(log.reads.capacity(), rc);
         assert_eq!(log.writes.capacity(), wc);
+    }
+
+    #[test]
+    fn rw_registry_stays_consistent_across_the_index_threshold() {
+        let mut log = TxLog::default();
+        // Grow past the linear-scan threshold: membership must answer
+        // identically on both sides of the crossing.
+        for s in 0..(RW_INDEX_THRESHOLD + 40) {
+            assert!(!log.rw_contains(s), "{s} not yet held");
+            log.rw_insert(s);
+            assert!(log.rw_contains(s), "{s} just acquired");
+        }
+        assert!(log.rw_contains(0), "pre-threshold entries survive indexing");
+        assert!(!log.rw_contains(RW_INDEX_THRESHOLD + 40));
+        // Upgrades deregister wherever the entry lives.
+        log.rw_remove(3);
+        log.rw_remove(RW_INDEX_THRESHOLD + 5);
+        assert!(!log.rw_contains(3));
+        assert!(!log.rw_contains(RW_INDEX_THRESHOLD + 5));
+        // Shrink below the threshold (linear mode) and regrow across it:
+        // the rebuilt index must match the vector exactly.
+        let held: Vec<usize> = log.rw_drain().collect();
+        assert_eq!(held.len(), RW_INDEX_THRESHOLD + 40 - 2);
+        for s in 0..RW_INDEX_THRESHOLD {
+            log.rw_insert(2 * s);
+        }
+        log.rw_remove(0);
+        for s in 0..8 {
+            log.rw_insert(1001 + s);
+        }
+        assert!(!log.rw_contains(0));
+        assert!(log.rw_contains(2));
+        assert!(log.rw_contains(1008));
+        assert_eq!(log.rw_drain().count(), RW_INDEX_THRESHOLD - 1 + 8);
+        assert!(!log.rw_contains(2), "drain empties the registry");
     }
 
     #[test]

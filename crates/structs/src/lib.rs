@@ -3,7 +3,8 @@
 //! The engine in [`ptm_stm`] exposes raw [`TVar`](ptm_stm::TVar)s; this
 //! crate builds the data-structure layer the ROADMAP's workload families
 //! need, each usable from ordinary transactions under **any** of the
-//! three validation algorithms (TL2 / NOrec / incremental):
+//! four validation algorithms (TL2 / NOrec / incremental / TLRW's
+//! visible reads):
 //!
 //! * [`TArray`] — a fixed-length array of `TVar` slots with transactional
 //!   indexing, swap, and whole-array snapshots;

@@ -10,7 +10,12 @@ use ptm_stm::{Algorithm, Stm};
 use ptm_structs::{THashMap, TSet};
 use std::collections::{BTreeSet, HashMap};
 
-const ALGOS: [Algorithm; 3] = [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec];
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Tl2,
+    Algorithm::Incremental,
+    Algorithm::Norec,
+    Algorithm::Tlrw,
+];
 
 /// One scripted operation: `(kind, key, value)`.
 type Op = (u8, u64, u64);

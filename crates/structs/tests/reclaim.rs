@@ -80,7 +80,12 @@ fn flush_epochs(live: &Arc<AtomicIsize>) {
 
 #[test]
 fn map_churn_drops_every_value_exactly_once() {
-    for algo in [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec] {
+    for algo in [
+        Algorithm::Tl2,
+        Algorithm::Incremental,
+        Algorithm::Norec,
+        Algorithm::Tlrw,
+    ] {
         let live = Arc::new(AtomicIsize::new(0));
         {
             let stm = Arc::new(Stm::new(algo));
@@ -124,7 +129,12 @@ fn map_churn_drops_every_value_exactly_once() {
 
 #[test]
 fn queue_churn_drops_every_value_exactly_once() {
-    for algo in [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec] {
+    for algo in [
+        Algorithm::Tl2,
+        Algorithm::Incremental,
+        Algorithm::Norec,
+        Algorithm::Tlrw,
+    ] {
         let live = Arc::new(AtomicIsize::new(0));
         {
             let stm = Arc::new(Stm::new(algo));

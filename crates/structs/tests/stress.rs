@@ -1,5 +1,5 @@
-//! Multi-threaded stress for all four structures under all three
-//! validation algorithms: determinate invariants after concurrent churn,
+//! Multi-threaded stress for all four structures under all four
+//! validation algorithms (visible Tlrw reads included): determinate invariants after concurrent churn,
 //! plus a commit-order linearizability check driven by an in-transaction
 //! stamp counter.
 
@@ -8,7 +8,12 @@ use ptm_structs::{TArray, THashMap, TQueue, TSet};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 3] = [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec];
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Tl2,
+    Algorithm::Incremental,
+    Algorithm::Norec,
+    Algorithm::Tlrw,
+];
 
 /// Small deterministic PRNG so the stress mixes are reproducible.
 fn next_rand(state: &mut u64) -> u64 {

@@ -1,5 +1,5 @@
 //! Concurrent bank transfers on the native STM — the classic STM demo,
-//! run on all three validation algorithms with statistics.
+//! run on all four validation algorithms with statistics.
 //!
 //! Eight threads shuffle money between 32 accounts; the invariant (total
 //! balance) is checked at the end, and the per-algorithm commit/abort/
@@ -69,11 +69,12 @@ fn run(algorithm: Algorithm) {
     let s = stm.stats().snapshot();
     let throughput = s.commits as f64 / elapsed.as_secs_f64();
     println!(
-        "{:<12} commits {:>8}  aborts {:>7}  probes {:>9}  {:>9.0} txn/s  (total = {total}, conserved)",
+        "{:<12} commits {:>8}  aborts {:>7}  probes {:>9}  rw-conflicts {:>7}  {:>9.0} txn/s  (total = {total}, conserved)",
         format!("{algorithm:?}"),
         s.commits,
         s.aborts,
         s.validation_probes,
+        s.reader_conflicts,
         throughput,
     );
 }
@@ -82,7 +83,12 @@ fn main() {
     println!(
         "Bank: {THREADS} threads x {TRANSFERS_PER_THREAD} transfers over {ACCOUNTS} accounts\n"
     );
-    for algorithm in [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec] {
+    for algorithm in [
+        Algorithm::Tl2,
+        Algorithm::Incremental,
+        Algorithm::Norec,
+        Algorithm::Tlrw,
+    ] {
         run(algorithm);
     }
     println!("\nAll runs conserve the total balance: the STM is serializable.");

@@ -15,12 +15,13 @@
 //! * [`mutex`] — classic mutual-exclusion baselines with known RMR
 //!   profiles;
 //! * [`stm`] — a native STM for real threads with TL2 / NOrec /
-//!   incremental-validation modes: lock-free optimistic reads over a
-//!   striped orec table, a shared transaction log, pluggable contention
-//!   management, and opt-in t-operation history recording;
+//!   incremental-validation / TLRW visible-read modes: lock-free
+//!   optimistic (or reader-announcing) reads over a striped orec table,
+//!   a shared transaction log, pluggable contention management, and
+//!   opt-in t-operation history recording;
 //! * [`structs`] — transactional data structures over the native STM
 //!   (`TArray`, `THashMap`, `TQueue`, `TSet`), each usable under any of
-//!   the three algorithms.
+//!   the four algorithms.
 //!
 //! See `README.md` for the quick start, the crate map, and how to run
 //! the benchmarks.

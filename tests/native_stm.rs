@@ -1,20 +1,80 @@
-//! Cross-crate integration tests of the native STM under real
-//! concurrency: linearizable counters, multi-variable invariants,
-//! conflict statistics, and the quadratic-validation signature of the
-//! paper's design point on real threads.
+//! Algorithm-generic conformance suite for the native STM.
+//!
+//! Every invariant in `mod conformance` runs against **all four**
+//! algorithms through the `conformance_suite!` macro — one module (and
+//! one set of `#[test]`s) per algorithm, so a future fifth variant
+//! inherits the whole suite by adding a single macro line. Properties
+//! that are *specific* to one algorithm's cost model (NOrec's zero-abort
+//! equal write-back, Incremental's quadratic probes, Tlrw's
+//! zero-validation visible reads) live below the macro, asserted against
+//! exactly the algorithm that guarantees them.
 
 use progressive_tm::stm::{Algorithm, CappedAttempts, RetriesExhausted, Retry, Stm, TVar};
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 3] = [Algorithm::Tl2, Algorithm::Incremental, Algorithm::Norec];
+const ALGOS: [Algorithm; 4] = [
+    Algorithm::Tl2,
+    Algorithm::Incremental,
+    Algorithm::Norec,
+    Algorithm::Tlrw,
+];
 
-#[test]
-fn torture_counter_all_algorithms() {
-    for algo in ALGOS {
+/// Deterministic per-thread transfer stream shared by the bank runs, so
+/// the final balances are a pure function of the transfer set.
+fn bank_run(algo: Algorithm) -> Vec<u64> {
+    const ACCOUNTS: usize = 16;
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 400;
+    const INITIAL: u64 = 1_000_000;
+
+    let stm = Arc::new(Stm::new(algo));
+    let accounts: Vec<TVar<u64>> = (0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = Arc::clone(&stm);
+            let accounts = accounts.clone();
+            s.spawn(move || {
+                let mut seed = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                for _ in 0..PER_THREAD {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let from = (seed >> 33) as usize % ACCOUNTS;
+                    let to = (seed >> 13) as usize % ACCOUNTS;
+                    let amt = 1 + (seed >> 50) % 7;
+                    if from == to {
+                        continue;
+                    }
+                    stm.atomically(|tx| {
+                        let a = tx.read(&accounts[from])?;
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - amt)?;
+                        tx.write(&accounts[to], b + amt)
+                    });
+                }
+            });
+        }
+    });
+    let balances: Vec<u64> = accounts.iter().map(TVar::load).collect();
+    assert_eq!(
+        balances.iter().sum::<u64>(),
+        ACCOUNTS as u64 * INITIAL,
+        "{algo:?}: conservation violated"
+    );
+    balances
+}
+
+/// The conformance invariants, each parameterized by algorithm.
+mod conformance {
+    use super::*;
+
+    /// Linearizable counter: N threads of read-modify-write increments
+    /// land exactly, and every successful `atomically` is one commit.
+    pub fn torture_counter(algo: Algorithm) {
         let stm = Arc::new(Stm::new(algo));
         let v = TVar::new(0u64);
-        let threads = 8;
-        let per = 1_000;
+        let threads = 4;
+        let per = 800;
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let stm = Arc::clone(&stm);
@@ -27,15 +87,11 @@ fn torture_counter_all_algorithms() {
             }
         });
         assert_eq!(v.load(), threads * per, "{algo:?}");
-        let stats = stm.stats().snapshot();
-        assert_eq!(stats.commits, threads * per, "{algo:?}");
+        assert_eq!(stm.stats().snapshot().commits, threads * per, "{algo:?}");
     }
-}
 
-#[test]
-fn multi_variable_invariant_under_contention() {
-    // x + y + z is preserved by three-way rotations.
-    for algo in ALGOS {
+    /// x + y + z is preserved by concurrent three-way rotations.
+    pub fn multi_variable_invariant(algo: Algorithm) {
         let stm = Arc::new(Stm::new(algo));
         let vars = [TVar::new(300u64), TVar::new(200u64), TVar::new(100u64)];
         std::thread::scope(|s| {
@@ -43,7 +99,7 @@ fn multi_variable_invariant_under_contention() {
                 let stm = Arc::clone(&stm);
                 let vars = vars.clone();
                 s.spawn(move || {
-                    for i in 0..500 {
+                    for i in 0..400 {
                         let from = (t + i) % 3;
                         let to = (t + i + 1) % 3;
                         stm.atomically(|tx| {
@@ -60,12 +116,192 @@ fn multi_variable_invariant_under_contention() {
         let total: u64 = vars.iter().map(TVar::load).sum();
         assert_eq!(total, 600, "{algo:?}");
     }
+
+    /// Deterministic bank stress: conservation under contention.
+    pub fn bank_stress(algo: Algorithm) {
+        let _ = bank_run(algo);
+    }
+
+    /// Value-level ABA: one thread blindly re-commits the value a
+    /// variable already holds while readers transact over it. Whatever
+    /// the algorithm does about the interference (NOrec absorbs it,
+    /// the versioned algorithms retry, Tlrw arbitrates through the
+    /// stripe lock), readers must only ever observe the unchanged value
+    /// and their own counter must land exactly.
+    pub fn aba_equal_write_back(algo: Algorithm) {
+        let stm = Arc::new(Stm::new(algo));
+        let v = TVar::new(7u64);
+        let w = TVar::new(0u64);
+        let rounds = 300u64;
+        std::thread::scope(|s| {
+            let stm1 = Arc::clone(&stm);
+            let v1 = v.clone();
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    // Equal write-back: v already holds 7.
+                    stm1.atomically(|tx| tx.write(&v1, 7));
+                }
+            });
+            let stm2 = Arc::clone(&stm);
+            let (v2, w2) = (v.clone(), w.clone());
+            s.spawn(move || {
+                for _ in 0..rounds {
+                    let seen = stm2.atomically(|tx| {
+                        let x = tx.read(&v2)?;
+                        tx.modify(&w2, |c| c + 1)?;
+                        Ok(x)
+                    });
+                    assert_eq!(seen, 7, "{algo:?}: equal write-back changed the value");
+                }
+            });
+        });
+        assert_eq!(v.load(), 7, "{algo:?}");
+        assert_eq!(w.load(), rounds, "{algo:?}");
+    }
+
+    /// Retry-budget exhaustion is reported as a value, with the exact
+    /// attempt count, and the failed attempts left no trace.
+    pub fn exhaustion_reported(algo: Algorithm) {
+        let stm = Stm::builder(algo).max_attempts(3).build();
+        let v = TVar::new(5u64);
+        let out = stm.run(|tx| {
+            tx.read(&v)?;
+            tx.write(&v, 99)?;
+            Err::<(), Retry>(Retry)
+        });
+        assert_eq!(out, Err(RetriesExhausted { attempts: 3 }), "{algo:?}");
+        assert_eq!(stm.stats().snapshot().aborts, 3, "{algo:?}");
+        assert_eq!(v.load(), 5, "{algo:?}: aborted writes leaked");
+    }
+
+    /// Atomicity under contention: writers keep two variables equal;
+    /// a racing reader must never observe a torn pair.
+    pub fn no_torn_writes(algo: Algorithm) {
+        let stm = Arc::new(Stm::new(algo));
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                let (a, b) = (a.clone(), b.clone());
+                s.spawn(move || {
+                    for _ in 0..400 {
+                        stm.atomically(|tx| {
+                            let x = tx.read(&a)?;
+                            tx.write(&a, x + 1)?;
+                            tx.write(&b, x + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            let stm2 = Arc::clone(&stm);
+            let (a2, b2) = (a.clone(), b.clone());
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let (x, y) = stm2.atomically(|tx| Ok((tx.read(&a2)?, tx.read(&b2)?)));
+                    assert_eq!(x, y, "{algo:?}: torn pair");
+                }
+            });
+        });
+        assert_eq!(a.load(), b.load());
+        assert_eq!(a.load(), 1_600);
+    }
+
+    /// Write skew must not be admitted: two transactions each read both
+    /// variables and conditionally write one; x + y <= 1 always.
+    pub fn no_write_skew(algo: Algorithm) {
+        let stm = Arc::new(Stm::new(algo));
+        for _ in 0..150 {
+            let x = TVar::new(0u64);
+            let y = TVar::new(0u64);
+            std::thread::scope(|s| {
+                for (mine, theirs) in [(x.clone(), y.clone()), (y.clone(), x.clone())] {
+                    let stm = Arc::clone(&stm);
+                    s.spawn(move || {
+                        stm.atomically(|tx| {
+                            let (a, b) = (tx.read(&mine)?, tx.read(&theirs)?);
+                            if a + b == 0 {
+                                tx.write(&mine, 1)?;
+                            }
+                            Ok(())
+                        });
+                    });
+                }
+            });
+            assert!(x.load() + y.load() <= 1, "{algo:?}");
+        }
+    }
+}
+
+/// Instantiates the whole conformance suite for one algorithm per macro
+/// line. A new algorithm inherits every invariant by adding its line.
+macro_rules! conformance_suite {
+    ($($module:ident => $algo:expr),* $(,)?) => {$(
+        mod $module {
+            use super::*;
+
+            #[test]
+            fn torture_counter() {
+                conformance::torture_counter($algo);
+            }
+
+            #[test]
+            fn multi_variable_invariant() {
+                conformance::multi_variable_invariant($algo);
+            }
+
+            #[test]
+            fn bank_stress() {
+                conformance::bank_stress($algo);
+            }
+
+            #[test]
+            fn aba_equal_write_back() {
+                conformance::aba_equal_write_back($algo);
+            }
+
+            #[test]
+            fn exhaustion_reported() {
+                conformance::exhaustion_reported($algo);
+            }
+
+            #[test]
+            fn no_torn_writes() {
+                conformance::no_torn_writes($algo);
+            }
+
+            #[test]
+            fn no_write_skew() {
+                conformance::no_write_skew($algo);
+            }
+        }
+    )*};
+}
+
+conformance_suite! {
+    tl2 => Algorithm::Tl2,
+    incremental => Algorithm::Incremental,
+    norec => Algorithm::Norec,
+    tlrw => Algorithm::Tlrw,
+}
+
+#[test]
+fn bank_final_balances_identical_across_all_algorithms() {
+    // Fixed transfer amounts and ample initial balances make the final
+    // per-account balance a pure function of the (deterministic) set of
+    // transfers, independent of scheduling — so all four algorithms must
+    // converge to the *same* balances, not just the same total.
+    let baseline = bank_run(Algorithm::Tl2);
+    for algo in [Algorithm::Incremental, Algorithm::Norec, Algorithm::Tlrw] {
+        assert_eq!(baseline, bank_run(algo), "Tl2 vs {algo:?} balances diverge");
+    }
 }
 
 #[test]
 fn incremental_probe_count_is_exactly_quadratic() {
     // The native echo of Theorem 3(1): m reads cost m(m-1)/2 validation
-    // probes in incremental mode, zero in TL2 for read-only transactions.
+    // probes in incremental mode.
     for m in [8u64, 32, 64] {
         let stm = Stm::incremental();
         let vars: Vec<TVar<u64>> = (0..m).map(TVar::new).collect();
@@ -83,101 +319,39 @@ fn incremental_probe_count_is_exactly_quadratic() {
 }
 
 #[test]
-fn try_once_reports_conflicts_without_retrying() {
-    let stm = Stm::tl2();
-    let v = TVar::new(1u64);
-    // A transaction that always requests retry commits nothing.
-    assert!(stm
-        .try_once(|tx| {
-            tx.write(&v, 2)?;
-            Err::<(), Retry>(Retry)
-        })
-        .is_none());
-    assert_eq!(v.load(), 1);
-    // A clean one commits.
-    assert_eq!(stm.try_once(|tx| tx.read(&v)), Some(1));
-}
-
-#[test]
-fn heterogeneous_value_types() {
-    let stm = Stm::tl2();
-    let name = TVar::new(String::from("alice"));
-    let balance = TVar::new(10u64);
-    let tags = TVar::new(vec![1u8, 2, 3]);
-    let summary = stm.atomically(|tx| {
-        let n = tx.read(&name)?;
-        let b = tx.read(&balance)?;
-        let mut t = tx.read(&tags)?;
-        t.push(4);
-        tx.write(&tags, t.clone())?;
-        Ok(format!("{n}:{b}:{}", t.len()))
-    });
-    assert_eq!(summary, "alice:10:4");
-    assert_eq!(tags.load(), vec![1, 2, 3, 4]);
-}
-
-#[test]
-fn bank_stress_final_balances_identical_across_algorithms() {
-    // Fixed transfer amounts and ample initial balances make the final
-    // per-account balance a pure function of the (deterministic) set of
-    // transfers, independent of scheduling — so all three algorithms must
-    // converge to the *same* balances, not just the same total.
-    const ACCOUNTS: usize = 16;
-    const THREADS: usize = 6;
-    const PER_THREAD: usize = 400;
-    const INITIAL: u64 = 1_000_000;
-
-    let run = |algo: Algorithm| -> Vec<u64> {
-        let stm = Arc::new(Stm::new(algo));
-        let accounts: Vec<TVar<u64>> = (0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect();
-        std::thread::scope(|s| {
-            for t in 0..THREADS {
-                let stm = Arc::clone(&stm);
-                let accounts = accounts.clone();
-                s.spawn(move || {
-                    let mut seed = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
-                    for _ in 0..PER_THREAD {
-                        seed = seed
-                            .wrapping_mul(6364136223846793005)
-                            .wrapping_add(1442695040888963407);
-                        let from = (seed >> 33) as usize % ACCOUNTS;
-                        let to = (seed >> 13) as usize % ACCOUNTS;
-                        let amt = 1 + (seed >> 50) % 7;
-                        if from == to {
-                            continue;
-                        }
-                        stm.atomically(|tx| {
-                            let a = tx.read(&accounts[from])?;
-                            let b = tx.read(&accounts[to])?;
-                            tx.write(&accounts[from], a - amt)?;
-                            tx.write(&accounts[to], b + amt)
-                        });
-                    }
-                });
+fn tlrw_read_only_transactions_never_validate() {
+    // The other end of the time–space tradeoff: visible reads are O(1)
+    // each and read-only transactions commit with ZERO validation
+    // probes, under any read-set size — where Incremental pays m(m-1)/2
+    // (see above) and TL2 still re-checks on conflict.
+    for m in [8u64, 64, 256] {
+        let stm = Stm::tlrw();
+        let vars: Vec<TVar<u64>> = (0..m).map(TVar::new).collect();
+        let before = stm.stats().snapshot();
+        let sum = stm.atomically(|tx| {
+            let mut sum = 0;
+            for v in &vars {
+                sum += tx.read(v)?;
             }
+            Ok(sum)
         });
-        let balances: Vec<u64> = accounts.iter().map(TVar::load).collect();
-        assert_eq!(
-            balances.iter().sum::<u64>(),
-            ACCOUNTS as u64 * INITIAL,
-            "{algo:?}: conservation violated"
-        );
-        balances
-    };
-
-    let tl2 = run(Algorithm::Tl2);
-    let incremental = run(Algorithm::Incremental);
-    let norec = run(Algorithm::Norec);
-    assert_eq!(tl2, incremental, "TL2 vs Incremental balances diverge");
-    assert_eq!(tl2, norec, "TL2 vs NOrec balances diverge");
+        assert_eq!(sum, m * (m - 1) / 2);
+        let d = stm.stats().snapshot().since(&before);
+        assert_eq!(d.validation_probes, 0, "m={m}: visible reads validated");
+        assert_eq!(d.reads, m);
+        assert_eq!(d.commits, 1);
+    }
 }
 
 #[test]
 fn norec_value_validation_survives_equal_write_back() {
-    // ABA at the value level: a concurrent commit bumps NOrec's sequence
-    // clock but writes back the *same* value. Value-based validation must
-    // accept this (a version-based check would abort), so the outer
-    // transaction commits on its first and only attempt.
+    // ABA at the value level, asserted at NOrec's strength: a concurrent
+    // commit bumps NOrec's sequence clock but writes back the *same*
+    // value. Value-based validation must accept this (a version-based
+    // check would abort), so the outer transaction commits on its first
+    // and only attempt. The algorithm-generic counterpart (correct
+    // results under equal write-back, any retry count) runs in the
+    // conformance suite above.
     let stm = Stm::norec();
     let v = TVar::new(7u64);
     let w = TVar::new(0u64);
@@ -227,6 +401,42 @@ fn norec_value_validation_survives_equal_write_back() {
 }
 
 #[test]
+fn try_once_reports_conflicts_without_retrying() {
+    let stm = Stm::tl2();
+    let v = TVar::new(1u64);
+    // A transaction that always requests retry commits nothing.
+    assert!(stm
+        .try_once(|tx| {
+            tx.write(&v, 2)?;
+            Err::<(), Retry>(Retry)
+        })
+        .is_none());
+    assert_eq!(v.load(), 1);
+    // A clean one commits.
+    assert_eq!(stm.try_once(|tx| tx.read(&v)), Some(1));
+}
+
+#[test]
+fn heterogeneous_value_types() {
+    for algo in ALGOS {
+        let stm = Stm::new(algo);
+        let name = TVar::new(String::from("alice"));
+        let balance = TVar::new(10u64);
+        let tags = TVar::new(vec![1u8, 2, 3]);
+        let summary = stm.atomically(|tx| {
+            let n = tx.read(&name)?;
+            let b = tx.read(&balance)?;
+            let mut t = tx.read(&tags)?;
+            t.push(4);
+            tx.write(&tags, t.clone())?;
+            Ok(format!("{n}:{b}:{}", t.len()))
+        });
+        assert_eq!(summary, "alice:10:4", "{algo:?}");
+        assert_eq!(tags.load(), vec![1, 2, 3, 4], "{algo:?}");
+    }
+}
+
+#[test]
 fn capped_contention_manager_reports_exhaustion() {
     let stm = Stm::builder(Algorithm::Tl2)
         .contention_manager(CappedAttempts::new(5))
@@ -240,41 +450,4 @@ fn capped_contention_manager_reports_exhaustion() {
     // The instance advertises its policy.
     let dbg = format!("{stm:?}");
     assert!(dbg.contains("CappedAttempts"), "{dbg}");
-}
-
-#[test]
-fn aborted_transactions_do_not_leak_writes_under_contention() {
-    // Hammer a pair of vars with transactions that abort halfway through
-    // (conditionally), verifying atomicity: never (new, old) mixes.
-    for algo in ALGOS {
-        let stm = Arc::new(Stm::new(algo));
-        let a = TVar::new(0u64);
-        let b = TVar::new(0u64);
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                let stm = Arc::clone(&stm);
-                let (a, b) = (a.clone(), b.clone());
-                s.spawn(move || {
-                    for _ in 0..400 {
-                        stm.atomically(|tx| {
-                            let x = tx.read(&a)?;
-                            tx.write(&a, x + 1)?;
-                            tx.write(&b, x + 1)?;
-                            Ok(())
-                        });
-                    }
-                });
-            }
-            let stm2 = Arc::clone(&stm);
-            let (a2, b2) = (a.clone(), b.clone());
-            s.spawn(move || {
-                for _ in 0..2_000 {
-                    let (x, y) = stm2.atomically(|tx| Ok((tx.read(&a2)?, tx.read(&b2)?)));
-                    assert_eq!(x, y, "{algo:?}: torn pair");
-                }
-            });
-        });
-        assert_eq!(a.load(), b.load());
-        assert_eq!(a.load(), 1_600);
-    }
 }
