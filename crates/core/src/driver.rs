@@ -330,7 +330,8 @@ impl TmHarness {
         id
     }
 
-    /// Queues a script on `pid` (runs when scheduled via [`run_all`]).
+    /// Queues a script on `pid` (runs when scheduled via
+    /// [`TmHarness::run_all`]).
     pub fn run_script(&mut self, pid: ProcessId, script: TxScript) {
         self.sim.send(pid, TxCommand::RunScript(script));
     }

@@ -9,7 +9,7 @@
 //!
 //! | hook | contract |
 //! |------|----------|
-//! | `begin(stm) -> u64` | sample the snapshot time (clock, sequence lock, or nothing) at the transaction's first operation |
+//! | `begin(tx)` | sample the snapshot time (clock, sequence lock, or nothing) at the transaction's first operation — and, for the adaptive controller, pin the attempt's mode |
 //! | `read(tx, var) -> Result<T, Retry>` | produce a value consistent with every earlier read of the attempt, recording whatever the commit hook needs (versioned read, value snapshot, or a held read lock) |
 //! | `commit(tx) -> bool` | atomically publish the buffered write set or fail without trace; only called when the write set is non-empty |
 //!
@@ -22,16 +22,19 @@
 //!
 //! Validation helpers shared between algorithms live in [`versioned`]
 //! (orec version equality, used by Tl2 and Incremental) and in the
-//! modules that own them; a fifth algorithm is one new module plus one
-//! arm in each dispatch below.
+//! modules that own them; a new algorithm is one new module plus one
+//! arm in each dispatch below — exactly how [`adaptive`] (the fifth)
+//! arrived, composing the Tl2 and Tlrw hooks behind a mode controller
+//! without touching the engine's generic machinery.
 
+pub(crate) mod adaptive;
 pub(crate) mod incremental;
 pub(crate) mod norec;
 pub(crate) mod tl2;
 pub(crate) mod tlrw;
 pub(crate) mod versioned;
 
-use crate::engine::{Algorithm, Retry, Stm, Transaction};
+use crate::engine::{Algorithm, Retry, Transaction};
 use crate::tvar::{TVar, TxValue};
 
 /// Runs a locking commit body with the write set's stripes collected,
@@ -56,35 +59,41 @@ fn with_write_stripes(
     ok
 }
 
-/// Begin hook: the algorithm's snapshot time, sampled lazily at the
-/// attempt's first operation.
-pub(crate) fn begin(stm: &Stm) -> u64 {
-    match stm.algorithm {
-        Algorithm::Tl2 => tl2::begin(stm),
-        Algorithm::Incremental => incremental::begin(stm),
-        Algorithm::Norec => norec::begin(stm),
-        Algorithm::Tlrw => tlrw::begin(stm),
-    }
+/// Begin hook: samples the algorithm's snapshot time into `tx.rv`
+/// lazily at the attempt's first operation (and pins the adaptive
+/// mode, where applicable).
+pub(crate) fn begin(tx: &mut Transaction<'_>) {
+    tx.rv = match tx.stm.algorithm {
+        Algorithm::Tl2 => tl2::begin(tx.stm),
+        Algorithm::Incremental => incremental::begin(tx.stm),
+        Algorithm::Norec => norec::begin(tx.stm),
+        Algorithm::Tlrw => tlrw::begin(tx.stm),
+        Algorithm::Adaptive => adaptive::begin(tx),
+    };
 }
 
 /// Read hook: the algorithm-specific consistent-read path (the engine
-/// has already consulted the write set).
+/// has already consulted the write set). Dispatches on the
+/// *transaction's* resolved mode, so an adaptive attempt costs exactly
+/// one match here — the same as a static instance.
 pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
-    match tx.stm.algorithm {
+    match tx.mode {
         Algorithm::Tl2 => tl2::read(tx, var),
         Algorithm::Incremental => incremental::read(tx, var),
         Algorithm::Norec => norec::read(tx, var),
         Algorithm::Tlrw => tlrw::read(tx, var),
+        Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2 or Tlrw as the mode"),
     }
 }
 
 /// Commit hook: publish the (non-empty) write set atomically, or fail
 /// leaving shared state untouched.
 pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
-    match tx.stm.algorithm {
+    match tx.mode {
         Algorithm::Tl2 => tl2::commit(tx),
         Algorithm::Incremental => incremental::commit(tx),
         Algorithm::Norec => norec::commit(tx),
         Algorithm::Tlrw => tlrw::commit(tx),
+        Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2 or Tlrw as the mode"),
     }
 }

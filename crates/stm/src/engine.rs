@@ -1,4 +1,4 @@
-//! The transaction engine: four validation algorithms behind one API.
+//! The transaction engine: five validation algorithms behind one API.
 //!
 //! * [`Algorithm::Tl2`] — global version clock plus the striped orec
 //!   table ([`crate::orec`]): reads validate in O(1) against the snapshot
@@ -19,6 +19,11 @@
 //!   validation** and writers abort on foreign readers. The other side
 //!   of the paper's time–space tradeoff, measurable against the three
 //!   invisible-read designs above.
+//! * [`Algorithm::Adaptive`] — a mode controller that samples windowed
+//!   [`StatsSnapshot`](crate::StatsSnapshot) deltas and moves the live
+//!   engine between the Tl2 (invisible) and Tlrw (visible) hooks through
+//!   an epoch-quiesced orec-table reinterpretation; see
+//!   [`crate::AdaptiveConfig`] for the decision signals and knobs.
 //!
 //! The algorithm-specific read/commit/snapshot behaviour lives in the
 //! [`crate::algo`] strategy layer (one module per algorithm, three hooks
@@ -30,6 +35,7 @@
 //! [`ContentionManager`] chosen through [`StmBuilder`].
 
 use crate::algo;
+use crate::algo::adaptive::{self, AdaptiveConfig, AdaptiveState, Mode};
 use crate::cm::{ContentionManager, Decision, ExponentialBackoff};
 use crate::epoch;
 use crate::orec::{self, OrecTable};
@@ -43,6 +49,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The validation algorithm an [`Stm`] instance runs.
+///
+/// Four static design points span the paper's time–space tradeoff;
+/// [`Algorithm::Adaptive`] moves between the two ends of it at runtime.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_stm::{Algorithm, Stm, TVar};
+///
+/// let v = TVar::new(0u64);
+/// for algo in [
+///     Algorithm::Tl2,
+///     Algorithm::Incremental,
+///     Algorithm::Norec,
+///     Algorithm::Tlrw,
+///     Algorithm::Adaptive,
+/// ] {
+///     let stm = Stm::new(algo);
+///     stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+/// }
+/// assert_eq!(v.load(), 5);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// Global version clock, O(1) lock-free read validation (default).
@@ -60,6 +88,17 @@ pub enum Algorithm {
     /// upgraders on one stripe abort each other). The native twin of
     /// `ptm-core`'s simulated `TlrwTm`.
     Tlrw,
+    /// Workload-driven switching between the invisible-read (Tl2) and
+    /// visible-read (Tlrw) modes: a controller samples stats deltas over
+    /// commit windows (read/write ratio, abort rate, validation probes
+    /// per read, reader conflicts) and reinterprets the orec table
+    /// between the versioned and reader–writer word formats through an
+    /// epoch-quiesced transition — in-flight transactions always finish
+    /// under the mode they started in. Starts invisible; tune with
+    /// [`StmBuilder::adaptive_config`], observe through
+    /// [`StatsSnapshot`](crate::StatsSnapshot)'s `mode_transitions` /
+    /// `visible_mode` and [`Stm::active_mode`].
+    Adaptive,
 }
 
 /// The transaction aborted and should be retried; returned by
@@ -117,11 +156,13 @@ pub struct StmBuilder {
     orec_stripes: usize,
     cm: Box<dyn ContentionManager>,
     recorder: Option<HistoryRecorder>,
+    adaptive: AdaptiveConfig,
 }
 
 impl StmBuilder {
     /// Starts from the defaults: 10 million attempts, exponential
-    /// backoff, 1024 orec stripes, no history recording.
+    /// backoff, 1024 orec stripes, no history recording, default
+    /// adaptive tuning.
     pub fn new(algorithm: Algorithm) -> Self {
         StmBuilder {
             algorithm,
@@ -129,6 +170,7 @@ impl StmBuilder {
             orec_stripes: orec::DEFAULT_STRIPES,
             cm: Box::new(ExponentialBackoff::default()),
             recorder: None,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 
@@ -170,22 +212,49 @@ impl StmBuilder {
         self
     }
 
+    /// Tuning knobs for [`Algorithm::Adaptive`]'s mode controller:
+    /// sampling window, switch thresholds, hysteresis, drain budget.
+    /// Ignored by the static algorithms.
+    pub fn adaptive_config(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = cfg;
+        self
+    }
+
     /// Builds the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm is [`Algorithm::Adaptive`] and the
+    /// [`AdaptiveConfig`] is inconsistent (see its field docs).
     pub fn build(self) -> Stm {
         // NOrec never touches orecs; don't pay ~128 KB of padded words
         // for a table no code path reads.
         let stripes = match self.algorithm {
             Algorithm::Norec => 1,
-            Algorithm::Tl2 | Algorithm::Incremental | Algorithm::Tlrw => self.orec_stripes,
+            Algorithm::Tl2 | Algorithm::Incremental | Algorithm::Tlrw | Algorithm::Adaptive => {
+                self.orec_stripes
+            }
         };
+        let adaptive = match self.algorithm {
+            Algorithm::Adaptive => {
+                self.adaptive.validate();
+                Some(AdaptiveState::new(self.adaptive))
+            }
+            _ => None,
+        };
+        let stats = Arc::new(StmStats::default());
+        // Adaptive starts in its invisible mode, so only Tlrw begins
+        // life visible.
+        stats.set_visible_mode(self.algorithm == Algorithm::Tlrw);
         Stm {
             algorithm: self.algorithm,
             clock: AtomicU64::new(0),
             orecs: OrecTable::new(stripes),
-            stats: Arc::new(StmStats::default()),
+            stats,
             max_attempts: self.max_attempts,
             cm: self.cm,
             recorder: self.recorder,
+            adaptive,
         }
     }
 }
@@ -209,12 +278,16 @@ pub struct Stm {
     cm: Box<dyn ContentionManager>,
     /// Present when this instance records t-operation histories.
     recorder: Option<HistoryRecorder>,
+    /// Present on `Algorithm::Adaptive` instances: the live mode, the
+    /// per-mode active-transaction counters, and the window controller.
+    pub(crate) adaptive: Option<AdaptiveState>,
 }
 
 impl fmt::Debug for Stm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Stm")
             .field("algorithm", &self.algorithm)
+            .field("active_mode", &self.active_mode())
             .field("clock", &self.clock.load(Ordering::Relaxed))
             .field("orec_stripes", &self.orecs.len())
             .field("max_attempts", &self.max_attempts)
@@ -256,9 +329,38 @@ impl Stm {
         Stm::new(Algorithm::Tlrw)
     }
 
+    /// Adaptive instance (workload-driven Tl2 ⇄ Tlrw switching) with
+    /// default tuning.
+    pub fn adaptive() -> Self {
+        Stm::new(Algorithm::Adaptive)
+    }
+
     /// The algorithm this instance runs.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The read/commit machinery currently in force: the algorithm
+    /// itself for static instances; for [`Algorithm::Adaptive`], the
+    /// live mode — [`Algorithm::Tl2`] (invisible) or [`Algorithm::Tlrw`]
+    /// (visible).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ptm_stm::{Algorithm, Stm};
+    ///
+    /// assert_eq!(Stm::norec().active_mode(), Algorithm::Norec);
+    /// assert_eq!(Stm::adaptive().active_mode(), Algorithm::Tl2);
+    /// ```
+    pub fn active_mode(&self) -> Algorithm {
+        match &self.adaptive {
+            None => self.algorithm,
+            Some(ad) => match ad.mode() {
+                Mode::Invisible => Algorithm::Tl2,
+                Mode::Visible => Algorithm::Tlrw,
+            },
+        }
     }
 
     /// The per-transaction attempt ceiling.
@@ -307,12 +409,18 @@ impl Stm {
         let mut attempt: u64 = 0;
         loop {
             let mut tx = Transaction::begin(self, log);
-            match body(&mut tx) {
-                Ok(out) if tx.commit() => {
-                    self.stats.commit();
-                    return Ok(out);
-                }
-                _ => {}
+            let committed = match body(&mut tx) {
+                Ok(out) if tx.commit() => Some(out),
+                _ => None,
+            };
+            if let Some(out) = committed {
+                // Drop before the controller hook: the adaptive sampler
+                // may quiesce the instance, which must never wait on the
+                // sampling thread's own (finished) transaction.
+                drop(tx);
+                self.stats.commit();
+                adaptive::after_commit(self);
+                return Ok(out);
             }
             tx.close_aborted();
             log = tx.into_log();
@@ -334,13 +442,21 @@ impl Stm {
         body: impl FnOnce(&mut Transaction<'_>) -> Result<A, Retry>,
     ) -> Option<A> {
         let mut tx = Transaction::begin(self, TxLog::default());
-        match body(&mut tx) {
-            Ok(out) if tx.commit() => {
-                self.stats.commit();
-                Some(out)
-            }
+        let committed = match body(&mut tx) {
+            Ok(out) if tx.commit() => Some(out),
             _ => {
                 tx.close_aborted();
+                None
+            }
+        };
+        drop(tx);
+        match committed {
+            Some(out) => {
+                self.stats.commit();
+                adaptive::after_commit(self);
+                Some(out)
+            }
+            None => {
                 self.stats.abort();
                 None
             }
@@ -368,6 +484,16 @@ pub struct Transaction<'s> {
     /// commit an attempt the engine already aborted.
     poisoned: bool,
     pub(crate) log: TxLog,
+    /// The concrete hook set this attempt runs: the instance's algorithm
+    /// for static instances; for `Algorithm::Adaptive`, the begin hook
+    /// overwrites it with the pinned mode (`Tl2` or `Tlrw`), so the
+    /// per-operation dispatch costs one match — no double indirection —
+    /// and stays on the pinned hooks even if the controller switches the
+    /// instance mid-flight.
+    pub(crate) mode: Algorithm,
+    /// The adaptive mode this attempt registered in (`Algorithm::
+    /// Adaptive` only): names the active counter to release on drop.
+    pub(crate) pinned: Option<Mode>,
     /// History-recording state for this attempt, when the instance has a
     /// recorder attached.
     rec: Option<RecTx>,
@@ -380,9 +506,13 @@ impl Drop for Transaction<'_> {
     /// Last-resort release of visible-read locks: commit and the abort
     /// paths release them eagerly, but a panicking body (or a dropped
     /// `try_once` attempt) must not leave reader counts behind — a leaked
-    /// read lock would starve every later writer on the stripe.
+    /// read lock would starve every later writer on the stripe. Also
+    /// deregisters the attempt from its pinned mode's active counter
+    /// (adaptive instances), on which a pending mode switch may be
+    /// waiting.
     fn drop(&mut self) {
         self.release_read_locks();
+        adaptive::release_slot(self);
     }
 }
 
@@ -404,6 +534,8 @@ impl<'s> Transaction<'s> {
             started: false,
             poisoned: false,
             log,
+            mode: stm.algorithm,
+            pinned: None,
             rec: stm.recorder.as_ref().map(HistoryRecorder::begin_tx),
             pin: epoch::pin(),
         }
@@ -431,12 +563,13 @@ impl<'s> Transaction<'s> {
         }
     }
 
-    /// Lazily samples the snapshot time at the first operation.
+    /// Lazily samples the snapshot time (and, for adaptive instances,
+    /// pins the mode) at the first operation.
     fn ensure_started(&mut self) {
         if self.started {
             return;
         }
-        self.rv = algo::begin(self.stm);
+        algo::begin(self);
         self.started = true;
     }
 
@@ -595,7 +728,24 @@ mod tests {
     use crate::cm::{CappedAttempts, ImmediateRetry};
 
     fn engines() -> Vec<Stm> {
-        vec![Stm::tl2(), Stm::incremental(), Stm::norec(), Stm::tlrw()]
+        vec![
+            Stm::tl2(),
+            Stm::incremental(),
+            Stm::norec(),
+            Stm::tlrw(),
+            Stm::adaptive(),
+        ]
+    }
+
+    /// An adaptive instance tuned to switch after a handful of commits.
+    fn twitchy_adaptive() -> Stm {
+        Stm::builder(Algorithm::Adaptive)
+            .adaptive_config(AdaptiveConfig {
+                window_commits: 8,
+                hysteresis_windows: 1,
+                ..AdaptiveConfig::default()
+            })
+            .build()
     }
 
     /// Every orec word back to zero: no lock (versioned or RW) leaked.
@@ -949,6 +1099,129 @@ mod tests {
                 assert!(x.load() + y.load() <= 1, "{:?}", stm.algorithm());
             }
         }
+    }
+
+    #[test]
+    fn adaptive_switches_with_the_workload_and_stays_correct() {
+        let stm = twitchy_adaptive();
+        assert_eq!(stm.active_mode(), Algorithm::Tl2, "starts invisible");
+        let vars: Vec<TVar<u64>> = (0..32).map(|_| TVar::new(1)).collect();
+        // Write-heavy: transfers (2 reads / 2 writes) drive it visible.
+        for i in 0..64usize {
+            let (a, b) = (i % 32, (i + 7) % 32);
+            stm.atomically(|tx| {
+                let x = tx.read(&vars[a])?;
+                let y = tx.read(&vars[b])?;
+                tx.write(&vars[a], x.wrapping_sub(1))?;
+                tx.write(&vars[b], y.wrapping_add(1))
+            });
+        }
+        assert_eq!(stm.active_mode(), Algorithm::Tlrw, "write-heavy → visible");
+        let after_first = stm.stats().snapshot();
+        assert!(after_first.mode_transitions >= 1);
+        assert!(after_first.visible_mode);
+        // Read-mostly: 16-read scans drive it back invisible.
+        for _ in 0..64usize {
+            let sum = stm.atomically(|tx| {
+                let mut acc = 0u64;
+                for v in vars.iter().take(16) {
+                    acc = acc.wrapping_add(tx.read(v)?);
+                }
+                Ok(acc)
+            });
+            let _ = sum;
+        }
+        assert_eq!(stm.active_mode(), Algorithm::Tl2, "read-mostly → invisible");
+        let snap = stm.stats().snapshot();
+        assert!(snap.mode_transitions >= 2);
+        assert!(!snap.visible_mode);
+        // The sum is conserved across both regimes and the switches.
+        assert_eq!(vars.iter().map(TVar::load).sum::<u64>(), 32);
+        assert_orecs_quiescent(&stm);
+    }
+
+    #[test]
+    fn adaptive_switch_is_correct_under_concurrent_mixed_load() {
+        // Hammer an adaptive instance with racing read-mostly and
+        // write-heavy threads so transitions happen *during* traffic;
+        // the exact mode history is scheduling-dependent, but counter
+        // exactness and lock quiescence must not be.
+        let stm = Arc::new(twitchy_adaptive());
+        let counters: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(0)).collect();
+        let threads = 4;
+        let per = 400;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let stm = Arc::clone(&stm);
+                let counters = counters.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        if (i / 50) % 2 == 0 {
+                            // Write-heavy burst: increment one counter.
+                            let c = (t + i) % counters.len();
+                            stm.atomically(|tx| tx.modify(&counters[c], |x| x + 1));
+                        } else {
+                            // Read burst: scan everything, write every
+                            // 16th iteration.
+                            stm.atomically(|tx| {
+                                let mut acc = 0u64;
+                                for v in &counters {
+                                    acc = acc.wrapping_add(tx.read(v)?);
+                                }
+                                if i % 16 == 0 {
+                                    let c = (t + i) % counters.len();
+                                    tx.modify(&counters[c], |x| x + 1)?;
+                                }
+                                Ok(acc)
+                            });
+                        }
+                    }
+                });
+            }
+        });
+        let expected: u64 = (0..threads as u64)
+            .map(|_| {
+                (0..per as u64)
+                    .map(|i| u64::from((i / 50) % 2 == 0 || i % 16 == 0))
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(counters.iter().map(TVar::load).sum::<u64>(), expected);
+        assert_orecs_quiescent(&stm);
+    }
+
+    #[test]
+    fn adaptive_nested_transaction_cannot_deadlock_the_switch() {
+        // A nested transaction commits (and samples) while the outer one
+        // is still active on the same thread: the drain must time out
+        // and keep the current mode instead of waiting on its own stack.
+        let stm = Stm::builder(Algorithm::Adaptive)
+            .adaptive_config(AdaptiveConfig {
+                window_commits: 1,
+                hysteresis_windows: 1,
+                max_drain: std::time::Duration::from_millis(1),
+                ..AdaptiveConfig::default()
+            })
+            .build();
+        let v = TVar::new(0u64);
+        let w = TVar::new(0u64);
+        // Every commit is write-heavy, so every one-commit window votes
+        // visible; the nested commits below each attempt the switch
+        // while the outer transaction still occupies the invisible
+        // mode's active counter.
+        stm.atomically(|tx| {
+            tx.write(&v, 1)?; // pins the mode, holds the active slot
+            for _ in 0..4 {
+                stm.atomically(|tx2| tx2.modify(&w, |y| y + 1));
+            }
+            tx.write(&v, 2)
+        });
+        assert_eq!((v.load(), w.load()), (2, 4));
+        // The outer commit's own sample can finally drain and switch;
+        // either way the engine is live and consistent afterwards.
+        stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+        assert_eq!(v.load(), 3);
+        assert!(stm.stats().snapshot().commits >= 6);
     }
 
     #[test]

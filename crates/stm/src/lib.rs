@@ -1,8 +1,9 @@
 //! # ptm-stm — a native software transactional memory
 //!
 //! The real-threads companion to the simulated TMs in `ptm-core`: a small
-//! STM with four interchangeable validation algorithms, so both sides of
-//! the paper's time–space tradeoff can be measured on actual hardware.
+//! STM with five interchangeable validation algorithms, so both sides of
+//! the paper's time–space tradeoff can be measured on actual hardware —
+//! and, with the adaptive mode, *exploited* at runtime.
 //!
 //! * [`Stm::tl2`] — global version clock, O(1) **lock-free** read
 //!   validation against a striped orec table (the production default);
@@ -17,6 +18,12 @@
 //!   for with one shared-memory RMW inside every first read of a stripe
 //!   (watch `reader_conflicts` in [`StmStats`]). Progressive, not
 //!   strongly progressive.
+//! * [`Stm::adaptive`] — a mode controller that samples windowed stats
+//!   deltas and moves the live engine between the Tl2 and Tlrw hooks as
+//!   the workload shifts, reinterpreting the orec table through an
+//!   epoch-quiesced transition (tune with [`AdaptiveConfig`], observe
+//!   via `mode_transitions` / `visible_mode` in [`StatsSnapshot`] and
+//!   [`Stm::active_mode`]).
 //!
 //! ## Quick start
 //!
@@ -59,9 +66,9 @@
 //! | module | concern |
 //! |--------|---------|
 //! | [`mod@engine`](crate::Stm) | generic machinery: [`Stm`] / [`Transaction`] / [`StmBuilder`], retry loop, lock cleanup |
-//! | `algo`  | the strategy layer: one module per algorithm (begin / read / commit hooks) |
+//! | `algo`  | the strategy layer: one module per algorithm (begin / read / commit hooks), including the adaptive mode controller |
 //! | `txlog` | read-set / write-set log shared by all algorithms |
-//! | `orec`  | striped, cache-padded metadata words: versioned locks (TL2 / Incremental) or reader–writer locks (Tlrw) |
+//! | `orec`  | striped, cache-padded metadata words: versioned locks (TL2 / Incremental) or reader–writer locks (Tlrw); Adaptive reinterprets the table between the two formats |
 //! | `tvar`  | value cells: immutable boxes behind an atomic pointer |
 //! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe |
 //! | [`cm`](ContentionManager) | pluggable retry policies |
@@ -98,6 +105,7 @@ mod stats;
 mod tvar;
 mod txlog;
 
+pub use algo::adaptive::AdaptiveConfig;
 pub use cm::{CappedAttempts, ContentionManager, Decision, ExponentialBackoff, ImmediateRetry};
 pub use engine::{Algorithm, RetriesExhausted, Retry, Stm, StmBuilder, Transaction};
 pub use recorder::HistoryRecorder;

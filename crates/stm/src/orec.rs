@@ -101,6 +101,22 @@ impl OrecTable {
     pub(crate) fn word(&self, stripe: usize) -> &AtomicU64 {
         &self.words[stripe].0
     }
+
+    /// Resets every word to zero, reinterpreting the table between the
+    /// versioned and reader–writer formats (`Algorithm::Adaptive`'s mode
+    /// switch).
+    ///
+    /// The caller must have quiesced the instance: no transaction may
+    /// hold a lock in, or be validating against, any word. A zero word
+    /// is valid in both formats (unlocked at version 0 / no readers, no
+    /// writer), and dropping versions is sound because the quiesce
+    /// barrier orders every pre-reset commit before every post-reset
+    /// read.
+    pub(crate) fn reset_all(&self) {
+        for w in self.words.iter() {
+            w.0.store(0, std::sync::atomic::Ordering::Release);
+        }
+    }
 }
 
 #[cfg(test)]

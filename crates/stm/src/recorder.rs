@@ -168,8 +168,9 @@ impl RecorderShared {
 
 /// Records t-operation histories from a native [`Stm`](crate::Stm).
 ///
-/// Create one, hand a clone to [`StmBuilder::record_history`]
-/// (`crate::StmBuilder::record_history`), run a concurrent workload, then
+/// Create one, hand a clone to
+/// [`StmBuilder::record_history`](crate::StmBuilder::record_history),
+/// run a concurrent workload, then
 /// [`drain`](HistoryRecorder::drain) the marker log and feed it to the
 /// `ptm-model` checkers. Cloning is cheap and clones share the log.
 ///

@@ -8,7 +8,7 @@
 //! in TL2 mode, the hardware echo of the paper's bound.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Monotonic event counters for one [`Stm`](crate::Stm) instance.
 #[derive(Debug, Default)]
@@ -20,9 +20,31 @@ pub struct StmStats {
     reads: AtomicU64,
     writes: AtomicU64,
     recorded_events: AtomicU64,
+    mode_transitions: AtomicU64,
+    /// Not a counter: the read-visibility regime currently in force
+    /// (static for the fixed algorithms, live for `Adaptive`).
+    visible_mode: AtomicBool,
 }
 
 /// A point-in-time copy of the counters.
+///
+/// # Examples
+///
+/// Windowed deltas via [`StatsSnapshot::since`] — the idiom the
+/// adaptive controller itself uses:
+///
+/// ```
+/// use ptm_stm::{Stm, TVar};
+///
+/// let stm = Stm::tl2();
+/// let v = TVar::new(0u64);
+/// let before = stm.stats().snapshot();
+/// stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+/// let d = stm.stats().snapshot().since(&before);
+/// assert_eq!((d.commits, d.reads, d.writes), (1, 1, 1));
+/// assert!(!d.visible_mode, "Tl2 runs invisible reads");
+/// assert!(d.to_string().contains("commits=1"));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Transactions that committed.
@@ -44,6 +66,18 @@ pub struct StatsSnapshot {
     /// [`HistoryRecorder`](crate::HistoryRecorder) (0 when recording is
     /// off).
     pub recorded_events: u64,
+    /// Mode switches performed by the
+    /// [`Algorithm::Adaptive`](crate::Algorithm::Adaptive) controller
+    /// (always 0 for the static algorithms).
+    pub mode_transitions: u64,
+    /// Whether the instance was running **visible** reads (the
+    /// reader–writer orec format) when the snapshot was taken: `true`
+    /// for `Tlrw` and for `Adaptive` in its visible mode, `false`
+    /// otherwise. Point-in-time state, not a counter — [`since`]
+    /// carries the *later* snapshot's value through unchanged.
+    ///
+    /// [`since`]: StatsSnapshot::since
+    pub visible_mode: bool,
 }
 
 impl StmStats {
@@ -75,6 +109,23 @@ impl StmStats {
         self.recorded_events.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records an adaptive mode switch and the regime it landed in.
+    pub(crate) fn mode_transition(&self, visible: bool) {
+        self.mode_transitions.fetch_add(1, Ordering::Relaxed);
+        self.visible_mode.store(visible, Ordering::Relaxed);
+    }
+
+    /// Sets the initial read-visibility regime (builder-time).
+    pub(crate) fn set_visible_mode(&self, visible: bool) {
+        self.visible_mode.store(visible, Ordering::Relaxed);
+    }
+
+    /// The bare commit count, for hot paths that must not pay a full
+    /// snapshot (the adaptive controller's window check).
+    pub(crate) fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -85,6 +136,8 @@ impl StmStats {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             recorded_events: self.recorded_events.load(Ordering::Relaxed),
+            mode_transitions: self.mode_transitions.load(Ordering::Relaxed),
+            visible_mode: self.visible_mode.load(Ordering::Relaxed),
         }
     }
 }
@@ -105,6 +158,10 @@ impl StatsSnapshot {
             reads: d(self.reads, earlier.reads),
             writes: d(self.writes, earlier.writes),
             recorded_events: d(self.recorded_events, earlier.recorded_events),
+            mode_transitions: d(self.mode_transitions, earlier.mode_transitions),
+            // State, not a counter: the delta reports where the window
+            // *ended up*.
+            visible_mode: self.visible_mode,
         }
     }
 }
@@ -115,14 +172,16 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} recorded={}",
+            "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} recorded={} transitions={} mode={}",
             self.commits,
             self.aborts,
             self.reads,
             self.writes,
             self.validation_probes,
             self.reader_conflicts,
-            self.recorded_events
+            self.recorded_events,
+            self.mode_transitions,
+            if self.visible_mode { "visible" } else { "invisible" }
         )
     }
 }
@@ -142,6 +201,7 @@ mod tests {
         s.read();
         s.write();
         s.recorded(4);
+        s.mode_transition(true);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
@@ -150,6 +210,12 @@ mod tests {
         assert_eq!(snap.reads, 1);
         assert_eq!(snap.writes, 1);
         assert_eq!(snap.recorded_events, 4);
+        assert_eq!(snap.mode_transitions, 1);
+        assert!(snap.visible_mode);
+        s.mode_transition(false);
+        let snap = s.snapshot();
+        assert_eq!(snap.mode_transitions, 2);
+        assert!(!snap.visible_mode);
     }
 
     #[test]
@@ -162,8 +228,12 @@ mod tests {
         let line = s.snapshot().to_string();
         assert_eq!(
             line,
-            "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 recorded=6"
+            "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 recorded=6 \
+             transitions=0 mode=invisible"
         );
+        s.mode_transition(true);
+        let line = s.snapshot().to_string();
+        assert!(line.ends_with("transitions=1 mode=visible"), "{line}");
     }
 
     #[test]
@@ -177,5 +247,17 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.commits, 1);
         assert_eq!(d.validation_probes, 3);
+    }
+
+    #[test]
+    fn since_carries_the_later_mode_through() {
+        let s = StmStats::default();
+        s.set_visible_mode(true);
+        let a = s.snapshot();
+        s.mode_transition(false);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.mode_transitions, 1);
+        assert!(!d.visible_mode, "delta reports where the window ended up");
     }
 }

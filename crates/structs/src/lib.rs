@@ -3,8 +3,8 @@
 //! The engine in [`ptm_stm`] exposes raw [`TVar`](ptm_stm::TVar)s; this
 //! crate builds the data-structure layer the ROADMAP's workload families
 //! need, each usable from ordinary transactions under **any** of the
-//! four validation algorithms (TL2 / NOrec / incremental / TLRW's
-//! visible reads):
+//! five validation algorithms (TL2 / NOrec / incremental / TLRW's
+//! visible reads / the adaptive controller over the last two regimes):
 //!
 //! * [`TArray`] — a fixed-length array of `TVar` slots with transactional
 //!   indexing, swap, and whole-array snapshots;

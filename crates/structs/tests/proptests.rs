@@ -10,11 +10,12 @@ use ptm_stm::{Algorithm, Stm};
 use ptm_structs::{THashMap, TSet};
 use std::collections::{BTreeSet, HashMap};
 
-const ALGOS: [Algorithm; 4] = [
+const ALGOS: [Algorithm; 5] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    Algorithm::Adaptive,
 ];
 
 /// One scripted operation: `(kind, key, value)`.

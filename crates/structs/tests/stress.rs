@@ -1,5 +1,6 @@
-//! Multi-threaded stress for all four structures under all four
-//! validation algorithms (visible Tlrw reads included): determinate invariants after concurrent churn,
+//! Multi-threaded stress for all four structures under all five
+//! validation algorithms (visible Tlrw reads and the adaptive mode
+//! controller included): determinate invariants after concurrent churn,
 //! plus a commit-order linearizability check driven by an in-transaction
 //! stamp counter.
 
@@ -8,11 +9,12 @@ use ptm_structs::{TArray, THashMap, TQueue, TSet};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 4] = [
+const ALGOS: [Algorithm; 5] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    Algorithm::Adaptive,
 ];
 
 /// Small deterministic PRNG so the stress mixes are reproducible.

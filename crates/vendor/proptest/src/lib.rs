@@ -6,9 +6,10 @@
 //!
 //! * the [`proptest!`] macro with `#![proptest_config(...)]` and
 //!   `name(arg in strategy, ...)` test functions;
-//! * [`Strategy`] with `prop_map`, [`Just`], integer-range strategies,
-//!   tuple strategies (arity 2 and 3), [`collection::vec`], and
-//!   [`arbitrary::any`] for `bool` and unsigned integers;
+//! * [`Strategy`](strategy::Strategy) with `prop_map`,
+//!   [`Just`](strategy::Just), integer-range strategies, tuple
+//!   strategies (arity 2 and 3), [`collection::vec()`], and
+//!   [`arbitrary::any()`] for `bool` and unsigned integers;
 //! * the [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`]
 //!   macros;
 //! * [`prelude::ProptestConfig`] with `with_cases`.
@@ -252,7 +253,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

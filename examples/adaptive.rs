@@ -1,0 +1,71 @@
+//! The adaptive runtime, watched live: one `Algorithm::Adaptive`
+//! instance is driven through the same phase-shifting workload the
+//! `phase_shift_*` baseline measures (`read_mostly → write_heavy →
+//! read_mostly`, via `ptm_bench::native`'s pass drivers) while the
+//! program prints the controller's decisions — the active mode, the
+//! per-phase stats deltas it decides from, and every mode transition.
+//!
+//! ```bash
+//! cargo run --release --example adaptive
+//! ```
+
+use progressive_tm::stm::{AdaptiveConfig, Algorithm, Stm, TVar};
+use ptm_bench::native::{pass_read_mostly, pass_write_heavy};
+use std::sync::Arc;
+
+fn main() {
+    let threads = 4;
+    let txns: u64 = 20_000;
+    // Sample every 128 commits and switch after one agreeing window, so
+    // the transitions are visible within short phases.
+    let stm = Arc::new(
+        Stm::builder(Algorithm::Adaptive)
+            .adaptive_config(AdaptiveConfig {
+                window_commits: 128,
+                hysteresis_windows: 1,
+                ..AdaptiveConfig::default()
+            })
+            .build(),
+    );
+    let vars: Vec<TVar<u64>> = (0..128).map(|_| TVar::new(1)).collect();
+    let accounts: Vec<TVar<u64>> = (0..16).map(|_| TVar::new(1_000_000)).collect();
+
+    println!("adaptive STM, phase-shifting workload ({threads} threads)\n");
+    let mut last = stm.stats().snapshot();
+    let phases: [(&str, bool); 3] = [
+        ("read_mostly ", false),
+        ("write_heavy ", true),
+        ("read_mostly'", false),
+    ];
+    for (name, write_heavy) in phases {
+        let nanos = if write_heavy {
+            pass_write_heavy(&stm, &accounts, threads, txns)
+        } else {
+            pass_read_mostly(&stm, &vars, threads, txns)
+        };
+        let snap = stm.stats().snapshot();
+        let d = snap.since(&last);
+        last = snap;
+        println!(
+            "{name}  {:>7.0} txn/s   read/write ratio {:>5.1}   {} transition(s) -> {:?}",
+            d.commits as f64 * 1e9 / nanos as f64,
+            d.reads as f64 / d.writes.max(1) as f64,
+            d.mode_transitions,
+            stm.active_mode(),
+        );
+    }
+    let total: u64 = accounts.iter().map(TVar::load).sum();
+    assert_eq!(total, 16_000_000, "transfers conserved the total");
+    let snap = stm.stats().snapshot();
+    println!("\nfinal: {snap}");
+    assert!(
+        snap.mode_transitions >= 2,
+        "the workload shift must move the engine across the tradeoff"
+    );
+    println!(
+        "\nThe controller crossed the paper's time-space tradeoff {} times:\n\
+         invisible reads (Tl2 hooks) while reads dominated, visible reads\n\
+         (Tlrw hooks) while writers did — one engine, both cost profiles.",
+        snap.mode_transitions
+    );
+}

@@ -1,5 +1,7 @@
 //! Concurrent bank transfers on the native STM — the classic STM demo,
-//! run on all four validation algorithms with statistics.
+//! run on all four static validation algorithms with statistics (the
+//! adaptive fifth gets its own phase-shifting demo in
+//! `examples/adaptive.rs`).
 //!
 //! Eight threads shuffle money between 32 accounts; the invariant (total
 //! balance) is checked at the end, and the per-algorithm commit/abort/

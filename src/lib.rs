@@ -15,13 +15,15 @@
 //! * [`mutex`] — classic mutual-exclusion baselines with known RMR
 //!   profiles;
 //! * [`stm`] — a native STM for real threads with TL2 / NOrec /
-//!   incremental-validation / TLRW visible-read modes: lock-free
+//!   incremental-validation / TLRW visible-read modes plus an adaptive
+//!   mode controller that switches between the invisible- and
+//!   visible-read machinery as the workload shifts: lock-free
 //!   optimistic (or reader-announcing) reads over a striped orec table,
 //!   a shared transaction log, pluggable contention management, and
 //!   opt-in t-operation history recording;
 //! * [`structs`] — transactional data structures over the native STM
 //!   (`TArray`, `THashMap`, `TQueue`, `TSet`), each usable under any of
-//!   the four algorithms.
+//!   the five algorithms.
 //!
 //! See `README.md` for the quick start, the crate map, and how to run
 //! the benchmarks.

@@ -1,5 +1,5 @@
 //! The bridge between the native engine and the paper's formal model:
-//! record real multi-threaded executions of all four algorithms with
+//! record real multi-threaded executions of all five algorithms with
 //! [`HistoryRecorder`], parse them with `ptm_model::History::from_log`,
 //! and run the opacity / strict-serializability checkers on them — the
 //! same checkers the simulator's logs go through. Hand-corrupted logs
@@ -15,11 +15,14 @@ use progressive_tm::stm::{Algorithm, HistoryRecorder, Retry, Stm, TVar};
 use progressive_tm::structs::TArray;
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 4] = [
+const ALGOS: [Algorithm; 5] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    // Default tuning: these short runs stay in the invisible mode; the
+    // forced mid-switch recording lives in `tests/native_stm.rs`.
+    Algorithm::Adaptive,
 ];
 
 /// Builds a recording instance and hands back the recorder for draining.

@@ -1,22 +1,27 @@
 //! Algorithm-generic conformance suite for the native STM.
 //!
-//! Every invariant in `mod conformance` runs against **all four**
+//! Every invariant in `mod conformance` runs against **all five**
 //! algorithms through the `conformance_suite!` macro — one module (and
-//! one set of `#[test]`s) per algorithm, so a future fifth variant
-//! inherits the whole suite by adding a single macro line. Properties
-//! that are *specific* to one algorithm's cost model (NOrec's zero-abort
-//! equal write-back, Incremental's quadratic probes, Tlrw's
-//! zero-validation visible reads) live below the macro, asserted against
-//! exactly the algorithm that guarantees them.
+//! one set of `#[test]`s) per algorithm, so a new variant inherits the
+//! whole suite by adding a single macro line (exactly how `Adaptive`,
+//! the fifth, arrived). Properties that are *specific* to one
+//! algorithm's cost model (NOrec's zero-abort equal write-back,
+//! Incremental's quadratic probes, Tlrw's zero-validation visible reads,
+//! Adaptive's mid-workload mode switch) live below the macro, asserted
+//! against exactly the algorithm that guarantees them.
 
-use progressive_tm::stm::{Algorithm, CappedAttempts, RetriesExhausted, Retry, Stm, TVar};
+use progressive_tm::model::{is_opaque, History};
+use progressive_tm::stm::{
+    AdaptiveConfig, Algorithm, CappedAttempts, HistoryRecorder, RetriesExhausted, Retry, Stm, TVar,
+};
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 4] = [
+const ALGOS: [Algorithm; 5] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    Algorithm::Adaptive,
 ];
 
 /// Deterministic per-thread transfer stream shared by the bank runs, so
@@ -284,16 +289,22 @@ conformance_suite! {
     incremental => Algorithm::Incremental,
     norec => Algorithm::Norec,
     tlrw => Algorithm::Tlrw,
+    adaptive => Algorithm::Adaptive,
 }
 
 #[test]
 fn bank_final_balances_identical_across_all_algorithms() {
     // Fixed transfer amounts and ample initial balances make the final
     // per-account balance a pure function of the (deterministic) set of
-    // transfers, independent of scheduling — so all four algorithms must
+    // transfers, independent of scheduling — so all five algorithms must
     // converge to the *same* balances, not just the same total.
     let baseline = bank_run(Algorithm::Tl2);
-    for algo in [Algorithm::Incremental, Algorithm::Norec, Algorithm::Tlrw] {
+    for algo in [
+        Algorithm::Incremental,
+        Algorithm::Norec,
+        Algorithm::Tlrw,
+        Algorithm::Adaptive,
+    ] {
         assert_eq!(baseline, bank_run(algo), "Tl2 vs {algo:?} balances diverge");
     }
 }
@@ -341,6 +352,123 @@ fn tlrw_read_only_transactions_never_validate() {
         assert_eq!(d.reads, m);
         assert_eq!(d.commits, 1);
     }
+}
+
+/// The deterministic two-phase workload behind the mid-switch tests:
+/// a write-heavy transfer phase (drives Adaptive visible) followed by a
+/// read-mostly scan phase (drives it back invisible). Transfer amounts
+/// are a pure function of the per-thread streams and never balance-
+/// capped, so the final balances are schedule-independent — identical
+/// across algorithms and across any number of mode switches.
+fn phase_shifting_run(stm: &Arc<Stm>) -> Vec<u64> {
+    const ACCOUNTS: usize = 4;
+    const THREADS: usize = 2;
+    const PER_PHASE: u64 = 12;
+    let accounts: Vec<TVar<u64>> = (0..ACCOUNTS).map(|_| TVar::new(1_000)).collect();
+    // Phase 1: write-heavy (2 reads / 2 writes per transaction).
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = Arc::clone(stm);
+            let accounts = accounts.clone();
+            s.spawn(move || {
+                for i in 0..PER_PHASE {
+                    let from = (t as u64 + i) as usize % ACCOUNTS;
+                    let to = (t as u64 + 3 * i + 1) as usize % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let amt = 1 + (t as u64 + i) % 5;
+                    stm.atomically(|tx| {
+                        let a = tx.read(&accounts[from])?;
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - amt)?;
+                        tx.write(&accounts[to], b + amt)
+                    });
+                }
+            });
+        }
+    });
+    // Phase 2: read-mostly (pure scans; balances unchanged).
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let stm = Arc::clone(stm);
+            let accounts = accounts.clone();
+            s.spawn(move || {
+                for _ in 0..PER_PHASE {
+                    let sum = stm.atomically(|tx| {
+                        let mut acc = 0u64;
+                        for a in &accounts {
+                            acc += tx.read(a)?;
+                        }
+                        Ok(acc)
+                    });
+                    assert_eq!(sum, ACCOUNTS as u64 * 1_000, "scan saw a torn total");
+                }
+            });
+        }
+    });
+    accounts.iter().map(TVar::load).collect()
+}
+
+/// An adaptive instance that samples every 4 commits and switches on a
+/// single window's vote — guaranteed to flip modes inside
+/// [`phase_shifting_run`]'s two phases.
+fn twitchy_adaptive(rec: Option<HistoryRecorder>) -> Arc<Stm> {
+    let mut b = Stm::builder(Algorithm::Adaptive).adaptive_config(AdaptiveConfig {
+        window_commits: 4,
+        hysteresis_windows: 1,
+        ..AdaptiveConfig::default()
+    });
+    if let Some(rec) = rec {
+        b = b.record_history(rec);
+    }
+    Arc::new(b.build())
+}
+
+#[test]
+fn adaptive_mode_switch_mid_workload_preserves_balances() {
+    // The same deterministic phase workload under a static algorithm and
+    // under an adaptive instance that demonstrably switched modes must
+    // land on identical final balances.
+    let baseline = phase_shifting_run(&Arc::new(Stm::tl2()));
+    let stm = twitchy_adaptive(None);
+    let balances = phase_shifting_run(&stm);
+    assert_eq!(baseline, balances, "mode switches changed the outcome");
+    let snap = stm.stats().snapshot();
+    assert!(
+        snap.mode_transitions >= 2,
+        "the workload must force a round trip, got {}",
+        snap.mode_transitions
+    );
+    assert!(
+        !snap.visible_mode,
+        "the read-mostly tail must land the engine back in invisible mode"
+    );
+    assert_eq!(stm.active_mode(), Algorithm::Tl2);
+}
+
+#[test]
+fn adaptive_mode_switch_mid_workload_records_an_opaque_history() {
+    // Record the phase-shifting run through a real mode switch: the
+    // drained history must stay well-formed and pass the opacity checker
+    // — the quiesce barrier orders old-mode transactions before
+    // new-mode ones in real time, so a switch can only restrict the
+    // interleavings the checker must serialize.
+    let rec = HistoryRecorder::new();
+    let stm = twitchy_adaptive(Some(rec.clone()));
+    let balances = phase_shifting_run(&stm);
+    assert_eq!(balances.iter().sum::<u64>(), 4_000);
+    let snap = stm.stats().snapshot();
+    assert!(
+        snap.mode_transitions >= 2,
+        "a switch happened mid-recording"
+    );
+    let h = History::from_log(&rec.drain()).expect("recorded history is well-formed");
+    assert!(h.is_complete(), "every attempt is t-complete");
+    assert!(
+        is_opaque(&h),
+        "history recorded across a mode switch must be opaque"
+    );
 }
 
 #[test]
