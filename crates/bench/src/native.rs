@@ -1,6 +1,6 @@
 //! E11/E12 — native-STM microbenchmarks with a JSON baseline.
 //!
-//! Measures the five native algorithms on real threads and emits
+//! Measures the six native algorithms on real threads and emits
 //! `BENCH_native_stm.json` so successive PRs can compare read-path
 //! throughput against a recorded baseline:
 //!
@@ -18,6 +18,14 @@
 //! * `counter_increment/<algo>` — uncontended update-transaction latency;
 //! * `bank_contended/<algo>` — 4 threads hammering 8 accounts:
 //!   end-to-end throughput with retries (E12);
+//! * `long_scan/<algo>/<writers>` — the multi-version experiment: large
+//!   read-only scans (every variable of a 256-slot array) racing a
+//!   blind-writer ladder. `Algorithm::Mv` is the acceptance picture:
+//!   its scans resolve against start-time snapshots, so the
+//!   `long_scan_ro_aborts` and `long_scan_probes` companion rows are 0
+//!   while every single-version algorithm pays retries
+//!   (`long_scan_aborts`, `long_scan_ro_aborts`) or validation probes
+//!   under the same storm;
 //! * `phase_shift_*/<algo>` — the adaptive-runtime experiment: one
 //!   shared instance driven through `read_mostly → write_heavy →
 //!   read_mostly` phases, each phase timed separately. The acceptance
@@ -41,6 +49,7 @@ pub const ALGOS: &[(&str, Algorithm)] = &[
     ("incremental", Algorithm::Incremental),
     ("norec", Algorithm::Norec),
     ("tlrw", Algorithm::Tlrw),
+    ("mv", Algorithm::Mv),
     ("adaptive", Algorithm::Adaptive),
 ];
 
@@ -418,6 +427,151 @@ pub fn bench_phase_shift(
     out
 }
 
+/// Scan length (and variable count) of the `long_scan` experiment.
+const LONG_SCAN_VARS: usize = 256;
+
+/// Reader threads of the `long_scan` experiment (the ladder varies the
+/// writers).
+const LONG_SCAN_READERS: usize = 2;
+
+/// One algorithm's live state across the long-scan experiment: a fresh
+/// instance per writer rung, with best-of-pass timing and cumulative
+/// reader-side abort accounting.
+struct ScanInstance {
+    name: &'static str,
+    stm: Arc<Stm>,
+    vars: Vec<TVar<u64>>,
+    best: u128,
+    ro_aborts: u64,
+}
+
+/// One timed pass of the long-scan shape for one instance: `writers`
+/// blind-writer threads storm the array (equal-value writes, so the scan
+/// sum stays invariant and the only traffic is the synchronization
+/// itself) while each reader completes `txns` full-array read-only
+/// scans. Returns `(reader nanos, reader aborts)`.
+fn pass_long_scan(inst: &ScanInstance, writers: usize, txns: u64) -> (u128, u64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // Writers storm until the last reader reports in.
+    let readers_done = Arc::new(AtomicU64::new(0));
+    let aborts = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let stm = Arc::clone(&inst.stm);
+            let vars = inst.vars.clone();
+            let readers_done = Arc::clone(&readers_done);
+            s.spawn(move || {
+                let mut seed = w as u64 + 1;
+                while readers_done.load(Ordering::Relaxed) < LONG_SCAN_READERS as u64 {
+                    let j = next_rand(&mut seed) as usize % vars.len();
+                    // Blind write: no read set, so writer commits add no
+                    // validation probes and the probe counter isolates
+                    // the read-only side.
+                    stm.atomically(|tx| tx.write(&vars[j], 1));
+                }
+            });
+        }
+        for _ in 0..LONG_SCAN_READERS {
+            let stm = Arc::clone(&inst.stm);
+            let vars = inst.vars.clone();
+            let (readers_done, aborts) = (Arc::clone(&readers_done), Arc::clone(&aborts));
+            s.spawn(move || {
+                let mut attempts = 0u64;
+                for _ in 0..txns {
+                    let sum = stm.atomically(|tx| {
+                        attempts += 1;
+                        let mut acc = 0u64;
+                        for v in vars.iter() {
+                            acc = acc.wrapping_add(tx.read(v)?);
+                        }
+                        Ok(acc)
+                    });
+                    assert_eq!(sum, vars.len() as u64);
+                }
+                aborts.fetch_add(attempts - txns, Ordering::Relaxed);
+                readers_done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    (start.elapsed().as_nanos(), aborts.load(Ordering::Relaxed))
+}
+
+/// The multi-version experiment: large read-only scans (every variable
+/// of a 256-slot array) racing a blind-writer ladder. Per writer rung,
+/// every algorithm gets a fresh instance and the passes are
+/// **interleaved across algorithms** (pass k of every algorithm before
+/// pass k+1 of any — same bursty-neighbour reasoning as
+/// [`bench_phase_shift`]), best-of-5 per rung.
+///
+/// Besides the timing rows, three companion rows per `(algo, writers)`
+/// carry the storm's cost accounting in their `ops` field, accumulated
+/// over all passes:
+///
+/// * `long_scan_ro_aborts` — retries the *read-only* scans paid
+///   (attempts minus commits, counted reader-side). The multi-version
+///   acceptance criterion: 0 for `mv`, whose snapshot reads cannot
+///   abort.
+/// * `long_scan_probes` — validation probes (writers are blind, so
+///   every probe belongs to the read-only side). 0 for `mv` and the
+///   never-validating `tlrw`.
+/// * `long_scan_aborts` — instance-wide aborts including the writers'
+///   lock conflicts; nonzero for every single-version algorithm under
+///   the storm.
+pub fn bench_long_scan(
+    algos: &[(&'static str, Algorithm)],
+    writer_ladder: &[usize],
+    txns_per_reader: u64,
+) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for &writers in writer_ladder {
+        let mut instances: Vec<ScanInstance> = algos
+            .iter()
+            .map(|&(name, algo)| ScanInstance {
+                name,
+                stm: Arc::new(Stm::new(algo)),
+                vars: (0..LONG_SCAN_VARS).map(|_| TVar::new(1)).collect(),
+                best: u128::MAX,
+                ro_aborts: 0,
+            })
+            .collect();
+        // Warmup pass (absorbs first-touch and, for adaptive, mode lag).
+        for inst in &instances {
+            pass_long_scan(inst, writers, txns_per_reader / 10 + 1);
+        }
+        let before: Vec<_> = instances.iter().map(|i| i.stm.stats().snapshot()).collect();
+        for _pass in 0..PHASE_PASSES {
+            for inst in &mut instances {
+                let (nanos, ro_aborts) = pass_long_scan(inst, writers, txns_per_reader);
+                inst.best = inst.best.min(nanos);
+                inst.ro_aborts += ro_aborts;
+            }
+        }
+        for (inst, before) in instances.iter().zip(&before) {
+            let delta = inst.stm.stats().snapshot().since(before);
+            let mut row = |name: &str, ops: u64, nanos: u128| {
+                out.push(BenchResult {
+                    name: name.into(),
+                    algo: inst.name.into(),
+                    m: LONG_SCAN_VARS,
+                    threads: writers,
+                    ops,
+                    nanos,
+                });
+            };
+            row(
+                "long_scan",
+                txns_per_reader * LONG_SCAN_READERS as u64,
+                inst.best,
+            );
+            row("long_scan_ro_aborts", inst.ro_aborts, inst.best);
+            row("long_scan_probes", delta.validation_probes, inst.best);
+            row("long_scan_aborts", delta.aborts, inst.best);
+        }
+    }
+    out
+}
+
 /// Uncontended single-thread counter increments.
 pub fn bench_counter(algo: Algorithm, name: &str, txns: u64) -> BenchResult {
     let stm = Stm::new(algo);
@@ -522,6 +676,8 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
     }
     let phase_txns: u64 = if quick { 2_500 } else { 25_000 };
     out.extend(bench_phase_shift(ALGOS, 4, phase_txns));
+    let scan_txns: u64 = if quick { 60 } else { 400 };
+    out.extend(bench_long_scan(ALGOS, &[1, 2, 4], scan_txns));
     out
 }
 
@@ -637,6 +793,39 @@ mod tests {
             trans("tlrw"),
             0,
             "static algorithms must report zero transitions"
+        );
+    }
+
+    #[test]
+    fn long_scan_isolates_the_multi_version_acceptance_counters() {
+        // A short storm: mv scans must record zero read-only aborts and
+        // zero probes, no matter the interleaving. The single-version
+        // contrast in this unit test is incremental, whose per-read
+        // revalidation probes are structural (every scan pays
+        // m(m-1)/2), so the assertion cannot be starved by scheduling
+        // the way storm-dependent tl2 aborts can; the storm-dependent
+        // rows for all six algorithms land in BENCH_native_stm.json.
+        let rows = bench_long_scan(
+            &[
+                ("mv", Algorithm::Mv),
+                ("incremental", Algorithm::Incremental),
+            ],
+            &[2],
+            40,
+        );
+        assert_eq!(rows.len(), 8, "4 rows per algorithm for one rung");
+        let val = |name: &str, algo: &str| {
+            rows.iter()
+                .find(|r| r.name == name && r.algo == algo)
+                .expect("row")
+                .ops
+        };
+        assert_eq!(val("long_scan_ro_aborts", "mv"), 0, "mv readers abort-free");
+        assert_eq!(val("long_scan_probes", "mv"), 0, "mv readers never probe");
+        assert!(val("long_scan", "mv") > 0);
+        assert!(
+            val("long_scan_probes", "incremental") > 0,
+            "a single-version engine must pay under the storm"
         );
     }
 

@@ -8,6 +8,20 @@
 //! very resource Theorem 3(2) shows single-version invisible-read TMs
 //! must spend on reads; here it moves into per-object version storage.
 //!
+//! The **native twin** is `ptm-stm`'s `Algorithm::Mv`
+//! (`crates/stm/src/algo/mv.rs`): same snapshot-timestamp reads and same
+//! append-at-commit protocol, transplanted from the step-counting
+//! simulator onto real threads — with one deliberate difference. The
+//! simulated ring is *bounded*, so a slow reader's snapshot can be
+//! evicted and the read aborts (the `reader_aborts_only_after_ring_
+//! eviction` case below); the native version chain is trimmed by
+//! *liveness* instead (the low-watermark collector over registered
+//! snapshots in `crates/stm/src/epoch.rs`), so a native read-only
+//! transaction never aborts at all — at the cost of chains growing with
+//! the oldest straggler. `tests/history_crosscheck.rs` runs the native
+//! twin's histories through the same opacity checker this module's
+//! tests use.
+//!
 //! ## Protocol
 //!
 //! Global `clock`. Per t-object `X`, a ring of `K` versions

@@ -1,8 +1,8 @@
 //! Adaptive: workload-driven switching across the paper's time–space
 //! tradeoff.
 //!
-//! The four static algorithms force the user to pick a side of the
-//! tradeoff at [`StmBuilder`](crate::StmBuilder) time: invisible reads
+//! The static single-version algorithms force the user to pick a side
+//! of the tradeoff at [`StmBuilder`](crate::StmBuilder) time: invisible reads
 //! (Tl2) pay validation time and abort–rescan churn when writers are
 //! frequent, visible reads (Tlrw) pay one shared-memory RMW inside every
 //! first read of a stripe and reader–writer conflicts when readers

@@ -14,8 +14,9 @@
 //! | `commit(tx) -> bool` | atomically publish the buffered write set or fail without trace; only called when the write set is non-empty |
 //!
 //! Read-only commits are generic: an attempt whose last read validated
-//! (invisible-read algorithms) or whose read locks are still held (Tlrw)
-//! is already serialized, so the engine commits it without calling back
+//! (invisible-read algorithms), whose read locks are still held (Tlrw),
+//! or whose every read resolved against its start-time snapshot (Mv) is
+//! already serialized, so the engine commits it without calling back
 //! in here. Likewise generic is read-lock release — the engine undoes
 //! `TxLog::rw_reads` on every exit path, including `Drop`, so a panicking
 //! body cannot leak a visible read's lock.
@@ -24,11 +25,15 @@
 //! (orec version equality, used by Tl2 and Incremental) and in the
 //! modules that own them; a new algorithm is one new module plus one
 //! arm in each dispatch below — exactly how [`adaptive`] (the fifth)
-//! arrived, composing the Tl2 and Tlrw hooks behind a mode controller
-//! without touching the engine's generic machinery.
+//! arrived, composing the Tl2 and Tlrw hooks behind a mode controller,
+//! and how [`mv`] (the sixth) arrived, swapping the read hook for a
+//! version-chain snapshot walk and the commit hook for an appending
+//! variant of the versioned path — neither touched the engine's generic
+//! machinery.
 
 pub(crate) mod adaptive;
 pub(crate) mod incremental;
+pub(crate) mod mv;
 pub(crate) mod norec;
 pub(crate) mod tl2;
 pub(crate) mod tlrw;
@@ -68,6 +73,7 @@ pub(crate) fn begin(tx: &mut Transaction<'_>) {
         Algorithm::Incremental => incremental::begin(tx.stm),
         Algorithm::Norec => norec::begin(tx.stm),
         Algorithm::Tlrw => tlrw::begin(tx.stm),
+        Algorithm::Mv => mv::begin(tx),
         Algorithm::Adaptive => adaptive::begin(tx),
     };
 }
@@ -82,6 +88,7 @@ pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Resul
         Algorithm::Incremental => incremental::read(tx, var),
         Algorithm::Norec => norec::read(tx, var),
         Algorithm::Tlrw => tlrw::read(tx, var),
+        Algorithm::Mv => mv::read(tx, var),
         Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2 or Tlrw as the mode"),
     }
 }
@@ -94,6 +101,7 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
         Algorithm::Incremental => incremental::commit(tx),
         Algorithm::Norec => norec::commit(tx),
         Algorithm::Tlrw => tlrw::commit(tx),
+        Algorithm::Mv => mv::commit(tx),
         Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2 or Tlrw as the mode"),
     }
 }

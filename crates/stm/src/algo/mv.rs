@@ -1,0 +1,144 @@
+//! Mv: multi-version invisible reads — the paper's *space* axis on real
+//! threads (Perelman–Fan–Keidar, PODC'10, the design `ptm-core`'s
+//! simulated `MvTm` models with a bounded ring).
+//!
+//! Every transaction draws a snapshot timestamp from the global clock at
+//! its first operation and registers it in the instance's
+//! [`SnapshotRegistry`](crate::epoch::SnapshotRegistry). A read then
+//! walks the variable's version chain to the newest version stamped at
+//! or before the snapshot — **zero orec probes, zero validation, zero
+//! shared-memory writes** — so a read-only transaction observes the
+//! consistent cut named by its start time and commits without ever
+//! aborting, no matter how hard writers storm. Where the bounded-ring
+//! simulator aborts a reader whose snapshot aged out of the ring, the
+//! native chain is trimmed by *liveness* (the low watermark), so a
+//! retained snapshot is never evicted.
+//!
+//! Updating transactions pay the usual single-version price: commit
+//! locks the write set's stripes in sorted order (the same versioned
+//! orec words TL2 uses), validates that no stripe a read touched has
+//! advanced past the snapshot, and then **appends** a version stamped
+//! with a fresh clock tick instead of replacing the value:
+//!
+//! 1. append each written value with a *pending* stamp (past this point
+//!    the commit cannot fail — validation already passed under the held
+//!    locks);
+//! 2. draw `wv = clock + 1` with one `fetch_add`;
+//! 3. resolve the pending stamps to `wv` (readers that raced into the
+//!    one-RMW window spin it out rather than guessing);
+//! 4. trim each written chain against the registry's low watermark,
+//!    retiring detached versions through the epoch collector;
+//! 5. release the stripe locks restamped to `wv`.
+//!
+//! The clock-bump-after-append order is what makes snapshots sound: a
+//! reader can only draw `rv >= wv` after the `fetch_add`, by which time
+//! every `wv`-stamped version is already reachable (pending, resolved by
+//! the time the reader's traversal needs its stamp). A reader with
+//! `rv < wv` skips the new versions and finds the ones its snapshot
+//! names — which the watermark (a lower bound on every active `rv`)
+//! keeps alive.
+//!
+//! Costs, in the paper's terms: weak DAP is given up (the global clock
+//! orders commits) and space is spent on superseded versions —
+//! `versions_trimmed` / `max_chain_len` in
+//! [`StatsSnapshot`](crate::StatsSnapshot) watch that budget, and
+//! `snapshot_reads` counts the reads that paid no validation for it.
+
+use super::versioned;
+use crate::engine::{Retry, Transaction};
+use crate::epoch;
+use crate::orec::{self, stamped};
+use crate::tvar::{TVar, TxValue};
+use crate::txlog::VersionedRead;
+use std::sync::atomic::Ordering;
+
+/// Snapshot time: the global clock at begin, published in the snapshot
+/// registry so the low-watermark collector keeps this transaction's cut
+/// reachable until it resolves.
+pub(crate) fn begin(tx: &mut Transaction<'_>) -> u64 {
+    let reg = tx
+        .stm
+        .snapshots
+        .as_ref()
+        .expect("Algorithm::Mv instances carry a snapshot registry");
+    let (rv, guard) = reg.pin(&tx.stm.clock);
+    tx.snap = Some(guard);
+    rv
+}
+
+/// Snapshot read: walk the chain to the newest version stamped at or
+/// before `rv`. No orec probe, no validation, no abort; the read set
+/// records only the stripe and the snapshot bound, for the *commit-time*
+/// validation an updating transaction must still pass.
+pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
+    let stripe = tx.stm.orecs.stripe_of(var.id());
+    tx.log.reads.push(VersionedRead {
+        stripe,
+        meta: tx.rv,
+    });
+    tx.stm.stats.snapshot_read();
+    Ok(var.inner.read_at(&tx.pin, tx.rv))
+}
+
+/// Upper-bound validation of the read set: a stripe that is locked, or
+/// stamped past the snapshot, proves a commit this transaction's reads
+/// did not see. `held` lists stripes this transaction has locked, with
+/// their pre-lock words.
+fn validate(tx: &Transaction<'_>, held: &[(usize, u64)]) -> Result<(), Retry> {
+    tx.stm.stats.probes(tx.log.reads.len() as u64);
+    for r in &tx.log.reads {
+        let word = if let Some(&(_, pre)) = held.iter().find(|(s, _)| *s == r.stripe) {
+            pre
+        } else {
+            tx.stm.orecs.word(r.stripe).load(Ordering::Acquire)
+        };
+        if orec::is_locked(word) || orec::version_of(word) > r.meta {
+            return Err(Retry);
+        }
+    }
+    Ok(())
+}
+
+/// Commit hook (updating transactions only; read-only commits are the
+/// engine's generic no-op): lock, validate, append, stamp, trim,
+/// release.
+pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
+    super::with_write_stripes(tx, commit_with)
+}
+
+fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
+    if !versioned::lock_stripes(tx, stripes, held) {
+        return false;
+    }
+    if validate(tx, held).is_err() {
+        versioned::release(tx, held, None);
+        return false;
+    }
+    // Point of no return: append pending versions, then make them real.
+    let written = tx.log.append_writes();
+    let wv = tx.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+    for var in &written {
+        var.stamp_head(wv);
+    }
+    // Trim under the still-held stripe locks (one chain mutator at a
+    // time); the watermark lower-bounds every active and future
+    // snapshot, so nothing a reader can still walk to is detached.
+    let reg = tx
+        .stm
+        .snapshots
+        .as_ref()
+        .expect("Algorithm::Mv instances carry a snapshot registry");
+    let watermark = reg.low_watermark(&tx.stm.clock);
+    let mut retired = Vec::new();
+    for var in &written {
+        let (retained, trimmed) = var.trim_chain(watermark, &mut retired);
+        tx.stm
+            .stats
+            .trim((retained + trimmed) as u64, trimmed as u64);
+    }
+    versioned::release(tx, held, Some(stamped(wv)));
+    // Retire only after every append above: the epoch tag must postdate
+    // the last moment a reader could have loaded a detached pointer.
+    epoch::retire_batch(retired);
+    true
+}

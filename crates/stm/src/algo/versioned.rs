@@ -40,18 +40,8 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
 }
 
 fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
-    for &stripe in stripes.iter() {
-        let word = tx.stm.orecs.word(stripe);
-        let m = word.load(Ordering::Acquire);
-        let lock_ok = !orec::is_locked(m)
-            && word
-                .compare_exchange(m, m | 1, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok();
-        if !lock_ok {
-            release(tx, held, None);
-            return false;
-        }
-        held.push((stripe, m));
+    if !lock_stripes(tx, stripes, held) {
+        return false;
     }
     if validate(tx, Some(held)).is_err() {
         release(tx, held, None);
@@ -66,9 +56,35 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
     true
 }
 
+/// Try-locks the given (sorted, deduplicated) stripes, recording each
+/// `(stripe, pre-lock word)` in `held`. On any already-locked or lost
+/// CAS, releases everything taken so far and returns `false`. Shared by
+/// every versioned-word commit (Tl2/Incremental's and Mv's), so the
+/// locking protocol has exactly one implementation.
+pub(super) fn lock_stripes(
+    tx: &mut Transaction<'_>,
+    stripes: &[usize],
+    held: &mut Vec<(usize, u64)>,
+) -> bool {
+    for &stripe in stripes.iter() {
+        let word = tx.stm.orecs.word(stripe);
+        let m = word.load(Ordering::Acquire);
+        let lock_ok = !orec::is_locked(m)
+            && word
+                .compare_exchange(m, m | 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+        if !lock_ok {
+            release(tx, held, None);
+            return false;
+        }
+        held.push((stripe, m));
+    }
+    true
+}
+
 /// Releases held stripe locks: to their pre-lock word (on abort) or to a
-/// new stamped version (on commit).
-fn release(tx: &Transaction<'_>, held: &[(usize, u64)], stamp: Option<u64>) {
+/// new stamped word (on commit).
+pub(super) fn release(tx: &Transaction<'_>, held: &[(usize, u64)], stamp: Option<u64>) {
     for &(stripe, pre) in held {
         tx.stm
             .orecs

@@ -1,0 +1,100 @@
+//! The attempt loop: retry-until-commit, contention-manager
+//! consultation, and the adaptive controller's commit-path hook.
+
+use super::{RetriesExhausted, Retry, Stm, Transaction};
+use crate::algo::adaptive;
+use crate::cm::Decision;
+use crate::tvar::{TVar, TxValue};
+use crate::txlog::TxLog;
+
+impl Stm {
+    /// Runs `body` in a transaction, retrying on conflict until it
+    /// commits, and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the retry budget runs out — `max_attempts` is reached
+    /// (default: ten million) or the contention manager gives up. Use
+    /// [`Stm::run`] to handle exhaustion as a value instead.
+    pub fn atomically<A>(&self, body: impl FnMut(&mut Transaction<'_>) -> Result<A, Retry>) -> A {
+        match self.run(body) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs `body` in a transaction, retrying on conflict, and reports
+    /// retry-budget exhaustion as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RetriesExhausted`] if `max_attempts` attempts all aborted or the
+    /// contention manager returned [`Decision::GiveUp`].
+    pub fn run<A>(
+        &self,
+        mut body: impl FnMut(&mut Transaction<'_>) -> Result<A, Retry>,
+    ) -> Result<A, RetriesExhausted> {
+        let mut log = TxLog::default();
+        let mut attempt: u64 = 0;
+        loop {
+            let mut tx = Transaction::begin(self, log);
+            let committed = match body(&mut tx) {
+                Ok(out) if tx.commit() => Some(out),
+                _ => None,
+            };
+            if let Some(out) = committed {
+                // Drop before the controller hook: the adaptive sampler
+                // may quiesce the instance, which must never wait on the
+                // sampling thread's own (finished) transaction.
+                drop(tx);
+                self.stats.commit();
+                adaptive::after_commit(self);
+                return Ok(out);
+            }
+            tx.close_aborted();
+            log = tx.into_log();
+            self.stats.abort();
+            attempt += 1;
+            if attempt >= self.max_attempts {
+                return Err(RetriesExhausted { attempts: attempt });
+            }
+            if self.cm.on_abort(attempt - 1) == Decision::GiveUp {
+                return Err(RetriesExhausted { attempts: attempt });
+            }
+        }
+    }
+
+    /// Runs `body` once, committing if it succeeds; returns `None` on
+    /// conflict instead of retrying.
+    pub fn try_once<A>(
+        &self,
+        body: impl FnOnce(&mut Transaction<'_>) -> Result<A, Retry>,
+    ) -> Option<A> {
+        let mut tx = Transaction::begin(self, TxLog::default());
+        let committed = match body(&mut tx) {
+            Ok(out) if tx.commit() => Some(out),
+            _ => {
+                tx.close_aborted();
+                None
+            }
+        };
+        drop(tx);
+        match committed {
+            Some(out) => {
+                self.stats.commit();
+                adaptive::after_commit(self);
+                Some(out)
+            }
+            None => {
+                self.stats.abort();
+                None
+            }
+        }
+    }
+
+    /// Reads a variable outside any transaction (single-variable
+    /// snapshot).
+    pub fn read_now<T: TxValue>(&self, var: &TVar<T>) -> T {
+        var.load()
+    }
+}

@@ -1,0 +1,142 @@
+//! [`StmBuilder`]: per-instance configuration and assembly.
+
+use super::{Algorithm, Stm};
+use crate::algo::adaptive::{AdaptiveConfig, AdaptiveState};
+use crate::cm::{ContentionManager, ExponentialBackoff};
+use crate::epoch::SnapshotRegistry;
+use crate::orec::{self, OrecTable};
+use crate::recorder::HistoryRecorder;
+use crate::stats::StmStats;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Configures and builds an [`Stm`] instance.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_stm::{Algorithm, CappedAttempts, Stm};
+///
+/// let stm = Stm::builder(Algorithm::Tl2)
+///     .max_attempts(1_000)
+///     .orec_stripes(256)
+///     .contention_manager(CappedAttempts::new(500))
+///     .build();
+/// assert!(format!("{stm:?}").contains("max_attempts: 1000"));
+/// ```
+#[derive(Debug)]
+pub struct StmBuilder {
+    algorithm: Algorithm,
+    max_attempts: u64,
+    orec_stripes: usize,
+    cm: Box<dyn ContentionManager>,
+    recorder: Option<HistoryRecorder>,
+    adaptive: AdaptiveConfig,
+}
+
+impl StmBuilder {
+    /// Starts from the defaults: 10 million attempts, exponential
+    /// backoff, 1024 orec stripes, no history recording, default
+    /// adaptive tuning.
+    pub fn new(algorithm: Algorithm) -> Self {
+        StmBuilder {
+            algorithm,
+            max_attempts: 10_000_000,
+            orec_stripes: orec::DEFAULT_STRIPES,
+            cm: Box::new(ExponentialBackoff::default()),
+            recorder: None,
+            adaptive: AdaptiveConfig::default(),
+        }
+    }
+
+    /// Hard ceiling on attempts per transaction before the engine gives
+    /// up (panic from [`Stm::atomically`], error from [`Stm::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn max_attempts(mut self, n: u64) -> Self {
+        assert!(n > 0, "max_attempts must be at least 1");
+        self.max_attempts = n;
+        self
+    }
+
+    /// Number of orec stripes (rounded up to a power of two). More
+    /// stripes mean fewer false conflicts; fewer mean less memory.
+    /// Ignored by NOrec, which has no orecs.
+    pub fn orec_stripes(mut self, stripes: usize) -> Self {
+        self.orec_stripes = stripes;
+        self
+    }
+
+    /// The retry policy consulted between aborted attempts.
+    pub fn contention_manager(mut self, cm: impl ContentionManager + 'static) -> Self {
+        self.cm = Box::new(cm);
+        self
+    }
+
+    /// Records every transaction of this instance as a t-operation
+    /// history into `recorder`, for cross-checking real concurrent runs
+    /// against the `ptm-model` opacity/serializability checkers. Keep a
+    /// clone of the recorder to [`HistoryRecorder::drain`] afterwards.
+    ///
+    /// Recording adds one globally sequenced marker per operation
+    /// boundary, so it perturbs timing; leave it off for benchmarks.
+    pub fn record_history(mut self, recorder: HistoryRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Tuning knobs for [`Algorithm::Adaptive`]'s mode controller:
+    /// sampling window, switch thresholds, hysteresis, drain budget.
+    /// Ignored by the static algorithms.
+    pub fn adaptive_config(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = cfg;
+        self
+    }
+
+    /// Builds the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm is [`Algorithm::Adaptive`] and the
+    /// [`AdaptiveConfig`] is inconsistent (see its field docs).
+    pub fn build(self) -> Stm {
+        // NOrec never touches orecs; don't pay ~128 KB of padded words
+        // for a table no code path reads.
+        let stripes = match self.algorithm {
+            Algorithm::Norec => 1,
+            Algorithm::Tl2
+            | Algorithm::Incremental
+            | Algorithm::Tlrw
+            | Algorithm::Mv
+            | Algorithm::Adaptive => self.orec_stripes,
+        };
+        let adaptive = match self.algorithm {
+            Algorithm::Adaptive => {
+                self.adaptive.validate();
+                Some(AdaptiveState::new(self.adaptive))
+            }
+            _ => None,
+        };
+        let snapshots = match self.algorithm {
+            Algorithm::Mv => Some(SnapshotRegistry::new()),
+            _ => None,
+        };
+        let stats = Arc::new(StmStats::default());
+        // Adaptive starts in its invisible mode, so only Tlrw begins
+        // life visible.
+        stats.set_visible_mode(self.algorithm == Algorithm::Tlrw);
+        Stm {
+            algorithm: self.algorithm,
+            clock: AtomicU64::new(0),
+            orecs: OrecTable::new(stripes),
+            stats,
+            max_attempts: self.max_attempts,
+            cm: self.cm,
+            recorder: self.recorder,
+            adaptive,
+            snapshots,
+        }
+    }
+}

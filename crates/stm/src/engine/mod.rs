@@ -1,0 +1,303 @@
+//! The transaction engine: six validation algorithms behind one API.
+//!
+//! * [`Algorithm::Tl2`] — global version clock plus the striped orec
+//!   table ([`crate::orec`]): reads validate in O(1) against the snapshot
+//!   time with an optimistic word-check/read/re-check and **acquire no
+//!   lock**; commit locks the write set's stripes in sorted order, stamps
+//!   them with a fresh clock tick, validates the read set once.
+//! * [`Algorithm::Incremental`] — no clock read on the read path; every
+//!   t-read re-validates the entire read set by version equality. This is
+//!   the paper's invisible-read weak-DAP progressive TM transplanted to
+//!   real hardware: quadratic validation work, observable in
+//!   [`StmStats::snapshot`] and in wall-clock time.
+//! * [`Algorithm::Norec`] — a single global sequence lock and value-based
+//!   validation; no per-variable version traffic on commit besides the
+//!   value itself.
+//! * [`Algorithm::Tlrw`] — TLRW-style **visible reads**: the first read
+//!   of a stripe announces a reader on its reader–writer word and holds
+//!   that read lock to commit, so reads cost O(1) with **zero
+//!   validation** and writers abort on foreign readers. The other side
+//!   of the paper's time–space tradeoff, measurable against the three
+//!   invisible-read designs above.
+//! * [`Algorithm::Mv`] — **multi-version** invisible reads: commits
+//!   append timestamped versions to each variable's chain instead of
+//!   replacing the value, so a read-only transaction reads the
+//!   consistent snapshot named by its start time — zero orec probes,
+//!   zero validation, **zero aborts**, under any write storm. The space
+//!   the chain costs is reclaimed by the low-watermark collector
+//!   ([`crate::epoch`]); the paper's *space* axis, on real threads.
+//! * [`Algorithm::Adaptive`] — a mode controller that samples windowed
+//!   [`StatsSnapshot`](crate::StatsSnapshot) deltas and moves the live
+//!   engine between the Tl2 (invisible) and Tlrw (visible) hooks through
+//!   an epoch-quiesced orec-table reinterpretation; see
+//!   [`crate::AdaptiveConfig`] for the decision signals and knobs.
+//!
+//! The algorithm-specific read/commit/snapshot behaviour lives in the
+//! [`crate::algo`] strategy layer (one module per algorithm, three hooks
+//! each); this module owns everything generic, split by concern:
+//!
+//! * [`builder`] — [`StmBuilder`]: configuration and instance assembly;
+//! * [`transaction`] — [`Transaction`]: the per-attempt state machine
+//!   (operations, poisoning, instrumentation, lock cleanup);
+//! * [`attempt`] — the retry loop ([`Stm::run`] / [`Stm::atomically`] /
+//!   [`Stm::try_once`]) and contention-manager consultation;
+//! * this file — [`Stm`] itself, the [`Algorithm`] selector, and the
+//!   error types.
+//!
+//! All modes buffer writes in the shared transaction log
+//! ([`crate::txlog`]) and publish them only at commit, so a failed
+//! transaction never dirties shared state. Retry behaviour is a pluggable
+//! [`ContentionManager`](crate::ContentionManager) chosen through
+//! [`StmBuilder`].
+
+mod attempt;
+mod builder;
+#[cfg(test)]
+mod tests;
+mod transaction;
+
+pub use builder::StmBuilder;
+pub use transaction::Transaction;
+
+use crate::algo::adaptive::{AdaptiveState, Mode};
+use crate::cm::ContentionManager;
+use crate::epoch::SnapshotRegistry;
+use crate::orec::OrecTable;
+use crate::recorder::HistoryRecorder;
+use crate::stats::StmStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The validation algorithm an [`Stm`] instance runs.
+///
+/// Five static design points span the paper's time–space tradeoff —
+/// [`Algorithm::Mv`] holds down the *space* end (keep versions, never
+/// abort a reader) — and [`Algorithm::Adaptive`] moves between the two
+/// single-version extremes at runtime.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_stm::{Algorithm, Stm, TVar};
+///
+/// let v = TVar::new(0u64);
+/// for algo in [
+///     Algorithm::Tl2,
+///     Algorithm::Incremental,
+///     Algorithm::Norec,
+///     Algorithm::Tlrw,
+///     Algorithm::Mv,
+///     Algorithm::Adaptive,
+/// ] {
+///     let stm = Stm::new(algo);
+///     stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+/// }
+/// assert_eq!(v.load(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Global version clock, O(1) lock-free read validation (default).
+    Tl2,
+    /// Full read-set re-validation on every read (paper's tight upper
+    /// bound for weak-DAP + invisible reads; Θ(m²) total read cost).
+    Incremental,
+    /// Global sequence lock with value-based validation.
+    Norec,
+    /// TLRW-style visible reads (Dice–Shavit): per-stripe reader–writer
+    /// lock words, O(1) reads with **no validation at all** — paid for
+    /// with one shared-memory RMW inside every first read of a stripe,
+    /// and with writers aborting whenever foreign readers are present.
+    /// Progressive but *not* strongly progressive (two read-to-write
+    /// upgraders on one stripe abort each other). The native twin of
+    /// `ptm-core`'s simulated `TlrwTm`.
+    Tlrw,
+    /// Multi-version invisible reads (Perelman–Fan–Keidar style): every
+    /// read resolves against the transaction's start-time snapshot by
+    /// walking the variable's version chain, so **read-only transactions
+    /// never probe an orec, never validate, and never abort** — they pay
+    /// in *space* (retained versions) instead of time, the axis the
+    /// paper's Theorem 3 trades against. Updating transactions commit
+    /// through the usual lock–validate–stamp path but *append* a version
+    /// rather than replacing it; superseded versions are reclaimed by
+    /// the low-watermark collector once no live snapshot can reach them
+    /// (watch `snapshot_reads` / `versions_trimmed` / `max_chain_len` in
+    /// [`StatsSnapshot`](crate::StatsSnapshot)). The native twin of
+    /// `ptm-core`'s simulated `MvTm` — with chains trimmed by liveness
+    /// instead of a fixed ring, so snapshots are never evicted.
+    Mv,
+    /// Workload-driven switching between the invisible-read (Tl2) and
+    /// visible-read (Tlrw) modes: a controller samples stats deltas over
+    /// commit windows (read/write ratio, abort rate, validation probes
+    /// per read, reader conflicts) and reinterprets the orec table
+    /// between the versioned and reader–writer word formats through an
+    /// epoch-quiesced transition — in-flight transactions always finish
+    /// under the mode they started in. Starts invisible; tune with
+    /// [`StmBuilder::adaptive_config`], observe through
+    /// [`StatsSnapshot`](crate::StatsSnapshot)'s `mode_transitions` /
+    /// `visible_mode` and [`Stm::active_mode`].
+    Adaptive,
+}
+
+/// The transaction aborted and should be retried; returned by
+/// transactional operations so user code can propagate it with `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retry;
+
+impl fmt::Display for Retry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction conflict; retry")
+    }
+}
+
+impl std::error::Error for Retry {}
+
+/// The retry budget ran out before the transaction committed: either the
+/// instance's `max_attempts` was reached or its contention manager gave
+/// up. Returned by [`Stm::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetriesExhausted {
+    /// Attempts consumed before giving up.
+    pub attempts: u64,
+}
+
+impl fmt::Display for RetriesExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transaction failed to commit after {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for RetriesExhausted {}
+
+/// Software transactional memory instance.
+///
+/// All transactions created from one `Stm` coordinate through its clock /
+/// sequence lock and its orec table; variables
+/// ([`TVar`](crate::TVar)) are free-standing and may be used with any
+/// `Stm`, but must not be shared between instances running concurrently.
+pub struct Stm {
+    pub(crate) algorithm: Algorithm,
+    /// TL2/Incremental/Mv: version clock. NOrec: sequence lock (odd =
+    /// busy). Tlrw: unused (consistency comes from held read locks).
+    pub(crate) clock: AtomicU64,
+    /// Striped metadata words: versioned locks (TL2/Incremental/Mv) or
+    /// reader–writer locks (Tlrw); unused by NOrec.
+    pub(crate) orecs: OrecTable,
+    pub(crate) stats: Arc<StmStats>,
+    pub(super) max_attempts: u64,
+    pub(super) cm: Box<dyn ContentionManager>,
+    /// Present when this instance records t-operation histories.
+    pub(super) recorder: Option<HistoryRecorder>,
+    /// Present on `Algorithm::Adaptive` instances: the live mode, the
+    /// per-mode active-transaction counters, and the window controller.
+    pub(crate) adaptive: Option<AdaptiveState>,
+    /// Present on `Algorithm::Mv` instances: the active snapshots whose
+    /// minimum is the version-chain low watermark.
+    pub(crate) snapshots: Option<SnapshotRegistry>,
+}
+
+impl fmt::Debug for Stm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stm")
+            .field("algorithm", &self.algorithm)
+            .field("active_mode", &self.active_mode())
+            .field("clock", &self.clock.load(Ordering::Relaxed))
+            .field("orec_stripes", &self.orecs.len())
+            .field("max_attempts", &self.max_attempts)
+            .field("contention_manager", &self.cm)
+            .field("recording", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl Stm {
+    /// Creates an instance running the given algorithm with default
+    /// settings (see [`StmBuilder::new`]).
+    pub fn new(algorithm: Algorithm) -> Self {
+        StmBuilder::new(algorithm).build()
+    }
+
+    /// Starts configuring an instance.
+    pub fn builder(algorithm: Algorithm) -> StmBuilder {
+        StmBuilder::new(algorithm)
+    }
+
+    /// TL2 instance (the default algorithm).
+    pub fn tl2() -> Self {
+        Stm::new(Algorithm::Tl2)
+    }
+
+    /// Incremental-validation instance.
+    pub fn incremental() -> Self {
+        Stm::new(Algorithm::Incremental)
+    }
+
+    /// NOrec instance.
+    pub fn norec() -> Self {
+        Stm::new(Algorithm::Norec)
+    }
+
+    /// Tlrw (visible-reads) instance.
+    pub fn tlrw() -> Self {
+        Stm::new(Algorithm::Tlrw)
+    }
+
+    /// Mv (multi-version) instance: abort-free read-only transactions.
+    pub fn mv() -> Self {
+        Stm::new(Algorithm::Mv)
+    }
+
+    /// Adaptive instance (workload-driven Tl2 ⇄ Tlrw switching) with
+    /// default tuning.
+    pub fn adaptive() -> Self {
+        Stm::new(Algorithm::Adaptive)
+    }
+
+    /// The algorithm this instance runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The read/commit machinery currently in force: the algorithm
+    /// itself for static instances; for [`Algorithm::Adaptive`], the
+    /// live mode — [`Algorithm::Tl2`] (invisible) or [`Algorithm::Tlrw`]
+    /// (visible).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ptm_stm::{Algorithm, Stm};
+    ///
+    /// assert_eq!(Stm::norec().active_mode(), Algorithm::Norec);
+    /// assert_eq!(Stm::adaptive().active_mode(), Algorithm::Tl2);
+    /// ```
+    pub fn active_mode(&self) -> Algorithm {
+        match &self.adaptive {
+            None => self.algorithm,
+            Some(ad) => match ad.mode() {
+                Mode::Invisible => Algorithm::Tl2,
+                Mode::Visible => Algorithm::Tlrw,
+            },
+        }
+    }
+
+    /// The per-transaction attempt ceiling.
+    pub fn max_attempts(&self) -> u64 {
+        self.max_attempts
+    }
+
+    /// Progress statistics for this instance.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// The history recorder attached via [`StmBuilder::record_history`],
+    /// if any.
+    pub fn recorder(&self) -> Option<&HistoryRecorder> {
+        self.recorder.as_ref()
+    }
+}

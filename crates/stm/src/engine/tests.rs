@@ -1,0 +1,620 @@
+//! Engine-level tests: generic behaviour across all six algorithms,
+//! plus the lock-quiescence and adaptive-transition invariants that cut
+//! across the builder / transaction / attempt submodules.
+
+use super::*;
+use crate::algo::adaptive::AdaptiveConfig;
+use crate::cm::{CappedAttempts, ImmediateRetry};
+use crate::orec;
+use crate::tvar::TVar;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn engines() -> Vec<Stm> {
+    vec![
+        Stm::tl2(),
+        Stm::incremental(),
+        Stm::norec(),
+        Stm::tlrw(),
+        Stm::mv(),
+        Stm::adaptive(),
+    ]
+}
+
+/// An adaptive instance tuned to switch after a handful of commits.
+fn twitchy_adaptive() -> Stm {
+    Stm::builder(Algorithm::Adaptive)
+        .adaptive_config(AdaptiveConfig {
+            window_commits: 8,
+            hysteresis_windows: 1,
+            ..AdaptiveConfig::default()
+        })
+        .build()
+}
+
+/// Every orec word back to zero: no lock (versioned or RW) leaked.
+fn assert_orecs_quiescent(stm: &Stm) {
+    for s in 0..stm.orecs.len() {
+        let w = stm.orecs.word(s).load(Ordering::Relaxed);
+        assert!(
+            !orec::is_locked(w) && !orec::rw_write_locked(w),
+            "stripe {s} left locked: {w:#x}"
+        );
+        if stm.algorithm() == Algorithm::Tlrw {
+            assert_eq!(w, 0, "stripe {s} leaked a reader count: {w:#x}");
+        }
+    }
+}
+
+#[test]
+fn read_write_roundtrip_all_modes() {
+    for stm in engines() {
+        let v = TVar::new(1u64);
+        stm.atomically(|tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x + 10)?;
+            Ok(())
+        });
+        assert_eq!(v.load(), 11, "{:?}", stm.algorithm());
+    }
+}
+
+#[test]
+fn read_own_write_all_modes() {
+    for stm in engines() {
+        let v = TVar::new(5u64);
+        let seen = stm.atomically(|tx| {
+            tx.write(&v, 9)?;
+            tx.read(&v)
+        });
+        assert_eq!(seen, 9);
+    }
+}
+
+#[test]
+fn aborted_attempt_leaves_no_trace() {
+    for stm in engines() {
+        let v = TVar::new(0u64);
+        let out = stm.try_once(|tx| {
+            tx.write(&v, 99)?;
+            Err::<(), Retry>(Retry)
+        });
+        assert!(out.is_none());
+        assert_eq!(v.load(), 0);
+    }
+}
+
+#[test]
+fn stats_track_commits_and_aborts() {
+    let stm = Stm::tl2();
+    let v = TVar::new(0u64);
+    stm.atomically(|tx| tx.write(&v, 1));
+    let _ = stm.try_once(|tx| {
+        tx.read(&v)?;
+        Err::<(), Retry>(Retry)
+    });
+    let s = stm.stats().snapshot();
+    assert_eq!(s.commits, 1);
+    assert_eq!(s.aborts, 1);
+    assert_eq!(s.writes, 1);
+}
+
+#[test]
+fn incremental_mode_probes_quadratically() {
+    let stm = Stm::incremental();
+    let m = 32;
+    let vars: Vec<TVar<u64>> = (0..m).map(|_| TVar::new(0)).collect();
+    let before = stm.stats().snapshot();
+    stm.atomically(|tx| {
+        for v in &vars {
+            tx.read(v)?;
+        }
+        Ok(())
+    });
+    let d = stm.stats().snapshot().since(&before);
+    // Read i validates i-1 prior entries: m(m-1)/2 probes total.
+    assert_eq!(d.validation_probes, (m * (m - 1) / 2) as u64);
+
+    let stm2 = Stm::tl2();
+    let before = stm2.stats().snapshot();
+    stm2.atomically(|tx| {
+        for v in &vars {
+            tx.read(v)?;
+        }
+        Ok(())
+    });
+    let d2 = stm2.stats().snapshot().since(&before);
+    // TL2 read-only transactions never probe the read set.
+    assert_eq!(d2.validation_probes, 0);
+}
+
+#[test]
+fn tlrw_read_only_transactions_validate_nothing() {
+    let stm = Stm::tlrw();
+    let vars: Vec<TVar<u64>> = (0..64).map(|_| TVar::new(1)).collect();
+    let before = stm.stats().snapshot();
+    let sum = stm.atomically(|tx| {
+        let mut acc = 0;
+        for v in &vars {
+            acc += tx.read(v)?;
+        }
+        Ok(acc)
+    });
+    assert_eq!(sum, 64);
+    let d = stm.stats().snapshot().since(&before);
+    // The acceptance criterion of the visible-read design: zero
+    // validation probes, reads O(1) each.
+    assert_eq!(d.validation_probes, 0);
+    assert_eq!(d.commits, 1);
+    assert_eq!(d.reader_conflicts, 0);
+    assert_orecs_quiescent(&stm);
+}
+
+#[test]
+fn tlrw_upgrade_commit_and_abort_leave_locks_quiescent() {
+    let stm = Stm::tlrw();
+    let v = TVar::new(3u64);
+    let w = TVar::new(0u64);
+    // Read-then-write upgrade: the commit CAS consumes the read lock.
+    stm.atomically(|tx| {
+        let x = tx.read(&v)?;
+        tx.write(&v, x + 1)
+    });
+    assert_eq!(v.load(), 4);
+    assert_orecs_quiescent(&stm);
+    // A user-aborted attempt releases its read locks too.
+    let out = stm.try_once(|tx| {
+        tx.read(&v)?;
+        tx.read(&w)?;
+        Err::<(), Retry>(Retry)
+    });
+    assert!(out.is_none());
+    assert_orecs_quiescent(&stm);
+    // And so does a panicking body (the Drop path).
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.atomically(|tx| {
+            tx.read(&v)?;
+            panic!("body dies mid-transaction");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    }));
+    assert!(res.is_err());
+    assert_orecs_quiescent(&stm);
+}
+
+#[test]
+fn tlrw_upgrade_rollback_restores_and_releases_read_locks() {
+    // Force a multi-stripe upgrade whose second CAS fails: stripe A
+    // upgrades fine, stripe B is held by a foreign reader. The
+    // rollback must restore A's read lock AND release it at abort —
+    // dropping it from the read set while restoring the count would
+    // leak the lock and starve writers forever.
+    let stm = Arc::new(Stm::builder(Algorithm::Tlrw).orec_stripes(2).build());
+    // Find two vars on different stripes; `a` must sort first so the
+    // commit upgrades a's stripe before failing on b's. The pool
+    // keeps rejected allocations alive so fresh addresses keep
+    // coming.
+    let x0 = TVar::new(0u64);
+    let mut pool = Vec::new();
+    let x1 = loop {
+        let cand = TVar::new(0u64);
+        if stm.orecs.stripe_of(cand.id()) != stm.orecs.stripe_of(x0.id()) {
+            break cand;
+        }
+        pool.push(cand);
+    };
+    let (a, b) = if stm.orecs.stripe_of(x0.id()) < stm.orecs.stripe_of(x1.id()) {
+        (x0, x1)
+    } else {
+        (x1, x0)
+    };
+    let hold = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let stm2 = Arc::clone(&stm);
+        let b2 = b.clone();
+        let (hold2, release2) = (Arc::clone(&hold), Arc::clone(&release));
+        s.spawn(move || {
+            // Foreign reader camps on b's stripe until released.
+            stm2.atomically(|tx| {
+                let x = tx.read(&b2)?;
+                hold2.store(true, Ordering::SeqCst);
+                while !release2.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                Ok(x)
+            });
+        });
+        while !hold.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // Reads both stripes, writes both: upgrade of a succeeds,
+        // upgrade of b hits the foreign reader and rolls back.
+        let out = stm.try_once(|tx| {
+            let x = tx.read(&a)?;
+            let y = tx.read(&b)?;
+            tx.write(&a, x + 1)?;
+            tx.write(&b, y + 1)
+        });
+        assert!(out.is_none(), "foreign reader must abort the upgrade");
+        assert!(stm.stats().snapshot().reader_conflicts >= 1);
+        release.store(true, Ordering::SeqCst);
+    });
+    assert_orecs_quiescent(&stm);
+    // The stripes are free again: a writer commits on both.
+    stm.atomically(|tx| {
+        tx.write(&a, 7)?;
+        tx.write(&b, 7)
+    });
+    assert_eq!((a.load(), b.load()), (7, 7));
+}
+
+#[test]
+fn tlrw_writer_aborts_while_reader_holds_the_stripe() {
+    let stm = Arc::new(Stm::builder(Algorithm::Tlrw).max_attempts(3).build());
+    let v = TVar::new(0u64);
+    let hold = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let stm2 = Arc::clone(&stm);
+        let v2 = v.clone();
+        let (hold2, release2) = (Arc::clone(&hold), Arc::clone(&release));
+        s.spawn(move || {
+            stm2.atomically(|tx| {
+                let x = tx.read(&v2)?;
+                hold2.store(true, Ordering::SeqCst);
+                while !release2.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                Ok(x)
+            });
+        });
+        while !hold.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let out = stm.run(|tx| tx.write(&v, 9));
+        assert_eq!(out, Err(RetriesExhausted { attempts: 3 }));
+        assert_eq!(stm.stats().snapshot().reader_conflicts, 3);
+        release.store(true, Ordering::SeqCst);
+    });
+    // Reader gone: the same write now commits.
+    stm.atomically(|tx| tx.write(&v, 9));
+    assert_eq!(v.load(), 9);
+    assert_orecs_quiescent(&stm);
+}
+
+#[test]
+fn concurrent_counter_increments_are_exact() {
+    for stm in engines() {
+        let stm = Arc::new(stm);
+        let v = TVar::new(0u64);
+        let threads = 4;
+        let per = 500;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let stm = Arc::clone(&stm);
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        stm.atomically(|tx| {
+                            let x = tx.read(&v)?;
+                            tx.write(&v, x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(v.load(), threads * per, "{:?}", stm.algorithm());
+    }
+}
+
+#[test]
+fn concurrent_bank_conserves_total() {
+    for stm in engines() {
+        let stm = Arc::new(stm);
+        let accounts: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(1000)).collect();
+        let threads = 4;
+        let per = 300;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let stm = Arc::clone(&stm);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    let mut x = t as usize;
+                    for i in 0..per {
+                        let from = (x + i) % accounts.len();
+                        let to = (x + i * 7 + 1) % accounts.len();
+                        if from == to {
+                            continue;
+                        }
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        stm.atomically(|tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            let amt = a.min(17);
+                            tx.write(&accounts[from], a - amt)?;
+                            tx.write(&accounts[to], b + amt)
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = accounts.iter().map(TVar::load).sum();
+        assert_eq!(total, 8000, "{:?}", stm.algorithm());
+    }
+}
+
+#[test]
+fn snapshot_isolation_is_not_allowed_write_skew() {
+    // Write skew: two transactions each read both vars and write one.
+    // A serializable STM must not let both commit from the same
+    // snapshot; run many racing pairs and check the invariant
+    // x + y <= 1 is never violated.
+    for stm in engines() {
+        let stm = Arc::new(stm);
+        for _ in 0..200 {
+            let x = TVar::new(0u64);
+            let y = TVar::new(0u64);
+            std::thread::scope(|s| {
+                let stm1 = Arc::clone(&stm);
+                let (x1, y1) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    stm1.atomically(|tx| {
+                        let (a, b) = (tx.read(&x1)?, tx.read(&y1)?);
+                        if a + b == 0 {
+                            tx.write(&x1, 1)?;
+                        }
+                        Ok(())
+                    });
+                });
+                let stm2 = Arc::clone(&stm);
+                let (x2, y2) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    stm2.atomically(|tx| {
+                        let (a, b) = (tx.read(&x2)?, tx.read(&y2)?);
+                        if a + b == 0 {
+                            tx.write(&y2, 1)?;
+                        }
+                        Ok(())
+                    });
+                });
+            });
+            assert!(x.load() + y.load() <= 1, "{:?}", stm.algorithm());
+        }
+    }
+}
+
+#[test]
+fn adaptive_switches_with_the_workload_and_stays_correct() {
+    let stm = twitchy_adaptive();
+    assert_eq!(stm.active_mode(), Algorithm::Tl2, "starts invisible");
+    let vars: Vec<TVar<u64>> = (0..32).map(|_| TVar::new(1)).collect();
+    // Write-heavy: transfers (2 reads / 2 writes) drive it visible.
+    for i in 0..64usize {
+        let (a, b) = (i % 32, (i + 7) % 32);
+        stm.atomically(|tx| {
+            let x = tx.read(&vars[a])?;
+            let y = tx.read(&vars[b])?;
+            tx.write(&vars[a], x.wrapping_sub(1))?;
+            tx.write(&vars[b], y.wrapping_add(1))
+        });
+    }
+    assert_eq!(stm.active_mode(), Algorithm::Tlrw, "write-heavy → visible");
+    let after_first = stm.stats().snapshot();
+    assert!(after_first.mode_transitions >= 1);
+    assert!(after_first.visible_mode);
+    // Read-mostly: 16-read scans drive it back invisible.
+    for _ in 0..64usize {
+        let sum = stm.atomically(|tx| {
+            let mut acc = 0u64;
+            for v in vars.iter().take(16) {
+                acc = acc.wrapping_add(tx.read(v)?);
+            }
+            Ok(acc)
+        });
+        let _ = sum;
+    }
+    assert_eq!(stm.active_mode(), Algorithm::Tl2, "read-mostly → invisible");
+    let snap = stm.stats().snapshot();
+    assert!(snap.mode_transitions >= 2);
+    assert!(!snap.visible_mode);
+    // The sum is conserved across both regimes and the switches.
+    assert_eq!(vars.iter().map(TVar::load).sum::<u64>(), 32);
+    assert_orecs_quiescent(&stm);
+}
+
+#[test]
+fn adaptive_switch_is_correct_under_concurrent_mixed_load() {
+    // Hammer an adaptive instance with racing read-mostly and
+    // write-heavy threads so transitions happen *during* traffic;
+    // the exact mode history is scheduling-dependent, but counter
+    // exactness and lock quiescence must not be.
+    let stm = Arc::new(twitchy_adaptive());
+    let counters: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(0)).collect();
+    let threads = 4;
+    let per = 400;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let stm = Arc::clone(&stm);
+            let counters = counters.clone();
+            s.spawn(move || {
+                for i in 0..per {
+                    if (i / 50) % 2 == 0 {
+                        // Write-heavy burst: increment one counter.
+                        let c = (t + i) % counters.len();
+                        stm.atomically(|tx| tx.modify(&counters[c], |x| x + 1));
+                    } else {
+                        // Read burst: scan everything, write every
+                        // 16th iteration.
+                        stm.atomically(|tx| {
+                            let mut acc = 0u64;
+                            for v in &counters {
+                                acc = acc.wrapping_add(tx.read(v)?);
+                            }
+                            if i % 16 == 0 {
+                                let c = (t + i) % counters.len();
+                                tx.modify(&counters[c], |x| x + 1)?;
+                            }
+                            Ok(acc)
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let expected: u64 = (0..threads as u64)
+        .map(|_| {
+            (0..per as u64)
+                .map(|i| u64::from((i / 50) % 2 == 0 || i % 16 == 0))
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(counters.iter().map(TVar::load).sum::<u64>(), expected);
+    assert_orecs_quiescent(&stm);
+}
+
+#[test]
+fn adaptive_nested_transaction_cannot_deadlock_the_switch() {
+    // A nested transaction commits (and samples) while the outer one
+    // is still active on the same thread: the drain must time out
+    // and keep the current mode instead of waiting on its own stack.
+    let stm = Stm::builder(Algorithm::Adaptive)
+        .adaptive_config(AdaptiveConfig {
+            window_commits: 1,
+            hysteresis_windows: 1,
+            max_drain: std::time::Duration::from_millis(1),
+            ..AdaptiveConfig::default()
+        })
+        .build();
+    let v = TVar::new(0u64);
+    let w = TVar::new(0u64);
+    // Every commit is write-heavy, so every one-commit window votes
+    // visible; the nested commits below each attempt the switch
+    // while the outer transaction still occupies the invisible
+    // mode's active counter.
+    stm.atomically(|tx| {
+        tx.write(&v, 1)?; // pins the mode, holds the active slot
+        for _ in 0..4 {
+            stm.atomically(|tx2| tx2.modify(&w, |y| y + 1));
+        }
+        tx.write(&v, 2)
+    });
+    assert_eq!((v.load(), w.load()), (2, 4));
+    // The outer commit's own sample can finally drain and switch;
+    // either way the engine is live and consistent afterwards.
+    stm.atomically(|tx| tx.modify(&v, |x| x + 1));
+    assert_eq!(v.load(), 3);
+    assert!(stm.stats().snapshot().commits >= 6);
+}
+
+#[test]
+fn run_reports_exhaustion_instead_of_panicking() {
+    let stm = Stm::builder(Algorithm::Tl2).max_attempts(3).build();
+    let v = TVar::new(0u64);
+    let out = stm.run(|tx| {
+        tx.read(&v)?;
+        Err::<(), Retry>(Retry)
+    });
+    assert_eq!(out, Err(RetriesExhausted { attempts: 3 }));
+    assert_eq!(stm.stats().snapshot().aborts, 3);
+}
+
+#[test]
+fn contention_manager_give_up_is_honored() {
+    let stm = Stm::builder(Algorithm::Norec)
+        .contention_manager(CappedAttempts::wrapping(2, ImmediateRetry))
+        .build();
+    let out = stm.run(|_tx| Err::<(), Retry>(Retry));
+    assert_eq!(out, Err(RetriesExhausted { attempts: 2 }));
+}
+
+#[test]
+#[should_panic(expected = "failed to commit after 1 attempts")]
+fn atomically_panics_when_budget_runs_out() {
+    let stm = Stm::builder(Algorithm::Tl2).max_attempts(1).build();
+    stm.atomically(|_tx| Err::<(), Retry>(Retry));
+}
+
+#[test]
+fn debug_output_names_policy_and_budget() {
+    let stm = Stm::builder(Algorithm::Incremental)
+        .max_attempts(42)
+        .contention_manager(ImmediateRetry)
+        .build();
+    let s = format!("{stm:?}");
+    assert!(s.contains("max_attempts: 42"), "{s}");
+    assert!(s.contains("ImmediateRetry"), "{s}");
+    assert!(s.contains("Incremental"), "{s}");
+}
+
+#[test]
+fn values_whose_drop_reenters_the_epoch_machinery() {
+    // Regression: the collector used to drop displaced value boxes
+    // while holding the thread-local epoch borrow, so a value whose
+    // `Drop` pins the epoch again (here: `TVar::load` on a peer)
+    // panicked with a RefCell BorrowMutError mid-commit.
+    #[derive(Clone)]
+    struct PinsOnDrop {
+        peer: TVar<u64>,
+        tag: u64,
+    }
+    impl PartialEq for PinsOnDrop {
+        fn eq(&self, other: &Self) -> bool {
+            self.tag == other.tag
+        }
+    }
+    impl Drop for PinsOnDrop {
+        fn drop(&mut self) {
+            let _ = self.peer.load(); // pins the epoch
+        }
+    }
+
+    let stm = Stm::tl2();
+    let peer = TVar::new(0u64);
+    let var = TVar::new(PinsOnDrop {
+        peer: peer.clone(),
+        tag: 0,
+    });
+    // Enough writing commits to push the thread bag past the collect
+    // threshold several times over.
+    for i in 1..=300u64 {
+        stm.atomically(|tx| {
+            tx.write(
+                &var,
+                PinsOnDrop {
+                    peer: peer.clone(),
+                    tag: i,
+                },
+            )
+        });
+    }
+    assert_eq!(var.load().tag, 300);
+}
+
+#[test]
+fn tiny_orec_table_still_serializes_correctly() {
+    // One stripe: every variable conflicts with every other. The
+    // engine must stay correct (if slower).
+    let stm = Arc::new(Stm::builder(Algorithm::Tl2).orec_stripes(1).build());
+    let a = TVar::new(0u64);
+    let b = TVar::new(0u64);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let stm = Arc::clone(&stm);
+            let (a, b) = (a.clone(), b.clone());
+            s.spawn(move || {
+                for _ in 0..200 {
+                    stm.atomically(|tx| {
+                        let x = tx.read(&a)?;
+                        let y = tx.read(&b)?;
+                        tx.write(&a, x + 1)?;
+                        tx.write(&b, y + 1)
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(a.load(), 800);
+    assert_eq!(b.load(), 800);
+}

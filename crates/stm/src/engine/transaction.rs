@@ -1,0 +1,274 @@
+//! [`Transaction`]: the per-attempt state machine — operations,
+//! poisoning, history-marker placement, epoch pinning, and lock cleanup
+//! on every exit path.
+
+use super::{Algorithm, Retry, Stm};
+use crate::algo;
+use crate::algo::adaptive::{self, Mode};
+use crate::epoch;
+use crate::orec;
+use crate::recorder::{word_of, HistoryRecorder, RecTx};
+use crate::tvar::{TVar, TxValue};
+use crate::txlog::TxLog;
+use ptm_sim::{TOpDesc, TOpResult};
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+/// An in-flight transaction; created by [`Stm::atomically`].
+pub struct Transaction<'s> {
+    pub(crate) stm: &'s Stm,
+    /// Snapshot time (TL2/Mv: clock at begin; NOrec: sequence-lock
+    /// value; Incremental/Tlrw: unused). The NOrec read path advances it.
+    pub(crate) rv: u64,
+    started: bool,
+    /// Set when an operation returned [`Retry`]: the attempt is doomed
+    /// (and t-complete in any recorded history), so every later operation
+    /// short-circuits to `Retry` and commit refuses. User code that
+    /// swallows a `Retry` instead of propagating it therefore cannot
+    /// commit an attempt the engine already aborted.
+    poisoned: bool,
+    pub(crate) log: TxLog,
+    /// The concrete hook set this attempt runs: the instance's algorithm
+    /// for static instances; for `Algorithm::Adaptive`, the begin hook
+    /// overwrites it with the pinned mode (`Tl2` or `Tlrw`), so the
+    /// per-operation dispatch costs one match — no double indirection —
+    /// and stays on the pinned hooks even if the controller switches the
+    /// instance mid-flight.
+    pub(crate) mode: Algorithm,
+    /// The adaptive mode this attempt registered in (`Algorithm::
+    /// Adaptive` only): names the active counter to release on drop.
+    pub(crate) pinned: Option<Mode>,
+    /// The published snapshot slot of an `Algorithm::Mv` attempt: keeps
+    /// the low-watermark collector from trimming versions this
+    /// transaction's snapshot can still reach. Withdrawn on drop.
+    pub(crate) snap: Option<epoch::SnapshotGuard>,
+    /// History-recording state for this attempt, when the instance has a
+    /// recorder attached.
+    rec: Option<RecTx>,
+    /// Epoch pin: keeps every pointer this transaction may dereference
+    /// alive for its whole lifetime (also makes `Transaction: !Send`).
+    pub(crate) pin: epoch::Guard,
+}
+
+impl Drop for Transaction<'_> {
+    /// Last-resort release of visible-read locks: commit and the abort
+    /// paths release them eagerly, but a panicking body (or a dropped
+    /// `try_once` attempt) must not leave reader counts behind — a leaked
+    /// read lock would starve every later writer on the stripe. Also
+    /// deregisters the attempt from its pinned mode's active counter
+    /// (adaptive instances), on which a pending mode switch may be
+    /// waiting; the snapshot slot (`snap`, Mv instances) is withdrawn by
+    /// its own field drop right after this body.
+    fn drop(&mut self) {
+        self.release_read_locks();
+        adaptive::release_slot(self);
+    }
+}
+
+impl fmt::Debug for Transaction<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transaction")
+            .field("rv", &self.rv)
+            .field("poisoned", &self.poisoned)
+            .field("log", &self.log)
+            .finish()
+    }
+}
+
+impl<'s> Transaction<'s> {
+    pub(super) fn begin(stm: &'s Stm, log: TxLog) -> Self {
+        Transaction {
+            stm,
+            rv: 0,
+            started: false,
+            poisoned: false,
+            log,
+            mode: stm.algorithm,
+            pinned: None,
+            snap: None,
+            rec: stm.recorder.as_ref().map(HistoryRecorder::begin_tx),
+            pin: epoch::pin(),
+        }
+    }
+
+    /// Recovers the log for reuse by the next attempt (capacity is kept,
+    /// entries are cleared), releasing any read locks the aborted
+    /// attempt still holds.
+    pub(super) fn into_log(mut self) -> TxLog {
+        self.release_read_locks();
+        let mut log = std::mem::take(&mut self.log);
+        log.reset();
+        log
+    }
+
+    /// Undoes every visible-read lock this attempt still holds (no-op
+    /// under the invisible-read algorithms, whose `rw_reads` stays
+    /// empty). Arithmetic release: transient foreign increments survive.
+    pub(crate) fn release_read_locks(&mut self) {
+        for stripe in self.log.rw_drain() {
+            self.stm
+                .orecs
+                .word(stripe)
+                .fetch_sub(orec::RW_READER, Ordering::AcqRel);
+        }
+    }
+
+    /// Lazily samples the snapshot time (and, for adaptive instances,
+    /// pins the mode) at the first operation.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        algo::begin(self);
+        self.started = true;
+    }
+
+    /// Records an invocation marker (no-op without a recorder).
+    fn rec_invoke(&mut self, op: TOpDesc) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.invoke(op);
+            self.stm.stats.recorded(1);
+        }
+    }
+
+    /// Records a response marker (no-op without a recorder).
+    fn rec_respond(&mut self, op: TOpDesc, res: TOpResult) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.respond(op, res);
+            self.stm.stats.recorded(1);
+        }
+    }
+
+    /// Closes an abandoned attempt in the recorded history with a
+    /// `tryC -> A_k` pair: a user body that returned its own error never
+    /// reaches commit, but the history needs every transaction
+    /// t-complete before its process starts the next one.
+    pub(super) fn close_aborted(&mut self) {
+        if self.rec.as_ref().is_some_and(RecTx::needs_close) {
+            self.rec_invoke(TOpDesc::TryCommit);
+            self.rec_respond(TOpDesc::TryCommit, TOpResult::Aborted);
+        }
+    }
+
+    /// Reads a variable.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] if a concurrent commit made a consistent snapshot
+    /// impossible, or if this attempt already returned [`Retry`] once;
+    /// propagate it with `?`.
+    pub fn read<T: TxValue>(&mut self, var: &TVar<T>) -> Result<T, Retry> {
+        if self.poisoned {
+            return Err(Retry);
+        }
+        self.ensure_started();
+        self.stm.stats.read();
+        let op = self.rec.as_ref().map(|r| TOpDesc::Read(r.object_of(var)));
+        if let Some(op) = op {
+            self.rec_invoke(op);
+        }
+        let out = self.read_raw(var);
+        if let Some(op) = op {
+            match &out {
+                Ok(v) => self.rec_respond(op, TOpResult::Value(word_of(v))),
+                Err(Retry) => self.rec_respond(op, TOpResult::Aborted),
+            }
+        }
+        if out.is_err() {
+            self.poisoned = true;
+        }
+        out
+    }
+
+    /// The algorithm-specific read path (the [`crate::algo`] read hook),
+    /// without instrumentation.
+    fn read_raw<T: TxValue>(&mut self, var: &TVar<T>) -> Result<T, Retry> {
+        if let Some(w) = self.log.lookup_write(var.id()) {
+            let v = w.value.downcast_ref::<T>().expect("write-set type");
+            return Ok(v.clone());
+        }
+        algo::read(self, var)
+    }
+
+    /// Reads, applies `f`, and writes back — the read-modify-write
+    /// shorthand.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] if the underlying read conflicts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ptm_stm::{Stm, TVar};
+    ///
+    /// let stm = Stm::tl2();
+    /// let v = TVar::new(10u64);
+    /// stm.atomically(|tx| tx.modify(&v, |x| x * 2));
+    /// assert_eq!(v.load(), 20);
+    /// ```
+    pub fn modify<T: TxValue>(
+        &mut self,
+        var: &TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<(), Retry> {
+        let v = self.read(var)?;
+        self.write(var, f(v))
+    }
+
+    /// Buffers a write; visible to this transaction's later reads and
+    /// published at commit.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] if this attempt already returned [`Retry`] once
+    /// (buffering itself never conflicts).
+    pub fn write<T: TxValue>(&mut self, var: &TVar<T>, value: T) -> Result<(), Retry> {
+        if self.poisoned {
+            return Err(Retry);
+        }
+        self.ensure_started();
+        self.stm.stats.write();
+        let op = self
+            .rec
+            .as_ref()
+            .map(|r| TOpDesc::Write(r.object_of(var), word_of(&value)));
+        if let Some(op) = op {
+            self.rec_invoke(op);
+        }
+        self.log
+            .buffer_write(var.id(), var.as_dyn(), Box::new(value));
+        if let Some(op) = op {
+            self.rec_respond(op, TOpResult::Ok);
+        }
+        Ok(())
+    }
+
+    /// Attempts to commit; returns whether the transaction is now durable.
+    pub(super) fn commit(&mut self) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        self.ensure_started();
+        self.rec_invoke(TOpDesc::TryCommit);
+        let ok = if self.log.writes.is_empty() {
+            // Read-only: serialized at its last validation (invisible
+            // reads), under its still-held read locks (Tlrw), or at its
+            // snapshot time (Mv — the abort-free case) — either way
+            // nothing to validate, nothing to publish.
+            true
+        } else {
+            algo::commit(self)
+        };
+        // Visible-read algorithms hold per-stripe read locks until the
+        // outcome is decided; release them whatever it was.
+        self.release_read_locks();
+        let res = if ok {
+            TOpResult::Committed
+        } else {
+            TOpResult::Aborted
+        };
+        self.rec_respond(TOpDesc::TryCommit, res);
+        ok
+    }
+}

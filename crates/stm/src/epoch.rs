@@ -22,10 +22,35 @@
 //! the global epoch) and the collector's scan need a total order for the
 //! "the scan cannot miss a dangerous reader" argument, and the cost sits
 //! on transaction boundaries, never inside the read loop.
+//!
+//! ## Snapshot low-watermark (multi-version reclamation)
+//!
+//! [`Algorithm::Mv`](crate::Algorithm::Mv) adds a second reclamation
+//! question the epoch scan cannot answer: a superseded value box is not
+//! garbage merely because no thread still *dereferences* it — a snapshot
+//! reader may legitimately come back for it as long as its transaction
+//! is live. [`SnapshotRegistry`] answers it: every Mv transaction
+//! publishes its snapshot timestamp in a per-thread, cache-padded slot
+//! for its duration, and the **low watermark** — the minimum over all
+//! active slots, floored by the instance clock read *before* the scan —
+//! bounds which versions any live or future snapshot can still reach.
+//! Committers trim version chains against it
+//! ([`AnyTVar::trim_chain`](crate::tvar::AnyTVar::trim_chain)) and
+//! retire the detached suffix through the ordinary epoch machinery
+//! above, which handles the (already-traversing) dereference hazard.
+//!
+//! The registration protocol mirrors the epoch pin: *read clock, store
+//! slot, re-check clock unchanged* — and the watermark scan reads the
+//! clock floor **before** the slots. Together these order every
+//! missed-slot race: a scanner that missed a just-registering reader
+//! read its floor before the reader's final store, so the reader's
+//! re-checked snapshot is at least that floor and everything the scanner
+//! trims is older than what the reader can reach.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 /// Epoch value meaning "this slot's thread is not inside a transaction".
 const QUIESCENT: u64 = u64::MAX;
@@ -251,6 +276,190 @@ fn collect_orphans(min: u64, out: &mut Vec<Retired>) {
     }
 }
 
+/// Slot value meaning "this thread holds no active snapshot here".
+const NO_SNAPSHOT: u64 = u64::MAX;
+
+static SNAP_REGISTRY_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// One thread's published snapshot timestamp for one registry; padded so
+/// begin/end stores never false-share with a neighbour's.
+#[repr(align(128))]
+struct SnapSlot {
+    rv: AtomicU64,
+}
+
+struct SnapShared {
+    /// Distinguishes registries (one per Mv instance) in the per-thread
+    /// slot cache.
+    id: u64,
+    /// All live slots; scanned (under the lock) by `low_watermark`.
+    slots: Mutex<Vec<Arc<SnapSlot>>>,
+}
+
+/// This thread's cached slot for one registry, with its reentrancy
+/// depth (nested transactions on one instance share the outer — older,
+/// more conservative — snapshot).
+struct SnapEntry {
+    registry: Weak<SnapShared>,
+    slot: Arc<SnapSlot>,
+    depth: usize,
+}
+
+impl Drop for SnapEntry {
+    fn drop(&mut self) {
+        // Thread teardown: make sure a dying thread's slot never clamps
+        // the watermark forever, and deregister it so a long-lived
+        // instance serving many short-lived threads does not accumulate
+        // dead slots (each one padded, and scanned by every watermark
+        // computation) — the same discipline `Local::drop` applies to
+        // the epoch registry above.
+        self.slot.rv.store(NO_SNAPSHOT, Ordering::SeqCst);
+        if let Some(reg) = self.registry.upgrade() {
+            if let Ok(mut slots) = reg.slots.lock() {
+                slots.retain(|s| !Arc::ptr_eq(s, &self.slot));
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's slot per registry id.
+    static SNAPSHOTS: RefCell<HashMap<u64, SnapEntry>> = RefCell::new(HashMap::new());
+}
+
+/// Active-snapshot registry of one multi-version [`Stm`](crate::Stm)
+/// instance: who is reading at which timestamp, and therefore how far
+/// back version chains must reach (the low watermark).
+pub(crate) struct SnapshotRegistry {
+    shared: Arc<SnapShared>,
+}
+
+impl std::fmt::Debug for SnapshotRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotRegistry")
+            .field(
+                "slots",
+                &self.shared.slots.lock().map(|s| s.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl SnapshotRegistry {
+    pub(crate) fn new() -> Self {
+        SnapshotRegistry {
+            shared: Arc::new(SnapShared {
+                id: SNAP_REGISTRY_IDS.fetch_add(1, Ordering::Relaxed),
+                slots: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Publishes this thread's snapshot timestamp (drawn from `clock`)
+    /// and returns it with a guard that withdraws it. Reentrant: a
+    /// nested transaction on the same instance keeps the slot publishing
+    /// the **outer** (older, more conservative) snapshot — which
+    /// protects both — but draws its own rv fresh from the clock, so an
+    /// inner attempt retried after a conflicting commit sees that
+    /// commit and can validate (reusing the stale outer rv would retry
+    /// forever against a stripe stamped past it).
+    ///
+    /// The store/re-check loop makes the published value at least as new
+    /// as any watermark floor a concurrent scanner read before missing
+    /// this slot (see the module docs); it retries only when a commit
+    /// ticks the clock inside the three-instruction window. The nested
+    /// path needs no such loop: the slot already publishes a value no
+    /// newer than any rv returned here.
+    pub(crate) fn pin(&self, clock: &AtomicU64) -> (u64, SnapshotGuard) {
+        let rv = SNAPSHOTS.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(e) = m.get_mut(&self.shared.id) {
+                if e.depth > 0 {
+                    e.depth += 1;
+                    return clock.load(Ordering::SeqCst);
+                }
+            } else {
+                m.retain(|_, e| e.registry.strong_count() > 0);
+                let slot = Arc::new(SnapSlot {
+                    rv: AtomicU64::new(NO_SNAPSHOT),
+                });
+                self.shared
+                    .slots
+                    .lock()
+                    .expect("snapshot registry poisoned")
+                    .push(Arc::clone(&slot));
+                m.insert(
+                    self.shared.id,
+                    SnapEntry {
+                        registry: Arc::downgrade(&self.shared),
+                        slot,
+                        depth: 0,
+                    },
+                );
+            }
+            let e = m.get_mut(&self.shared.id).expect("just ensured");
+            let rv = loop {
+                let rv = clock.load(Ordering::SeqCst);
+                e.slot.rv.store(rv, Ordering::SeqCst);
+                if clock.load(Ordering::SeqCst) == rv {
+                    break rv;
+                }
+            };
+            e.depth = 1;
+            rv
+        });
+        (
+            rv,
+            SnapshotGuard {
+                registry: self.shared.id,
+                _not_send: std::marker::PhantomData,
+            },
+        )
+    }
+
+    /// The oldest snapshot any live transaction of this instance may be
+    /// reading under — floored by the clock read *before* the slot scan,
+    /// so a registering reader the scan misses is provably protected
+    /// (its re-checked snapshot postdates this floor).
+    pub(crate) fn low_watermark(&self, clock: &AtomicU64) -> u64 {
+        let floor = clock.load(Ordering::SeqCst);
+        let slots = self
+            .shared
+            .slots
+            .lock()
+            .expect("snapshot registry poisoned");
+        slots
+            .iter()
+            .map(|s| s.rv.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(NO_SNAPSHOT)
+            .min(floor)
+    }
+}
+
+/// Withdraws a snapshot published by [`SnapshotRegistry::pin`] when
+/// dropped. Not `Send` — the snapshot lives in a thread-local slot.
+pub(crate) struct SnapshotGuard {
+    registry: u64,
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+impl Drop for SnapshotGuard {
+    fn drop(&mut self) {
+        // Thread-local teardown before a late guard is handled by
+        // `SnapEntry::drop`, which clears the slot.
+        let _ = SNAPSHOTS.try_with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(e) = m.get_mut(&self.registry) {
+                e.depth -= 1;
+                if e.depth == 0 {
+                    e.slot.rv.store(NO_SNAPSHOT, Ordering::SeqCst);
+                }
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +514,110 @@ mod tests {
         drop(a);
         drop(b);
         let _c = pin();
+    }
+
+    #[test]
+    fn watermark_is_the_clock_with_no_active_snapshot() {
+        let reg = SnapshotRegistry::new();
+        let clock = AtomicU64::new(17);
+        assert_eq!(reg.low_watermark(&clock), 17);
+    }
+
+    #[test]
+    fn active_snapshots_clamp_the_watermark() {
+        let reg = SnapshotRegistry::new();
+        let clock = AtomicU64::new(5);
+        let (rv, g) = reg.pin(&clock);
+        assert_eq!(rv, 5);
+        clock.store(40, Ordering::SeqCst);
+        assert_eq!(reg.low_watermark(&clock), 5, "pinned snapshot holds it");
+        drop(g);
+        assert_eq!(reg.low_watermark(&clock), 40, "released: clock floor");
+    }
+
+    #[test]
+    fn nested_pins_publish_the_outer_snapshot_but_read_fresh() {
+        let reg = SnapshotRegistry::new();
+        let clock = AtomicU64::new(3);
+        let (outer, g1) = reg.pin(&clock);
+        clock.store(9, Ordering::SeqCst);
+        let (inner, g2) = reg.pin(&clock);
+        assert_eq!(outer, 3);
+        assert_eq!(
+            inner, 9,
+            "a nested attempt draws its snapshot fresh (a retry must be \
+             able to see the commit that aborted it)"
+        );
+        assert_eq!(
+            reg.low_watermark(&clock),
+            3,
+            "the slot keeps publishing the outer snapshot, protecting both"
+        );
+        drop(g2);
+        assert_eq!(reg.low_watermark(&clock), 3, "outer still active");
+        drop(g1);
+        assert_eq!(reg.low_watermark(&clock), 9);
+    }
+
+    #[test]
+    fn dead_threads_deregister_their_snapshot_slots() {
+        let reg = Arc::new(SnapshotRegistry::new());
+        let clock = AtomicU64::new(4);
+        let slot_count = |r: &SnapshotRegistry| r.shared.slots.lock().unwrap().len();
+        for _ in 0..8 {
+            let reg2 = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let c = AtomicU64::new(9);
+                let (_, _g) = reg2.pin(&c);
+            })
+            .join()
+            .expect("worker");
+        }
+        assert_eq!(
+            slot_count(&reg),
+            0,
+            "exited threads must not leave slots behind"
+        );
+        let (_, _g) = reg.pin(&clock);
+        assert_eq!(slot_count(&reg), 1, "this thread's slot is live");
+    }
+
+    #[test]
+    fn registries_are_independent() {
+        let a = SnapshotRegistry::new();
+        let b = SnapshotRegistry::new();
+        let ca = AtomicU64::new(1);
+        let cb = AtomicU64::new(100);
+        let (_, _g) = a.pin(&ca);
+        assert_eq!(a.low_watermark(&ca), 1);
+        assert_eq!(b.low_watermark(&cb), 100, "b never saw a's snapshot");
+    }
+
+    #[test]
+    fn cross_thread_snapshots_feed_one_watermark() {
+        let reg = Arc::new(SnapshotRegistry::new());
+        let clock = Arc::new(AtomicU64::new(7));
+        let hold = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let (reg2, clock2) = (Arc::clone(&reg), Arc::clone(&clock));
+            let (hold2, release2) = (Arc::clone(&hold), Arc::clone(&release));
+            s.spawn(move || {
+                let (rv, g) = reg2.pin(&clock2);
+                assert_eq!(rv, 7);
+                hold2.store(true, Ordering::SeqCst);
+                while !release2.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                drop(g);
+            });
+            while !hold.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            clock.store(30, Ordering::SeqCst);
+            assert_eq!(reg.low_watermark(&clock), 7, "remote pin visible");
+            release.store(true, Ordering::SeqCst);
+        });
+        assert_eq!(reg.low_watermark(&clock), 30);
     }
 }

@@ -1,9 +1,11 @@
 //! # ptm-stm — a native software transactional memory
 //!
 //! The real-threads companion to the simulated TMs in `ptm-core`: a small
-//! STM with five interchangeable validation algorithms, so both sides of
+//! STM with six interchangeable validation algorithms, so both sides of
 //! the paper's time–space tradeoff can be measured on actual hardware —
-//! and, with the adaptive mode, *exploited* at runtime.
+//! the *time* axis with four single-version designs, the *space* axis
+//! with a multi-version one, and, with the adaptive mode, *exploited*
+//! at runtime.
 //!
 //! * [`Stm::tl2`] — global version clock, O(1) **lock-free** read
 //!   validation against a striped orec table (the production default);
@@ -18,6 +20,14 @@
 //!   for with one shared-memory RMW inside every first read of a stripe
 //!   (watch `reader_conflicts` in [`StmStats`]). Progressive, not
 //!   strongly progressive.
+//! * [`Stm::mv`] — **multi-version** storage: commits append timestamped
+//!   versions to each variable's chain, so read-only transactions read
+//!   the consistent snapshot named by their start time with *zero*
+//!   validation and *zero* aborts under any write storm; superseded
+//!   versions are reclaimed by a low-watermark collector (watch
+//!   `snapshot_reads` / `versions_trimmed` / `max_chain_len` in
+//!   [`StatsSnapshot`]). Time is traded for space — the paper's other
+//!   axis.
 //! * [`Stm::adaptive`] — a mode controller that samples windowed stats
 //!   deltas and moves the live engine between the Tl2 and Tlrw hooks as
 //!   the workload shifts, reinterpreting the orec table through an
@@ -65,12 +75,12 @@
 //!
 //! | module | concern |
 //! |--------|---------|
-//! | [`mod@engine`](crate::Stm) | generic machinery: [`Stm`] / [`Transaction`] / [`StmBuilder`], retry loop, lock cleanup |
+//! | [`mod@engine`](crate::Stm) | generic machinery, split by concern: [`Stm`] + [`Algorithm`] (`engine`), [`StmBuilder`] (`engine::builder`), [`Transaction`] (`engine::transaction`), the retry loop (`engine::attempt`) |
 //! | `algo`  | the strategy layer: one module per algorithm (begin / read / commit hooks), including the adaptive mode controller |
 //! | `txlog` | read-set / write-set log shared by all algorithms |
-//! | `orec`  | striped, cache-padded metadata words: versioned locks (TL2 / Incremental) or reader–writer locks (Tlrw); Adaptive reinterprets the table between the two formats |
-//! | `tvar`  | value cells: immutable boxes behind an atomic pointer |
-//! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe |
+//! | `orec`  | striped, cache-padded metadata words: versioned locks (TL2 / Incremental / Mv) or reader–writer locks (Tlrw); Adaptive reinterprets the table between the two formats |
+//! | `tvar`  | value cells: timestamped version chains behind an atomic latest-pointer (single-version algorithms swap the head; Mv appends and trims) |
+//! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe, plus the snapshot registry whose low watermark bounds version-chain trimming |
 //! | [`cm`](ContentionManager) | pluggable retry policies |
 //! | `stats` | commit/abort/validation-probe counters |
 //! | [`recorder`] | opt-in t-operation history recording for the `ptm-model` checkers |

@@ -19,6 +19,11 @@ pub struct StmStats {
     reader_conflicts: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+    snapshot_reads: AtomicU64,
+    versions_trimmed: AtomicU64,
+    /// High-water mark, not a counter: the longest version chain any
+    /// trim pass observed (`Algorithm::Mv`).
+    max_chain_len: AtomicU64,
     recorded_events: AtomicU64,
     mode_transitions: AtomicU64,
     /// Not a counter: the read-visibility regime currently in force
@@ -62,6 +67,22 @@ pub struct StatsSnapshot {
     pub reads: u64,
     /// `write` operations executed.
     pub writes: u64,
+    /// Reads served from a version chain by snapshot timestamp
+    /// ([`Algorithm::Mv`](crate::Algorithm::Mv)): zero orec probes, zero
+    /// validation, never an abort. Always 0 under the single-version
+    /// algorithms.
+    pub snapshot_reads: u64,
+    /// Superseded versions detached from their chains by the
+    /// low-watermark collector (`Algorithm::Mv` commits). The space the
+    /// multi-version design pays — and reclaims.
+    pub versions_trimmed: u64,
+    /// The longest version chain any trim pass observed — a high-water
+    /// mark, not a counter: [`since`](StatsSnapshot::since) carries the
+    /// *later* snapshot's value through unchanged. Bounded by the span
+    /// between the oldest active snapshot and the newest commit; stays 0
+    /// under the single-version algorithms (only Mv commits trim, and
+    /// their chains never grow).
+    pub max_chain_len: u64,
     /// History markers captured by an attached
     /// [`HistoryRecorder`](crate::HistoryRecorder) (0 when recording is
     /// off).
@@ -105,6 +126,17 @@ impl StmStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn snapshot_read(&self) {
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a trim pass: `trimmed` versions detached from a chain
+    /// that held `chain_len` versions before the trim.
+    pub(crate) fn trim(&self, chain_len: u64, trimmed: u64) {
+        self.versions_trimmed.fetch_add(trimmed, Ordering::Relaxed);
+        self.max_chain_len.fetch_max(chain_len, Ordering::Relaxed);
+    }
+
     pub(crate) fn recorded(&self, n: u64) {
         self.recorded_events.fetch_add(n, Ordering::Relaxed);
     }
@@ -135,6 +167,9 @@ impl StmStats {
             reader_conflicts: self.reader_conflicts.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            versions_trimmed: self.versions_trimmed.load(Ordering::Relaxed),
+            max_chain_len: self.max_chain_len.load(Ordering::Relaxed),
             recorded_events: self.recorded_events.load(Ordering::Relaxed),
             mode_transitions: self.mode_transitions.load(Ordering::Relaxed),
             visible_mode: self.visible_mode.load(Ordering::Relaxed),
@@ -157,6 +192,11 @@ impl StatsSnapshot {
             reader_conflicts: d(self.reader_conflicts, earlier.reader_conflicts),
             reads: d(self.reads, earlier.reads),
             writes: d(self.writes, earlier.writes),
+            snapshot_reads: d(self.snapshot_reads, earlier.snapshot_reads),
+            versions_trimmed: d(self.versions_trimmed, earlier.versions_trimmed),
+            // High-water mark, not a counter: the delta reports the
+            // later snapshot's mark.
+            max_chain_len: self.max_chain_len,
             recorded_events: d(self.recorded_events, earlier.recorded_events),
             mode_transitions: d(self.mode_transitions, earlier.mode_transitions),
             // State, not a counter: the delta reports where the window
@@ -172,16 +212,24 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} recorded={} transitions={} mode={}",
+            "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} \
+             snapshot_reads={} trimmed={} max_chain={} recorded={} transitions={} mode={}",
             self.commits,
             self.aborts,
             self.reads,
             self.writes,
             self.validation_probes,
             self.reader_conflicts,
+            self.snapshot_reads,
+            self.versions_trimmed,
+            self.max_chain_len,
             self.recorded_events,
             self.mode_transitions,
-            if self.visible_mode { "visible" } else { "invisible" }
+            if self.visible_mode {
+                "visible"
+            } else {
+                "invisible"
+            }
         )
     }
 }
@@ -201,6 +249,10 @@ mod tests {
         s.read();
         s.write();
         s.recorded(4);
+        s.snapshot_read();
+        s.snapshot_read();
+        s.trim(5, 3);
+        s.trim(2, 1);
         s.mode_transition(true);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
@@ -210,6 +262,9 @@ mod tests {
         assert_eq!(snap.reads, 1);
         assert_eq!(snap.writes, 1);
         assert_eq!(snap.recorded_events, 4);
+        assert_eq!(snap.snapshot_reads, 2);
+        assert_eq!(snap.versions_trimmed, 4);
+        assert_eq!(snap.max_chain_len, 5, "high-water mark, not a sum");
         assert_eq!(snap.mode_transitions, 1);
         assert!(snap.visible_mode);
         s.mode_transition(false);
@@ -228,8 +283,8 @@ mod tests {
         let line = s.snapshot().to_string();
         assert_eq!(
             line,
-            "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 recorded=6 \
-             transitions=0 mode=invisible"
+            "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 snapshot_reads=0 \
+             trimmed=0 max_chain=0 recorded=6 transitions=0 mode=invisible"
         );
         s.mode_transition(true);
         let line = s.snapshot().to_string();

@@ -1,24 +1,43 @@
 //! Transactional variables.
 //!
 //! A [`TVar<T>`] is a shared mutable cell readable and writable inside a
-//! transaction. The current value lives in an immutable heap box
-//! published through an `AtomicPtr`: readers load the pointer and clone —
-//! **no lock, no reference-count traffic, no tearing** (the box is never
-//! mutated in place). Writers, at commit and under the algorithm's
-//! exclusion (orec stripe locks or the NOrec sequence lock), swap in a
-//! freshly boxed value and hand the old box to the epoch collector
-//! ([`crate::epoch`]), which frees it once no pinned reader can still
-//! dereference it.
+//! transaction. Values live in a **timestamped version chain**: the
+//! newest version is published through an `AtomicPtr` head (the
+//! latest-pointer fast path — single-version algorithms load it and
+//! clone, **no lock, no reference-count traffic, no tearing**, exactly
+//! the one-load read of the previous single-cell design), and each
+//! version links to the one it superseded. The chain is what
+//! [`Algorithm::Mv`](crate::Algorithm::Mv) reads: a snapshot reader
+//! traverses to the newest version no newer than its start time and
+//! never validates, never aborts.
 //!
-//! This replaces the seed design (value under a `parking_lot::Mutex`
-//! beside a per-variable version word), which serialized every read on a
-//! lock — precisely the per-read shared-memory cost the paper shows only
-//! weak-DAP/invisible-read TMs are condemned to pay.
+//! Writers publish under the algorithm's exclusion (orec stripe locks or
+//! the NOrec sequence lock), in one of two ways:
+//!
+//! * **swap** ([`AnyTVar::publish_boxed`], the single-version
+//!   algorithms): the new version replaces the head and the displaced
+//!   chain goes to the epoch collector ([`crate::epoch`]) — chains never
+//!   grow;
+//! * **append** ([`AnyTVar::append_boxed`] + [`AnyTVar::stamp_head`],
+//!   `Algorithm::Mv`): the new version is pushed with a *pending* stamp,
+//!   the commit draws its write timestamp, resolves the stamp, and then
+//!   [`AnyTVar::trim_chain`] detaches every version no active or future
+//!   snapshot can reach (the low-watermark rule, see
+//!   [`crate::epoch::SnapshotRegistry`]), retiring the suffix through
+//!   the same epoch machinery.
+//!
+//! This grew out of the seed design (value under a `parking_lot::Mutex`
+//! beside a per-variable version word, replaced in PR 1 by a single
+//! immutable box behind an `AtomicPtr`): per-read locking was the
+//! shared-memory cost the paper condemns invisible-read TMs to pay, and
+//! the single box was the *space* floor — one version — that made
+//! abort-free read-only transactions impossible. The chain buys the
+//! paper's space axis back.
 
 use crate::epoch::{Guard, Retired};
 use std::any::Any;
 use std::fmt;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Values storable in a [`TVar`]: cloneable (reads snapshot), comparable
@@ -29,11 +48,80 @@ pub trait TxValue: Any + Send + Sync + Clone + PartialEq {}
 
 impl<T: Any + Send + Sync + Clone + PartialEq> TxValue for T {}
 
+/// Stamp of a version whose committing transaction has appended it but
+/// not yet drawn its write timestamp. Readers that reach a pending
+/// version spin the few instructions until the committer resolves it:
+/// the version *may* belong to their snapshot (the committer's timestamp
+/// is not knowable yet), so neither taking nor skipping it is sound.
+const PENDING: u64 = u64::MAX;
+
+/// One link of a [`TVar`]'s version chain: an immutable value, the
+/// commit timestamp that published it, and the version it superseded.
+struct Version<T> {
+    /// Never mutated after the node is reachable.
+    value: T,
+    /// The publishing commit's clock tick ([`PENDING`] while the
+    /// committer is between appending and stamping); 0 for values
+    /// installed outside any Mv commit (initial values, single-version
+    /// publishes), which every snapshot may read.
+    stamp: AtomicU64,
+    /// Next-older retained version; null at the chain's end.
+    prev: AtomicPtr<Version<T>>,
+}
+
+impl<T> Version<T> {
+    fn boxed(value: T, stamp: u64, prev: *mut Version<T>) -> *mut Version<T> {
+        Box::into_raw(Box::new(Version {
+            value,
+            stamp: AtomicU64::new(stamp),
+            prev: AtomicPtr::new(prev),
+        }))
+    }
+
+    /// The resolved stamp, waiting out a committer mid-stamp. The
+    /// pending window spans the committer's remaining appends, its clock
+    /// `fetch_add`, and one store per written variable — short, but a
+    /// preempted committer (which still holds the stripe locks) can
+    /// stretch it to a scheduling quantum, so after a bounded spin the
+    /// reader yields its timeslice toward the committer instead of
+    /// burning it.
+    fn stamp(&self) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let s = self.stamp.load(Ordering::Acquire);
+            if s != PENDING {
+                return s;
+            }
+            spins += 1;
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Version<T> {
+    fn drop(&mut self) {
+        // Free the rest of the chain iteratively: the natural recursive
+        // drop would overflow the stack on a long-unreclaimed chain.
+        let mut p = *self.prev.get_mut();
+        while !p.is_null() {
+            // SAFETY: each node is owned by exactly one `prev` pointer
+            // (or the head); detaching before dropping keeps the
+            // iteration from re-entering this loop.
+            let mut node = unsafe { Box::from_raw(p) };
+            p = std::mem::replace(node.prev.get_mut(), std::ptr::null_mut());
+        }
+    }
+}
+
 /// Type-erased view of a `TVarInner<T>`, used by transaction logs, which
 /// are heterogeneous.
 pub(crate) trait AnyTVar: Send + Sync {
-    /// Swaps `value` in as the current value and returns the displaced
-    /// box for epoch retirement.
+    /// Single-version publish: swaps `value` in as the sole retained
+    /// version and returns the displaced chain for epoch retirement.
     ///
     /// The caller must hold the exclusion covering this variable (its
     /// orec stripe lock, or the NOrec sequence lock) and must retire the
@@ -45,36 +133,103 @@ pub(crate) trait AnyTVar: Send + Sync {
     /// bug, not reachable from the public API).
     fn publish_boxed(&self, value: Box<dyn Any + Send>) -> Retired;
 
-    /// Whether the current value equals the given snapshot.
+    /// Multi-version publish, step 1: pushes `value` as the new head
+    /// with a pending stamp. The caller must hold the stripe lock and
+    /// must be past the point of no return (validation done — an
+    /// appended version is never unlinked by its own commit).
+    fn append_boxed(&self, value: Box<dyn Any + Send>);
+
+    /// Multi-version publish, step 2: resolves the head's pending stamp
+    /// to the commit's write timestamp. Caller still holds the stripe
+    /// lock, so the head is the version it appended.
+    fn stamp_head(&self, wv: u64);
+
+    /// Detaches every version unreachable under `watermark` (the oldest
+    /// active snapshot): the suffix strictly below the newest version
+    /// stamped `<= watermark`. Detached versions go to `out` for epoch
+    /// retirement. Returns `(retained, trimmed)` chain lengths; the
+    /// pre-trim length is their sum. Caller holds the stripe lock (the
+    /// chain has exactly one mutator at a time).
+    fn trim_chain(&self, watermark: u64, out: &mut Vec<Retired>) -> (usize, usize);
+
+    /// Whether the current (newest) value equals the given snapshot.
     fn value_eq(&self, pin: &Guard, snapshot: &(dyn Any + Send)) -> bool;
 }
 
 pub(crate) struct TVarInner<T> {
-    /// Always points at a live, immutable, fully initialized box. Only
-    /// `publish_boxed` replaces it; displaced boxes are freed by the
-    /// epoch collector, and the final box by `Drop`.
-    ptr: AtomicPtr<T>,
+    /// Always points at a live, fully initialized version node — the
+    /// newest. Only `publish_boxed`/`append_boxed` replace it (under the
+    /// writer's exclusion); displaced or trimmed versions are freed by
+    /// the epoch collector, and the final chain by `Drop`.
+    head: AtomicPtr<Version<T>>,
 }
 
 impl<T: TxValue> TVarInner<T> {
     fn new(value: T) -> Self {
         TVarInner {
-            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            head: AtomicPtr::new(Version::boxed(value, 0, std::ptr::null_mut())),
         }
     }
 
-    /// Clones the current value without any lock.
+    /// Clones the newest value without any lock — the latest-pointer
+    /// fast path: one load and one dereference, exactly the cost the
+    /// single-cell design paid, chain or no chain.
     ///
     /// The `pin` witness proves an epoch guard is held, which is what
-    /// keeps the loaded box alive across the dereference.
+    /// keeps the loaded node alive across the dereference.
     pub(crate) fn read_snapshot(&self, _pin: &Guard) -> T {
-        let p = self.ptr.load(Ordering::Acquire);
-        // SAFETY: `p` was published by `new` or `publish_boxed` (Acquire
-        // pairs with their Release, so the box is fully initialized), is
-        // never mutated in place, and cannot be freed while this thread
-        // is pinned: retirement tags postdate the swap, and the collector
-        // only frees tags newer than every pinned epoch.
-        unsafe { (*p).clone() }
+        let p = self.head.load(Ordering::Acquire);
+        // SAFETY: `p` was published by `new`, `publish_boxed` or
+        // `append_boxed` (Acquire pairs with their Release, so the node
+        // is fully initialized), its value is never mutated in place, and
+        // it cannot be freed while this thread is pinned: retirement tags
+        // postdate the unlink, and the collector only frees tags newer
+        // than every pinned epoch.
+        unsafe { (*p).value.clone() }
+    }
+
+    /// Clones the newest version stamped `<= rv` — the multi-version
+    /// snapshot read. No orec probe, no validation, no abort: the trim
+    /// rule keeps the chain's oldest retained version at or below every
+    /// snapshot drawn from this instance's clock, so in-instance walks
+    /// always find their version. Walking off the end only arises when a
+    /// variable written under one `Stm` is later read under another
+    /// whose (fresh, smaller) clock is below every retained stamp — a
+    /// sequential handoff, where the correct answer is the *current*
+    /// value: fall back to the head, agreeing with [`Self::
+    /// read_snapshot`] and every single-version algorithm.
+    pub(crate) fn read_at(&self, pin: &Guard, rv: u64) -> T {
+        let mut p = self.head.load(Ordering::Acquire);
+        loop {
+            // SAFETY: as in `read_snapshot` — every node reachable from
+            // the head was fully published and is kept alive by the pin;
+            // trimming detaches only suffixes no snapshot `>= watermark`
+            // can walk into, and this snapshot is `>= watermark` by the
+            // registry's floor-first scan (see `SnapshotRegistry`).
+            let node = unsafe { &*p };
+            if node.stamp() <= rv {
+                return node.value.clone();
+            }
+            let prev = node.prev.load(Ordering::Acquire);
+            if prev.is_null() {
+                return self.read_snapshot(pin);
+            }
+            p = prev;
+        }
+    }
+
+    /// Number of versions currently retained (racy snapshot; exact when
+    /// no writer is active).
+    pub(crate) fn chain_len(&self) -> usize {
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            n += 1;
+            // SAFETY: reachable nodes are live (see `read_at`); callers
+            // hold an epoch pin via `TVar::versions_retained`.
+            p = unsafe { (*p).prev.load(Ordering::Acquire) };
+        }
+        n
     }
 }
 
@@ -82,25 +237,95 @@ impl<T> Drop for TVarInner<T> {
     fn drop(&mut self) {
         // SAFETY: exclusive access (`&mut self` on the last owner); no
         // reader can hold this pointer without an `Arc` keeping the cell
-        // alive, and displaced boxes live in epoch bags, not here.
-        drop(unsafe { Box::from_raw(*self.ptr.get_mut()) });
+        // alive, and displaced versions live in epoch bags, not here.
+        // Dropping the head frees the whole retained chain (iteratively,
+        // see `Version::drop`).
+        drop(unsafe { Box::from_raw(*self.head.get_mut()) });
     }
 }
 
 impl<T: TxValue> AnyTVar for TVarInner<T> {
     fn publish_boxed(&self, value: Box<dyn Any + Send>) -> Retired {
         let value: Box<T> = value.downcast().expect("write-set type");
-        let old = self.ptr.swap(Box::into_raw(value), Ordering::AcqRel);
+        // Stamp 0: single-version algorithms never read stamps, and 0
+        // keeps the value visible to every snapshot if the variable is
+        // later handed (sequentially) to an Mv instance.
+        let node = Version::boxed(*value, 0, std::ptr::null_mut());
+        let old = self.head.swap(node, Ordering::AcqRel);
+        // The displaced node still owns its `prev` chain; retiring it
+        // frees the whole suffix once no pinned reader remains.
         Retired::new(old)
+    }
+
+    fn append_boxed(&self, value: Box<dyn Any + Send>) {
+        let value: Box<T> = value.downcast().expect("write-set type");
+        let prev = self.head.load(Ordering::Relaxed);
+        let node = Version::boxed(*value, PENDING, prev);
+        // Plain store, not a swap: the stripe lock gives this committer
+        // sole write access to the chain; Release publishes the node's
+        // initialization to readers.
+        self.head.store(node, Ordering::Release);
+    }
+
+    fn stamp_head(&self, wv: u64) {
+        let p = self.head.load(Ordering::Relaxed);
+        // SAFETY: the head is this committer's own appended node (stripe
+        // lock still held), so it is live.
+        unsafe { (*p).stamp.store(wv, Ordering::Release) };
+    }
+
+    fn trim_chain(&self, watermark: u64, out: &mut Vec<Retired>) -> (usize, usize) {
+        let mut keep = self.head.load(Ordering::Relaxed);
+        let mut retained = 1;
+        // Find the newest version every live snapshot can settle on: the
+        // first (walking newest to oldest) stamped `<= watermark`. Only
+        // the head can be pending, and the caller (its own committer)
+        // has already stamped it.
+        loop {
+            // SAFETY: reachable nodes are live; the stripe lock makes
+            // this thread the only mutator.
+            let node = unsafe { &*keep };
+            if node.stamp.load(Ordering::Acquire) <= watermark {
+                break;
+            }
+            let prev = node.prev.load(Ordering::Acquire);
+            if prev.is_null() {
+                // Every retained version is newer than the watermark
+                // (sequential-handoff leftovers); nothing is provably
+                // unreachable.
+                return (retained, 0);
+            }
+            retained += 1;
+            keep = prev;
+        }
+        // Everything below `keep` is unreachable: an active snapshot has
+        // `rv >= watermark >= stamp(keep)`, so its walk stops at `keep`
+        // or newer. Detach the suffix and retire its top node — its drop
+        // frees the rest of the chain.
+        // SAFETY: `keep` is live (reachable, lock held).
+        let dropped = unsafe { (*keep).prev.swap(std::ptr::null_mut(), Ordering::AcqRel) };
+        if dropped.is_null() {
+            return (retained, 0);
+        }
+        let mut trimmed = 0;
+        let mut p = dropped;
+        while !p.is_null() {
+            trimmed += 1;
+            // SAFETY: the detached suffix is owned by this thread now
+            // (unreachable from the head, single mutator).
+            p = unsafe { (*p).prev.load(Ordering::Relaxed) };
+        }
+        out.push(Retired::new(dropped));
+        (retained, trimmed)
     }
 
     fn value_eq(&self, pin: &Guard, snapshot: &(dyn Any + Send)) -> bool {
         match snapshot.downcast_ref::<T>() {
             Some(snap) => {
-                let p = self.ptr.load(Ordering::Acquire);
-                // SAFETY: as in `read_snapshot`; `pin` keeps the box alive.
+                let p = self.head.load(Ordering::Acquire);
+                // SAFETY: as in `read_snapshot`; `pin` keeps the node alive.
                 let _ = pin;
-                unsafe { *p == *snap }
+                unsafe { (*p).value == *snap }
             }
             None => false,
         }
@@ -170,6 +395,16 @@ impl<T: TxValue> TVar<T> {
         self.inner.read_snapshot(&pin)
     }
 
+    /// How many versions of this variable are currently retained: 1
+    /// under the single-version algorithms, up to the span between the
+    /// oldest active snapshot and the newest commit under
+    /// [`Algorithm::Mv`](crate::Algorithm::Mv). Introspection for GC
+    /// tests and capacity monitoring; racy when writers are active.
+    pub fn versions_retained(&self) -> usize {
+        let _pin = crate::epoch::pin();
+        self.inner.chain_len()
+    }
+
     /// Whether two handles refer to the same cell (identity, not value).
     /// Useful when building linked structures out of `TVar`s, where a
     /// node's `PartialEq` should compare pointer identity.
@@ -193,6 +428,7 @@ mod tests {
     fn new_and_load() {
         let v = TVar::new(41u32);
         assert_eq!(v.load(), 41);
+        assert_eq!(v.versions_retained(), 1);
     }
 
     #[test]
@@ -220,9 +456,83 @@ mod tests {
         epoch::retire_batch(vec![v.inner.publish_boxed(Box::new(9i64))]);
         assert!(!v.inner.value_eq(&pin, snap.as_ref()));
         assert_eq!(v.load(), 9);
+        assert_eq!(v.versions_retained(), 1, "publish swaps, never chains");
         // Wrong-type snapshots never compare equal.
         let wrong: Box<dyn Any + Send> = Box::new("9");
         assert!(!v.inner.value_eq(&pin, wrong.as_ref()));
+    }
+
+    #[test]
+    fn append_builds_a_chain_and_read_at_selects_by_stamp() {
+        let v = TVar::new(10u64);
+        let pin = epoch::pin();
+        for (wv, val) in [(3u64, 13u64), (5, 15), (9, 19)] {
+            v.inner.append_boxed(Box::new(val));
+            v.inner.stamp_head(wv);
+        }
+        assert_eq!(v.versions_retained(), 4);
+        // Newest fast path sees the newest value.
+        assert_eq!(v.load(), 19);
+        // Snapshot reads land on the newest version <= rv.
+        assert_eq!(v.inner.read_at(&pin, 0), 10);
+        assert_eq!(v.inner.read_at(&pin, 2), 10);
+        assert_eq!(v.inner.read_at(&pin, 3), 13);
+        assert_eq!(v.inner.read_at(&pin, 4), 13);
+        assert_eq!(v.inner.read_at(&pin, 5), 15);
+        assert_eq!(v.inner.read_at(&pin, 8), 15);
+        assert_eq!(v.inner.read_at(&pin, 9), 19);
+        assert_eq!(v.inner.read_at(&pin, u64::MAX - 1), 19);
+    }
+
+    #[test]
+    fn trim_detaches_exactly_the_unreachable_suffix() {
+        let v = TVar::new(0u64);
+        for wv in [2u64, 4, 6, 8] {
+            v.inner.append_boxed(Box::new(wv * 10));
+            v.inner.stamp_head(wv);
+        }
+        assert_eq!(v.versions_retained(), 5);
+        let mut out = Vec::new();
+        // Watermark 5: keep 8, 6, and 4 (the newest <= 5); drop 2, 0.
+        let (retained, trimmed) = v.inner.trim_chain(5, &mut out);
+        assert_eq!((retained, trimmed), (3, 2));
+        assert_eq!(out.len(), 1, "one retirement frees the whole suffix");
+        assert_eq!(v.versions_retained(), 3);
+        let pin = epoch::pin();
+        // Snapshots at or above the watermark still resolve.
+        assert_eq!(v.inner.read_at(&pin, 5), 40);
+        assert_eq!(v.inner.read_at(&pin, 7), 60);
+        // Trimming to the same watermark again is a no-op.
+        let (retained, trimmed) = v.inner.trim_chain(5, &mut out);
+        assert_eq!((retained, trimmed), (3, 0));
+        // Watermark past the head keeps only the head.
+        let (retained, trimmed) = v.inner.trim_chain(100, &mut out);
+        assert_eq!((retained, trimmed), (1, 2));
+        assert_eq!(v.versions_retained(), 1);
+        drop(pin);
+        epoch::retire_batch(out);
+    }
+
+    #[test]
+    fn trim_with_no_version_under_the_watermark_keeps_everything() {
+        // Sequential-handoff shape: every retained stamp exceeds the
+        // watermark. Nothing is provably unreachable, nothing is freed,
+        // and snapshot reads fall back to the oldest version.
+        let v = TVar::new(1u64);
+        let mut out = Vec::new();
+        {
+            let pin = epoch::pin();
+            v.inner.append_boxed(Box::new(2u64));
+            v.inner.stamp_head(50);
+            let (retained, trimmed) = v.inner.trim_chain(60, &mut out);
+            assert_eq!((retained, trimmed), (1, 1)); // initial 0-stamp trimmed
+                                                     // The chain is now the single version stamped 50; a watermark
+                                                     // below it can prove nothing unreachable.
+            let (retained, trimmed) = v.inner.trim_chain(10, &mut out);
+            assert_eq!((retained, trimmed), (1, 0));
+            assert_eq!(v.inner.read_at(&pin, 10), 2, "oldest retained wins");
+        }
+        epoch::retire_batch(out);
     }
 
     #[test]
@@ -247,6 +557,18 @@ mod tests {
             epoch::retire_batch(vec![v.inner.publish_boxed(Box::new(vec![i; 64]))]);
         }
         assert_eq!(v.load(), vec![9u8; 64]);
+        drop(v);
+    }
+
+    #[test]
+    fn dropping_a_var_with_a_long_retained_chain_is_iterative() {
+        // A chain long enough that recursive dropping would overflow the
+        // stack; `Version::drop` must walk it iteratively.
+        let v = TVar::new(vec![0u8; 16]);
+        for i in 0..200_000u64 {
+            v.inner.append_boxed(Box::new(vec![(i % 251) as u8; 16]));
+            v.inner.stamp_head(i + 1);
+        }
         drop(v);
     }
 }

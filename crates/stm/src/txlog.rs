@@ -4,7 +4,9 @@
 //!
 //! * `reads` — per-read `(stripe, observed orec word)` pairs, 16 bytes
 //!   each, used by TL2 and Incremental for version validation (no `Arc`
-//!   bump, no allocation on the hot read path);
+//!   bump, no allocation on the hot read path); Mv reuses the same
+//!   entries with `meta` carrying the snapshot bound instead of an
+//!   observed word (its reads probe no orec);
 //! * `value_reads` — `(variable, value snapshot)` pairs, used by NOrec's
 //!   value-based validation;
 //! * `rw_reads` — stripes read-locked by Tlrw's visible reads, held to
@@ -21,12 +23,16 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A versioned read observation (TL2 / Incremental).
+/// A versioned read observation (TL2 / Incremental / Mv).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct VersionedRead {
-    /// Orec stripe the read validated against.
+    /// Orec stripe the read validated against (will validate against,
+    /// for Mv).
     pub stripe: usize,
-    /// The full orec word observed (unlocked, by construction).
+    /// TL2/Incremental: the full orec word observed (unlocked, by
+    /// construction), validated by equality. Mv: the snapshot timestamp
+    /// the read resolved under, validated as an upper version bound at
+    /// commit.
     pub meta: u64,
 }
 
@@ -187,6 +193,24 @@ impl TxLog {
         self.writes
             .drain(..)
             .map(|w| w.var.publish_boxed(w.value))
+            .collect()
+    }
+
+    /// Appends every buffered value to its variable's version chain with
+    /// a pending stamp, consuming the write set (`Algorithm::Mv`).
+    /// Returns the written variables so the committer can resolve the
+    /// stamps and trim the chains.
+    ///
+    /// The caller must hold the write set's stripe locks and be past
+    /// validation: appended versions are never unlinked by their own
+    /// commit.
+    pub(crate) fn append_writes(&mut self) -> Vec<Arc<dyn AnyTVar>> {
+        self.writes
+            .drain(..)
+            .map(|w| {
+                w.var.append_boxed(w.value);
+                w.var
+            })
             .collect()
     }
 }

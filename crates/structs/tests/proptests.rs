@@ -10,11 +10,12 @@ use ptm_stm::{Algorithm, Stm};
 use ptm_structs::{THashMap, TSet};
 use std::collections::{BTreeSet, HashMap};
 
-const ALGOS: [Algorithm; 5] = [
+const ALGOS: [Algorithm; 6] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    Algorithm::Mv,
     Algorithm::Adaptive,
 ];
 

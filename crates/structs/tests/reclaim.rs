@@ -85,6 +85,7 @@ fn map_churn_drops_every_value_exactly_once() {
         Algorithm::Incremental,
         Algorithm::Norec,
         Algorithm::Tlrw,
+        Algorithm::Mv,
         Algorithm::Adaptive,
     ] {
         let live = Arc::new(AtomicIsize::new(0));
@@ -135,6 +136,7 @@ fn queue_churn_drops_every_value_exactly_once() {
         Algorithm::Incremental,
         Algorithm::Norec,
         Algorithm::Tlrw,
+        Algorithm::Mv,
         Algorithm::Adaptive,
     ] {
         let live = Arc::new(AtomicIsize::new(0));

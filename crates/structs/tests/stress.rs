@@ -1,4 +1,4 @@
-//! Multi-threaded stress for all four structures under all five
+//! Multi-threaded stress for all four structures under all six
 //! validation algorithms (visible Tlrw reads and the adaptive mode
 //! controller included): determinate invariants after concurrent churn,
 //! plus a commit-order linearizability check driven by an in-transaction
@@ -9,11 +9,12 @@ use ptm_structs::{TArray, THashMap, TQueue, TSet};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 5] = [
+const ALGOS: [Algorithm; 6] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    Algorithm::Mv,
     Algorithm::Adaptive,
 ];
 

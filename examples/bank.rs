@@ -1,7 +1,8 @@
 //! Concurrent bank transfers on the native STM — the classic STM demo,
-//! run on all four static validation algorithms with statistics (the
-//! adaptive fifth gets its own phase-shifting demo in
-//! `examples/adaptive.rs`).
+//! run on all five static validation algorithms with statistics (the
+//! adaptive sixth gets its own phase-shifting demo in
+//! `examples/adaptive.rs`, and the multi-version scan payoff its own in
+//! `examples/snapshot_scan.rs`).
 //!
 //! Eight threads shuffle money between 32 accounts; the invariant (total
 //! balance) is checked at the end, and the per-algorithm commit/abort/
@@ -90,6 +91,7 @@ fn main() {
         Algorithm::Incremental,
         Algorithm::Norec,
         Algorithm::Tlrw,
+        Algorithm::Mv,
     ] {
         run(algorithm);
     }

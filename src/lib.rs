@@ -15,15 +15,16 @@
 //! * [`mutex`] — classic mutual-exclusion baselines with known RMR
 //!   profiles;
 //! * [`stm`] — a native STM for real threads with TL2 / NOrec /
-//!   incremental-validation / TLRW visible-read modes plus an adaptive
-//!   mode controller that switches between the invisible- and
-//!   visible-read machinery as the workload shifts: lock-free
-//!   optimistic (or reader-announcing) reads over a striped orec table,
-//!   a shared transaction log, pluggable contention management, and
-//!   opt-in t-operation history recording;
+//!   incremental-validation / TLRW visible-read / multi-version
+//!   snapshot modes plus an adaptive mode controller that switches
+//!   between the invisible- and visible-read machinery as the workload
+//!   shifts: lock-free optimistic (or reader-announcing, or
+//!   chain-walking) reads over a striped orec table and timestamped
+//!   version chains, a shared transaction log, pluggable contention
+//!   management, and opt-in t-operation history recording;
 //! * [`structs`] — transactional data structures over the native STM
 //!   (`TArray`, `THashMap`, `TQueue`, `TSet`), each usable under any of
-//!   the five algorithms.
+//!   the six algorithms.
 //!
 //! See `README.md` for the quick start, the crate map, and how to run
 //! the benchmarks.

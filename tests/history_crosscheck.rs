@@ -1,5 +1,5 @@
 //! The bridge between the native engine and the paper's formal model:
-//! record real multi-threaded executions of all five algorithms with
+//! record real multi-threaded executions of all six algorithms with
 //! [`HistoryRecorder`], parse them with `ptm_model::History::from_log`,
 //! and run the opacity / strict-serializability checkers on them — the
 //! same checkers the simulator's logs go through. Hand-corrupted logs
@@ -15,11 +15,16 @@ use progressive_tm::stm::{Algorithm, HistoryRecorder, Retry, Stm, TVar};
 use progressive_tm::structs::TArray;
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 5] = [
+const ALGOS: [Algorithm; 6] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    // Mv histories are the interesting multi-version case: a snapshot
+    // reader may return values writers have long since superseded, and
+    // the checker must still find the serialization its start time
+    // names.
+    Algorithm::Mv,
     // Default tuning: these short runs stay in the invisible mode; the
     // forced mid-switch recording lives in `tests/native_stm.rs`.
     Algorithm::Adaptive,

@@ -1,12 +1,13 @@
 //! Algorithm-generic conformance suite for the native STM.
 //!
-//! Every invariant in `mod conformance` runs against **all five**
+//! Every invariant in `mod conformance` runs against **all six**
 //! algorithms through the `conformance_suite!` macro — one module (and
 //! one set of `#[test]`s) per algorithm, so a new variant inherits the
 //! whole suite by adding a single macro line (exactly how `Adaptive`,
-//! the fifth, arrived). Properties that are *specific* to one
-//! algorithm's cost model (NOrec's zero-abort equal write-back,
-//! Incremental's quadratic probes, Tlrw's zero-validation visible reads,
+//! the fifth, and `Mv`, the sixth, arrived). Properties that are
+//! *specific* to one algorithm's cost model (NOrec's zero-abort equal
+//! write-back, Incremental's quadratic probes, Tlrw's zero-validation
+//! visible reads, Mv's abort-free snapshot scans and version-chain GC,
 //! Adaptive's mid-workload mode switch) live below the macro, asserted
 //! against exactly the algorithm that guarantees them.
 
@@ -16,11 +17,12 @@ use progressive_tm::stm::{
 };
 use std::sync::Arc;
 
-const ALGOS: [Algorithm; 5] = [
+const ALGOS: [Algorithm; 6] = [
     Algorithm::Tl2,
     Algorithm::Incremental,
     Algorithm::Norec,
     Algorithm::Tlrw,
+    Algorithm::Mv,
     Algorithm::Adaptive,
 ];
 
@@ -289,6 +291,7 @@ conformance_suite! {
     incremental => Algorithm::Incremental,
     norec => Algorithm::Norec,
     tlrw => Algorithm::Tlrw,
+    mv => Algorithm::Mv,
     adaptive => Algorithm::Adaptive,
 }
 
@@ -296,13 +299,14 @@ conformance_suite! {
 fn bank_final_balances_identical_across_all_algorithms() {
     // Fixed transfer amounts and ample initial balances make the final
     // per-account balance a pure function of the (deterministic) set of
-    // transfers, independent of scheduling — so all five algorithms must
+    // transfers, independent of scheduling — so all six algorithms must
     // converge to the *same* balances, not just the same total.
     let baseline = bank_run(Algorithm::Tl2);
     for algo in [
         Algorithm::Incremental,
         Algorithm::Norec,
         Algorithm::Tlrw,
+        Algorithm::Mv,
         Algorithm::Adaptive,
     ] {
         assert_eq!(baseline, bank_run(algo), "Tl2 vs {algo:?} balances diverge");
@@ -352,6 +356,273 @@ fn tlrw_read_only_transactions_never_validate() {
         assert_eq!(d.reads, m);
         assert_eq!(d.commits, 1);
     }
+}
+
+#[test]
+fn mv_read_only_transactions_never_abort_under_a_write_storm() {
+    // The multi-version acceptance criterion, and the paper's space-axis
+    // payoff: read-only transactions under a sustained write storm
+    // commit with ZERO aborts and ZERO validation probes — every scan
+    // resolves against the consistent snapshot its start time names.
+    // The single-version algorithms cannot do this: under the same storm
+    // they pay aborts (Tl2/Tlrw) or validation probes (Incremental,
+    // NOrec), which `long_scan` in BENCH_native_stm.json measures.
+    const VARS: usize = 64;
+    const SCANS: u64 = 200;
+    let stm = Arc::new(Stm::mv());
+    // Writers keep pairs equal (vars[2k] == vars[2k+1]), so any torn
+    // snapshot is detectable by the scan itself.
+    let vars: Vec<TVar<u64>> = (0..VARS).map(|_| TVar::new(0)).collect();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut reader_attempts = 0u64;
+    let mut reader_commits = 0u64;
+    let before = stm.stats().snapshot();
+    std::thread::scope(|s| {
+        for t in 0..3usize {
+            let stm = Arc::clone(&stm);
+            let vars = vars.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut i = t as u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = 2 * ((i as usize + t) % (VARS / 2));
+                    i = i.wrapping_add(1);
+                    // Blind paired writes: no reads, so writer commits
+                    // contribute no validation probes and the probe
+                    // counter isolates the read-only side.
+                    stm.atomically(|tx| {
+                        tx.write(&vars[k], i)?;
+                        tx.write(&vars[k + 1], i)
+                    });
+                }
+            });
+        }
+        for _ in 0..SCANS {
+            reader_attempts += 1;
+            let pairs_ok = stm.atomically(|tx| {
+                let mut ok = true;
+                for k in 0..(VARS / 2) {
+                    let a = tx.read(&vars[2 * k])?;
+                    let b = tx.read(&vars[2 * k + 1])?;
+                    ok &= a == b;
+                }
+                Ok(ok)
+            });
+            reader_commits += 1;
+            assert!(pairs_ok, "snapshot scan observed a torn pair");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let d = stm.stats().snapshot().since(&before);
+    assert_eq!(
+        reader_attempts, reader_commits,
+        "read-only transactions must commit first try — zero aborts"
+    );
+    assert_eq!(d.validation_probes, 0, "nobody validated anything");
+    assert_eq!(d.snapshot_reads, d.reads, "every read was a snapshot read");
+    assert!(d.commits >= SCANS, "scans all committed");
+}
+
+#[test]
+fn mv_version_chains_trim_back_after_writers_and_readers_quiesce() {
+    // The space half of the Mv bargain, with live-instance accounting: a
+    // pinned old snapshot forces chains to grow; once it resolves, the
+    // low-watermark collector trims every chain back to O(1) and the
+    // epoch collector frees every superseded box — no leaks, no
+    // double-drops under churn.
+    struct Counted {
+        live: Arc<std::sync::atomic::AtomicI64>,
+        tag: u64,
+    }
+    impl Counted {
+        fn new(live: &Arc<std::sync::atomic::AtomicI64>, tag: u64) -> Self {
+            live.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Counted {
+                live: Arc::clone(live),
+                tag,
+            }
+        }
+    }
+    impl Clone for Counted {
+        fn clone(&self) -> Self {
+            // Every clone the engine makes (read snapshots included)
+            // counts, or drops would drive the balance negative.
+            Counted::new(&self.live, self.tag)
+        }
+    }
+    impl PartialEq for Counted {
+        fn eq(&self, other: &Self) -> bool {
+            self.tag == other.tag
+        }
+    }
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    const ROUNDS: u64 = 120;
+    let live = Arc::new(std::sync::atomic::AtomicI64::new(0));
+    let stm = Arc::new(Stm::mv());
+    let a = TVar::new(Counted::new(&live, 0));
+    let b = TVar::new(Counted::new(&live, 0));
+    let hold = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // A reader camps on the initial snapshot, which pins version 0
+        // of both chains while the writer below piles versions on.
+        let stm2 = Arc::clone(&stm);
+        let (a2, b2) = (a.clone(), b.clone());
+        let (hold2, release2) = (Arc::clone(&hold), Arc::clone(&release));
+        s.spawn(move || {
+            stm2.atomically(|tx| {
+                let x = tx.read(&a2)?;
+                hold2.store(true, std::sync::atomic::Ordering::SeqCst);
+                while !release2.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                let y = tx.read(&b2)?;
+                assert_eq!(x.tag, 0, "snapshot pinned at the initial cut");
+                assert_eq!(y.tag, 0, "late read still resolves to the cut");
+                Ok(())
+            });
+        });
+        while !hold.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        for i in 1..=ROUNDS {
+            stm.atomically(|tx| {
+                tx.write(&a, Counted::new(&live, i))?;
+                tx.write(&b, Counted::new(&live, i))
+            });
+        }
+        // The camped snapshot blocks trimming below it: chains hold the
+        // pinned cut and everything after it.
+        assert!(
+            a.versions_retained() > ROUNDS as usize / 2,
+            "chain must have grown under the pinned snapshot, got {}",
+            a.versions_retained()
+        );
+        release.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    // Reader gone: the next commits trim each chain back to O(1).
+    for i in 0..4u64 {
+        stm.atomically(|tx| {
+            tx.write(&a, Counted::new(&live, 1000 + i))?;
+            tx.write(&b, Counted::new(&live, 1000 + i))
+        });
+    }
+    // O(1), not exactly 1: the final committer's own snapshot (drawn one
+    // tick before its write stamp) pins the version just below the head
+    // until the transaction resolves, which is after its trim pass.
+    assert!(a.versions_retained() <= 2, "{}", a.versions_retained());
+    assert!(b.versions_retained() <= 2, "{}", b.versions_retained());
+    let snap = stm.stats().snapshot();
+    assert!(
+        snap.versions_trimmed >= 2 * ROUNDS,
+        "the collector reclaimed the storm's versions, got {}",
+        snap.versions_trimmed
+    );
+    assert!(snap.max_chain_len > ROUNDS / 2, "growth was observed");
+    // Detached versions sit in epoch bags until a collection cycle runs;
+    // churn an unrelated instance until only the retained chain nodes
+    // remain live.
+    let retained = (a.versions_retained() + b.versions_retained()) as i64;
+    let churn = TVar::new(0u64);
+    let churn_stm = Stm::tl2();
+    for round in 0..100_000u64 {
+        if live.load(std::sync::atomic::Ordering::SeqCst) == retained {
+            break;
+        }
+        churn_stm.atomically(|tx| tx.modify(&churn, |x| x + 1));
+        assert!(
+            round < 99_999,
+            "epoch collector never caught up: live={} retained={}",
+            live.load(std::sync::atomic::Ordering::SeqCst),
+            retained
+        );
+    }
+    assert_eq!(
+        live.load(std::sync::atomic::Ordering::SeqCst),
+        retained,
+        "exactly the retained chain nodes remain live — no leak, no double-drop"
+    );
+    drop((a, b));
+    assert_eq!(
+        live.load(std::sync::atomic::Ordering::SeqCst),
+        0,
+        "dropping the vars frees the heads"
+    );
+}
+
+#[test]
+fn mv_updating_transactions_still_validate_and_conflict() {
+    // Multi-versioning buys abort-freedom for read-only transactions
+    // ONLY: an updater whose read set was overwritten must still abort
+    // (otherwise write skew would slip through — the conformance suite
+    // checks that too, this pins the counter evidence).
+    let stm = Stm::mv();
+    let v = TVar::new(0u64);
+    let before = stm.stats().snapshot();
+    let mut interfered = false;
+    stm.atomically(|tx| {
+        let x = tx.read(&v)?;
+        if !interfered {
+            interfered = true;
+            // A same-instance commit supersedes the snapshot we read.
+            stm.atomically(|tx2| tx2.modify(&v, |y| y + 10));
+        }
+        tx.write(&v, x + 1)
+    });
+    // First attempt aborted at commit (stale read), retry saw 10.
+    assert_eq!(v.load(), 11);
+    let d = stm.stats().snapshot().since(&before);
+    assert_eq!(d.aborts, 1, "stale updater must retry exactly once");
+    assert!(d.validation_probes >= 1, "updaters do validate");
+}
+
+#[test]
+fn mv_nested_updater_sees_fresh_snapshots_and_cannot_livelock() {
+    // Regression: an inner transaction nested in a live outer one used
+    // to inherit the outer snapshot on EVERY attempt, so once a stripe
+    // it read was stamped past that snapshot, no retry could ever
+    // validate — the inner `atomically` spun to retry exhaustion. The
+    // slot still publishes the outer (older) snapshot for watermark
+    // protection, but each inner attempt draws its rv fresh.
+    let stm = Stm::builder(Algorithm::Mv).max_attempts(64).build();
+    let gate = TVar::new(0u64);
+    let v = TVar::new(0u64);
+    stm.atomically(|tx| {
+        tx.read(&gate)?; // pins the outer snapshot before any commit
+                         // This commit stamps v's stripe past the outer snapshot...
+        stm.atomically(|t2| t2.write(&v, 1));
+        // ...so this nested updater MUST see it to validate; with the
+        // stale inherited snapshot it would exhaust its 64 attempts.
+        stm.atomically(|t2| t2.modify(&v, |x| x + 1));
+        Ok(())
+    });
+    assert_eq!(v.load(), 2);
+}
+
+#[test]
+fn mv_sequential_handoff_reads_the_current_value() {
+    // A variable written under one (now finished) Mv instance and read
+    // under a fresh one: the fresh clock sits below every retained
+    // stamp, and the snapshot walk must agree with `load()` — the
+    // current value — not whatever stale version the chain ends on
+    // (Mv instances leave 2 retained versions behind).
+    let v = TVar::new(0u64);
+    {
+        let a = Stm::mv();
+        for i in 1..=3u64 {
+            a.atomically(|tx| tx.write(&v, i * 10));
+        }
+    }
+    assert!(v.versions_retained() >= 2, "handoff leaves a real chain");
+    let b = Stm::mv();
+    let seen = b.atomically(|tx| tx.read(&v));
+    assert_eq!(seen, 30, "snapshot read agrees with the current value");
+    assert_eq!(v.load(), 30);
 }
 
 /// The deterministic two-phase workload behind the mid-switch tests:
