@@ -1,6 +1,10 @@
 //! Standalone runner for the native-STM benchmarks: `cargo run --release
-//! -p ptm-bench --bin native-stm-bench [-- --quick] [-- --out PATH]`;
-//! without `--out` the canonical workspace-root baseline is rewritten.
+//! -p ptm-bench --bin native-stm-bench [-- --quick] [-- --out PATH]
+//! [-- --thread-scaling]`; without `--out` the canonical workspace-root
+//! baseline is rewritten. `--thread-scaling` runs only the
+//! thread-scaling families and prints the table without touching the
+//! baseline file (unless `--out` names one) — the shape before/after
+//! engine comparisons want.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -9,7 +13,19 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(ptm_bench::native::native_baseline_path);
+        .cloned();
+    if args.iter().any(|a| a == "--thread-scaling") {
+        let results = ptm_bench::native::run_thread_scaling(quick);
+        print!("{}", ptm_bench::native::render_table(&results));
+        if let Some(path) = out {
+            let json = ptm_bench::native::to_json(&results, quick);
+            match std::fs::write(&path, &json) {
+                Ok(()) => eprintln!("results written to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        return;
+    }
+    let out = out.unwrap_or_else(ptm_bench::native::native_baseline_path);
     ptm_bench::native::run_and_emit(quick, &out);
 }

@@ -203,8 +203,8 @@ pub(crate) struct AdaptiveState {
     /// count to zero before reinterpreting the orec table.
     active: [AtomicU64; 2],
     /// Commit count at the last sample; the window check compares it
-    /// against the live commit counter with plain loads, so the per-
-    /// commit hot path pays no extra RMW.
+    /// against the live commit counter (one plain load per stats shard),
+    /// so the per-commit hot path pays no extra RMW.
     last_sample: AtomicU64,
     ctl: Mutex<Ctl>,
 }
@@ -307,7 +307,10 @@ pub(crate) fn after_commit(stm: &Stm) {
         return;
     };
     // Window check on the commit counter the stats layer already
-    // maintains: two plain loads on the hot path, no extra RMW.
+    // maintains: plain loads (one per stats shard), no extra RMW. The
+    // committing transaction was dropped before this runs, so its
+    // operation tallies are already flushed into any snapshot sampled
+    // here.
     let commits = stm.stats.commit_count();
     if commits.wrapping_sub(ad.last_sample.load(Ordering::Relaxed)) < ad.cfg.window_commits {
         return;

@@ -18,22 +18,24 @@
 //! locks the write set's stripes in sorted order (the same versioned
 //! orec words TL2 uses), validates that no stripe a read touched has
 //! advanced past the snapshot, and then **appends** a version stamped
-//! with a fresh clock tick instead of replacing the value:
+//! with a freshly drawn commit timestamp instead of replacing the value:
 //!
 //! 1. append each written value with a *pending* stamp (past this point
 //!    the commit cannot fail — validation already passed under the held
 //!    locks);
-//! 2. draw `wv = clock + 1` with one `fetch_add`;
+//! 2. draw `wv` with one GV4-style CAS on the clock (adopting the
+//!    winner's tick on a lost race — see `versioned::draw_wv`);
 //! 3. resolve the pending stamps to `wv` (readers that raced into the
 //!    one-RMW window spin it out rather than guessing);
 //! 4. trim each written chain against the registry's low watermark,
 //!    retiring detached versions through the epoch collector;
 //! 5. release the stripe locks restamped to `wv`.
 //!
-//! The clock-bump-after-append order is what makes snapshots sound: a
-//! reader can only draw `rv >= wv` after the `fetch_add`, by which time
-//! every `wv`-stamped version is already reachable (pending, resolved by
-//! the time the reader's traversal needs its stamp). A reader with
+//! The clock-draw-after-append order is what makes snapshots sound: a
+//! reader can only draw `rv >= wv` after the clock reached `wv`, by
+//! which time every `wv`-stamped version is already reachable (pending,
+//! resolved by the time the reader's traversal needs its stamp) — and
+//! this holds whether `wv` was won or adopted. A reader with
 //! `rv < wv` skips the new versions and finds the ones its snapshot
 //! names — which the watermark (a lower bound on every active `rv`)
 //! keeps alive.
@@ -76,7 +78,7 @@ pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Resul
         stripe,
         meta: tx.rv,
     });
-    tx.stm.stats.snapshot_read();
+    tx.tally.snapshot_read();
     Ok(var.inner.read_at(&tx.pin, tx.rv))
 }
 
@@ -85,9 +87,9 @@ pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Resul
 /// did not see. `held` lists stripes this transaction has locked, with
 /// their pre-lock words.
 fn validate(tx: &Transaction<'_>, held: &[(usize, u64)]) -> Result<(), Retry> {
-    tx.stm.stats.probes(tx.log.reads.len() as u64);
+    tx.tally.probes(tx.log.reads.len() as u64);
     for r in &tx.log.reads {
-        let word = if let Some(&(_, pre)) = held.iter().find(|(s, _)| *s == r.stripe) {
+        let word = if let Some(pre) = versioned::held_word(held, r.stripe) {
             pre
         } else {
             tx.stm.orecs.word(r.stripe).load(Ordering::Acquire)
@@ -115,8 +117,12 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
         return false;
     }
     // Point of no return: append pending versions, then make them real.
+    // The clock is drawn GV4-style after the append (see
+    // `versioned::draw_wv`): an adopted foreign tick still postdates
+    // every pending version, so a reader whose snapshot covers `wv`
+    // finds them reachable.
     let written = tx.log.append_writes();
-    let wv = tx.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+    let wv = versioned::draw_wv(tx);
     for var in &written {
         var.stamp_head(wv);
     }

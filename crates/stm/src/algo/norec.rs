@@ -50,7 +50,7 @@ pub(crate) fn validate(tx: &Transaction<'_>) -> Result<u64, Retry> {
             }
             std::hint::spin_loop();
         };
-        tx.stm.stats.probes(tx.log.value_reads.len() as u64);
+        tx.tally.probes(tx.log.value_reads.len() as u64);
         for r in &tx.log.value_reads {
             if !r.var.value_eq(&tx.pin, r.snapshot.as_ref()) {
                 return Err(Retry);

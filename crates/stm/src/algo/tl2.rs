@@ -3,8 +3,9 @@
 //! A read validates in O(1) against the snapshot time with an optimistic
 //! word-check / read / re-check and **acquires no lock**; commit is the
 //! shared versioned-orec path ([`super::versioned`]): lock the write
-//! set's stripes in sorted order, stamp them with a fresh clock tick,
-//! validate the read set once.
+//! set's stripes in sorted order, validate the read set once, stamp the
+//! stripes with a commit timestamp drawn by one GV4-style pass-on-failure
+//! CAS on the global clock.
 
 use crate::engine::{Retry, Stm, Transaction};
 use crate::orec;

@@ -57,7 +57,7 @@ pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Resul
         if rw_write_locked(prev) {
             // A writer owns the stripe: undo the announcement and abort.
             word.fetch_sub(RW_READER, Ordering::AcqRel);
-            tx.stm.stats.reader_conflict();
+            tx.tally.reader_conflict();
             return Err(Retry);
         }
         tx.log.rw_insert(stripe);
@@ -88,7 +88,7 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
         {
             // Foreign readers or a writer hold the stripe: roll back.
             rollback(tx, held);
-            tx.stm.stats.reader_conflict();
+            tx.tally.reader_conflict();
             return false;
         }
         if upgrading {

@@ -12,13 +12,36 @@ pub(super) fn record_read(tx: &mut Transaction<'_>, stripe: usize, meta: u64) {
     tx.log.reads.push(VersionedRead { stripe, meta });
 }
 
+/// Held-stripe counts up to this are probed by linear scan during
+/// validation; larger sets binary-search (the list is sorted — see
+/// [`held_word`]). Same hybrid rationale as the log's registries: tiny
+/// scans are cache-hot, big ones must not turn validation into an
+/// O(reads × writes) corner.
+const HELD_LINEAR_MAX: usize = 8;
+
+/// The pre-lock word for `stripe`, if it is among this commit's held
+/// locks. `held` is in ascending stripe order by construction
+/// ([`lock_stripes`] walks the sorted, deduplicated write stripes), so
+/// sets past [`HELD_LINEAR_MAX`] resolve in O(log w).
+pub(super) fn held_word(held: &[(usize, u64)], stripe: usize) -> Option<u64> {
+    if held.len() <= HELD_LINEAR_MAX {
+        held.iter()
+            .find(|&&(s, _)| s == stripe)
+            .map(|&(_, pre)| pre)
+    } else {
+        held.binary_search_by_key(&stripe, |&(s, _)| s)
+            .ok()
+            .map(|i| held[i].1)
+    }
+}
+
 /// Version-equality validation of the read set; `held` lists stripes
 /// this transaction has locked, with their pre-lock words.
 pub(crate) fn validate(tx: &Transaction<'_>, held: Option<&[(usize, u64)]>) -> Result<(), Retry> {
-    tx.stm.stats.probes(tx.log.reads.len() as u64);
+    tx.tally.probes(tx.log.reads.len() as u64);
     for r in &tx.log.reads {
         if let Some(held) = held {
-            if let Some(&(_, pre)) = held.iter().find(|(s, _)| *s == r.stripe) {
+            if let Some(pre) = held_word(held, r.stripe) {
                 if pre != r.meta {
                     return Err(Retry);
                 }
@@ -34,9 +57,49 @@ pub(crate) fn validate(tx: &Transaction<'_>, held: Option<&[(usize, u64)]>) -> R
 
 /// Commit hook shared by Tl2 and Incremental: try-lock the write set's
 /// stripes in sorted order, validate the read set once against the held
-/// locks, stamp a fresh clock tick, publish.
+/// locks, draw a commit timestamp, publish.
 pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
     super::with_write_stripes(tx, commit_with)
+}
+
+/// Draws this commit's write version from the global clock — GV4-style
+/// "pass on failure": one CAS to advance the clock; a loser adopts the
+/// winner's value instead of retrying, so k racing committers cost k CAS
+/// attempts total rather than k serialized wins on the hottest line in
+/// the system.
+///
+/// Why adopting a foreign tick is safe — the caller must invoke this
+/// only **after** its stripe locks are held (single-version commits) or
+/// its versions are appended (Mv commits):
+///
+/// * **Racing committers write disjoint stripes.** Both hold their write
+///   sets' stripe locks at the CAS, so two commits can share a `wv` only
+///   if their write sets are disjoint — same-timestamp commits never
+///   order against each other, and serializing them arbitrarily is
+///   consistent.
+/// * **Stripe stamps still advance.** The stripe's pre-lock version was
+///   ≤ the clock when we loaded it (only stamp/append of an
+///   already-drawn tick publishes a version, and drawing never exceeds
+///   the clock), and `wv` ≥ that load + 1 in the win case or the
+///   winner's strictly larger tick in the loss case — either way the
+///   new stamp strictly exceeds the old.
+/// * **Readers cannot miss an adopted tick.** A snapshot `rv ≥ wv` was
+///   taken after the clock reached `wv`, hence after this call, hence
+///   after the locks were taken (or versions appended). Invisible
+///   readers then either see the stripe locked / restamped and abort,
+///   or see the fully published value; Mv readers see the appended
+///   version (spinning out its pending stamp if need be) — exactly the
+///   cases the pre-CAS `fetch_add` protocol already handles. A snapshot
+///   `rv < wv` ignores the commit entirely.
+pub(super) fn draw_wv(tx: &Transaction<'_>) -> u64 {
+    let clock = &tx.stm.clock;
+    let seen = clock.load(Ordering::Acquire);
+    match clock.compare_exchange(seen, seen + 1, Ordering::AcqRel, Ordering::Acquire) {
+        Ok(_) => seen + 1,
+        // Strong CAS: failure means another committer moved the clock
+        // past `seen`; its tick is ours too.
+        Err(current) => current,
+    }
 }
 
 fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
@@ -47,7 +110,8 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
         release(tx, held, None);
         return false;
     }
-    let wv = tx.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+    // Locks held: safe to share a lost race's tick (see `draw_wv`).
+    let wv = draw_wv(tx);
     let retired = tx.log.publish_writes();
     release(tx, held, Some(orec::stamped(wv)));
     // Retire only after every swap above: the epoch tag must postdate

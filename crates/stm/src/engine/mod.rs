@@ -3,8 +3,10 @@
 //! * [`Algorithm::Tl2`] — global version clock plus the striped orec
 //!   table ([`crate::orec`]): reads validate in O(1) against the snapshot
 //!   time with an optimistic word-check/read/re-check and **acquire no
-//!   lock**; commit locks the write set's stripes in sorted order, stamps
-//!   them with a fresh clock tick, validates the read set once.
+//!   lock**; commit locks the write set's stripes in sorted order,
+//!   validates the read set once, and stamps the stripes with a commit
+//!   timestamp drawn by one GV4-style pass-on-failure CAS on the clock
+//!   (a lost race adopts the winner's tick instead of retrying).
 //! * [`Algorithm::Incremental`] — no clock read on the read path; every
 //!   t-read re-validates the entire read set by version equality. This is
 //!   the paper's invisible-read weak-DAP progressive TM transplanted to

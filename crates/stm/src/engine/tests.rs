@@ -475,6 +475,107 @@ fn adaptive_switch_is_correct_under_concurrent_mixed_load() {
 }
 
 #[test]
+fn adaptive_windows_still_trigger_when_counters_land_in_many_shards() {
+    // Regression for the stats sharding: worker threads flush their
+    // operation tallies into *different* counter shards, so the
+    // controller's windowed deltas only see the workload if snapshots
+    // sum the shards correctly. Drive the phases from spawned threads
+    // (never the main thread, so the main thread's shard stays cold)
+    // and require the switch to land both ways.
+    let stm = Arc::new(twitchy_adaptive());
+    let vars: Vec<TVar<u64>> = (0..32).map(|_| TVar::new(1)).collect();
+    assert_eq!(stm.active_mode(), Algorithm::Tl2, "starts invisible");
+    let transfer = |i: usize| {
+        let (a, b) = (i % 32, (i + 7) % 32);
+        stm.atomically(|tx| {
+            let x = tx.read(&vars[a])?;
+            let y = tx.read(&vars[b])?;
+            tx.write(&vars[a], x.wrapping_sub(1))?;
+            tx.write(&vars[b], y.wrapping_add(1))
+        });
+    };
+    let scan = || {
+        stm.atomically(|tx| {
+            let mut acc = 0u64;
+            for v in vars.iter().take(16) {
+                acc = acc.wrapping_add(tx.read(v)?);
+            }
+            Ok(acc)
+        });
+    };
+    // Write-heavy from 4 threads: transfers (2 reads / 2 writes).
+    std::thread::scope(|s| {
+        let transfer = &transfer;
+        for t in 0..4usize {
+            s.spawn(move || {
+                for i in 0..64usize {
+                    transfer(t + i);
+                }
+            });
+        }
+    });
+    // Exactness across shards: 4 threads × 64 committed transfers, all
+    // flushed by the time the scope joins. Write *operations* exceed the
+    // committed floor when contention forces retries (an aborted attempt
+    // re-executes its writes).
+    let mid = stm.stats().snapshot();
+    assert_eq!(mid.commits, 4 * 64);
+    assert!(
+        mid.writes >= 2 * mid.commits && mid.writes <= 2 * (mid.commits + mid.aborts),
+        "2 writes per committed transfer, at most 2 more per aborted attempt: {mid}"
+    );
+    assert_eq!(vars.iter().map(TVar::load).sum::<u64>(), 32);
+    // A window sampled at the tail of concurrent traffic may time out
+    // its drain and keep the old mode; settle with a few more commits
+    // (still a spawned thread — the workload shards stay foreign to
+    // this one).
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..256usize {
+                if stm.active_mode() == Algorithm::Tlrw {
+                    break;
+                }
+                transfer(i);
+            }
+        });
+    });
+    assert_eq!(
+        stm.active_mode(),
+        Algorithm::Tlrw,
+        "sharded write/read deltas still drive the instance visible"
+    );
+    let mid = stm.stats().snapshot();
+    assert!(mid.mode_transitions >= 1);
+    assert!(mid.visible_mode);
+    // Read-mostly from fresh threads (fresh shard slots): 16-read scans.
+    std::thread::scope(|s| {
+        for _ in 0..2usize {
+            s.spawn(|| {
+                for _ in 0..64usize {
+                    scan();
+                }
+            });
+        }
+    });
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for _ in 0..256usize {
+                if stm.active_mode() == Algorithm::Tl2 {
+                    break;
+                }
+                scan();
+            }
+        });
+    });
+    assert_eq!(stm.active_mode(), Algorithm::Tl2, "and back invisible");
+    let snap = stm.stats().snapshot();
+    assert!(snap.mode_transitions >= 2);
+    assert!(!snap.visible_mode);
+    assert_eq!(vars.iter().map(TVar::load).sum::<u64>(), 32);
+    assert_orecs_quiescent(&stm);
+}
+
+#[test]
 fn adaptive_nested_transaction_cannot_deadlock_the_switch() {
     // A nested transaction commits (and samples) while the outer one
     // is still active on the same thread: the drain must time out

@@ -8,6 +8,7 @@ use crate::algo::adaptive::{self, Mode};
 use crate::epoch;
 use crate::orec;
 use crate::recorder::{word_of, HistoryRecorder, RecTx};
+use crate::stats::OpTally;
 use crate::tvar::{TVar, TxValue};
 use crate::txlog::TxLog;
 use ptm_sim::{TOpDesc, TOpResult};
@@ -45,6 +46,13 @@ pub struct Transaction<'s> {
     /// History-recording state for this attempt, when the instance has a
     /// recorder attached.
     rec: Option<RecTx>,
+    /// Per-attempt operation counters (plain, non-atomic): bumped on the
+    /// hot path, folded into the instance's sharded [`StmStats`] exactly
+    /// once when this attempt resolves (the `Drop` below) — so a t-read
+    /// costs zero shared RMWs of instrumentation.
+    ///
+    /// [`StmStats`]: crate::stats::StmStats
+    pub(crate) tally: OpTally,
     /// Epoch pin: keeps every pointer this transaction may dereference
     /// alive for its whole lifetime (also makes `Transaction: !Send`).
     pub(crate) pin: epoch::Guard,
@@ -58,10 +66,15 @@ impl Drop for Transaction<'_> {
     /// deregisters the attempt from its pinned mode's active counter
     /// (adaptive instances), on which a pending mode switch may be
     /// waiting; the snapshot slot (`snap`, Mv instances) is withdrawn by
-    /// its own field drop right after this body.
+    /// its own field drop right after this body. Also flushes the
+    /// attempt's operation tallies into the shared counters — the attempt
+    /// loop drops the transaction *before* sampling stats (commit bump,
+    /// adaptive window check), so snapshots taken at those points include
+    /// this attempt's operations.
     fn drop(&mut self) {
         self.release_read_locks();
         adaptive::release_slot(self);
+        self.stm.stats.flush(&self.tally);
     }
 }
 
@@ -87,6 +100,7 @@ impl<'s> Transaction<'s> {
             pinned: None,
             snap: None,
             rec: stm.recorder.as_ref().map(HistoryRecorder::begin_tx),
+            tally: OpTally::default(),
             pin: epoch::pin(),
         }
     }
@@ -127,7 +141,7 @@ impl<'s> Transaction<'s> {
     fn rec_invoke(&mut self, op: TOpDesc) {
         if let Some(rec) = self.rec.as_mut() {
             rec.invoke(op);
-            self.stm.stats.recorded(1);
+            self.tally.recorded(1);
         }
     }
 
@@ -135,7 +149,7 @@ impl<'s> Transaction<'s> {
     fn rec_respond(&mut self, op: TOpDesc, res: TOpResult) {
         if let Some(rec) = self.rec.as_mut() {
             rec.respond(op, res);
-            self.stm.stats.recorded(1);
+            self.tally.recorded(1);
         }
     }
 
@@ -162,7 +176,7 @@ impl<'s> Transaction<'s> {
             return Err(Retry);
         }
         self.ensure_started();
-        self.stm.stats.read();
+        self.tally.read();
         let op = self.rec.as_ref().map(|r| TOpDesc::Read(r.object_of(var)));
         if let Some(op) = op {
             self.rec_invoke(op);
@@ -228,7 +242,7 @@ impl<'s> Transaction<'s> {
             return Err(Retry);
         }
         self.ensure_started();
-        self.stm.stats.write();
+        self.tally.write();
         let op = self
             .rec
             .as_ref()

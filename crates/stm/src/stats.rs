@@ -1,18 +1,70 @@
 //! Progress statistics, the native-side instrument for Theorem 3(1).
 //!
 //! The simulator counts steps exactly; on real hardware we count the
-//! analogous quantities with atomic counters: commits, aborts, and —
-//! crucially — *validation probes* (one per read-set entry re-checked).
-//! The `bench_native_validation` experiment shows probes growing
+//! analogous quantities: commits, aborts, and — crucially — *validation
+//! probes* (one per read-set entry re-checked). The
+//! `bench_native_validation` experiment shows probes growing
 //! quadratically with the read-set size in incremental mode and linearly
 //! in TL2 mode, the hardware echo of the paper's bound.
+//!
+//! ## Why the counters are sharded
+//!
+//! The instrument must not distort what it measures. A single shared
+//! counter block would put one RMW (`fetch_add`) on a globally shared
+//! cache line inside *every* t-read — exactly the expensive
+//! synchronization pattern the paper's RMR metric charges algorithms
+//! for, paid here by algorithms whose whole point is to avoid it (a Tl2
+//! read is two plain loads). Two layers remove that cost:
+//!
+//! * **per-transaction tallies** ([`OpTally`]): the per-operation
+//!   counters (reads, writes, probes, snapshot reads, reader conflicts,
+//!   recorder markers) are plain non-atomic bumps on the transaction's
+//!   own stack, flushed into the shared counters exactly once when the
+//!   attempt resolves — so the per-read cost is an add on an
+//!   already-hot line, zero RMWs;
+//! * **thread-hashed shards**: the shared counters themselves are a
+//!   fixed array of cache-line-padded slots indexed by a per-thread
+//!   slot id, so the once-per-attempt flush (and the per-commit
+//!   `commits` bump) lands on a line no other thread is hammering.
+//!   [`StmStats::snapshot`] sums the slots; since every slot is
+//!   monotonic, two snapshots taken by one thread (or otherwise ordered
+//!   by happens-before) still difference cleanly through
+//!   [`StatsSnapshot::since`].
+//!
+//! The visible consequence: a snapshot observes a transaction's
+//! operation counts when the attempt resolves (commit, abort, or drop),
+//! not mid-flight. Every windowed consumer — the adaptive controller
+//! samples *after* the committing transaction is dropped — already
+//! orders itself after the flush.
 
+use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-/// Monotonic event counters for one [`Stm`](crate::Stm) instance.
+/// Counter shards per [`StmStats`] instance (power of two). Threads are
+/// assigned slots round-robin, so up to `SHARDS` concurrent threads
+/// never share a counter line.
+const SHARDS: usize = 16;
+
+/// Global round-robin source for per-thread shard slots.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// This thread's shard slot, drawn once per thread.
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// The calling thread's shard slot.
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+/// One cache-line-padded block of monotonic counters. All increments
+/// stay `fetch_add`s — but on a line private to (at most) one running
+/// thread, so they never ping-pong.
 #[derive(Debug, Default)]
-pub struct StmStats {
+#[repr(align(128))]
+struct Shard {
     commits: AtomicU64,
     aborts: AtomicU64,
     validation_probes: AtomicU64,
@@ -21,14 +73,75 @@ pub struct StmStats {
     writes: AtomicU64,
     snapshot_reads: AtomicU64,
     versions_trimmed: AtomicU64,
-    /// High-water mark, not a counter: the longest version chain any
-    /// trim pass observed (`Algorithm::Mv`).
+    /// High-water mark, not a counter (`fetch_max`, summed by `max`).
     max_chain_len: AtomicU64,
     recorded_events: AtomicU64,
     mode_transitions: AtomicU64,
+}
+
+/// Monotonic event counters for one [`Stm`](crate::Stm) instance,
+/// sharded across cache-padded slots (see the module docs).
+#[derive(Debug)]
+pub struct StmStats {
+    shards: Box<[Shard]>,
     /// Not a counter: the read-visibility regime currently in force
-    /// (static for the fixed algorithms, live for `Adaptive`).
+    /// (static for the fixed algorithms, live for `Adaptive`). Written
+    /// only at build time and on mode switches, so it stays unsharded.
     visible_mode: AtomicBool,
+}
+
+impl Default for StmStats {
+    fn default() -> Self {
+        StmStats {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            visible_mode: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Per-transaction operation tallies: plain (non-atomic) counters bumped
+/// on the hot path and flushed into the instance's sharded counters
+/// exactly once, by the transaction's `Drop`. `Cell`-based so the
+/// validation helpers, which hold the transaction by shared reference,
+/// can still tally probes.
+#[derive(Debug, Default)]
+pub(crate) struct OpTally {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    validation_probes: Cell<u64>,
+    reader_conflicts: Cell<u64>,
+    snapshot_reads: Cell<u64>,
+    recorded_events: Cell<u64>,
+}
+
+fn bump(c: &Cell<u64>, n: u64) {
+    c.set(c.get().wrapping_add(n));
+}
+
+impl OpTally {
+    pub(crate) fn read(&self) {
+        bump(&self.reads, 1);
+    }
+
+    pub(crate) fn write(&self) {
+        bump(&self.writes, 1);
+    }
+
+    pub(crate) fn probes(&self, n: u64) {
+        bump(&self.validation_probes, n);
+    }
+
+    pub(crate) fn reader_conflict(&self) {
+        bump(&self.reader_conflicts, 1);
+    }
+
+    pub(crate) fn snapshot_read(&self) {
+        bump(&self.snapshot_reads, 1);
+    }
+
+    pub(crate) fn recorded(&self, n: u64) {
+        bump(&self.recorded_events, n);
+    }
 }
 
 /// A point-in-time copy of the counters.
@@ -102,48 +215,51 @@ pub struct StatsSnapshot {
 }
 
 impl StmStats {
+    /// The calling thread's shard.
+    fn local(&self) -> &Shard {
+        &self.shards[thread_slot() & (self.shards.len() - 1)]
+    }
+
+    /// Folds a resolved attempt's operation tallies into the shared
+    /// counters: one shard lookup, at most one RMW per non-zero counter,
+    /// on a thread-private line.
+    pub(crate) fn flush(&self, t: &OpTally) {
+        let s = self.local();
+        let add = |counter: &AtomicU64, cell: &Cell<u64>| {
+            let n = cell.get();
+            if n != 0 {
+                counter.fetch_add(n, Ordering::Relaxed);
+            }
+        };
+        add(&s.reads, &t.reads);
+        add(&s.writes, &t.writes);
+        add(&s.validation_probes, &t.validation_probes);
+        add(&s.reader_conflicts, &t.reader_conflicts);
+        add(&s.snapshot_reads, &t.snapshot_reads);
+        add(&s.recorded_events, &t.recorded_events);
+    }
+
     pub(crate) fn commit(&self) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.local().commits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn abort(&self) {
-        self.aborts.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn probes(&self, n: u64) {
-        self.validation_probes.fetch_add(n, Ordering::Relaxed);
-    }
-
-    pub(crate) fn reader_conflict(&self) {
-        self.reader_conflicts.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn read(&self) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn write(&self) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn snapshot_read(&self) {
-        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        self.local().aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a trim pass: `trimmed` versions detached from a chain
     /// that held `chain_len` versions before the trim.
     pub(crate) fn trim(&self, chain_len: u64, trimmed: u64) {
-        self.versions_trimmed.fetch_add(trimmed, Ordering::Relaxed);
-        self.max_chain_len.fetch_max(chain_len, Ordering::Relaxed);
-    }
-
-    pub(crate) fn recorded(&self, n: u64) {
-        self.recorded_events.fetch_add(n, Ordering::Relaxed);
+        let s = self.local();
+        s.versions_trimmed.fetch_add(trimmed, Ordering::Relaxed);
+        s.max_chain_len.fetch_max(chain_len, Ordering::Relaxed);
     }
 
     /// Records an adaptive mode switch and the regime it landed in.
     pub(crate) fn mode_transition(&self, visible: bool) {
-        self.mode_transitions.fetch_add(1, Ordering::Relaxed);
+        self.local()
+            .mode_transitions
+            .fetch_add(1, Ordering::Relaxed);
         self.visible_mode.store(visible, Ordering::Relaxed);
     }
 
@@ -153,27 +269,37 @@ impl StmStats {
     }
 
     /// The bare commit count, for hot paths that must not pay a full
-    /// snapshot (the adaptive controller's window check).
+    /// snapshot (the adaptive controller's window check): one plain load
+    /// per shard, no RMW.
     pub(crate) fn commit_count(&self) -> u64 {
-        self.commits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.commits.load(Ordering::Relaxed))
+            .fold(0, u64::wrapping_add)
     }
 
-    /// Takes a snapshot of all counters.
+    /// Takes a snapshot of all counters: counters sum across the shards,
+    /// the chain-length high-water mark takes their max.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            validation_probes: self.validation_probes.load(Ordering::Relaxed),
-            reader_conflicts: self.reader_conflicts.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
-            versions_trimmed: self.versions_trimmed.load(Ordering::Relaxed),
-            max_chain_len: self.max_chain_len.load(Ordering::Relaxed),
-            recorded_events: self.recorded_events.load(Ordering::Relaxed),
-            mode_transitions: self.mode_transitions.load(Ordering::Relaxed),
+        let mut out = StatsSnapshot {
             visible_mode: self.visible_mode.load(Ordering::Relaxed),
+            ..StatsSnapshot::default()
+        };
+        for s in self.shards.iter() {
+            let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+            out.commits += ld(&s.commits);
+            out.aborts += ld(&s.aborts);
+            out.validation_probes += ld(&s.validation_probes);
+            out.reader_conflicts += ld(&s.reader_conflicts);
+            out.reads += ld(&s.reads);
+            out.writes += ld(&s.writes);
+            out.snapshot_reads += ld(&s.snapshot_reads);
+            out.versions_trimmed += ld(&s.versions_trimmed);
+            out.max_chain_len = out.max_chain_len.max(ld(&s.max_chain_len));
+            out.recorded_events += ld(&s.recorded_events);
+            out.mode_transitions += ld(&s.mode_transitions);
         }
+        out
     }
 }
 
@@ -238,19 +364,29 @@ impl fmt::Display for StatsSnapshot {
 mod tests {
     use super::*;
 
+    /// Flushes a one-off tally built by `f`, the way a transaction's
+    /// drop does.
+    fn tally(s: &StmStats, f: impl FnOnce(&OpTally)) {
+        let t = OpTally::default();
+        f(&t);
+        s.flush(&t);
+    }
+
     #[test]
     fn counters_accumulate() {
         let s = StmStats::default();
         s.commit();
         s.commit();
         s.abort();
-        s.probes(5);
-        s.reader_conflict();
-        s.read();
-        s.write();
-        s.recorded(4);
-        s.snapshot_read();
-        s.snapshot_read();
+        tally(&s, |t| {
+            t.probes(5);
+            t.reader_conflict();
+            t.read();
+            t.write();
+            t.recorded(4);
+            t.snapshot_read();
+            t.snapshot_read();
+        });
         s.trim(5, 3);
         s.trim(2, 1);
         s.mode_transition(true);
@@ -277,9 +413,11 @@ mod tests {
     fn display_summarizes_every_counter() {
         let s = StmStats::default();
         s.commit();
-        s.probes(2);
-        s.reader_conflict();
-        s.recorded(6);
+        tally(&s, |t| {
+            t.probes(2);
+            t.reader_conflict();
+            t.recorded(6);
+        });
         let line = s.snapshot().to_string();
         assert_eq!(
             line,
@@ -297,7 +435,7 @@ mod tests {
         s.commit();
         let a = s.snapshot();
         s.commit();
-        s.probes(3);
+        tally(&s, |t| t.probes(3));
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.commits, 1);
@@ -314,5 +452,61 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.mode_transitions, 1);
         assert!(!d.visible_mode, "delta reports where the window ended up");
+    }
+
+    #[test]
+    fn sharded_counters_aggregate_exactly_across_threads() {
+        // N threads (more than there are shards, so slots are shared)
+        // hammer one instance through the same tally-and-flush path a
+        // transaction uses; the summed snapshot must be exact — sharding
+        // may never lose or double-count an event.
+        let s = StmStats::default();
+        let threads = SHARDS + 4;
+        let per: u64 = 2_000;
+        std::thread::scope(|sc| {
+            for i in 0..threads {
+                let s = &s;
+                sc.spawn(move || {
+                    for k in 0..per {
+                        tally(s, |t| {
+                            t.read();
+                            t.read();
+                            t.read();
+                            t.write();
+                            t.probes(2);
+                            if k % 4 == 0 {
+                                t.reader_conflict();
+                                t.snapshot_read();
+                                t.recorded(3);
+                            }
+                        });
+                        s.commit();
+                        if k % 8 == 0 {
+                            s.abort();
+                        }
+                    }
+                    s.trim(i as u64, 1);
+                });
+            }
+        });
+        let n = threads as u64;
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 3 * per * n);
+        assert_eq!(snap.writes, per * n);
+        assert_eq!(snap.validation_probes, 2 * per * n);
+        assert_eq!(snap.commits, per * n);
+        assert_eq!(snap.aborts, per.div_ceil(8) * n);
+        assert_eq!(snap.reader_conflicts, per.div_ceil(4) * n);
+        assert_eq!(snap.snapshot_reads, per.div_ceil(4) * n);
+        assert_eq!(snap.recorded_events, 3 * per.div_ceil(4) * n);
+        assert_eq!(snap.versions_trimmed, n);
+        assert_eq!(snap.max_chain_len, threads as u64 - 1, "max across shards");
+    }
+
+    #[test]
+    fn empty_tallies_flush_nothing() {
+        let s = StmStats::default();
+        tally(&s, |_| {});
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 }

@@ -58,6 +58,13 @@ pub(crate) struct WriteEntry {
 /// beyond it a hash index takes over (see `TxLog::rw_index`).
 const RW_INDEX_THRESHOLD: usize = 64;
 
+/// Write sets up to this size answer `lookup_write`/`buffer_write` by
+/// linear scan; beyond it a hash index takes over (see
+/// `TxLog::write_index`). Smaller than `RW_INDEX_THRESHOLD` because the
+/// write-set scan runs on **every** read (the read-after-own-write
+/// check), not just the visible-read path.
+const WRITE_INDEX_THRESHOLD: usize = 32;
+
 /// Read-set / write-set storage for one transaction, reused across
 /// attempts.
 #[derive(Default)]
@@ -83,6 +90,16 @@ pub(crate) struct TxLog {
     /// its contents are stale and unused (the next crossing rebuilds).
     rw_index: HashMap<usize, usize>,
     pub writes: Vec<WriteEntry>,
+    /// Position index (`variable id -> index in writes`), built when the
+    /// write set outgrows [`WRITE_INDEX_THRESHOLD`]: every t-read checks
+    /// the write set first, so a large transaction would otherwise pay
+    /// Θ(reads × writes) on its own buffered values. Positions stay
+    /// valid because entries are only appended or replaced in place —
+    /// the set drains wholesale at commit. Invariant: while active
+    /// (`writes.len() > WRITE_INDEX_THRESHOLD`) it maps exactly the
+    /// buffered ids to their positions; in linear mode its contents are
+    /// stale and unused (the next crossing rebuilds).
+    write_index: HashMap<usize, usize>,
     /// Scratch for commit-time stripe sorting (kept so retries do not
     /// reallocate).
     pub stripe_buf: Vec<usize>,
@@ -112,6 +129,7 @@ impl TxLog {
         self.rw_reads.clear();
         self.rw_index.clear();
         self.writes.clear();
+        self.write_index.clear();
         self.stripe_buf.clear();
         self.held_buf.clear();
     }
@@ -166,9 +184,15 @@ impl TxLog {
         self.rw_reads.drain(..)
     }
 
-    /// The buffered value for `id`, if this transaction wrote it.
+    /// The buffered value for `id`, if this transaction wrote it: a
+    /// cache-hot linear scan for small write sets, one hash probe past
+    /// the threshold.
     pub(crate) fn lookup_write(&self, id: usize) -> Option<&WriteEntry> {
-        self.writes.iter().find(|w| w.id == id)
+        if self.writes.len() <= WRITE_INDEX_THRESHOLD {
+            self.writes.iter().find(|w| w.id == id)
+        } else {
+            self.write_index.get(&id).map(|&i| &self.writes[i])
+        }
     }
 
     /// Buffers a write, replacing any earlier value for the same cell.
@@ -178,9 +202,27 @@ impl TxLog {
         var: Arc<dyn AnyTVar>,
         value: Box<dyn Any + Send>,
     ) {
-        match self.writes.iter_mut().find(|w| w.id == id) {
-            Some(w) => w.value = value,
-            None => self.writes.push(WriteEntry { id, var, value }),
+        if self.writes.len() <= WRITE_INDEX_THRESHOLD {
+            if let Some(w) = self.writes.iter_mut().find(|w| w.id == id) {
+                w.value = value;
+                return;
+            }
+            self.writes.push(WriteEntry { id, var, value });
+            // Crossing the threshold: index everything buffered so far
+            // (a clean rebuild — the index is stale in linear mode).
+            if self.writes.len() == WRITE_INDEX_THRESHOLD + 1 {
+                self.write_index.clear();
+                self.write_index
+                    .extend(self.writes.iter().enumerate().map(|(i, w)| (w.id, i)));
+            }
+            return;
+        }
+        match self.write_index.get(&id) {
+            Some(&i) => self.writes[i].value = value,
+            None => {
+                self.writes.push(WriteEntry { id, var, value });
+                self.write_index.insert(id, self.writes.len() - 1);
+            }
         }
     }
 
@@ -280,6 +322,58 @@ mod tests {
         assert!(log.rw_contains(1008));
         assert_eq!(log.rw_drain().count(), RW_INDEX_THRESHOLD - 1 + 8);
         assert!(!log.rw_contains(2), "drain empties the registry");
+    }
+
+    #[test]
+    fn write_set_stays_consistent_across_the_index_threshold() {
+        // TVars to key the set with real, stable ids.
+        let vars: Vec<TVar<usize>> = (0..(WRITE_INDEX_THRESHOLD + 40)).map(TVar::new).collect();
+        let val_of = |log: &TxLog, v: &TVar<usize>| {
+            log.lookup_write(v.id())
+                .map(|w| *w.value.downcast_ref::<usize>().expect("type"))
+        };
+        let mut log = TxLog::default();
+        // Grow past the linear-scan threshold: lookups must answer
+        // identically on both sides of the crossing, and replacement
+        // must hit the buffered entry wherever it lives.
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(val_of(&log, v), None, "{i} not yet buffered");
+            log.buffer_write(v.id(), v.as_dyn(), Box::new(i));
+            assert_eq!(val_of(&log, v), Some(i), "{i} just buffered");
+        }
+        assert_eq!(
+            val_of(&log, &vars[0]),
+            Some(0),
+            "pre-threshold entries survive indexing"
+        );
+        log.buffer_write(vars[3].id(), vars[3].as_dyn(), Box::new(333usize));
+        log.buffer_write(
+            vars[WRITE_INDEX_THRESHOLD + 5].id(),
+            vars[WRITE_INDEX_THRESHOLD + 5].as_dyn(),
+            Box::new(555usize),
+        );
+        assert_eq!(
+            val_of(&log, &vars[3]),
+            Some(333),
+            "indexed replace, linear-era entry"
+        );
+        assert_eq!(val_of(&log, &vars[WRITE_INDEX_THRESHOLD + 5]), Some(555));
+        assert_eq!(log.writes.len(), vars.len(), "replacements never duplicate");
+        // Shrink below the threshold (an aborted attempt resets the log)
+        // and regrow across it with different keys: the rebuilt index
+        // must match the vector exactly, with no ghosts of the old era.
+        log.reset();
+        assert_eq!(val_of(&log, &vars[3]), None, "reset empties the set");
+        for (i, v) in vars.iter().enumerate().skip(2) {
+            log.buffer_write(v.id(), v.as_dyn(), Box::new(10 * i));
+        }
+        assert_eq!(val_of(&log, &vars[0]), None, "pre-reset key stays gone");
+        assert_eq!(val_of(&log, &vars[2]), Some(20));
+        assert_eq!(
+            val_of(&log, vars.last().expect("nonempty")),
+            Some(10 * (vars.len() - 1))
+        );
+        assert_eq!(log.writes.len(), vars.len() - 2);
     }
 
     #[test]
