@@ -23,8 +23,10 @@
 //! 1. append each written value with a *pending* stamp (past this point
 //!    the commit cannot fail — validation already passed under the held
 //!    locks);
-//! 2. draw `wv` with one GV4-style CAS on the clock (adopting the
-//!    winner's tick on a lost race — see `versioned::draw_wv`);
+//! 2. draw `wv` with one `fetch_add` on the clock — **not** the
+//!    GV4-style pass-on-failure CAS the single-version commits use (see
+//!    `versioned::draw_wv` for why Mv is excluded from that
+//!    optimization);
 //! 3. resolve the pending stamps to `wv` (readers that raced into the
 //!    one-RMW window spin it out rather than guessing);
 //! 4. trim each written chain against the registry's low watermark,
@@ -34,11 +36,22 @@
 //! The clock-draw-after-append order is what makes snapshots sound: a
 //! reader can only draw `rv >= wv` after the clock reached `wv`, by
 //! which time every `wv`-stamped version is already reachable (pending,
-//! resolved by the time the reader's traversal needs its stamp) — and
-//! this holds whether `wv` was won or adopted. A reader with
-//! `rv < wv` skips the new versions and finds the ones its snapshot
-//! names — which the watermark (a lower bound on every active `rv`)
-//! keeps alive.
+//! resolved by the time the reader's traversal needs its stamp). A
+//! reader with `rv < wv` skips the new versions and finds the ones its
+//! snapshot names — which the watermark (a lower bound on every active
+//! `rv`) keeps alive.
+//!
+//! That argument needs more than program order: the reader must
+//! *happens-after* the appends. Snapshot reads do zero orec probes and
+//! read-only transactions never validate, so the clock itself is the
+//! only location that can carry the edge — which is why step 2 must be
+//! an RMW that **always writes**. Every clock write is then a release
+//! operation in the clock's modification order, so a reader whose
+//! acquire load returns `c >= wv` synchronizes (through the release
+//! sequence of RMWs ending at `c`) with the committer that wrote `wv`,
+//! and therefore sees its appended heads. A failed CAS writes nothing
+//! and provides no such edge — a reader could adopt-era `rv >= wv` yet
+//! miss the loser's appends on some chains, tearing the snapshot.
 //!
 //! Costs, in the paper's terms: weak DAP is given up (the global clock
 //! orders commits) and space is spent on superseded versions —
@@ -117,12 +130,13 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
         return false;
     }
     // Point of no return: append pending versions, then make them real.
-    // The clock is drawn GV4-style after the append (see
-    // `versioned::draw_wv`): an adopted foreign tick still postdates
-    // every pending version, so a reader whose snapshot covers `wv`
-    // finds them reachable.
+    // The clock draw must be an RMW that always writes (never the
+    // pass-on-failure CAS of `versioned::draw_wv`): snapshot readers
+    // probe no orecs, so this release write to the clock is the only
+    // happens-before edge from the appends above to a reader drawing
+    // `rv >= wv` — see the module docs.
     let written = tx.log.append_writes();
-    let wv = versioned::draw_wv(tx);
+    let wv = tx.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
     for var in &written {
         var.stamp_head(wv);
     }

@@ -24,6 +24,10 @@ const HELD_LINEAR_MAX: usize = 8;
 /// ([`lock_stripes`] walks the sorted, deduplicated write stripes), so
 /// sets past [`HELD_LINEAR_MAX`] resolve in O(log w).
 pub(super) fn held_word(held: &[(usize, u64)], stripe: usize) -> Option<u64> {
+    debug_assert!(
+        held.windows(2).all(|w| w[0].0 < w[1].0),
+        "held-lock list must be strictly sorted by stripe"
+    );
     if held.len() <= HELD_LINEAR_MAX {
         held.iter()
             .find(|&&(s, _)| s == stripe)
@@ -68,9 +72,19 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
 /// attempts total rather than k serialized wins on the hottest line in
 /// the system.
 ///
+/// **Single-version commits only** (Tl2/Incremental, `commit_with`
+/// below). Mv's commit must not use this: a failed CAS performs no
+/// write, so an adopting loser leaves **no release edge on the clock**
+/// between its work and a reader that drew `rv >= wv` from the winner's
+/// write. That is fine here — invisible single-version readers always
+/// probe the stripe's orec word around the value load, and the
+/// committer's lock CAS / release-stamp of that word carries the
+/// happens-before — but Mv's snapshot readers probe *nothing* except
+/// the clock, so Mv draws its tick with an always-writing `fetch_add`
+/// instead (see `mv::commit_with` and the `mv` module docs).
+///
 /// Why adopting a foreign tick is safe — the caller must invoke this
-/// only **after** its stripe locks are held (single-version commits) or
-/// its versions are appended (Mv commits):
+/// only **after** its stripe locks are held:
 ///
 /// * **Racing committers write disjoint stripes.** Both hold their write
 ///   sets' stripe locks at the CAS, so two commits can share a `wv` only
@@ -83,15 +97,17 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
 ///   the clock), and `wv` ≥ that load + 1 in the win case or the
 ///   winner's strictly larger tick in the loss case — either way the
 ///   new stamp strictly exceeds the old.
-/// * **Readers cannot miss an adopted tick.** A snapshot `rv ≥ wv` was
-///   taken after the clock reached `wv`, hence after this call, hence
-///   after the locks were taken (or versions appended). Invisible
-///   readers then either see the stripe locked / restamped and abort,
-///   or see the fully published value; Mv readers see the appended
-///   version (spinning out its pending stamp if need be) — exactly the
-///   cases the pre-CAS `fetch_add` protocol already handles. A snapshot
-///   `rv < wv` ignores the commit entirely.
-pub(super) fn draw_wv(tx: &Transaction<'_>) -> u64 {
+/// * **Readers cannot miss an adopted tick.** An invisible reader's
+///   check/read/re-check brackets every value load with acquire loads of
+///   the stripe's orec word, and the committer writes that word twice
+///   (lock CAS, release restamp) around its value swap — so whichever
+///   word the reader observes (pre-lock: old value, consistent;
+///   locked: retry; restamped: new value, published before the restamp
+///   it acquired) the happens-before runs through the **orec word**,
+///   never through the clock. The adopted tick only has to be a correct
+///   *number*, which the two bullets above establish; it never has to
+///   carry an ordering edge.
+fn draw_wv(tx: &Transaction<'_>) -> u64 {
     let clock = &tx.stm.clock;
     let seen = clock.load(Ordering::Acquire);
     match clock.compare_exchange(seen, seen + 1, Ordering::AcqRel, Ordering::Acquire) {

@@ -23,9 +23,11 @@
 //!   attempt resolves — so the per-read cost is an add on an
 //!   already-hot line, zero RMWs;
 //! * **thread-hashed shards**: the shared counters themselves are a
-//!   fixed array of cache-line-padded slots indexed by a per-thread
-//!   slot id, so the once-per-attempt flush (and the per-commit
-//!   `commits` bump) lands on a line no other thread is hammering.
+//!   fixed array of cache-line-padded slots indexed by a hash of the
+//!   thread id (uniform under thread churn — see [`SHARDS`]), so the
+//!   once-per-attempt flush (and the per-commit `commits` bump) lands
+//!   on a line that, with high probability, no other thread is
+//!   hammering.
 //!   [`StmStats::snapshot`] sums the slots; since every slot is
 //!   monotonic, two snapshots taken by one thread (or otherwise ordered
 //!   by happens-before) still difference cleanly through
@@ -39,19 +41,25 @@
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Counter shards per [`StmStats`] instance (power of two). Threads are
-/// assigned slots round-robin, so up to `SHARDS` concurrent threads
-/// never share a counter line.
+/// Counter shards per [`StmStats`] instance (power of two). Slots are
+/// hashed from the thread id, so collisions between concurrent threads
+/// are possible but uniform — and, unlike a round-robin assignment,
+/// independent of thread-creation order, so thread churn (short-lived
+/// pool workers burning through slots) cannot pile the long-lived
+/// threads onto one shard. A collision costs line sharing only;
+/// counts stay exact either way.
 const SHARDS: usize = 16;
 
-/// Global round-robin source for per-thread shard slots.
-static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
-
 std::thread_local! {
-    /// This thread's shard slot, drawn once per thread.
-    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    /// This thread's shard slot, hashed once per thread from its id.
+    static THREAD_SLOT: usize = {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        h.finish() as usize % SHARDS
+    };
 }
 
 /// The calling thread's shard slot.
