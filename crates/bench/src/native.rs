@@ -30,6 +30,17 @@
 //!   while every single-version algorithm pays retries
 //!   (`long_scan_aborts`, `long_scan_ro_aborts`) or validation probes
 //!   under the same storm;
+//! * `blocking_queue*/<algo>` — the parking-tier experiment: a
+//!   producer/consumer pipeline over `ptm_structs::TQueue`, consumers
+//!   either *blocking* (`dequeue_wait`, parked on the queue's stripes)
+//!   or *polling* (`dequeue` in a hot re-run loop). The throughput pair
+//!   (`blocking_queue` vs `polling_queue`) shows parking costs nothing
+//!   while the queue is non-empty; the idle pair
+//!   (`{blocking,polling}_queue_idle_work`, ops = commits + aborts +
+//!   validation probes + reads accumulated while consumers face an
+//!   *empty* queue for a fixed window) is the CPU-waste picture — ≈ 0
+//!   parked, thousands polling — and `blocking_queue_idle_parks`
+//!   confirms the consumers really were parked rather than lucky;
 //! * `phase_shift_*/<algo>` — the adaptive-runtime experiment: one
 //!   shared instance driven through `read_mostly → write_heavy →
 //!   read_mostly` phases, each phase timed separately. The acceptance
@@ -47,8 +58,10 @@
 //! all algorithms alike instead of whichever one owned the noisy window.
 
 use ptm_stm::{Algorithm, Stm, TVar};
+use ptm_structs::TQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The algorithms under measurement, with their report names.
 pub const ALGOS: &[(&str, Algorithm)] = &[
@@ -779,6 +792,144 @@ pub fn bench_thread_scaling(
     out
 }
 
+/// Sentinel telling a bench queue consumer to stop.
+const QSTOP: u64 = u64::MAX;
+
+/// Producer/consumer wall clock: 2 producers push `items` total, 2
+/// consumers drain — blocking (`dequeue_wait`) or polling (`dequeue`
+/// re-run on empty).
+fn queue_throughput(stm: &Arc<Stm>, items: u64, blocking: bool) -> u128 {
+    let q: TQueue<u64> = TQueue::new();
+    time(|| {
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (stm, q) = (Arc::clone(stm), q.clone());
+                s.spawn(move || loop {
+                    let v = if blocking {
+                        stm.atomically(|tx| q.dequeue_wait(tx))
+                    } else {
+                        match stm.atomically(|tx| q.dequeue(tx)) {
+                            Some(v) => v,
+                            None => continue,
+                        }
+                    };
+                    if v == QSTOP {
+                        break;
+                    }
+                });
+            }
+            let producers: Vec<_> = (0..2u64)
+                .map(|p| {
+                    let (stm, q) = (Arc::clone(stm), q.clone());
+                    s.spawn(move || {
+                        for i in 0..items / 2 {
+                            stm.atomically(|tx| q.enqueue(tx, p * items + i));
+                        }
+                    })
+                })
+                .collect();
+            for h in producers {
+                h.join().expect("producer");
+            }
+            for _ in 0..2 {
+                stm.atomically(|tx| q.enqueue(tx, QSTOP));
+            }
+        });
+    })
+}
+
+/// Transactional work (commits + aborts + validation probes + reads) two
+/// consumers accumulate over an idle `window` against an **empty**
+/// queue, plus the instance's park count: the CPU-waste comparison the
+/// parking tier exists to win. Returns `(idle_work, parks)`.
+fn queue_idle_work(stm: &Arc<Stm>, blocking: bool, window: Duration) -> (u64, u64) {
+    let q: TQueue<u64> = TQueue::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut measured = (0, 0);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let (stm, q, stop) = (Arc::clone(stm), q.clone(), Arc::clone(&stop));
+            s.spawn(move || {
+                if blocking {
+                    while stm.atomically(|tx| q.dequeue_wait(tx)) != QSTOP {}
+                } else {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = stm.atomically(|tx| q.dequeue(tx));
+                    }
+                }
+            });
+        }
+        // Let the consumers reach their steady state (parked, for the
+        // blocking pair) before opening the measurement window.
+        std::thread::sleep(Duration::from_millis(30));
+        let before = stm.stats().snapshot();
+        std::thread::sleep(window);
+        let idle = stm.stats().snapshot().since(&before);
+        measured = (
+            idle.commits + idle.aborts + idle.validation_probes + idle.reads,
+            stm.stats().snapshot().parks,
+        );
+        stop.store(true, Ordering::Relaxed);
+        if blocking {
+            for _ in 0..2 {
+                stm.atomically(|tx| q.enqueue(tx, QSTOP));
+            }
+        }
+    });
+    measured
+}
+
+/// The `blocking_queue` family (see the module docs): throughput pair,
+/// idle-waste pair, park-count row, per algorithm.
+pub fn bench_blocking_queue_family(
+    algos: &[(&'static str, Algorithm)],
+    quick: bool,
+) -> Vec<BenchResult> {
+    let items: u64 = if quick { 2_000 } else { 20_000 };
+    let idle_window = Duration::from_millis(if quick { 20 } else { 100 });
+    let mut out = Vec::new();
+    for &(name, algo) in algos {
+        for (label, blocking) in [("blocking_queue", true), ("polling_queue", false)] {
+            let stm = Arc::new(Stm::new(algo));
+            let nanos = queue_throughput(&stm, items, blocking);
+            out.push(BenchResult {
+                name: label.into(),
+                algo: name.into(),
+                m: 0,
+                threads: 4,
+                ops: items,
+                nanos,
+            });
+        }
+        for (label, blocking) in [
+            ("blocking_queue_idle_work", true),
+            ("polling_queue_idle_work", false),
+        ] {
+            let stm = Arc::new(Stm::new(algo));
+            let (work, parks) = queue_idle_work(&stm, blocking, idle_window);
+            out.push(BenchResult {
+                name: label.into(),
+                algo: name.into(),
+                m: 0,
+                threads: 2,
+                ops: work,
+                nanos: idle_window.as_nanos(),
+            });
+            if blocking {
+                out.push(BenchResult {
+                    name: "blocking_queue_idle_parks".into(),
+                    algo: name.into(),
+                    m: 0,
+                    threads: 2,
+                    ops: parks,
+                    nanos: idle_window.as_nanos(),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Runs the full suite. `quick` shrinks every workload for CI.
 pub fn run_all(quick: bool) -> Vec<BenchResult> {
     let mut out = Vec::new();
@@ -806,6 +957,7 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
     out.extend(bench_phase_shift(ALGOS, 4, phase_txns));
     let scan_txns: u64 = if quick { 60 } else { 400 };
     out.extend(bench_long_scan(ALGOS, &[1, 2, 4], scan_txns));
+    out.extend(bench_blocking_queue_family(ALGOS, quick));
     out.extend(run_thread_scaling(quick));
     out
 }
@@ -906,6 +1058,28 @@ mod tests {
         assert_eq!(
             native_baseline_path(),
             root.join("BENCH_native_stm.json").to_string_lossy()
+        );
+    }
+
+    #[test]
+    fn blocking_consumers_idle_far_cheaper_than_polling() {
+        // The acceptance picture in miniature: over the same idle window
+        // against an empty queue, parked consumers must do (almost) no
+        // transactional work while polling consumers churn.
+        let window = Duration::from_millis(50);
+        let parked_stm = Arc::new(Stm::tl2());
+        let (parked_work, parks) = queue_idle_work(&parked_stm, true, window);
+        let polling_stm = Arc::new(Stm::tl2());
+        let (polling_work, _) = queue_idle_work(&polling_stm, false, window);
+        assert!(parks >= 2, "both consumers should have parked ({parks})");
+        assert!(
+            polling_work >= 100,
+            "polling should churn visibly ({polling_work})"
+        );
+        assert!(
+            parked_work * 10 < polling_work,
+            "parked idle work ({parked_work}) must be an order of magnitude \
+             below polling ({polling_work})"
         );
     }
 

@@ -160,5 +160,8 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
     // Retire only after every append above: the epoch tag must postdate
     // the last moment a reader could have loaded a detached pointer.
     epoch::retire_batch(retired);
+    // Wake waiters parked on the written stripes (after the release
+    // restamp, so a woken reader's revalidation sees version > bound).
+    tx.stm.wake_stripes(stripes);
     true
 }

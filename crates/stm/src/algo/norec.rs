@@ -83,5 +83,9 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
     let retired = tx.log.publish_writes();
     tx.stm.clock.store(tx.rv + 2, Ordering::Release);
     epoch::retire_batch(retired);
+    // One sequence lock means one conflict channel: every commit may
+    // ready every waiter (they all wait on the clock, registered under
+    // stripe 0 — see `Transaction::wait_stripes`).
+    tx.stm.wake_all_stripes();
     true
 }

@@ -105,6 +105,9 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
             .fetch_sub(RW_WRITER, Ordering::AcqRel);
     }
     epoch::retire_batch(retired);
+    // Wake waiters parked on the written stripes — after the write
+    // locks drop, so a woken reader can immediately re-acquire.
+    tx.stm.wake_stripes(stripes);
     true
 }
 

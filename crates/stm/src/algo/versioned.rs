@@ -133,6 +133,11 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
     // Retire only after every swap above: the epoch tag must postdate
     // the last moment a reader could have loaded an old pointer.
     epoch::retire_batch(retired);
+    // Wake waiters parked on the written stripes — after the release
+    // stores above, so a woken reader re-reading the stripe sees the
+    // new stamp (and the SeqCst fence inside pairs with registration;
+    // see `crate::waiter`).
+    tx.stm.wake_stripes(stripes);
     true
 }
 

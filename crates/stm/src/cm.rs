@@ -3,17 +3,21 @@
 //! The seed engine hard-coded its retry policy: spin exponentially, yield
 //! late, give up after a buried `10_000_000` attempts. This module makes
 //! the policy a value: a [`ContentionManager`] decides, after each
-//! aborted attempt, whether to retry (after waiting however it likes) or
-//! to give up. Select one per [`Stm`](crate::Stm) instance through
+//! aborted attempt, whether to retry (after waiting however it likes),
+//! to hand the attempt to the engine's parking tier
+//! ([`Decision::Park`]: the thread sleeps on the orec table's per-stripe
+//! waiter lists until a committing writer overlaps its footprint,
+//! instead of burning cycles), or to give up. Select one per
+//! [`Stm`](crate::Stm) instance through
 //! [`StmBuilder::contention_manager`](crate::StmBuilder::contention_manager).
 //!
 //! Three policies ship with the crate:
 //!
 //! * [`ImmediateRetry`] — retry instantly; best when conflicts are rare
 //!   and short, worst under sustained contention;
-//! * [`ExponentialBackoff`] — the default; replicates the seed's
-//!   behaviour (spin doubling per attempt, yielding to the scheduler once
-//!   attempts pile up);
+//! * [`ExponentialBackoff`] — the default; escalates spin → yield →
+//!   park, each tier *replacing* the cheaper one rather than stacking on
+//!   top of it;
 //! * [`CappedAttempts`] — wraps another policy and gives up after a fixed
 //!   number of attempts, for latency-bounded callers.
 
@@ -24,6 +28,13 @@ use std::fmt;
 pub enum Decision {
     /// Run the transaction again.
     Retry,
+    /// Get out of the way: the engine registers the attempt's footprint
+    /// (read ∪ write stripes) on the orec table's waiter lists and parks
+    /// the thread until a committing writer touches an overlapping
+    /// stripe (bounded by a short safety-net timeout), then reruns. The
+    /// escalation past yielding — a transaction that keeps losing stops
+    /// costing the winners CPU.
+    Park,
     /// Stop retrying; `Stm::atomically` panics, `Stm::run` reports the
     /// exhaustion to the caller.
     GiveUp,
@@ -49,11 +60,15 @@ impl ContentionManager for ImmediateRetry {
     }
 }
 
-/// Exponential busy-wait backoff with a late scheduler yield.
+/// Exponential busy-wait backoff escalating through yield to park.
 ///
-/// Attempts `0..=spin_threshold` retry immediately; later attempts spin
-/// `2^min(attempt, max_spin_shift)` iterations; attempts past
-/// `yield_threshold` additionally yield the thread.
+/// Attempts `0..=spin_threshold` retry immediately; attempts up to
+/// `yield_threshold` spin `2^min(attempt, max_spin_shift)` iterations;
+/// attempts up to `park_threshold` *only* yield the scheduler (no spin —
+/// once the policy has decided the conflict outlives a spin window,
+/// burning the spin budget on top of the yield is pure CPU waste);
+/// attempts beyond that answer [`Decision::Park`], and the engine puts
+/// the thread to sleep on the conflict footprint's waiter lists.
 #[derive(Debug, Clone, Copy)]
 pub struct ExponentialBackoff {
     /// Attempts at or below this retry without waiting.
@@ -63,35 +78,51 @@ pub struct ExponentialBackoff {
     /// (a ~10⁶-iteration spin), keeping a stray configuration from
     /// overflowing the shift or busy-waiting for hours.
     pub max_spin_shift: u32,
-    /// Attempts beyond this also call `thread::yield_now`.
+    /// Attempts beyond this yield the thread instead of spinning.
     pub yield_threshold: u64,
+    /// Attempts beyond this answer [`Decision::Park`] instead of
+    /// yielding.
+    pub park_threshold: u64,
 }
 
 impl ExponentialBackoff {
     /// Largest effective spin exponent, whatever `max_spin_shift` says.
     pub const SHIFT_CEILING: u32 = 20;
+
+    /// Busy-wait iterations `on_abort` performs for the given attempt:
+    /// `2^min(attempt, max_spin_shift, SHIFT_CEILING)` inside the spin
+    /// tier, and **zero** everywhere else — in particular past
+    /// `yield_threshold`, where earlier versions of this policy kept
+    /// burning the full spin budget before yielding.
+    pub fn spin_iterations(&self, attempt: u64) -> u64 {
+        if attempt <= self.spin_threshold || attempt > self.yield_threshold {
+            return 0;
+        }
+        let shift = attempt
+            .min(self.max_spin_shift as u64)
+            .min(Self::SHIFT_CEILING as u64) as u32;
+        1u64 << shift
+    }
 }
 
 impl Default for ExponentialBackoff {
-    /// The seed engine's hard-coded policy.
     fn default() -> Self {
         ExponentialBackoff {
             spin_threshold: 2,
             max_spin_shift: 12,
             yield_threshold: 16,
+            park_threshold: 64,
         }
     }
 }
 
 impl ContentionManager for ExponentialBackoff {
     fn on_abort(&self, attempt: u64) -> Decision {
-        if attempt > self.spin_threshold {
-            let shift = attempt
-                .min(self.max_spin_shift as u64)
-                .min(Self::SHIFT_CEILING as u64) as u32;
-            for _ in 0..(1u64 << shift) {
-                std::hint::spin_loop();
-            }
+        if attempt > self.park_threshold {
+            return Decision::Park;
+        }
+        for _ in 0..self.spin_iterations(attempt) {
+            std::hint::spin_loop();
         }
         if attempt > self.yield_threshold {
             std::thread::yield_now();
@@ -162,13 +193,42 @@ mod tests {
     #[test]
     fn oversized_spin_shift_is_clamped_not_overflowed() {
         // A shift >= 64 would overflow `1u64 << shift`; the ceiling keeps
-        // this both panic-free and bounded (2^20 spins, not 2^63).
+        // this both panic-free and bounded (2^20 spins, not 2^63). The
+        // thresholds are raised so attempt 100 still lands in the spin
+        // tier.
         let cm = ExponentialBackoff {
             spin_threshold: 2,
             max_spin_shift: 64,
-            yield_threshold: 16,
+            yield_threshold: 1 << 30,
+            park_threshold: u64::MAX,
         };
+        assert_eq!(
+            cm.spin_iterations(100),
+            1 << ExponentialBackoff::SHIFT_CEILING
+        );
         assert_eq!(cm.on_abort(100), Decision::Retry);
+    }
+
+    #[test]
+    fn late_attempts_never_busy_spin_and_eventually_park() {
+        // Regression: past `yield_threshold` the policy used to burn the
+        // full exponential spin budget (2^12 iterations by default) and
+        // *then* yield, wasting a core per hopeless attempt. The yield
+        // tier must replace the spin, and sustained losing must escalate
+        // to parking.
+        let cm = ExponentialBackoff::default();
+        assert_eq!(cm.spin_iterations(0), 0, "immediate tier spins nothing");
+        assert!(cm.spin_iterations(10) > 0, "spin tier spins");
+        assert_eq!(cm.spin_iterations(17), 0, "yield tier must not spin");
+        assert_eq!(cm.spin_iterations(100), 0, "park tier must not spin");
+        assert_eq!(cm.on_abort(17), Decision::Retry);
+        assert_eq!(cm.on_abort(100), Decision::Park);
+    }
+
+    #[test]
+    fn capped_passes_park_through() {
+        let cm = CappedAttempts::new(1 << 40);
+        assert_eq!(cm.on_abort(100), Decision::Park);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The attempt loop: retry-until-commit, contention-manager
-//! consultation, and the adaptive controller's commit-path hook.
+//! consultation, the parking tier (both logical `retry` waits and
+//! [`Decision::Park`] conflict escalations), and the adaptive
+//! controller's commit-path hook.
 
 use super::{RetriesExhausted, Retry, Stm, Transaction};
 use crate::algo::adaptive;
 use crate::cm::Decision;
 use crate::tvar::{TVar, TxValue};
 use crate::txlog::TxLog;
+use crate::waiter::{WaitCell, CONFLICT_PARK_TIMEOUT, RETRY_PARK_TIMEOUT};
 
 impl Stm {
     /// Runs `body` in a transaction, retrying on conflict until it
@@ -52,16 +55,69 @@ impl Stm {
                 return Ok(out);
             }
             tx.close_aborted();
-            log = tx.into_log();
             self.stats.abort();
+            if tx.waiting() {
+                // A logical wait (`tx.retry()`) is not contention: skip
+                // the contention manager and the attempt budget, park on
+                // the read footprint, and re-run when a writer overlaps
+                // it.
+                log = self.park_attempt(tx, false);
+                continue;
+            }
             attempt += 1;
             if attempt >= self.max_attempts {
                 return Err(RetriesExhausted { attempts: attempt });
             }
-            if self.cm.on_abort(attempt - 1) == Decision::GiveUp {
-                return Err(RetriesExhausted { attempts: attempt });
+            // Release visible-read locks *before* the contention manager
+            // waits: backoff must not hold stripes other transactions
+            // are trying to write.
+            tx.release_read_locks();
+            match self.cm.on_abort(attempt - 1) {
+                Decision::Retry => log = tx.into_log(),
+                Decision::Park => log = self.park_attempt(tx, true),
+                Decision::GiveUp => return Err(RetriesExhausted { attempts: attempt }),
             }
         }
+    }
+
+    /// Parks an aborted attempt on its footprint's waiter lists until an
+    /// overlapping commit (or a safety-net timeout) wakes it; returns
+    /// the recycled log for the next attempt.
+    ///
+    /// Ordering is the whole point — register, *then* revalidate, *then*
+    /// sleep: a writer that commits after registration finds the cell on
+    /// the lists and notifies it; a writer that committed before
+    /// registration shows up in the revalidation, which then skips the
+    /// sleep. (The SeqCst fences pairing register's tail with
+    /// `wake_stripes`' head close the remaining store-buffering window —
+    /// see the proof in `crate::waiter`.) The transaction is dropped via
+    /// `into_log` *before* sleeping so a parked thread pins no epoch,
+    /// holds no Tlrw read locks (released *after* registration — the
+    /// lock word itself orders any conflicting commit after our
+    /// registration), blocks no adaptive mode switch, and anchors no Mv
+    /// snapshot.
+    fn park_attempt(&self, tx: Transaction<'_>, conflict: bool) -> TxLog {
+        let stripes = tx.wait_stripes(conflict);
+        let cell = WaitCell::for_thread();
+        self.orecs.waiters().register(&stripes, &cell);
+        let consistent = tx.revalidate_for_park();
+        let log = tx.into_log();
+        if consistent {
+            self.stats.park();
+            let timeout = if conflict {
+                // A conflict park has a weaker wake guarantee (the winner
+                // may already have committed and gone), so the safety net
+                // is short.
+                CONFLICT_PARK_TIMEOUT
+            } else {
+                RETRY_PARK_TIMEOUT
+            };
+            if !cell.park(timeout) {
+                self.stats.spurious_wake();
+            }
+        }
+        self.orecs.waiters().deregister(&stripes, &cell);
+        log
     }
 
     /// Runs `body` once, committing if it succeeds; returns `None` on

@@ -50,15 +50,22 @@
 //! ([`crate::txlog`]) and publish them only at commit, so a failed
 //! transaction never dirties shared state. Retry behaviour is a pluggable
 //! [`ContentionManager`](crate::ContentionManager) chosen through
-//! [`StmBuilder`].
+//! [`StmBuilder`]; past its park threshold (and always for
+//! [`Transaction::retry`] logical waits) the loop stops consuming CPU
+//! entirely and blocks on the orec table's per-stripe waiter lists until
+//! a committing writer overlaps the attempt's footprint. The same lists
+//! back [`Stm::run_async`] ([`run_async`]), which suspends a future
+//! instead of a thread.
 
 mod attempt;
 mod builder;
+mod run_async;
 #[cfg(test)]
 mod tests;
 mod transaction;
 
 pub use builder::StmBuilder;
+pub use run_async::RunAsync;
 pub use transaction::Transaction;
 
 use crate::algo::adaptive::{AdaptiveState, Mode};
@@ -301,5 +308,22 @@ impl Stm {
     /// if any.
     pub fn recorder(&self) -> Option<&HistoryRecorder> {
         self.recorder.as_ref()
+    }
+
+    /// Wakes every waiter parked on one of `stripes` (a committing
+    /// writer's write set): the commit-side half of the parking
+    /// protocol. Cheap when nobody waits — one fence and one counter
+    /// load.
+    pub(crate) fn wake_stripes(&self, stripes: &[usize]) {
+        let n = self.orecs.waiters().wake_stripes(stripes);
+        self.stats.woke(n);
+    }
+
+    /// Wakes every parked waiter, whatever stripe it waits on: NOrec's
+    /// commit path, whose single sequence lock makes every commit
+    /// overlap every footprint.
+    pub(crate) fn wake_all_stripes(&self) {
+        let n = self.orecs.waiters().wake_all();
+        self.stats.woke(n);
     }
 }

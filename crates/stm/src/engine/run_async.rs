@@ -1,0 +1,205 @@
+//! [`Stm::run_async`]: the async face of the attempt loop.
+//!
+//! The blocking loop parks a *thread* on the orec table's waiter lists;
+//! this module parks a *task* — same lists, same register → revalidate →
+//! sleep protocol, but the registered [`WaitCell`] carries the task's
+//! [`Waker`](std::task::Waker) instead of a thread handle, and "sleep"
+//! is returning [`Poll::Pending`]. A committing writer that overlaps the
+//! footprint wakes the waker exactly once; the executor re-polls; the
+//! poll deregisters the stale cell and re-runs the body.
+//!
+//! One asymmetry with the blocking loop: a future has no safety-net
+//! timeout (nothing re-polls it unless its waker fires), so
+//! [`Decision::Park`] on a *conflict* — whose wake guarantee is weak,
+//! the winning writer may already have committed before we registered —
+//! degrades to a cooperative yield (`wake_by_ref` + `Pending`) rather
+//! than a registration that might never be woken. Logical waits
+//! (`tx.retry()`) register for real: their wake condition is "some
+//! overlapping commit happens later", which is exactly what the lists
+//! deliver, and the register-then-revalidate step closes the "it already
+//! happened" window.
+
+use super::{RetriesExhausted, Retry, Stm, Transaction};
+use crate::algo::adaptive;
+use crate::cm::Decision;
+use crate::txlog::TxLog;
+use crate::waiter::WaitCell;
+use std::fmt;
+use std::future::Future;
+use std::marker::PhantomData;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+impl Stm {
+    /// Runs `body` transactionally as a future: conflicts re-run it,
+    /// [`Transaction::retry`] suspends the task (no thread blocks, no
+    /// executor worker is lost) until an overlapping commit wakes it.
+    ///
+    /// The future is executor-agnostic — it uses only the standard
+    /// [`Waker`](std::task::Waker) contract — and cancel-safe: dropping
+    /// it deregisters any standing wait and publishes nothing (writes
+    /// only ever land through a successful commit).
+    ///
+    /// # Examples
+    ///
+    /// A minimal single-future executor is enough to drive it:
+    ///
+    /// ```
+    /// use ptm_stm::{Stm, TVar};
+    /// use std::future::Future;
+    /// use std::sync::Arc;
+    /// use std::task::{Context, Poll, Wake, Waker};
+    ///
+    /// struct Unpark(std::thread::Thread);
+    /// impl Wake for Unpark {
+    ///     fn wake(self: Arc<Self>) {
+    ///         self.0.unpark();
+    ///     }
+    /// }
+    ///
+    /// let stm = Stm::tl2();
+    /// let inbox = TVar::new(Some(5u64));
+    /// let mut fut = std::pin::pin!(stm.run_async(|tx| match tx.read(&inbox)? {
+    ///     Some(v) => Ok(v),
+    ///     None => tx.retry(),
+    /// }));
+    /// let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    /// let mut cx = Context::from_waker(&waker);
+    /// let got = loop {
+    ///     match fut.as_mut().poll(&mut cx) {
+    ///         Poll::Ready(v) => break v,
+    ///         Poll::Pending => std::thread::park(),
+    ///     }
+    /// };
+    /// assert_eq!(got, Ok(5));
+    /// ```
+    pub fn run_async<A, F>(&self, body: F) -> RunAsync<'_, A, F>
+    where
+        F: FnMut(&mut Transaction<'_>) -> Result<A, Retry> + Unpin,
+    {
+        RunAsync {
+            stm: self,
+            body,
+            log: None,
+            attempts: 0,
+            registration: None,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Future returned by [`Stm::run_async`]; resolves to the body's result
+/// once an attempt commits, or to [`RetriesExhausted`] if the retry
+/// budget runs out.
+///
+/// The body must be [`Unpin`] (every closure without self-references is)
+/// because the future moves it on each poll; the crate forbids the
+/// `unsafe` a pin projection would need.
+pub struct RunAsync<'s, A, F> {
+    stm: &'s Stm,
+    body: F,
+    /// Recycled attempt log, `Some` between attempts.
+    log: Option<TxLog>,
+    attempts: u64,
+    /// A standing waiter-list registration from the last poll, voided
+    /// (deregistered) at the top of the next poll and on drop.
+    registration: Option<(Arc<WaitCell>, Vec<usize>)>,
+    /// `A` only appears in the output position.
+    _out: PhantomData<fn() -> A>,
+}
+
+impl<A, F> RunAsync<'_, A, F> {
+    fn deregister(&mut self) {
+        if let Some((cell, stripes)) = self.registration.take() {
+            self.stm.orecs.waiters().deregister(&stripes, &cell);
+        }
+    }
+}
+
+impl<A, F> Future for RunAsync<'_, A, F>
+where
+    F: FnMut(&mut Transaction<'_>) -> Result<A, Retry> + Unpin,
+{
+    type Output = Result<A, RetriesExhausted>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = Pin::into_inner(self);
+        // Whatever woke us (an overlapping commit, a timeout wrapper, a
+        // spurious executor poll), the old registration is spent.
+        this.deregister();
+        loop {
+            let log = this.log.take().unwrap_or_default();
+            let mut tx = Transaction::begin(this.stm, log);
+            let committed = match (this.body)(&mut tx) {
+                Ok(out) if tx.commit() => Some(out),
+                _ => None,
+            };
+            if let Some(out) = committed {
+                drop(tx);
+                this.stm.stats.commit();
+                adaptive::after_commit(this.stm);
+                return Poll::Ready(Ok(out));
+            }
+            tx.close_aborted();
+            this.stm.stats.abort();
+            if tx.waiting() {
+                // Same protocol as the blocking park: register, then
+                // revalidate, then suspend — a commit that landed before
+                // registration shows up in the revalidation and skips
+                // the suspend.
+                let stripes = tx.wait_stripes(false);
+                let cell = WaitCell::for_waker(cx.waker().clone());
+                this.stm.orecs.waiters().register(&stripes, &cell);
+                let consistent = tx.revalidate_for_park();
+                this.log = Some(tx.into_log());
+                if !consistent {
+                    this.stm.orecs.waiters().deregister(&stripes, &cell);
+                    continue;
+                }
+                this.stm.stats.park();
+                this.registration = Some((cell, stripes));
+                return Poll::Pending;
+            }
+            this.attempts += 1;
+            if this.attempts >= this.stm.max_attempts {
+                return Poll::Ready(Err(RetriesExhausted {
+                    attempts: this.attempts,
+                }));
+            }
+            tx.release_read_locks();
+            match this.stm.cm.on_abort(this.attempts - 1) {
+                Decision::Retry => this.log = Some(tx.into_log()),
+                Decision::Park => {
+                    // See the module docs: no timeout exists to rescue a
+                    // missed conflict wake, so yield instead of parking.
+                    this.log = Some(tx.into_log());
+                    cx.waker().wake_by_ref();
+                    return Poll::Pending;
+                }
+                Decision::GiveUp => {
+                    return Poll::Ready(Err(RetriesExhausted {
+                        attempts: this.attempts,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+impl<A, F> Drop for RunAsync<'_, A, F> {
+    /// Cancel safety: a dropped (timed-out, `select!`-ed away) wait must
+    /// not leave its cell on the lists.
+    fn drop(&mut self) {
+        self.deregister();
+    }
+}
+
+impl<A, F> fmt::Debug for RunAsync<'_, A, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunAsync")
+            .field("attempts", &self.attempts)
+            .field("parked", &self.registration.is_some())
+            .finish()
+    }
+}

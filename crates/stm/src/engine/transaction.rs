@@ -28,6 +28,12 @@ pub struct Transaction<'s> {
     /// swallows a `Retry` instead of propagating it therefore cannot
     /// commit an attempt the engine already aborted.
     poisoned: bool,
+    /// Set by [`Transaction::retry`]: the attempt aborted because the
+    /// *data* said wait, not because a conflict said hurry. The attempt
+    /// loop parks such attempts on their read footprint's waiter lists
+    /// instead of consulting the contention manager (a logical wait is
+    /// not contention — it must not consume backoff or attempt budget).
+    waiting: bool,
     pub(crate) log: TxLog,
     /// The concrete hook set this attempt runs: the instance's algorithm
     /// for static instances; for `Algorithm::Adaptive`, the begin hook
@@ -95,6 +101,7 @@ impl<'s> Transaction<'s> {
             rv: 0,
             started: false,
             poisoned: false,
+            waiting: false,
             log,
             mode: stm.algorithm,
             pinned: None,
@@ -256,6 +263,203 @@ impl<'s> Transaction<'s> {
             self.rec_respond(op, TOpResult::Ok);
         }
         Ok(())
+    }
+
+    /// Abandons this attempt because the data is not ready: the engine
+    /// blocks the thread until another transaction commits a write that
+    /// overlaps this attempt's read set, then re-runs the body —
+    /// Composable-Memory-Transactions-style `retry`.
+    ///
+    /// Unlike a conflict abort, a logical wait consumes no attempt
+    /// budget and no contention-manager backoff: the thread parks on the
+    /// read footprint's per-stripe waiter lists (a short safety-net
+    /// timeout bounds the sleep even if no writer ever shows up). An
+    /// attempt that retries before reading anything has an empty
+    /// footprint and simply sleeps out the timeout.
+    ///
+    /// Returns [`Retry`] so it slots into any return position; the
+    /// attempt is poisoned either way, so swallowing the error cannot
+    /// commit the attempt.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`Retry`] — propagate it with `?` or return it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ptm_stm::{Stm, TVar};
+    /// use std::thread;
+    ///
+    /// let stm = Stm::tl2();
+    /// let inbox = TVar::new(None::<u64>);
+    ///
+    /// thread::scope(|s| {
+    ///     s.spawn(|| {
+    ///         // Blocks — without spinning — until the write below lands.
+    ///         let got = stm.atomically(|tx| match tx.read(&inbox)? {
+    ///             Some(v) => Ok(v),
+    ///             None => tx.retry(),
+    ///         });
+    ///         assert_eq!(got, 7);
+    ///     });
+    ///     stm.atomically(|tx| tx.write(&inbox, Some(7)));
+    /// });
+    /// ```
+    pub fn retry<A>(&mut self) -> Result<A, Retry> {
+        if !self.poisoned {
+            // Pin the mode / sample the snapshot even if retry() is the
+            // first operation, so the park path knows how to wait.
+            self.ensure_started();
+            self.waiting = true;
+            self.poisoned = true;
+        }
+        // An attempt that already conflicted stays a conflict: its read
+        // set is broken, so parking on it would wait on garbage.
+        Err(Retry)
+    }
+
+    /// Runs `first`; if it called [`Transaction::retry`], rolls its
+    /// writes back and runs `second` instead — the Composable Memory
+    /// Transactions `orElse` combinator.
+    ///
+    /// Only a *logical* retry falls through: a conflict abort in either
+    /// branch aborts the whole attempt (the snapshot is broken, so no
+    /// alternative can be trusted). If both branches retry, the attempt
+    /// waits on the **union** of their read footprints — whichever side
+    /// becomes ready first wakes it.
+    ///
+    /// Reads performed by `first` stay in the read set after the
+    /// fallback (the branch decision depended on them); only its
+    /// buffered writes are rolled back.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] if both branches retried, either branch conflicted, or
+    /// the attempt was already poisoned.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ptm_stm::{Stm, TVar};
+    ///
+    /// let stm = Stm::tl2();
+    /// let fast = TVar::new(None::<u64>);
+    /// let slow = TVar::new(Some(9u64));
+    ///
+    /// let got = stm.atomically(|tx| {
+    ///     tx.or_else(
+    ///         |tx| match tx.read(&fast)? {
+    ///             Some(v) => Ok(v),
+    ///             None => tx.retry(),
+    ///         },
+    ///         |tx| match tx.read(&slow)? {
+    ///             Some(v) => Ok(v),
+    ///             None => tx.retry(),
+    ///         },
+    ///     )
+    /// });
+    /// assert_eq!(got, 9);
+    /// ```
+    pub fn or_else<A>(
+        &mut self,
+        first: impl FnOnce(&mut Self) -> Result<A, Retry>,
+        second: impl FnOnce(&mut Self) -> Result<A, Retry>,
+    ) -> Result<A, Retry> {
+        if self.poisoned {
+            return Err(Retry);
+        }
+        self.ensure_started();
+        self.log.checkpoint();
+        match first(self) {
+            Ok(v) => {
+                self.log.commit_checkpoint();
+                Ok(v)
+            }
+            Err(Retry) if self.waiting => {
+                // Un-poisoning is sound precisely because the poison came
+                // from retry(): the snapshot is still consistent and the
+                // logical wait recorded no history markers — the attempt
+                // merely chose to wait, and now chooses the alternative.
+                self.waiting = false;
+                self.poisoned = false;
+                self.log.rollback_to_checkpoint();
+                self.log.checkpoint();
+                let out = second(self);
+                self.log.commit_checkpoint();
+                out
+            }
+            Err(Retry) => {
+                // Conflict: the attempt is dead whatever we do.
+                self.log.commit_checkpoint();
+                Err(Retry)
+            }
+        }
+    }
+
+    /// Whether this attempt aborted via [`Transaction::retry`].
+    pub(super) fn waiting(&self) -> bool {
+        self.waiting
+    }
+
+    /// The orec stripes a parked instance of this attempt must be woken
+    /// by: the read footprint, plus the write footprint when parking on
+    /// a *conflict* (`include_writes` — the conflicting winner is as
+    /// likely to have beaten us on a write stripe as a read stripe).
+    /// Sorted and deduplicated.
+    pub(super) fn wait_stripes(&self, include_writes: bool) -> Vec<usize> {
+        let mut stripes = match self.mode {
+            Algorithm::Tl2 | Algorithm::Incremental | Algorithm::Mv => {
+                self.log.reads.iter().map(|r| r.stripe).collect()
+            }
+            Algorithm::Tlrw => self.log.rw_reads.clone(),
+            // NOrec has one conflict channel — the global sequence lock —
+            // so every waiter hangs off stripe 0 and every commit sweeps
+            // it.
+            Algorithm::Norec => vec![0],
+            // Unpinned adaptive attempt (nothing read, nothing written):
+            // no footprint to wait on.
+            Algorithm::Adaptive => Vec::new(),
+        };
+        if include_writes && self.mode != Algorithm::Norec {
+            stripes.extend(
+                self.log
+                    .writes
+                    .iter()
+                    .map(|w| self.stm.orecs.stripe_of(w.id)),
+            );
+        }
+        stripes.sort_unstable();
+        stripes.dedup();
+        stripes
+    }
+
+    /// Re-checks, after registering on the waiter lists but before
+    /// sleeping, that no commit has already invalidated (= readied) this
+    /// attempt's read set. Parking on a stale snapshot would sleep
+    /// through a wake-up that already happened.
+    ///
+    /// Deliberately tallies no validation probes: a parked-idle instance
+    /// must read as idle in the stats.
+    pub(super) fn revalidate_for_park(&self) -> bool {
+        match self.mode {
+            Algorithm::Tl2 | Algorithm::Incremental => self
+                .log
+                .reads
+                .iter()
+                .all(|r| self.stm.orecs.word(r.stripe).load(Ordering::Acquire) == r.meta),
+            // Mv reads name a snapshot bound, not an observed word: the
+            // set is stale once any read stripe advances past it.
+            Algorithm::Mv => self.log.reads.iter().all(|r| {
+                let w = self.stm.orecs.word(r.stripe).load(Ordering::Acquire);
+                !orec::is_locked(w) && orec::version_of(w) <= r.meta
+            }),
+            Algorithm::Norec => self.stm.clock.load(Ordering::Acquire) == self.rv,
+            // Visible reads still hold their stripe locks at this point:
+            // no writer can have committed past them, so the snapshot
+            // cannot be stale. (Unpinned Adaptive has read nothing.)
+            Algorithm::Tlrw | Algorithm::Adaptive => true,
+        }
     }
 
     /// Attempts to commit; returns whether the transaction is now durable.

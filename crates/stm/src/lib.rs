@@ -114,10 +114,11 @@ mod stats;
 #[allow(unsafe_code)]
 mod tvar;
 mod txlog;
+mod waiter;
 
 pub use algo::adaptive::AdaptiveConfig;
 pub use cm::{CappedAttempts, ContentionManager, Decision, ExponentialBackoff, ImmediateRetry};
-pub use engine::{Algorithm, RetriesExhausted, Retry, Stm, StmBuilder, Transaction};
+pub use engine::{Algorithm, RetriesExhausted, Retry, RunAsync, Stm, StmBuilder, Transaction};
 pub use recorder::HistoryRecorder;
 pub use stats::{StatsSnapshot, StmStats};
 pub use tvar::{TVar, TxValue};

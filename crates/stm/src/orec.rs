@@ -24,6 +24,7 @@
 //! The stripe count is a power of two, tunable per instance via
 //! [`StmBuilder::orec_stripes`](crate::StmBuilder::orec_stripes).
 
+use crate::waiter::WaiterTable;
 use std::sync::atomic::AtomicU64;
 
 /// Default number of stripes per [`Stm`](crate::Stm) instance.
@@ -68,10 +69,19 @@ pub(crate) fn rw_reader_count(word: u64) -> u64 {
     word >> 1
 }
 
-/// A power-of-two table of versioned lock words.
+/// A power-of-two table of versioned lock words, with a waiter bucket
+/// per stripe for parked `retry`/`or_else` transactions.
 pub(crate) struct OrecTable {
     words: Box<[CachePadded<AtomicU64>]>,
     mask: usize,
+    /// Per-stripe parked-waiter lists, keyed exactly like the words
+    /// above so a committing writer's write stripes name the wait
+    /// channels it must sweep. Kept separate from the words themselves:
+    /// [`OrecTable::reset_all`] (the adaptive mode switch) reinterprets
+    /// the word format but must *not* disturb registrations — a consumer
+    /// parked across a mode switch is woken by the first overlapping
+    /// commit of the new mode, whatever format stamped the stripe.
+    waiters: WaiterTable,
 }
 
 impl OrecTable {
@@ -80,7 +90,16 @@ impl OrecTable {
     pub(crate) fn new(stripes: usize) -> Self {
         let n = stripes.max(1).next_power_of_two();
         let words = (0..n).map(|_| CachePadded(AtomicU64::new(0))).collect();
-        OrecTable { words, mask: n - 1 }
+        OrecTable {
+            words,
+            mask: n - 1,
+            waiters: WaiterTable::new(n),
+        }
+    }
+
+    /// The per-stripe waiter lists.
+    pub(crate) fn waiters(&self) -> &WaiterTable {
+        &self.waiters
     }
 
     /// Number of stripes.

@@ -85,6 +85,9 @@ struct Shard {
     max_chain_len: AtomicU64,
     recorded_events: AtomicU64,
     mode_transitions: AtomicU64,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    spurious_wakes: AtomicU64,
 }
 
 /// Monotonic event counters for one [`Stm`](crate::Stm) instance,
@@ -212,6 +215,19 @@ pub struct StatsSnapshot {
     /// [`Algorithm::Adaptive`](crate::Algorithm::Adaptive) controller
     /// (always 0 for the static algorithms).
     pub mode_transitions: u64,
+    /// Attempts that parked on the orec table's waiter lists instead of
+    /// re-running: logical waits (`Transaction::retry`) and
+    /// contention-manager [`Decision::Park`](crate::Decision::Park)
+    /// escalations. A parked attempt does no spinning and no validation
+    /// probing until woken.
+    pub parks: u64,
+    /// Parked waiters actually woken by a committing writer's wake sweep
+    /// over an overlapping stripe.
+    pub wakes: u64,
+    /// Parks that ended by safety-net timeout rather than a writer's
+    /// wake — the lost-wakeup canary (≈ 0 in a healthy run; an idle
+    /// `retry` with nothing ever committing also lands here).
+    pub spurious_wakes: u64,
     /// Whether the instance was running **visible** reads (the
     /// reader–writer orec format) when the snapshot was taken: `true`
     /// for `Tlrw` and for `Adaptive` in its visible mode, `false`
@@ -263,6 +279,25 @@ impl StmStats {
         s.max_chain_len.fetch_max(chain_len, Ordering::Relaxed);
     }
 
+    /// Records one attempt parking on the waiter lists. Cold path by
+    /// construction (the attempt is about to sleep), so it writes the
+    /// shard directly instead of riding an [`OpTally`].
+    pub(crate) fn park(&self) {
+        self.local().parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` waiters woken by a commit's wake sweep.
+    pub(crate) fn woke(&self, n: u64) {
+        if n != 0 {
+            self.local().wakes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a park that ended by timeout instead of a wake.
+    pub(crate) fn spurious_wake(&self) {
+        self.local().spurious_wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records an adaptive mode switch and the regime it landed in.
     pub(crate) fn mode_transition(&self, visible: bool) {
         self.local()
@@ -306,6 +341,9 @@ impl StmStats {
             out.max_chain_len = out.max_chain_len.max(ld(&s.max_chain_len));
             out.recorded_events += ld(&s.recorded_events);
             out.mode_transitions += ld(&s.mode_transitions);
+            out.parks += ld(&s.parks);
+            out.wakes += ld(&s.wakes);
+            out.spurious_wakes += ld(&s.spurious_wakes);
         }
         out
     }
@@ -333,6 +371,9 @@ impl StatsSnapshot {
             max_chain_len: self.max_chain_len,
             recorded_events: d(self.recorded_events, earlier.recorded_events),
             mode_transitions: d(self.mode_transitions, earlier.mode_transitions),
+            parks: d(self.parks, earlier.parks),
+            wakes: d(self.wakes, earlier.wakes),
+            spurious_wakes: d(self.spurious_wakes, earlier.spurious_wakes),
             // State, not a counter: the delta reports where the window
             // *ended up*.
             visible_mode: self.visible_mode,
@@ -347,7 +388,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} \
-             snapshot_reads={} trimmed={} max_chain={} recorded={} transitions={} mode={}",
+             snapshot_reads={} trimmed={} max_chain={} recorded={} transitions={} \
+             parks={} wakes={} spurious={} mode={}",
             self.commits,
             self.aborts,
             self.reads,
@@ -359,6 +401,9 @@ impl fmt::Display for StatsSnapshot {
             self.max_chain_len,
             self.recorded_events,
             self.mode_transitions,
+            self.parks,
+            self.wakes,
+            self.spurious_wakes,
             if self.visible_mode {
                 "visible"
             } else {
@@ -398,6 +443,11 @@ mod tests {
         s.trim(5, 3);
         s.trim(2, 1);
         s.mode_transition(true);
+        s.park();
+        s.park();
+        s.woke(3);
+        s.woke(0);
+        s.spurious_wake();
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
@@ -410,6 +460,9 @@ mod tests {
         assert_eq!(snap.versions_trimmed, 4);
         assert_eq!(snap.max_chain_len, 5, "high-water mark, not a sum");
         assert_eq!(snap.mode_transitions, 1);
+        assert_eq!(snap.parks, 2);
+        assert_eq!(snap.wakes, 3);
+        assert_eq!(snap.spurious_wakes, 1);
         assert!(snap.visible_mode);
         s.mode_transition(false);
         let snap = s.snapshot();
@@ -426,15 +479,21 @@ mod tests {
             t.reader_conflict();
             t.recorded(6);
         });
+        s.park();
+        s.woke(1);
         let line = s.snapshot().to_string();
         assert_eq!(
             line,
             "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 snapshot_reads=0 \
-             trimmed=0 max_chain=0 recorded=6 transitions=0 mode=invisible"
+             trimmed=0 max_chain=0 recorded=6 transitions=0 parks=1 wakes=1 spurious=0 \
+             mode=invisible"
         );
         s.mode_transition(true);
         let line = s.snapshot().to_string();
-        assert!(line.ends_with("transitions=1 mode=visible"), "{line}");
+        assert!(
+            line.ends_with("transitions=1 parks=1 wakes=1 spurious=0 mode=visible"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -105,6 +105,26 @@ pub(crate) struct TxLog {
     pub stripe_buf: Vec<usize>,
     /// Scratch for commit-time `(stripe, pre-lock word)` bookkeeping.
     pub held_buf: Vec<(usize, u64)>,
+    /// Open `or_else` checkpoint frames, innermost last. While a frame is
+    /// open, `buffer_write` records displaced pre-frame values into
+    /// `undo` so [`TxLog::rollback_to_checkpoint`] can restore the write
+    /// set exactly. Reads are deliberately *not* framed: an `or_else`
+    /// alternative keeps the first branch's read set (the union is what
+    /// makes a double-retry wait on both footprints, and what keeps
+    /// validation sound — the branch choice depended on those reads).
+    frames: Vec<CheckFrame>,
+    /// Displaced pre-frame values, `(index in writes, old value)`, shared
+    /// by all open frames and partitioned by each frame's `undo_base`.
+    undo: Vec<(usize, Box<dyn Any + Send>)>,
+}
+
+/// One open `or_else` checkpoint: enough to restore the write set to its
+/// state at [`TxLog::checkpoint`] time. Entries at `writes_len..` were
+/// created inside the frame (dropped wholesale on rollback); replacements
+/// of entries below it are journaled in `undo` from `undo_base`.
+struct CheckFrame {
+    writes_len: usize,
+    undo_base: usize,
 }
 
 impl std::fmt::Debug for TxLog {
@@ -132,6 +152,51 @@ impl TxLog {
         self.write_index.clear();
         self.stripe_buf.clear();
         self.held_buf.clear();
+        self.frames.clear();
+        self.undo.clear();
+    }
+
+    /// Opens an `or_else` checkpoint over the write set.
+    pub(crate) fn checkpoint(&mut self) {
+        self.frames.push(CheckFrame {
+            writes_len: self.writes.len(),
+            undo_base: self.undo.len(),
+        });
+    }
+
+    /// Closes the innermost checkpoint, keeping the writes made since.
+    pub(crate) fn commit_checkpoint(&mut self) {
+        self.frames.pop();
+        if self.frames.is_empty() {
+            // No outer frame can roll back past this point; the journal
+            // is dead weight.
+            self.undo.clear();
+        }
+    }
+
+    /// Restores the write set to the innermost checkpoint: replays the
+    /// frame's undo journal (newest first, so multiple replacements of
+    /// one cell land on the pre-frame value) and drops entries created
+    /// inside the frame.
+    pub(crate) fn rollback_to_checkpoint(&mut self) {
+        let f = self.frames.pop().expect("rollback without checkpoint");
+        for (i, old) in self.undo.drain(f.undo_base..).rev() {
+            self.writes[i].value = old;
+        }
+        for w in self.writes.drain(f.writes_len..) {
+            self.write_index.remove(&w.id);
+        }
+    }
+
+    /// Journals a displaced value if the innermost open frame predates
+    /// the entry (entries born inside the frame are simply truncated on
+    /// rollback).
+    fn record_undo(&mut self, index: usize, old: Box<dyn Any + Send>) {
+        if let Some(f) = self.frames.last() {
+            if index < f.writes_len {
+                self.undo.push((index, old));
+            }
+        }
     }
 
     /// Whether this transaction holds the read lock on `stripe`.
@@ -203,8 +268,9 @@ impl TxLog {
         value: Box<dyn Any + Send>,
     ) {
         if self.writes.len() <= WRITE_INDEX_THRESHOLD {
-            if let Some(w) = self.writes.iter_mut().find(|w| w.id == id) {
-                w.value = value;
+            if let Some(i) = self.writes.iter().position(|w| w.id == id) {
+                let old = std::mem::replace(&mut self.writes[i].value, value);
+                self.record_undo(i, old);
                 return;
             }
             self.writes.push(WriteEntry { id, var, value });
@@ -218,7 +284,10 @@ impl TxLog {
             return;
         }
         match self.write_index.get(&id) {
-            Some(&i) => self.writes[i].value = value,
+            Some(&i) => {
+                let old = std::mem::replace(&mut self.writes[i].value, value);
+                self.record_undo(i, old);
+            }
             None => {
                 self.writes.push(WriteEntry { id, var, value });
                 self.write_index.insert(id, self.writes.len() - 1);
@@ -374,6 +443,89 @@ mod tests {
             Some(10 * (vars.len() - 1))
         );
         assert_eq!(log.writes.len(), vars.len() - 2);
+    }
+
+    #[test]
+    fn rollback_restores_pre_checkpoint_writes() {
+        let mut log = TxLog::default();
+        let a = TVar::new(1u64);
+        let b = TVar::new(2u64);
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(10u64));
+        log.checkpoint();
+        // Replace a pre-frame entry and create a new one inside the frame.
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(11u64));
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(12u64));
+        log.buffer_write(b.id(), b.as_dyn(), Box::new(20u64));
+        log.rollback_to_checkpoint();
+        assert_eq!(log.writes.len(), 1);
+        let w = log.lookup_write(a.id()).expect("kept");
+        assert_eq!(*w.value.downcast_ref::<u64>().expect("type"), 10);
+        assert!(log.lookup_write(b.id()).is_none());
+    }
+
+    #[test]
+    fn commit_checkpoint_keeps_branch_writes() {
+        let mut log = TxLog::default();
+        let a = TVar::new(1u64);
+        log.checkpoint();
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(5u64));
+        log.commit_checkpoint();
+        let w = log.lookup_write(a.id()).expect("kept");
+        assert_eq!(*w.value.downcast_ref::<u64>().expect("type"), 5);
+    }
+
+    #[test]
+    fn nested_frames_roll_back_independently() {
+        let mut log = TxLog::default();
+        let a = TVar::new(0u64);
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(1u64));
+        log.checkpoint(); // outer
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(2u64));
+        log.checkpoint(); // inner
+        log.buffer_write(a.id(), a.as_dyn(), Box::new(3u64));
+        log.rollback_to_checkpoint(); // undo inner
+        let val = |log: &TxLog| {
+            *log.lookup_write(a.id())
+                .expect("buffered")
+                .value
+                .downcast_ref::<u64>()
+                .expect("type")
+        };
+        assert_eq!(val(&log), 2);
+        log.rollback_to_checkpoint(); // undo outer
+        assert_eq!(val(&log), 1);
+    }
+
+    #[test]
+    fn rollback_prunes_the_write_index_past_the_threshold() {
+        // Entries dropped by a rollback must disappear from the hash
+        // index too, or a later lookup would resurrect a ghost.
+        let vars: Vec<TVar<usize>> = (0..(WRITE_INDEX_THRESHOLD + 10)).map(TVar::new).collect();
+        let mut log = TxLog::default();
+        for (i, v) in vars.iter().take(WRITE_INDEX_THRESHOLD).enumerate() {
+            log.buffer_write(v.id(), v.as_dyn(), Box::new(i));
+        }
+        log.checkpoint();
+        for (i, v) in vars.iter().enumerate().skip(WRITE_INDEX_THRESHOLD) {
+            log.buffer_write(v.id(), v.as_dyn(), Box::new(i));
+        }
+        assert!(log.writes.len() > WRITE_INDEX_THRESHOLD);
+        log.rollback_to_checkpoint();
+        assert_eq!(log.writes.len(), WRITE_INDEX_THRESHOLD);
+        assert!(log
+            .lookup_write(vars[WRITE_INDEX_THRESHOLD + 2].id())
+            .is_none());
+        // Regrow across the threshold: the rebuilt index must be exact.
+        for (i, v) in vars.iter().enumerate().skip(WRITE_INDEX_THRESHOLD) {
+            log.buffer_write(v.id(), v.as_dyn(), Box::new(100 + i));
+        }
+        let w = log
+            .lookup_write(vars[WRITE_INDEX_THRESHOLD + 2].id())
+            .expect("rebuffered");
+        assert_eq!(
+            *w.value.downcast_ref::<usize>().expect("type"),
+            100 + WRITE_INDEX_THRESHOLD + 2
+        );
     }
 
     #[test]

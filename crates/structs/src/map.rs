@@ -113,6 +113,23 @@ impl<K: TxValue + Hash + Eq, V: TxValue> THashMap<K, V> {
         Ok(self.get(tx, key)?.is_some())
     }
 
+    /// The value for `key`, **blocking** (via [`Transaction::retry`])
+    /// until some transaction inserts it: the waiter parks on the key's
+    /// bucket stripe and re-runs when a commit touches it. Use
+    /// [`THashMap::get`]'s `Ok(None)` when absence is an answer rather
+    /// than a reason to wait.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on conflict, and whenever `key` is absent (the engine
+    /// turns that into a parked wait).
+    pub fn get_wait(&self, tx: &mut Transaction<'_>, key: &K) -> Result<V, Retry> {
+        match self.get(tx, key)? {
+            Some(v) => Ok(v),
+            None => tx.retry(),
+        }
+    }
+
     /// Inserts `key -> value`, returning the previous value if any.
     ///
     /// # Errors
@@ -199,6 +216,20 @@ mod tests {
 
     fn engines() -> Vec<Stm> {
         vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
+    }
+
+    #[test]
+    fn get_wait_blocks_until_the_key_arrives() {
+        let stm = Stm::tl2();
+        let m: THashMap<u64, String> = THashMap::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let v = stm.atomically(|tx| m.get_wait(tx, &1));
+                assert_eq!(v, "ready");
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            stm.atomically(|tx| m.insert(tx, 1, "ready".to_string()));
+        });
     }
 
     #[test]

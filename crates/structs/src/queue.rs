@@ -115,6 +115,47 @@ impl<T: TxValue> TQueue<T> {
         }
     }
 
+    /// Removes and returns the element at the head, **blocking** (via
+    /// [`Transaction::retry`]) until one exists: the transaction parks
+    /// on the queue's head stripes and re-runs when an enqueue commits —
+    /// no polling loop, no busy re-execution against an empty queue.
+    ///
+    /// [`TQueue::dequeue`]'s `Ok(None)` return is the explicit
+    /// *non-blocking* opt-out: use it when an empty queue is an answer
+    /// (polling, draining, opportunistic batching) rather than a reason
+    /// to wait. Combine this method with [`Transaction::or_else`] to
+    /// wait on a queue *or* some other condition (e.g. a shutdown flag).
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on conflict, and — by design — whenever the queue is
+    /// empty (the engine turns that into a parked wait rather than a
+    /// spin).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ptm_stm::Stm;
+    /// use ptm_structs::TQueue;
+    /// use std::thread;
+    ///
+    /// let stm = Stm::tl2();
+    /// let q: TQueue<u64> = TQueue::new();
+    /// thread::scope(|s| {
+    ///     s.spawn(|| {
+    ///         // Sleeps until the enqueue below commits.
+    ///         assert_eq!(stm.atomically(|tx| q.dequeue_wait(tx)), 42);
+    ///     });
+    ///     stm.atomically(|tx| q.enqueue(tx, 42));
+    /// });
+    /// ```
+    pub fn dequeue_wait(&self, tx: &mut Transaction<'_>) -> Result<T, Retry> {
+        match self.dequeue(tx)? {
+            Some(value) => Ok(value),
+            None => tx.retry(),
+        }
+    }
+
     /// Reads the head element without removing it.
     ///
     /// # Errors
@@ -209,6 +250,29 @@ mod tests {
         assert_eq!(stm.atomically(|tx| q.dequeue(tx)), Some(2));
         assert_eq!(stm.atomically(|tx| q.dequeue(tx)), Some(3));
         assert_eq!(stm.atomically(|tx| q.dequeue(tx)), None);
+    }
+
+    #[test]
+    fn dequeue_wait_blocks_until_an_enqueue_commits() {
+        for stm in engines() {
+            let q: TQueue<u64> = TQueue::new();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    assert_eq!(stm.atomically(|tx| q.dequeue_wait(tx)), 7);
+                });
+                // Give the consumer a chance to park before producing.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                stm.atomically(|tx| q.enqueue(tx, 7));
+            });
+        }
+    }
+
+    #[test]
+    fn dequeue_wait_returns_immediately_when_nonempty() {
+        let stm = Stm::tl2();
+        let q: TQueue<u64> = TQueue::new();
+        stm.atomically(|tx| q.enqueue(tx, 1));
+        assert_eq!(stm.atomically(|tx| q.dequeue_wait(tx)), 1);
     }
 
     #[test]

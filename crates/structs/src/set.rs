@@ -132,6 +132,23 @@ impl<T: TxValue + Ord> TSet<T> {
         Ok(false)
     }
 
+    /// Blocks (via [`Transaction::retry`]) until `key` is present: the
+    /// waiter parks on the set's chain stripes and re-runs when a
+    /// commit overlaps them. Use [`TSet::contains`]'s `Ok(false)` when
+    /// absence is an answer rather than a reason to wait.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on conflict, and whenever `key` is absent (the engine
+    /// turns that into a parked wait).
+    pub fn wait_contains(&self, tx: &mut Transaction<'_>, key: &T) -> Result<(), Retry> {
+        if self.contains(tx, key)? {
+            Ok(())
+        } else {
+            tx.retry()
+        }
+    }
+
     /// Every key in `[lo, hi]`, ascending (the inclusive range scan the
     /// ordered representation exists for).
     ///
@@ -200,6 +217,20 @@ mod tests {
 
     fn engines() -> Vec<Stm> {
         vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
+    }
+
+    #[test]
+    fn wait_contains_blocks_until_insert() {
+        let stm = Stm::tl2();
+        let set: TSet<u64> = TSet::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                stm.atomically(|tx| set.wait_contains(tx, &5));
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            stm.atomically(|tx| set.insert(tx, 5));
+        });
+        assert!(stm.atomically(|tx| set.contains(tx, &5)));
     }
 
     #[test]

@@ -8,44 +8,74 @@
 //! ```
 
 use progressive_tm::model::{is_opaque, History};
-use progressive_tm::stm::{Algorithm, HistoryRecorder, Stm};
+use progressive_tm::stm::{Algorithm, HistoryRecorder, Stm, TVar};
 use progressive_tm::structs::{TArray, THashMap, TQueue, TSet};
 use std::sync::Arc;
 
 fn main() {
     // --- Part 1: throughput-shaped concurrent churn, no recording. ---
+    // Workers *block* on the queue with `dequeue_wait` (parked on the
+    // queue's stripes, zero CPU while idle) and compose it with a
+    // shutdown flag through `or_else` — the CMT idiom for "take a job,
+    // or notice we're done". `dequeue`'s `Ok(None)` stays available as
+    // the explicit non-blocking opt-out for polling-shaped code.
     let stm = Arc::new(Stm::tl2());
     let jobs: TQueue<u64> = TQueue::new();
     let results: THashMap<u64, u64> = THashMap::new();
     let finished: TSet<u64> = TSet::new();
+    let done: TVar<bool> = TVar::new(false);
     let total_jobs = 512u64;
-
-    stm.atomically(|tx| {
-        for j in 0..total_jobs {
-            jobs.enqueue(tx, j)?;
-        }
-        Ok(())
-    });
 
     std::thread::scope(|s| {
         for _ in 0..4 {
             let stm = Arc::clone(&stm);
             let (jobs, results, finished) = (jobs.clone(), results.clone(), finished.clone());
+            let done = done.clone();
             s.spawn(move || loop {
-                // One atomic step: pop a job, record its result, mark it done.
-                let more = stm.atomically(|tx| match jobs.dequeue(tx)? {
-                    Some(j) => {
-                        results.insert(tx, j, j * j)?;
-                        finished.insert(tx, j)?;
-                        Ok(true)
-                    }
-                    None => Ok(false),
+                // One atomic step: pop a job (or sleep until one exists),
+                // record its result, mark it done — falling through to
+                // the shutdown flag only when the queue is empty.
+                let job = stm.atomically(|tx| {
+                    tx.or_else(
+                        |tx| {
+                            let j = jobs.dequeue_wait(tx)?;
+                            results.insert(tx, j, j * j)?;
+                            finished.insert(tx, j)?;
+                            Ok(Some(j))
+                        },
+                        |tx| {
+                            if tx.read(&done)? {
+                                Ok(None)
+                            } else {
+                                tx.retry() // queue empty, not done: sleep
+                            }
+                        },
+                    )
                 });
-                if !more {
+                if job.is_none() {
                     break;
                 }
             });
         }
+        // Produce with the workers already live: a parked worker is woken
+        // by each batch as it commits.
+        for batch in (0..total_jobs).collect::<Vec<_>>().chunks(64) {
+            stm.atomically(|tx| {
+                for &j in batch {
+                    jobs.enqueue(tx, j)?;
+                }
+                Ok(())
+            });
+        }
+        // Wait for the queue to drain, then flip the flag — the write
+        // wakes every worker still parked on the empty queue.
+        stm.atomically(|tx| {
+            if jobs.is_empty(tx)? && finished.len(tx)? as u64 == total_jobs {
+                tx.write(&done, true)
+            } else {
+                tx.retry()
+            }
+        });
     });
 
     let done = stm.atomically(|tx| finished.len(tx));

@@ -1,0 +1,433 @@
+//! Torture tests for the blocking `retry`/`or_else` tier: lost-wakeup
+//! hunting across all six algorithms, the adaptive mode switch with
+//! consumers parked, the register-vs-commit interleaving window, the
+//! `or_else` rollback semantics, and the async bridge.
+//!
+//! Every blocking scenario runs under a watchdog: a lost wakeup
+//! manifests as a hang (the 250 ms safety-net timeout would eventually
+//! rescue it, but a *systematic* loss would rescue-loop forever), so the
+//! watchdog converts "hung" into "failed" instead of stalling CI.
+
+use progressive_tm::stm::{AdaptiveConfig, Algorithm, Retry, Stm, TVar};
+use progressive_tm::structs::TQueue;
+use std::collections::HashSet;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Poison pill that tells a consumer to stop.
+const STOP: u64 = u64::MAX;
+
+/// Runs `scenario` on a detached thread and fails the test if it does
+/// not finish within `timeout`. Detached on purpose: `thread::scope`
+/// would join (= hang with) a stuck thread, while a leaked thread lets
+/// the test report the hang. State must therefore be `'static` (`Arc`).
+fn watchdog(timeout: Duration, scenario: impl FnOnce() + Send + 'static) {
+    let (done_tx, done_rx) = mpsc::channel();
+    let t = thread::Builder::new()
+        .name("scenario".into())
+        .spawn(move || {
+            scenario();
+            let _ = done_tx.send(());
+        })
+        .expect("spawn scenario");
+    match done_rx.recv_timeout(timeout) {
+        Ok(()) => {
+            let _ = t.join();
+        }
+        Err(_) => panic!("scenario exceeded its {timeout:?} watchdog — lost wakeup?"),
+    }
+}
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Tl2,
+        Algorithm::Incremental,
+        Algorithm::Norec,
+        Algorithm::Tlrw,
+        Algorithm::Mv,
+        Algorithm::Adaptive,
+    ]
+}
+
+/// N producers, M blocking consumers, every item observed exactly once.
+fn producer_consumer_torture(stm: Arc<Stm>, producers: u64, consumers: u64, per_producer: u64) {
+    let q: TQueue<u64> = TQueue::new();
+    let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    thread::scope(|s| {
+        for c in 0..consumers {
+            let (stm, q, seen) = (Arc::clone(&stm), q.clone(), Arc::clone(&seen));
+            s.spawn(move || loop {
+                let v = stm.atomically(|tx| q.dequeue_wait(tx));
+                if v == STOP {
+                    break;
+                }
+                assert!(
+                    seen.lock().expect("seen").insert(v),
+                    "consumer {c} saw {v} twice"
+                );
+            });
+        }
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let (stm, q) = (Arc::clone(&stm), q.clone());
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        stm.atomically(|tx| q.enqueue(tx, p * per_producer + i));
+                        if i % 16 == 0 {
+                            // Let consumers drain so parking actually
+                            // happens (an always-full queue never parks).
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("producer");
+        }
+        for _ in 0..consumers {
+            stm.atomically(|tx| q.enqueue(tx, STOP));
+        }
+    });
+    let seen = seen.lock().expect("seen");
+    assert_eq!(
+        seen.len() as u64,
+        producers * per_producer,
+        "every produced item must be consumed exactly once"
+    );
+}
+
+#[test]
+fn no_lost_wakeups_under_any_algorithm() {
+    for algo in all_algorithms() {
+        watchdog(Duration::from_secs(120), move || {
+            producer_consumer_torture(Arc::new(Stm::new(algo)), 3, 3, 300);
+        });
+    }
+}
+
+#[test]
+fn parked_consumers_survive_an_adaptive_mode_switch() {
+    // Consumers park under the invisible mode; the write churn below
+    // forces the controller to reinterpret the orec table (reset_all).
+    // The waiter lists live beside the words, not in them, so the parked
+    // registrations must survive and the post-switch enqueues must land.
+    watchdog(Duration::from_secs(120), || {
+        let stm = Arc::new(
+            Stm::builder(Algorithm::Adaptive)
+                .adaptive_config(AdaptiveConfig {
+                    window_commits: 16,
+                    hysteresis_windows: 1,
+                    ..AdaptiveConfig::default()
+                })
+                .build(),
+        );
+        let q: TQueue<u64> = TQueue::new();
+        let got: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        thread::scope(|s| {
+            for _ in 0..2 {
+                let (stm, q, got) = (Arc::clone(&stm), q.clone(), Arc::clone(&got));
+                s.spawn(move || loop {
+                    let v = stm.atomically(|tx| q.dequeue_wait(tx));
+                    if v == STOP {
+                        break;
+                    }
+                    got.lock().expect("got").push(v);
+                });
+            }
+            // Give the consumers time to park on the empty queue.
+            thread::sleep(Duration::from_millis(50));
+            // Write-heavy churn on unrelated vars drives the controller
+            // toward visible mode while the consumers stay parked.
+            let cells: Vec<TVar<u64>> = (0..8).map(TVar::new).collect();
+            for round in 0..64u64 {
+                stm.atomically(|tx| {
+                    for c in &cells {
+                        tx.modify(c, |x| x + round)?;
+                    }
+                    Ok(())
+                });
+            }
+            // Whatever mode is live now, the enqueues must wake them.
+            for v in 0..32u64 {
+                stm.atomically(|tx| q.enqueue(tx, v));
+            }
+            for _ in 0..2 {
+                stm.atomically(|tx| q.enqueue(tx, STOP));
+            }
+        });
+        let snap = stm.stats().snapshot();
+        assert!(
+            snap.mode_transitions >= 1,
+            "churn was meant to force a mode switch (got {snap})"
+        );
+        let mut got = Arc::try_unwrap(got)
+            .expect("threads joined")
+            .into_inner()
+            .expect("got");
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn register_vs_commit_interleaving_never_strands_the_waiter() {
+    // Hammer the narrow window between waiter registration and the
+    // park: a producer that commits right as the consumer registers
+    // must either be seen by the pre-park revalidation or deliver a
+    // wake. Each round is one park/enqueue handshake; a stranded waiter
+    // would eat its full 250 ms safety-net timeout, and 500 of those
+    // would blow the watchdog (and the elapsed bound) wide open.
+    watchdog(Duration::from_secs(120), || {
+        let rounds = 500u64;
+        let stm = Arc::new(Stm::tl2());
+        let q: TQueue<u64> = TQueue::new();
+        let start = Instant::now();
+        thread::scope(|s| {
+            let consumer = {
+                let (stm, q) = (Arc::clone(&stm), q.clone());
+                s.spawn(move || {
+                    for expect in 0..rounds {
+                        assert_eq!(stm.atomically(|tx| q.dequeue_wait(tx)), expect);
+                    }
+                })
+            };
+            let (stm, q) = (Arc::clone(&stm), q.clone());
+            s.spawn(move || {
+                for v in 0..rounds {
+                    // No pacing: racing the consumer's register window is
+                    // the point.
+                    stm.atomically(|tx| q.enqueue(tx, v));
+                    while !stm.atomically(|tx| q.is_empty(tx)) {
+                        thread::yield_now();
+                    }
+                }
+            });
+            consumer.join().expect("consumer");
+        });
+        let elapsed = start.elapsed();
+        let snap = stm.stats().snapshot();
+        // Generous bound: even a handful of timed-out parks fit, but a
+        // systematic lost wakeup (500 × 250 ms ≈ 125 s) cannot.
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "rounds took {elapsed:?} — waiters are being stranded ({snap})"
+        );
+    });
+}
+
+#[test]
+fn parked_consumers_burn_no_cpu_while_idle() {
+    // The whole point of the tier: a consumer blocked on an empty queue
+    // must sit in `park`, not in a retry loop. Over an idle window, the
+    // instance-wide commit/abort/probe deltas must stay flat (a polling
+    // consumer racks up thousands of aborted attempts in 200 ms).
+    watchdog(Duration::from_secs(60), || {
+        let stm = Arc::new(Stm::tl2());
+        let q: TQueue<u64> = TQueue::new();
+        thread::scope(|s| {
+            let (stm2, q2) = (Arc::clone(&stm), q.clone());
+            s.spawn(move || {
+                assert_eq!(stm2.atomically(|tx| q2.dequeue_wait(tx)), 1);
+            });
+            thread::sleep(Duration::from_millis(50)); // let it park
+            let before = stm.stats().snapshot();
+            thread::sleep(Duration::from_millis(200)); // idle window
+            let idle = stm.stats().snapshot().since(&before);
+            stm.atomically(|tx| q.enqueue(tx, 1));
+            assert_eq!(idle.commits, 0, "idle window: {idle}");
+            assert!(
+                idle.aborts <= 2 && idle.validation_probes <= 16,
+                "a parked consumer must be idle, not polling: {idle}"
+            );
+        });
+        assert!(stm.stats().snapshot().parks >= 1);
+    });
+}
+
+// --- or_else semantics ---------------------------------------------------
+
+#[test]
+fn or_else_prefers_the_first_ready_branch() {
+    let stm = Stm::tl2();
+    let a = TVar::new(Some(1u64));
+    let b = TVar::new(Some(2u64));
+    let pick = |v: &TVar<Option<u64>>| {
+        let v = v.clone();
+        move |tx: &mut progressive_tm::stm::Transaction<'_>| match tx.read(&v)? {
+            Some(x) => Ok(x),
+            None => tx.retry(),
+        }
+    };
+    assert_eq!(stm.atomically(|tx| tx.or_else(pick(&a), pick(&b))), 1);
+    stm.atomically(|tx| tx.write(&a, None));
+    assert_eq!(stm.atomically(|tx| tx.or_else(pick(&a), pick(&b))), 2);
+}
+
+#[test]
+fn or_else_rolls_back_the_first_branchs_writes() {
+    let stm = Stm::tl2();
+    let gate = TVar::new(false);
+    let scratch = TVar::new(0u64);
+    let out = stm.atomically(|tx| {
+        tx.or_else(
+            |tx| {
+                // Writes something, then decides to wait: the write must
+                // not leak into the fallback's world (or the commit).
+                tx.write(&scratch, 99)?;
+                if tx.read(&gate)? {
+                    Ok(1u64)
+                } else {
+                    tx.retry()
+                }
+            },
+            |tx| tx.read(&scratch),
+        )
+    });
+    assert_eq!(out, 0, "fallback must see the pre-branch value");
+    assert_eq!(stm.atomically(|tx| tx.read(&scratch)), 0);
+}
+
+#[test]
+fn or_else_double_retry_wakes_on_either_footprint() {
+    // Both branches wait; the attempt parks on the union, so a write to
+    // *either* side must wake it.
+    for flip_first in [true, false] {
+        watchdog(Duration::from_secs(60), move || {
+            let stm = Arc::new(Stm::tl2());
+            let a = Arc::new(TVar::new(None::<u64>));
+            let b = Arc::new(TVar::new(None::<u64>));
+            thread::scope(|s| {
+                let (stm2, a2, b2) = (Arc::clone(&stm), Arc::clone(&a), Arc::clone(&b));
+                s.spawn(move || {
+                    let got = stm2.atomically(|tx| {
+                        tx.or_else(
+                            |tx| match tx.read(&a2)? {
+                                Some(v) => Ok(v),
+                                None => tx.retry(),
+                            },
+                            |tx| match tx.read(&b2)? {
+                                Some(v) => Ok(v),
+                                None => tx.retry(),
+                            },
+                        )
+                    });
+                    assert_eq!(got, 5);
+                });
+                thread::sleep(Duration::from_millis(50)); // let it park
+                let target = if flip_first { &a } else { &b };
+                stm.atomically(|tx| tx.write(target, Some(5)));
+            });
+        });
+    }
+}
+
+#[test]
+fn or_else_refuses_a_poisoned_attempt() {
+    // Only a *logical* retry falls through to the fallback. An attempt
+    // that is already poisoned (here: a swallowed retry outside the
+    // combinator stands in for any doomed attempt) must get Err from
+    // or_else without either branch running — running a fallback on a
+    // dead attempt would do work the commit can never honor.
+    let stm = Stm::tl2();
+    let fallback_ran = std::cell::Cell::new(false);
+    let out = stm.try_once(|tx| {
+        let _: Result<u64, Retry> = tx.retry(); // swallowed: poisons the attempt
+        tx.or_else(
+            |_tx| -> Result<u64, Retry> { panic!("first branch must not run") },
+            |_tx| {
+                fallback_ran.set(true);
+                Ok(0)
+            },
+        )
+    });
+    assert_eq!(out, None, "a poisoned attempt cannot commit");
+    assert!(!fallback_ran.get(), "fallback must not run either");
+}
+
+// --- async bridge --------------------------------------------------------
+
+/// Minimal single-future executor: parks the test thread between polls.
+fn block_on<F: Future>(mut fut: Pin<&mut F>) -> F::Output {
+    struct Unpark(thread::Thread);
+    impl Wake for Unpark {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(Unpark(thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => thread::park(),
+        }
+    }
+}
+
+#[test]
+fn run_async_commits_without_waiting_when_ready() {
+    let stm = Stm::tl2();
+    let v = TVar::new(41u64);
+    let fut = stm.run_async(|tx| {
+        let x = tx.read(&v)?;
+        tx.write(&v, x + 1)?;
+        Ok(x + 1)
+    });
+    assert_eq!(block_on(std::pin::pin!(fut)), Ok(42));
+    assert_eq!(v.load(), 42);
+}
+
+#[test]
+fn run_async_suspends_on_retry_and_resumes_on_commit() {
+    watchdog(Duration::from_secs(60), || {
+        let stm = Arc::new(Stm::tl2());
+        let inbox = Arc::new(TVar::new(None::<u64>));
+        thread::scope(|s| {
+            let (stm2, inbox2) = (Arc::clone(&stm), Arc::clone(&inbox));
+            s.spawn(move || {
+                let fut = stm2.run_async(|tx| match tx.read(&inbox2)? {
+                    Some(v) => Ok(v),
+                    None => tx.retry(),
+                });
+                assert_eq!(block_on(std::pin::pin!(fut)), Ok(9));
+            });
+            thread::sleep(Duration::from_millis(50)); // let it suspend
+            stm.atomically(|tx| tx.write(&inbox, Some(9)));
+        });
+        let snap = stm.stats().snapshot();
+        assert!(snap.parks >= 1, "the future should have registered: {snap}");
+    });
+}
+
+#[test]
+fn run_async_is_cancel_safe() {
+    // Poll once (registers a waiter), then drop the future: the
+    // registration must come off the lists, and later commits must not
+    // touch freed state.
+    let stm = Stm::tl2();
+    let inbox = TVar::new(None::<u64>);
+    {
+        let fut = stm.run_async(|tx| match tx.read(&inbox)? {
+            Some(v) => Ok(v),
+            None => tx.retry(),
+        });
+        let mut fut = std::pin::pin!(fut);
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let waker = Waker::from(Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+        assert!(fut.as_mut().poll(&mut cx).is_pending());
+    } // dropped while registered
+    for i in 0..100 {
+        stm.atomically(|tx| tx.write(&inbox, Some(i)));
+    }
+    assert_eq!(inbox.load(), Some(99));
+}
