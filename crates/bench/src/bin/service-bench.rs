@@ -1,0 +1,18 @@
+//! Emits the `BENCH_service.json` baseline: YCSB-style workloads over
+//! the sharded KV service, all six algorithms × shard counts, with
+//! p50/p99 latency. `cargo run --release -p ptm-bench --bin
+//! service-bench [-- --quick] [-- --out PATH]`; `--quick` shrinks the
+//! sweep for CI smoke runs, without `--out` the canonical
+//! workspace-root baseline is rewritten.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(ptm_bench::service::service_baseline_path);
+    ptm_bench::service::run_and_emit(quick, &out);
+}

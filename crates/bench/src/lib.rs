@@ -13,8 +13,10 @@
 //! The `paper_tables` bench target (`cargo bench -p ptm-bench --bench
 //! paper_tables`, or `cargo run -p ptm-bench --bin paper-tables`) renders
 //! every table; `native_stm` holds the microbenchmarks of the native STM
-//! (E11/E12) and `structs` the transactional data-structure workloads
-//! (E13), each emitting a JSON throughput baseline.
+//! (E11/E12), `structs` the transactional data-structure workloads
+//! (E13), and [`service`] the YCSB-style workloads against the sharded
+//! KV service (throughput plus p50/p99 latency), each emitting a JSON
+//! baseline.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,6 +24,7 @@
 pub mod figure1;
 pub mod native;
 pub mod rmr;
+pub mod service;
 pub mod space;
 pub mod structs;
 pub mod table;

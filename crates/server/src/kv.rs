@@ -1,0 +1,329 @@
+//! The shard router and cross-shard two-phase commit coordinator.
+//!
+//! A [`ShardedKv`] owns N independent [`Stm`] instances, each carrying a
+//! [`THashMap`] partition. Keys are routed by hash; single-key
+//! operations run as ordinary one-shot transactions on the owning shard
+//! and never pay any cross-shard cost. Multi-key transactions
+//! ([`ShardedKv::transact`]) and consistent scans ([`ShardedKv::scan`])
+//! span shards and commit through the coordinator in this module.
+//!
+//! ## The coordinator's protocol
+//!
+//! 1. run the body, lazily opening one [`Transaction`] per touched
+//!    shard (a shard untouched by the body costs nothing);
+//! 2. **prepare in ascending shard index**:
+//!    [`Transaction::prepare_commit`] acquires that shard's commit locks
+//!    and validates its read set, publishing nothing;
+//! 3. if every prepare held, **publish all**
+//!    ([`Transaction::commit_prepared`]); if any failed, abort the ones
+//!    already prepared ([`Transaction::abort_prepared`]) — no shard
+//!    observes anything — and re-run the body.
+//!
+//! Atomicity (no torn cross-shard reads) follows from the engine's
+//! prepare/publish split: the coordinator holds *every* shard's commit
+//! locks from before its first publish until after that shard's own
+//! publish, and a consistent scan is itself a read-only 2PC that
+//! revalidates every shard at prepare time — the per-algorithm torn-cut
+//! argument lives in `ptm_stm`'s `twophase` module docs. Deadlock
+//! freedom is this module's obligation and comes from the single global
+//! prepare order: stripe-locking prepares are try-lock fail-fast, and
+//! NOrec's sequence-lock spin only ever waits on a lower-indexed holder
+//! chain that terminates at a coordinator free to publish.
+
+use ptm_stm::{Algorithm, Retry, Stm, StmStats, Transaction, TxValue};
+use ptm_structs::THashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Geometry and policy knobs for a [`ShardedKv`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of shards (independent `Stm` instances). Minimum 1.
+    pub shards: usize,
+    /// The STM algorithm every shard runs.
+    pub algorithm: Algorithm,
+    /// `THashMap` buckets per shard (rounded up to a power of two).
+    /// More buckets, fewer false conflicts within a shard.
+    pub buckets_per_shard: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            algorithm: Algorithm::Tl2,
+            buckets_per_shard: 64,
+        }
+    }
+}
+
+/// One shard: an `Stm` instance plus its key partition.
+struct Shard<K, V> {
+    stm: Stm,
+    map: THashMap<K, V>,
+}
+
+/// A sharded transactional key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use ptm_server::ShardedKv;
+/// use ptm_stm::Algorithm;
+///
+/// let kv = ShardedKv::new(4, Algorithm::Tl2);
+/// kv.put(1u64, 10u64);
+/// kv.put(2u64, 20u64);
+/// // A cross-shard transfer: atomic however the keys are partitioned.
+/// kv.transact(|tx| {
+///     let a = tx.get(&1)?.unwrap_or(0);
+///     let b = tx.get(&2)?.unwrap_or(0);
+///     tx.put(1, a - 5)?;
+///     tx.put(2, b + 5)?;
+///     Ok(())
+/// });
+/// assert_eq!(kv.get(&1), Some(5));
+/// assert_eq!(kv.get(&2), Some(25));
+/// let total: u64 = kv.scan().into_iter().map(|(_, v)| v).sum();
+/// assert_eq!(total, 30);
+/// ```
+pub struct ShardedKv<K, V> {
+    shards: Box<[Shard<K, V>]>,
+}
+
+impl<K, V> fmt::Debug for ShardedKv<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedKv")
+            .field("shards", &self.shards.len())
+            .field("algorithm", &self.shards[0].stm.algorithm())
+            .finish()
+    }
+}
+
+impl<K: TxValue + Hash + Eq, V: TxValue> ShardedKv<K, V> {
+    /// A store with `shards` shards all running `algorithm`, default
+    /// bucket count.
+    pub fn new(shards: usize, algorithm: Algorithm) -> Self {
+        ShardedKv::with_config(ServiceConfig {
+            shards,
+            algorithm,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// A store with explicit geometry.
+    pub fn with_config(cfg: ServiceConfig) -> Self {
+        let n = cfg.shards.max(1);
+        ShardedKv {
+            shards: (0..n)
+                .map(|_| Shard {
+                    stm: Stm::builder(cfg.algorithm).build(),
+                    map: THashMap::with_buckets(cfg.buckets_per_shard),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// The statistics ledger of one shard's `Stm` instance.
+    pub fn shard_stats(&self, shard: usize) -> &StmStats {
+        self.shards[shard].stm.stats()
+    }
+
+    /// Reads one key. Single-shard: an ordinary transaction on the
+    /// owning shard.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let s = &self.shards[self.shard_of(key)];
+        s.stm.atomically(|tx| s.map.get(tx, key))
+    }
+
+    /// Writes one key, returning the previous value. Single-shard.
+    pub fn put(&self, key: K, value: V) -> Option<V> {
+        let s = &self.shards[self.shard_of(&key)];
+        s.stm
+            .atomically(|tx| s.map.insert(tx, key.clone(), value.clone()))
+    }
+
+    /// Removes one key, returning its value. Single-shard.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let s = &self.shards[self.shard_of(key)];
+        s.stm.atomically(|tx| s.map.remove(tx, key))
+    }
+
+    /// A **consistent** snapshot of the whole store: every entry of
+    /// every shard, as of one serialization point across all shards.
+    ///
+    /// Implemented as a read-only cross-shard transaction: snapshot each
+    /// shard, then prepare each shard in ascending order — a read-only
+    /// prepare revalidates the shard's whole read set, so a multi-shard
+    /// commit that landed between two of the snapshots fails the prepare
+    /// and the scan re-runs. This is the operation the atomicity stress
+    /// test aims at concurrent transfers: the returned entries never
+    /// show a transfer half-applied.
+    pub fn scan(&self) -> Vec<(K, V)> {
+        self.transact(|tx| {
+            let mut out = Vec::new();
+            for s in 0..tx.kv.shard_count() {
+                out.extend(tx.shard_snapshot(s)?);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Runs `body` as one atomic transaction over however many shards
+    /// it touches, committing via the ordered two-phase protocol in the
+    /// module docs. Re-runs the body on conflict ([`Retry`] from any
+    /// operation, a failed prepare, or an `Err(Retry)` return).
+    ///
+    /// The service tier has no blocking `retry` semantics: an
+    /// `Err(Retry)` out of the body means "conflict, run me again", not
+    /// "park until the data changes".
+    pub fn transact<T>(
+        &self,
+        mut body: impl FnMut(&mut ServiceTx<'_, K, V>) -> Result<T, Retry>,
+    ) -> T {
+        let mut attempt = 0u64;
+        loop {
+            let mut stx = ServiceTx {
+                kv: self,
+                slots: (0..self.shards.len()).map(|_| None).collect(),
+            };
+            match body(&mut stx) {
+                Ok(out) => {
+                    if stx.commit() {
+                        return out;
+                    }
+                }
+                Err(Retry) => stx.rollback(),
+            }
+            attempt += 1;
+            // Coordinator-level backoff: brief spins first, then hand
+            // the core to whichever transaction is making progress.
+            if attempt > 3 {
+                std::thread::yield_now();
+            } else {
+                for _ in 0..(1u32 << attempt.min(10)) {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// One in-flight cross-shard transaction: a lazily-opened
+/// [`Transaction`] per touched shard. Handed to the body of
+/// [`ShardedKv::transact`]; operations route to the owning shard's
+/// transaction automatically.
+pub struct ServiceTx<'kv, K, V> {
+    kv: &'kv ShardedKv<K, V>,
+    /// `slots[i]` is the open transaction on shard `i`, if touched.
+    /// Index order doubles as the global prepare order.
+    slots: Vec<Option<Transaction<'kv>>>,
+}
+
+impl<K: TxValue + Hash + Eq, V: TxValue> ServiceTx<'_, K, V> {
+    /// Reads `key` within the transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] if the owning shard's read validation failed; the
+    /// coordinator re-runs the body.
+    pub fn get(&mut self, key: &K) -> Result<Option<V>, Retry> {
+        let kv = self.kv;
+        let shard = kv.shard_of(key);
+        let tx = self.slots[shard].get_or_insert_with(|| kv.shards[shard].stm.transaction());
+        kv.shards[shard].map.get(tx, key)
+    }
+
+    /// Writes `key` within the transaction, returning the previous
+    /// value (buffered or committed).
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on a shard-level conflict; the coordinator re-runs.
+    pub fn put(&mut self, key: K, value: V) -> Result<Option<V>, Retry> {
+        let kv = self.kv;
+        let shard = kv.shard_of(&key);
+        let tx = self.slots[shard].get_or_insert_with(|| kv.shards[shard].stm.transaction());
+        kv.shards[shard].map.insert(tx, key, value)
+    }
+
+    /// Removes `key` within the transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on a shard-level conflict; the coordinator re-runs.
+    pub fn remove(&mut self, key: &K) -> Result<Option<V>, Retry> {
+        let kv = self.kv;
+        let shard = kv.shard_of(key);
+        let tx = self.slots[shard].get_or_insert_with(|| kv.shards[shard].stm.transaction());
+        kv.shards[shard].map.remove(tx, key)
+    }
+
+    /// Every entry of one shard, read into this transaction's footprint.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on a shard-level conflict; the coordinator re-runs.
+    pub fn shard_snapshot(&mut self, shard: usize) -> Result<Vec<(K, V)>, Retry> {
+        let kv = self.kv;
+        let tx = self.slots[shard].get_or_insert_with(|| kv.shards[shard].stm.transaction());
+        kv.shards[shard].map.snapshot(tx)
+    }
+
+    /// The ordered two-phase commit: prepare ascending, then publish
+    /// all or abort all. Returns whether the transaction committed.
+    fn commit(self) -> bool {
+        let mut prepared = Vec::new();
+        // `slots` is indexed by shard, so iteration order *is* the
+        // global prepare order the deadlock-freedom argument needs.
+        for mut tx in self.slots.into_iter().flatten() {
+            match tx.prepare_commit() {
+                Ok(p) => prepared.push((tx, p)),
+                Err(Retry) => {
+                    // This shard rolled its own locks back (and is
+                    // poisoned); undo the ones already holding theirs,
+                    // in reverse for symmetry.
+                    for (t, p) in prepared.into_iter().rev() {
+                        t.abort_prepared(p);
+                    }
+                    return false;
+                }
+            }
+        }
+        for (tx, p) in prepared {
+            tx.commit_prepared(p);
+        }
+        true
+    }
+
+    /// Abandons every open shard transaction (body said [`Retry`]).
+    fn rollback(self) {
+        for tx in self.slots.into_iter().flatten() {
+            tx.rollback();
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for ServiceTx<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceTx")
+            .field(
+                "touched",
+                &self.slots.iter().filter(|s| s.is_some()).count(),
+            )
+            .finish()
+    }
+}

@@ -1,0 +1,37 @@
+//! A sharded transactional key-value service over the native STM.
+//!
+//! This crate is the serving tier the ROADMAP's north star asks for: it
+//! turns the single-instance [`Stm`](ptm_stm::Stm) engine into a system
+//! that answers get/put/scan/multi-key-transact over **N shards**, each
+//! shard an independent `Stm` instance (own clock, own orec table) with
+//! a hash-partitioned [`THashMap`](ptm_structs::THashMap) on top.
+//!
+//! The interesting part is the cross-shard path. A multi-key transaction
+//! whose keys land on several shards commits through an **ordered
+//! two-phase commit** built from the engine's
+//! [`prepare_commit`](ptm_stm::Transaction::prepare_commit) /
+//! [`commit_prepared`](ptm_stm::Transaction::commit_prepared) split:
+//! prepare every touched shard in ascending shard index (lock + validate,
+//! nothing published), and only when *all* prepares hold, publish them
+//! one by one. Each shard's prepare acquires exactly the locks that
+//! shard's single-instance commit would have held across its own write
+//! back, so the established per-algorithm serialization arguments carry
+//! over unchanged — a concurrent consistent [`scan`](ShardedKv::scan)
+//! (itself a read-only 2PC that revalidates every shard) can never
+//! observe a multi-shard transfer torn. See
+//! `ptm_stm::engine::twophase`'s module docs for the full torn-cut and
+//! deadlock-freedom arguments; this crate's obligation is the ascending
+//! prepare order.
+//!
+//! The [`workload`] module supplies the YCSB-style driver side: zipfian
+//! key skew, a configurable read/write/scan/multi-key mix, and latency
+//! recording for p50/p99 percentiles.
+
+pub mod kv;
+pub mod workload;
+
+pub use kv::{ServiceConfig, ServiceTx, ShardedKv};
+pub use workload::{
+    percentile, preload, run_workload, LatencyRecorder, Mix, Workload, WorkloadConfig, WorkloadOp,
+    WorkloadStats,
+};

@@ -99,7 +99,7 @@ pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Resul
 /// stamped past the snapshot, proves a commit this transaction's reads
 /// did not see. `held` lists stripes this transaction has locked, with
 /// their pre-lock words.
-fn validate(tx: &Transaction<'_>, held: &[(usize, u64)]) -> Result<(), Retry> {
+pub(crate) fn validate(tx: &Transaction<'_>, held: &[(usize, u64)]) -> Result<(), Retry> {
     tx.tally.probes(tx.log.reads.len() as u64);
     for r in &tx.log.reads {
         let word = if let Some(pre) = versioned::held_word(held, r.stripe) {
@@ -122,13 +122,36 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
 }
 
 fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
+    if !prepare_with(tx, stripes, held) {
+        return false;
+    }
+    publish_with(tx, stripes, held);
+    true
+}
+
+/// First commit half: lock the write stripes and run the upper-bound
+/// validation, appending nothing. On failure every lock is released and
+/// `held` is left empty. Exposed to the engine's two-phase commit.
+pub(crate) fn prepare_with(
+    tx: &mut Transaction<'_>,
+    stripes: &[usize],
+    held: &mut Vec<(usize, u64)>,
+) -> bool {
     if !versioned::lock_stripes(tx, stripes, held) {
+        held.clear();
         return false;
     }
     if validate(tx, held).is_err() {
         versioned::release(tx, held, None);
+        held.clear();
         return false;
     }
+    true
+}
+
+/// Second commit half: append the pending versions, stamp, trim, and
+/// release under the locks [`prepare_with`] acquired. Infallible.
+pub(crate) fn publish_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &[(usize, u64)]) {
     // Point of no return: append pending versions, then make them real.
     // The clock draw must be an RMW that always writes (never the
     // pass-on-failure CAS of `versioned::draw_wv`): snapshot readers
@@ -163,5 +186,4 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
     // Wake waiters parked on the written stripes (after the release
     // restamp, so a woken reader's revalidation sees version > bound).
     tx.stm.wake_stripes(stripes);
-    true
 }

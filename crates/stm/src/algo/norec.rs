@@ -65,6 +65,21 @@ pub(crate) fn validate(tx: &Transaction<'_>) -> Result<u64, Retry> {
 /// Commit hook: acquire the sequence lock (odd value), publish, bump to
 /// the next even value.
 pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
+    if !acquire_seqlock(tx) {
+        return false;
+    }
+    publish_locked(tx);
+    true
+}
+
+/// First commit half: win the sequence lock (CAS even `rv` to the odd
+/// `rv + 1`), revalidating by value after every lost race. Returns
+/// `false` if validation proves a conflicting commit. On success the
+/// instance's clock is odd and owned by this transaction — every other
+/// reader and committer of the instance waits — so the caller must
+/// promptly [`publish_locked`] or [`release_seqlock`]. Exposed to the
+/// engine's two-phase commit.
+pub(crate) fn acquire_seqlock(tx: &mut Transaction<'_>) -> bool {
     loop {
         let rv = tx.rv;
         if tx
@@ -73,13 +88,18 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
             .compare_exchange(rv, rv + 1, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
-            break;
+            return true;
         }
         match validate(tx) {
             Ok(t) => tx.rv = t,
             Err(Retry) => return false,
         }
     }
+}
+
+/// Second commit half: publish under the held sequence lock and bump the
+/// clock to the next even value. Infallible.
+pub(crate) fn publish_locked(tx: &mut Transaction<'_>) {
     let retired = tx.log.publish_writes();
     tx.stm.clock.store(tx.rv + 2, Ordering::Release);
     epoch::retire_batch(retired);
@@ -87,5 +107,11 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
     // ready every waiter (they all wait on the clock, registered under
     // stripe 0 — see `Transaction::wait_stripes`).
     tx.stm.wake_all_stripes();
-    true
+}
+
+/// Abandons a won sequence lock without publishing: restore the even
+/// pre-acquire value so readers and committers proceed as if the prepare
+/// never happened. For the engine's two-phase abort path.
+pub(crate) fn release_seqlock(tx: &Transaction<'_>) {
+    tx.stm.clock.store(tx.rv, Ordering::Release);
 }

@@ -78,6 +78,22 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
 /// acquired by upgrading our own read lock (1) or from an unowned word
 /// (0) — rollback and release must undo exactly what was done.
 fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
+    if !prepare_with(tx, stripes, held) {
+        return false;
+    }
+    publish_with(tx, stripes, held);
+    true
+}
+
+/// First commit half: upgrade/acquire the write locks, publishing
+/// nothing. On failure every acquired lock is rolled back (consumed read
+/// locks restored and re-registered) and `held` is left empty. Exposed
+/// to the engine's two-phase commit.
+pub(crate) fn prepare_with(
+    tx: &mut Transaction<'_>,
+    stripes: &[usize],
+    held: &mut Vec<(usize, u64)>,
+) -> bool {
     for &stripe in stripes.iter() {
         let upgrading = tx.log.rw_contains(stripe);
         let expected = if upgrading { RW_READER } else { 0 };
@@ -88,6 +104,7 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
         {
             // Foreign readers or a writer hold the stripe: roll back.
             rollback(tx, held);
+            held.clear();
             tx.tally.reader_conflict();
             return false;
         }
@@ -97,6 +114,13 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
         }
         held.push((stripe, u64::from(upgrading)));
     }
+    true
+}
+
+/// Second commit half: publish under the write locks [`prepare_with`]
+/// acquired and drop them. Infallible. (Read locks that were not
+/// upgraded stay held; the engine releases them right after.)
+pub(crate) fn publish_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &[(usize, u64)]) {
     let retired = tx.log.publish_writes();
     for &(stripe, _) in held.iter() {
         tx.stm
@@ -108,10 +132,13 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
     // Wake waiters parked on the written stripes — after the write
     // locks drop, so a woken reader can immediately re-acquire.
     tx.stm.wake_stripes(stripes);
-    true
 }
 
-fn rollback(tx: &mut Transaction<'_>, held: &[(usize, u64)]) {
+/// Undoes the write locks a failed or abandoned prepare acquired:
+/// upgraded stripes get their read lock back (and re-registered),
+/// fresh acquisitions drop to unowned. `pub(crate)` for the engine's
+/// two-phase abort path.
+pub(crate) fn rollback(tx: &mut Transaction<'_>, held: &[(usize, u64)]) {
     for &(stripe, was_read) in held {
         let word = tx.stm.orecs.word(stripe);
         if was_read == 1 {

@@ -119,13 +119,41 @@ fn draw_wv(tx: &Transaction<'_>) -> u64 {
 }
 
 fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usize, u64)>) -> bool {
+    if !prepare_with(tx, stripes, held) {
+        return false;
+    }
+    publish_with(tx, stripes, held);
+    true
+}
+
+/// First commit half: try-lock the write stripes and validate the read
+/// set against the held locks, without publishing anything. On failure
+/// every lock taken is released and `held` is left empty. Exposed to the
+/// engine's two-phase commit ([`Transaction::prepare_commit`]), which
+/// holds several instances' prepares open before publishing any.
+///
+/// [`Transaction::prepare_commit`]: crate::Transaction::prepare_commit
+pub(crate) fn prepare_with(
+    tx: &mut Transaction<'_>,
+    stripes: &[usize],
+    held: &mut Vec<(usize, u64)>,
+) -> bool {
     if !lock_stripes(tx, stripes, held) {
+        held.clear();
         return false;
     }
     if validate(tx, Some(held)).is_err() {
         release(tx, held, None);
+        held.clear();
         return false;
     }
+    true
+}
+
+/// Second commit half: publish the write set under the locks
+/// [`prepare_with`] acquired and release them stamped. Infallible — the
+/// prepare already decided the outcome.
+pub(crate) fn publish_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &[(usize, u64)]) {
     // Locks held: safe to share a lost race's tick (see `draw_wv`).
     let wv = draw_wv(tx);
     let retired = tx.log.publish_writes();
@@ -138,7 +166,6 @@ fn commit_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &mut Vec<(usiz
     // new stamp (and the SeqCst fence inside pairs with registration;
     // see `crate::waiter`).
     tx.stm.wake_stripes(stripes);
-    true
 }
 
 /// Try-locks the given (sorted, deduplicated) stripes, recording each
@@ -168,8 +195,9 @@ pub(super) fn lock_stripes(
 }
 
 /// Releases held stripe locks: to their pre-lock word (on abort) or to a
-/// new stamped word (on commit).
-pub(super) fn release(tx: &Transaction<'_>, held: &[(usize, u64)], stamp: Option<u64>) {
+/// new stamped word (on commit). `pub(crate)` so the engine's two-phase
+/// commit can abort a prepared (locked, validated, unpublished) attempt.
+pub(crate) fn release(tx: &Transaction<'_>, held: &[(usize, u64)], stamp: Option<u64>) {
     for &(stripe, pre) in held {
         tx.stm
             .orecs

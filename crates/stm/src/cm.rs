@@ -42,12 +42,41 @@ pub enum Decision {
 
 /// A retry policy consulted between transaction attempts.
 ///
-/// `on_abort` is called after the `attempt`-th consecutive abort of one
-/// logical transaction (counting from 0) and may block (spin, yield,
-/// sleep) before answering.
+/// The policy is split into a **pure decision** and an **optional
+/// blocking wait** so both attempt loops can share one policy value:
+///
+/// * the blocking loop ([`Stm::run`](crate::Stm::run)) calls
+///   [`ContentionManager::on_abort`] — wait however the policy likes
+///   (spin, yield, sleep), then decide;
+/// * the async loop ([`Stm::run_async`](crate::Stm::run_async)) calls
+///   [`ContentionManager::decide`] *only* — a future must never burn or
+///   block its executor thread, so the engine translates the wait the
+///   policy would have performed into waker-mediated yields and
+///   waiter-list parking instead.
+///
+/// Both are called after the `attempt`-th consecutive abort of one
+/// logical transaction (counting from 0).
 pub trait ContentionManager: Send + Sync + fmt::Debug {
-    /// Waits as the policy dictates, then decides whether to retry.
-    fn on_abort(&self, attempt: u64) -> Decision;
+    /// Decides what the engine should do next, **without blocking** —
+    /// no spinning, yielding, or sleeping. Called on executor threads.
+    fn decide(&self, attempt: u64) -> Decision;
+
+    /// Waits as the policy dictates before the decision is acted on
+    /// (busy-spin, `yield_now`, sleep — anything goes). Blocking attempt
+    /// loops only; the default waits not at all.
+    fn wait(&self, attempt: u64) {
+        let _ = attempt;
+    }
+
+    /// The blocking loop's compound consultation: [`wait`], then
+    /// [`decide`].
+    ///
+    /// [`wait`]: ContentionManager::wait
+    /// [`decide`]: ContentionManager::decide
+    fn on_abort(&self, attempt: u64) -> Decision {
+        self.wait(attempt);
+        self.decide(attempt)
+    }
 }
 
 /// Retry immediately, forever.
@@ -55,7 +84,7 @@ pub trait ContentionManager: Send + Sync + fmt::Debug {
 pub struct ImmediateRetry;
 
 impl ContentionManager for ImmediateRetry {
-    fn on_abort(&self, _attempt: u64) -> Decision {
+    fn decide(&self, _attempt: u64) -> Decision {
         Decision::Retry
     }
 }
@@ -117,9 +146,18 @@ impl Default for ExponentialBackoff {
 }
 
 impl ContentionManager for ExponentialBackoff {
-    fn on_abort(&self, attempt: u64) -> Decision {
+    fn decide(&self, attempt: u64) -> Decision {
         if attempt > self.park_threshold {
-            return Decision::Park;
+            Decision::Park
+        } else {
+            Decision::Retry
+        }
+    }
+
+    fn wait(&self, attempt: u64) {
+        if attempt > self.park_threshold {
+            // The park tier waits on the waiter lists, not here.
+            return;
         }
         for _ in 0..self.spin_iterations(attempt) {
             std::hint::spin_loop();
@@ -127,7 +165,6 @@ impl ContentionManager for ExponentialBackoff {
         if attempt > self.yield_threshold {
             std::thread::yield_now();
         }
-        Decision::Retry
     }
 }
 
@@ -162,13 +199,21 @@ impl<C: ContentionManager> CappedAttempts<C> {
 }
 
 impl<C: ContentionManager> ContentionManager for CappedAttempts<C> {
-    fn on_abort(&self, attempt: u64) -> Decision {
+    fn decide(&self, attempt: u64) -> Decision {
         // `attempt` counts aborts so far; the (limit)-th abort exhausts
         // the budget of `limit` attempts.
         if attempt + 1 >= self.limit {
             return Decision::GiveUp;
         }
-        self.inner.on_abort(attempt)
+        self.inner.decide(attempt)
+    }
+
+    fn wait(&self, attempt: u64) {
+        // Waiting out a backoff the cap is about to veto would delay the
+        // caller's exhaustion report for nothing.
+        if attempt + 1 < self.limit {
+            self.inner.wait(attempt);
+        }
     }
 }
 
@@ -223,6 +268,43 @@ mod tests {
         assert_eq!(cm.spin_iterations(100), 0, "park tier must not spin");
         assert_eq!(cm.on_abort(17), Decision::Retry);
         assert_eq!(cm.on_abort(100), Decision::Park);
+    }
+
+    #[test]
+    fn decide_is_pure_across_the_tiers() {
+        // The async loop calls `decide` alone; it must reproduce the
+        // tier boundaries without any of `wait`'s side effects.
+        let cm = ExponentialBackoff::default();
+        assert_eq!(cm.decide(0), Decision::Retry);
+        assert_eq!(cm.decide(cm.park_threshold), Decision::Retry);
+        assert_eq!(cm.decide(cm.park_threshold + 1), Decision::Park);
+    }
+
+    #[test]
+    fn capped_skips_the_inner_wait_at_the_limit() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        // A probe policy that counts how often its wait tier runs.
+        #[derive(Debug)]
+        struct Probe(Arc<AtomicU64>);
+        impl ContentionManager for Probe {
+            fn decide(&self, _attempt: u64) -> Decision {
+                Decision::Retry
+            }
+            fn wait(&self, _attempt: u64) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let waits = Arc::new(AtomicU64::new(0));
+        let cm = CappedAttempts::wrapping(2, Probe(Arc::clone(&waits)));
+        assert_eq!(cm.on_abort(0), Decision::Retry);
+        assert_eq!(waits.load(Ordering::Relaxed), 1, "inner wait ran");
+        // The limit-reaching abort gives up without waiting out a backoff
+        // the cap is about to veto.
+        assert_eq!(cm.on_abort(1), Decision::GiveUp);
+        assert_eq!(waits.load(Ordering::Relaxed), 1, "no wait at the cap");
     }
 
     #[test]

@@ -43,6 +43,10 @@
 //!   (operations, poisoning, instrumentation, lock cleanup);
 //! * [`attempt`] — the retry loop ([`Stm::run`] / [`Stm::atomically`] /
 //!   [`Stm::try_once`]) and contention-manager consultation;
+//! * [`twophase`] — the split commit ([`Transaction::prepare_commit`] /
+//!   [`Prepared`]) that lets a coordinator hold several instances'
+//!   commit locks open and publish them together (the `ptm-server`
+//!   cross-shard commit);
 //! * this file — [`Stm`] itself, the [`Algorithm`] selector, and the
 //!   error types.
 //!
@@ -63,10 +67,12 @@ mod run_async;
 #[cfg(test)]
 mod tests;
 mod transaction;
+mod twophase;
 
 pub use builder::StmBuilder;
 pub use run_async::RunAsync;
 pub use transaction::Transaction;
+pub use twophase::Prepared;
 
 use crate::algo::adaptive::{AdaptiveState, Mode};
 use crate::cm::ContentionManager;

@@ -8,22 +8,43 @@
 //! footprint wakes the waker exactly once; the executor re-polls; the
 //! poll deregisters the stale cell and re-runs the body.
 //!
-//! One asymmetry with the blocking loop: a future has no safety-net
-//! timeout (nothing re-polls it unless its waker fires), so
-//! [`Decision::Park`] on a *conflict* — whose wake guarantee is weak,
-//! the winning writer may already have committed before we registered —
-//! degrades to a cooperative yield (`wake_by_ref` + `Pending`) rather
-//! than a registration that might never be woken. Logical waits
-//! (`tx.retry()`) register for real: their wake condition is "some
-//! overlapping commit happens later", which is exactly what the lists
-//! deliver, and the register-then-revalidate step closes the "it already
-//! happened" window.
+//! Two rules keep the loop executor-friendly; both exist because a poll
+//! runs on a thread the engine does not own:
+//!
+//! * **The contention manager is consulted, never obeyed bodily.** A
+//!   poll calls the non-blocking [`decide`] tier only — the spin/yield
+//!   *wait* tiers a blocking attempt would burn through are translated
+//!   into waker-mediated yields: each poll runs at most
+//!   [`MAX_ATTEMPTS_PER_POLL`] attempts inline, then reschedules itself
+//!   (`wake_by_ref` + `Pending`, counted as `async_yields` in
+//!   [`StmStats`](crate::StmStats)) so the executor can run other tasks
+//!   between retry bursts. Per-poll work is therefore bounded by the
+//!   body's own cost times a small constant — no `2^k` spin ever runs on
+//!   an executor thread.
+//! * **[`Decision::Park`] parks for real, with a watchdog.** The
+//!   conflict footprint (read ∪ write stripes) registers on the waiter
+//!   lists exactly like the blocking path — register, revalidate, then
+//!   suspend — and, because a conflict wake is only a heuristic (the
+//!   winning writer may have committed and gone before registration),
+//!   the global timer thread ([`crate::waiter`]) re-fires the waker
+//!   after [`CONFLICT_PARK_TIMEOUT`] as a safety net; a timeout-mediated
+//!   wake is counted `spurious_wakes`, mirroring the blocking ledger.
+//!   Earlier versions degraded Park to an *unthrottled* self-wake
+//!   (`wake_by_ref` on every poll), which pegged a core at executor
+//!   speed for the whole storm.
+//!
+//! Logical waits (`tx.retry()`) register without the watchdog: their
+//! wake condition is "some overlapping commit happens later", which is
+//! exactly what the lists deliver, and the register-then-revalidate step
+//! closes the "it already happened" window.
+//!
+//! [`decide`]: crate::cm::ContentionManager::decide
 
 use super::{RetriesExhausted, Retry, Stm, Transaction};
 use crate::algo::adaptive;
 use crate::cm::Decision;
 use crate::txlog::TxLog;
-use crate::waiter::WaitCell;
+use crate::waiter::{self, WaitCell, CONFLICT_PARK_TIMEOUT};
 use std::fmt;
 use std::future::Future;
 use std::marker::PhantomData;
@@ -115,7 +136,24 @@ impl<A, F> RunAsync<'_, A, F> {
             self.stm.orecs.waiters().deregister(&stripes, &cell);
         }
     }
+
+    /// Cooperative reschedule: the per-poll attempt budget is spent, so
+    /// hand the thread back to the executor and ask to be polled again.
+    /// Counted, so a contention storm is observable as `async_yields`
+    /// instead of as an inexplicably hot core.
+    fn yield_now<T>(&self, cx: &mut Context<'_>) -> Poll<T> {
+        self.stm.stats.async_yield();
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
 }
+
+/// Ceiling on full attempts (body + commit try) one `poll` runs inline
+/// before rescheduling itself. Small: it bounds per-poll work at a few
+/// body executions, which keeps a conflict storm from monopolising the
+/// executor thread while still amortising the wake-up cost across a
+/// short burst of retries.
+const MAX_ATTEMPTS_PER_POLL: u32 = 4;
 
 impl<A, F> Future for RunAsync<'_, A, F>
 where
@@ -125,9 +163,17 @@ where
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = Pin::into_inner(self);
-        // Whatever woke us (an overlapping commit, a timeout wrapper, a
-        // spurious executor poll), the old registration is spent.
+        // Whatever woke us (an overlapping commit, the timer watchdog, a
+        // spurious executor poll), the old registration is spent. A
+        // watchdog-delivered wake is the async analogue of a blocking
+        // park timing out; keep the same ledger.
+        if let Some((cell, _)) = &this.registration {
+            if cell.was_timeout() {
+                this.stm.stats.spurious_wake();
+            }
+        }
         this.deregister();
+        let mut this_poll: u32 = 0;
         loop {
             let log = this.log.take().unwrap_or_default();
             let mut tx = Transaction::begin(this.stm, log);
@@ -143,6 +189,7 @@ where
             }
             tx.close_aborted();
             this.stm.stats.abort();
+            this_poll += 1;
             if tx.waiting() {
                 // Same protocol as the blocking park: register, then
                 // revalidate, then suspend — a commit that landed before
@@ -155,6 +202,9 @@ where
                 this.log = Some(tx.into_log());
                 if !consistent {
                     this.stm.orecs.waiters().deregister(&stripes, &cell);
+                    if this_poll >= MAX_ATTEMPTS_PER_POLL {
+                        return this.yield_now(cx);
+                    }
                     continue;
                 }
                 this.stm.stats.park();
@@ -168,13 +218,36 @@ where
                 }));
             }
             tx.release_read_locks();
-            match this.stm.cm.on_abort(this.attempts - 1) {
-                Decision::Retry => this.log = Some(tx.into_log()),
-                Decision::Park => {
-                    // See the module docs: no timeout exists to rescue a
-                    // missed conflict wake, so yield instead of parking.
+            // `decide`, never `on_abort`: the policy's spin/yield wait
+            // tiers must not run on the executor thread (see the module
+            // docs) — the per-poll attempt budget stands in for them.
+            match this.stm.cm.decide(this.attempts - 1) {
+                Decision::Retry => {
                     this.log = Some(tx.into_log());
-                    cx.waker().wake_by_ref();
+                    if this_poll >= MAX_ATTEMPTS_PER_POLL {
+                        return this.yield_now(cx);
+                    }
+                }
+                Decision::Park => {
+                    // Register the *conflict* footprint (reads ∪ writes)
+                    // and suspend, exactly like the blocking park — with
+                    // the timer watchdog standing in for `park_timeout`
+                    // as the missed-wake safety net.
+                    let stripes = tx.wait_stripes(true);
+                    let cell = WaitCell::for_waker(cx.waker().clone());
+                    this.stm.orecs.waiters().register(&stripes, &cell);
+                    let consistent = tx.revalidate_for_park();
+                    this.log = Some(tx.into_log());
+                    if !consistent {
+                        this.stm.orecs.waiters().deregister(&stripes, &cell);
+                        if this_poll >= MAX_ATTEMPTS_PER_POLL {
+                            return this.yield_now(cx);
+                        }
+                        continue;
+                    }
+                    this.stm.stats.park();
+                    waiter::watchdog(&cell, CONFLICT_PARK_TIMEOUT);
+                    this.registration = Some((cell, stripes));
                     return Poll::Pending;
                 }
                 Decision::GiveUp => {

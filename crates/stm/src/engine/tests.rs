@@ -719,3 +719,185 @@ fn tiny_orec_table_still_serializes_correctly() {
     assert_eq!(a.load(), 800);
     assert_eq!(b.load(), 800);
 }
+
+// ---------------------------------------------------------------------
+// Two-phase commit surface (engine/twophase.rs)
+// ---------------------------------------------------------------------
+
+#[test]
+fn twophase_prepare_then_commit_publishes_all_modes() {
+    for stm in engines() {
+        let v = TVar::new(1u64);
+        let mut tx = stm.transaction();
+        let seen = tx.read(&v).expect("fresh read");
+        tx.write(&v, seen + 10).expect("buffer write");
+        let prepared = tx.prepare_commit().expect("uncontended prepare");
+        tx.commit_prepared(prepared);
+        assert_eq!(v.load(), 11, "{:?}", stm.algorithm());
+        assert_orecs_quiescent(&stm);
+        assert_eq!(stm.stats().snapshot().commits, 1);
+    }
+}
+
+#[test]
+fn twophase_abort_prepared_observes_nothing_all_modes() {
+    for stm in engines() {
+        let v = TVar::new(1u64);
+        let mut tx = stm.transaction();
+        tx.write(&v, 99).expect("buffer write");
+        let prepared = tx.prepare_commit().expect("uncontended prepare");
+        tx.abort_prepared(prepared);
+        assert_eq!(
+            v.load(),
+            1,
+            "{:?}: abort must publish nothing",
+            stm.algorithm()
+        );
+        assert_orecs_quiescent(&stm);
+        // The instance is not wedged: a plain commit goes through.
+        stm.atomically(|tx| tx.write(&v, 2));
+        assert_eq!(v.load(), 2);
+        assert_eq!(stm.stats().snapshot().aborts, 1);
+    }
+}
+
+#[test]
+fn twophase_rollback_closes_the_attempt_all_modes() {
+    for stm in engines() {
+        let v = TVar::new(1u64);
+        let mut tx = stm.transaction();
+        let seen = tx.read(&v).expect("fresh read");
+        tx.write(&v, seen + 99).expect("buffer write");
+        tx.rollback();
+        assert_eq!(v.load(), 1, "{:?}", stm.algorithm());
+        assert_orecs_quiescent(&stm);
+        assert_eq!(stm.stats().snapshot().aborts, 1);
+    }
+}
+
+#[test]
+fn twophase_prepare_detects_overlapping_commits_all_modes() {
+    // The invariant cuts two ways, depending on whether the algorithm
+    // uses invisible or visible reads:
+    //
+    // * invisible (Tl2/Incremental/NOrec/Mv): the nested bump commits,
+    //   so the outer prepare's validation must fail;
+    // * visible (Tlrw, and Adaptive when pinned there): the outer read
+    //   lock physically excludes the bump, so the bump fails and the
+    //   outer prepare must succeed.
+    //
+    // Either way, exactly one of the two writers wins.
+    for stm in engines() {
+        let v = TVar::new(0u64);
+        let w = TVar::new(0u64);
+        let mut tx = stm.transaction();
+        let seen = tx.read(&v).expect("fresh read");
+        let bumped = stm.try_once(|t2| t2.modify(&v, |y| y + 1)).is_some();
+        tx.write(&w, seen + 1).expect("buffer write");
+        match tx.prepare_commit() {
+            Ok(prepared) => {
+                assert!(
+                    !bumped,
+                    "{:?}: prepare passed over a committed conflict",
+                    stm.algorithm()
+                );
+                tx.commit_prepared(prepared);
+            }
+            Err(Retry) => {
+                assert!(
+                    bumped,
+                    "{:?}: prepare failed with no conflict",
+                    stm.algorithm()
+                );
+                // The failed prepare rolled its locks back and poisoned
+                // the attempt; retrying it stays refused.
+                assert!(tx.prepare_commit().is_err(), "poisoned attempt");
+            }
+        }
+        assert_orecs_quiescent(&stm);
+    }
+}
+
+#[test]
+fn twophase_read_only_prepare_revalidates_all_modes() {
+    // A read-only prepare is the coordinator's torn-cut detector: if an
+    // invisible-read algorithm saw a snapshot that a later commit
+    // invalidated, the prepare must say so. (Visible readers exclude the
+    // overlapping commit instead, so their prepare succeeds trivially.)
+    for stm in engines() {
+        let v = TVar::new(0u64);
+        let mut tx = stm.transaction();
+        let _ = tx.read(&v).expect("fresh read");
+        let bumped = stm.try_once(|t2| t2.modify(&v, |y| y + 1)).is_some();
+        match tx.prepare_commit() {
+            Ok(prepared) => {
+                assert!(
+                    !bumped,
+                    "{:?}: read-only prepare ignored an overlapping commit",
+                    stm.algorithm()
+                );
+                tx.commit_prepared(prepared);
+            }
+            Err(Retry) => {
+                assert!(bumped, "{:?}: spurious read-only refusal", stm.algorithm());
+                tx.rollback();
+            }
+        }
+        assert_orecs_quiescent(&stm);
+    }
+}
+
+#[test]
+fn twophase_prepared_blocker_excludes_a_second_writer() {
+    // A held prepare owns the commit locks; a second writer on the same
+    // stripes must fail its own prepare (try-lock, no waiting) until the
+    // first resolves. NOrec is exercised cross-thread further down in
+    // the server crate's 2PC tests: its prepare *spins* on the held
+    // sequence lock, which single-threaded would self-deadlock.
+    for stm in engines() {
+        let blocked_algo = matches!(stm.algorithm(), Algorithm::Norec);
+        if blocked_algo {
+            continue;
+        }
+        let v = TVar::new(0u64);
+        let mut first = stm.transaction();
+        first.write(&v, 1).expect("buffer write");
+        let held = first.prepare_commit().expect("first prepare");
+
+        let mut second = stm.transaction();
+        let blocked = match second.write(&v, 2) {
+            // Tlrw takes the write lock eagerly, so the conflict can
+            // surface at write time rather than prepare time.
+            Err(Retry) => true,
+            Ok(()) => second.prepare_commit().is_err(),
+        };
+        assert!(
+            blocked,
+            "{:?}: second writer got past held locks",
+            stm.algorithm()
+        );
+        drop(second);
+
+        first.commit_prepared(held);
+        assert_eq!(v.load(), 1, "{:?}", stm.algorithm());
+        assert_orecs_quiescent(&stm);
+    }
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "crossed between Stm instances")]
+fn twophase_prepared_token_cannot_cross_instances() {
+    let a = Stm::tl2();
+    let b = Stm::tl2();
+    let v = TVar::new(0u64);
+    let mut tx_a = a.transaction();
+    tx_a.write(&v, 1).expect("buffer write");
+    let prepared = tx_a.prepare_commit().expect("prepare");
+    let mut tx_b = b.transaction();
+    tx_b.write(&v, 2).expect("buffer write");
+    // Publishing a's plan through b's transaction is a coordinator bug;
+    // debug builds refuse it. (The leaked locks don't matter here: the
+    // panic ends the test.)
+    tx_b.commit_prepared(prepared);
+}

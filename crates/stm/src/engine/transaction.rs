@@ -26,8 +26,10 @@ pub struct Transaction<'s> {
     /// (and t-complete in any recorded history), so every later operation
     /// short-circuits to `Retry` and commit refuses. User code that
     /// swallows a `Retry` instead of propagating it therefore cannot
-    /// commit an attempt the engine already aborted.
-    poisoned: bool,
+    /// commit an attempt the engine already aborted. (`pub(super)` so the
+    /// two-phase commit path can refuse a doomed attempt and doom one
+    /// whose prepare failed.)
+    pub(super) poisoned: bool,
     /// Set by [`Transaction::retry`]: the attempt aborted because the
     /// *data* said wait, not because a conflict said hurry. The attempt
     /// loop parks such attempts on their read footprint's waiter lists
@@ -136,7 +138,7 @@ impl<'s> Transaction<'s> {
 
     /// Lazily samples the snapshot time (and, for adaptive instances,
     /// pins the mode) at the first operation.
-    fn ensure_started(&mut self) {
+    pub(super) fn ensure_started(&mut self) {
         if self.started {
             return;
         }
@@ -145,7 +147,7 @@ impl<'s> Transaction<'s> {
     }
 
     /// Records an invocation marker (no-op without a recorder).
-    fn rec_invoke(&mut self, op: TOpDesc) {
+    pub(super) fn rec_invoke(&mut self, op: TOpDesc) {
         if let Some(rec) = self.rec.as_mut() {
             rec.invoke(op);
             self.tally.recorded(1);
@@ -153,7 +155,7 @@ impl<'s> Transaction<'s> {
     }
 
     /// Records a response marker (no-op without a recorder).
-    fn rec_respond(&mut self, op: TOpDesc, res: TOpResult) {
+    pub(super) fn rec_respond(&mut self, op: TOpDesc, res: TOpResult) {
         if let Some(rec) = self.rec.as_mut() {
             rec.respond(op, res);
             self.tally.recorded(1);

@@ -75,7 +75,7 @@
 //!
 //! | module | concern |
 //! |--------|---------|
-//! | [`mod@engine`](crate::Stm) | generic machinery, split by concern: [`Stm`] + [`Algorithm`] (`engine`), [`StmBuilder`] (`engine::builder`), [`Transaction`] (`engine::transaction`), the retry loop (`engine::attempt`) |
+//! | [`mod@engine`](crate::Stm) | generic machinery, split by concern: [`Stm`] + [`Algorithm`] (`engine`), [`StmBuilder`] (`engine::builder`), [`Transaction`] (`engine::transaction`), the retry loop (`engine::attempt`), the split prepare/publish commit for cross-instance coordinators ([`Prepared`], `engine::twophase`) |
 //! | `algo`  | the strategy layer: one module per algorithm (begin / read / commit hooks), including the adaptive mode controller |
 //! | `txlog` | read-set / write-set log shared by all algorithms |
 //! | `orec`  | striped, cache-padded metadata words: versioned locks (TL2 / Incremental / Mv) or reader–writer locks (Tlrw); Adaptive reinterprets the table between the two formats |
@@ -118,7 +118,9 @@ mod waiter;
 
 pub use algo::adaptive::AdaptiveConfig;
 pub use cm::{CappedAttempts, ContentionManager, Decision, ExponentialBackoff, ImmediateRetry};
-pub use engine::{Algorithm, RetriesExhausted, Retry, RunAsync, Stm, StmBuilder, Transaction};
+pub use engine::{
+    Algorithm, Prepared, RetriesExhausted, Retry, RunAsync, Stm, StmBuilder, Transaction,
+};
 pub use recorder::HistoryRecorder;
 pub use stats::{StatsSnapshot, StmStats};
 pub use tvar::{TVar, TxValue};

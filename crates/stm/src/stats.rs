@@ -88,6 +88,7 @@ struct Shard {
     parks: AtomicU64,
     wakes: AtomicU64,
     spurious_wakes: AtomicU64,
+    async_yields: AtomicU64,
 }
 
 /// Monotonic event counters for one [`Stm`](crate::Stm) instance,
@@ -228,6 +229,13 @@ pub struct StatsSnapshot {
     /// wake — the lost-wakeup canary (≈ 0 in a healthy run; an idle
     /// `retry` with nothing ever committing also lands here).
     pub spurious_wakes: u64,
+    /// Cooperative yields taken by [`Stm::run_async`](crate::Stm::run_async)
+    /// polls: the async loop's translation of the contention manager's
+    /// wait tiers (a poll that exhausted its inline retry budget
+    /// reschedules itself instead of spinning on the executor thread).
+    /// Observes the degradation the async path accepts under contention;
+    /// always 0 for purely blocking workloads.
+    pub async_yields: u64,
     /// Whether the instance was running **visible** reads (the
     /// reader–writer orec format) when the snapshot was taken: `true`
     /// for `Tlrw` and for `Adaptive` in its visible mode, `false`
@@ -298,6 +306,13 @@ impl StmStats {
         self.local().spurious_wakes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an async poll rescheduling itself (waker-mediated yield)
+    /// instead of spinning out the contention manager's wait on the
+    /// executor thread.
+    pub(crate) fn async_yield(&self) {
+        self.local().async_yields.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records an adaptive mode switch and the regime it landed in.
     pub(crate) fn mode_transition(&self, visible: bool) {
         self.local()
@@ -344,6 +359,7 @@ impl StmStats {
             out.parks += ld(&s.parks);
             out.wakes += ld(&s.wakes);
             out.spurious_wakes += ld(&s.spurious_wakes);
+            out.async_yields += ld(&s.async_yields);
         }
         out
     }
@@ -374,6 +390,7 @@ impl StatsSnapshot {
             parks: d(self.parks, earlier.parks),
             wakes: d(self.wakes, earlier.wakes),
             spurious_wakes: d(self.spurious_wakes, earlier.spurious_wakes),
+            async_yields: d(self.async_yields, earlier.async_yields),
             // State, not a counter: the delta reports where the window
             // *ended up*.
             visible_mode: self.visible_mode,
@@ -389,7 +406,7 @@ impl fmt::Display for StatsSnapshot {
             f,
             "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} \
              snapshot_reads={} trimmed={} max_chain={} recorded={} transitions={} \
-             parks={} wakes={} spurious={} mode={}",
+             parks={} wakes={} spurious={} yields={} mode={}",
             self.commits,
             self.aborts,
             self.reads,
@@ -404,6 +421,7 @@ impl fmt::Display for StatsSnapshot {
             self.parks,
             self.wakes,
             self.spurious_wakes,
+            self.async_yields,
             if self.visible_mode {
                 "visible"
             } else {
@@ -448,6 +466,8 @@ mod tests {
         s.woke(3);
         s.woke(0);
         s.spurious_wake();
+        s.async_yield();
+        s.async_yield();
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
@@ -463,6 +483,7 @@ mod tests {
         assert_eq!(snap.parks, 2);
         assert_eq!(snap.wakes, 3);
         assert_eq!(snap.spurious_wakes, 1);
+        assert_eq!(snap.async_yields, 2);
         assert!(snap.visible_mode);
         s.mode_transition(false);
         let snap = s.snapshot();
@@ -481,17 +502,18 @@ mod tests {
         });
         s.park();
         s.woke(1);
+        s.async_yield();
         let line = s.snapshot().to_string();
         assert_eq!(
             line,
             "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 snapshot_reads=0 \
              trimmed=0 max_chain=0 recorded=6 transitions=0 parks=1 wakes=1 spurious=0 \
-             mode=invisible"
+             yields=1 mode=invisible"
         );
         s.mode_transition(true);
         let line = s.snapshot().to_string();
         assert!(
-            line.ends_with("transitions=1 parks=1 wakes=1 spurious=0 mode=visible"),
+            line.ends_with("transitions=1 parks=1 wakes=1 spurious=0 yields=1 mode=visible"),
             "{line}"
         );
     }

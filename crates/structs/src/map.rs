@@ -214,22 +214,33 @@ mod tests {
     use super::*;
     use ptm_stm::Stm;
 
+    /// All six algorithms: `get_wait`'s park/wake path must work under
+    /// visible reads (Tlrw), mode switching (Adaptive) and snapshot
+    /// reads (Mv), not just the invisible-read trio.
     fn engines() -> Vec<Stm> {
-        vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
+        vec![
+            Stm::tl2(),
+            Stm::incremental(),
+            Stm::norec(),
+            Stm::tlrw(),
+            Stm::mv(),
+            Stm::adaptive(),
+        ]
     }
 
     #[test]
-    fn get_wait_blocks_until_the_key_arrives() {
-        let stm = Stm::tl2();
-        let m: THashMap<u64, String> = THashMap::new();
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                let v = stm.atomically(|tx| m.get_wait(tx, &1));
-                assert_eq!(v, "ready");
+    fn get_wait_blocks_until_the_key_arrives_all_modes() {
+        for stm in engines() {
+            let m: THashMap<u64, String> = THashMap::new();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let v = stm.atomically(|tx| m.get_wait(tx, &1));
+                    assert_eq!(v, "ready", "{:?}", stm.algorithm());
+                });
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                stm.atomically(|tx| m.insert(tx, 1, "ready".to_string()));
             });
-            std::thread::sleep(std::time::Duration::from_millis(20));
-            stm.atomically(|tx| m.insert(tx, 1, "ready".to_string()));
-        });
+        }
     }
 
     #[test]

@@ -201,8 +201,19 @@ mod tests {
     use super::*;
     use ptm_stm::Stm;
 
+    /// All six algorithms: the wait paths (`dequeue_wait`) must park and
+    /// wake correctly under visible reads (Tlrw), mode switching
+    /// (Adaptive) and snapshot reads (Mv), not just the invisible-read
+    /// trio.
     fn engines() -> Vec<Stm> {
-        vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
+        vec![
+            Stm::tl2(),
+            Stm::incremental(),
+            Stm::norec(),
+            Stm::tlrw(),
+            Stm::mv(),
+            Stm::adaptive(),
+        ]
     }
 
     #[test]

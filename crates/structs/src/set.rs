@@ -215,22 +215,37 @@ mod tests {
     use super::*;
     use ptm_stm::Stm;
 
+    /// All six algorithms: `wait_contains`'s park/wake path must work
+    /// under visible reads (Tlrw), mode switching (Adaptive) and
+    /// snapshot reads (Mv), not just the invisible-read trio.
     fn engines() -> Vec<Stm> {
-        vec![Stm::tl2(), Stm::incremental(), Stm::norec()]
+        vec![
+            Stm::tl2(),
+            Stm::incremental(),
+            Stm::norec(),
+            Stm::tlrw(),
+            Stm::mv(),
+            Stm::adaptive(),
+        ]
     }
 
     #[test]
-    fn wait_contains_blocks_until_insert() {
-        let stm = Stm::tl2();
-        let set: TSet<u64> = TSet::new();
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                stm.atomically(|tx| set.wait_contains(tx, &5));
+    fn wait_contains_blocks_until_insert_all_modes() {
+        for stm in engines() {
+            let set: TSet<u64> = TSet::new();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    stm.atomically(|tx| set.wait_contains(tx, &5));
+                });
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                stm.atomically(|tx| set.insert(tx, 5));
             });
-            std::thread::sleep(std::time::Duration::from_millis(20));
-            stm.atomically(|tx| set.insert(tx, 5));
-        });
-        assert!(stm.atomically(|tx| set.contains(tx, &5)));
+            assert!(
+                stm.atomically(|tx| set.contains(tx, &5)),
+                "{:?}",
+                stm.algorithm()
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   management, and opt-in t-operation history recording;
 //! * [`structs`] — transactional data structures over the native STM
 //!   (`TArray`, `THashMap`, `TQueue`, `TSet`), each usable under any of
-//!   the six algorithms.
+//!   the six algorithms;
+//! * [`server`] — the serving tier: a sharded transactional KV store
+//!   (`ShardedKv`) routing keys across N independent `Stm` shards, with
+//!   cross-shard transactions and consistent scans committed via an
+//!   ordered two-phase commit over the per-shard clocks, plus a
+//!   YCSB-style workload generator.
 //!
 //! See `README.md` for the quick start, the crate map, and how to run
 //! the benchmarks.
@@ -50,6 +55,7 @@
 pub use ptm_core as core;
 pub use ptm_model as model;
 pub use ptm_mutex as mutex;
+pub use ptm_server as server;
 pub use ptm_sim as sim;
 pub use ptm_stm as stm;
 pub use ptm_structs as structs;

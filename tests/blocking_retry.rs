@@ -405,6 +405,150 @@ fn run_async_suspends_on_retry_and_resumes_on_commit() {
     });
 }
 
+/// A waker that only counts, for polling futures by hand.
+struct CountingWaker(std::sync::atomic::AtomicUsize);
+
+impl CountingWaker {
+    fn new() -> Arc<Self> {
+        Arc::new(CountingWaker(std::sync::atomic::AtomicUsize::new(0)))
+    }
+
+    fn count(&self) -> usize {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl Wake for CountingWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn run_async_poll_bounds_inline_work() {
+    // Regression for the executor-blocking abort path: `poll` used to
+    // run the contention manager's blocking `on_abort` (up to a 2^12
+    // busy-spin plus `yield_now` per abort) and, under Decision::Retry,
+    // loop attempts inline without ever yielding — one poll could burn
+    // the entire retry budget on the executor thread. The fixed loop
+    // consults the non-blocking `decide` tier and reschedules itself
+    // after a small inline attempt budget, counting each reschedule.
+    use progressive_tm::stm::ImmediateRetry;
+
+    let stm = Stm::builder(Algorithm::Tl2)
+        .max_attempts(40)
+        .contention_manager(ImmediateRetry)
+        .build();
+    let v = TVar::new(0u64);
+    let body_runs = std::cell::Cell::new(0u32);
+    // Deterministic conflict: every attempt reads `v`, then commits an
+    // overlapping write through a nested one-shot transaction, so the
+    // outer attempt's validation always fails.
+    let fut = stm.run_async(|tx| {
+        body_runs.set(body_runs.get() + 1);
+        let x = tx.read(&v)?;
+        stm.try_once(|t2| t2.modify(&v, |y| y + 1))
+            .expect("nested bump commits");
+        tx.write(&v, x)?;
+        Ok(())
+    });
+    let mut fut = std::pin::pin!(fut);
+    let counter = CountingWaker::new();
+    let waker = Waker::from(Arc::clone(&counter));
+    let mut cx = Context::from_waker(&waker);
+
+    let mut polls = 0u32;
+    let mut max_runs_per_poll = 0u32;
+    let out = loop {
+        let before = body_runs.get();
+        let wakes_before = counter.count();
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => break out,
+            Poll::Pending => {
+                polls += 1;
+                max_runs_per_poll = max_runs_per_poll.max(body_runs.get() - before);
+                assert_eq!(
+                    counter.count(),
+                    wakes_before + 1,
+                    "a yielding poll reschedules itself exactly once"
+                );
+                assert!(polls < 1_000, "future never resolved");
+            }
+        }
+    };
+    assert!(out.is_err(), "every attempt conflicts: budget must exhaust");
+    assert!(
+        max_runs_per_poll <= 4,
+        "one poll ran {max_runs_per_poll} attempts inline; the per-poll budget must bound it"
+    );
+    assert!(
+        polls >= 8,
+        "40 attempts cannot fit in {polls} bounded polls"
+    );
+    let snap = stm.stats().snapshot();
+    assert_eq!(
+        snap.async_yields,
+        u64::from(polls),
+        "every yield is counted: {snap}"
+    );
+}
+
+#[test]
+fn run_async_conflict_park_registers_instead_of_self_waking() {
+    // Regression for the unthrottled Decision::Park degradation: the
+    // old path answered a conflict park with `wake_by_ref` + `Pending`,
+    // re-polling at executor speed (a pegged core) for as long as the
+    // conflict lasted, and never registered on the waiter lists. The
+    // fixed path registers the conflict footprint and suspends for
+    // real: no wake until an overlapping commit (or the timer
+    // watchdog) delivers one.
+    #[derive(Debug)]
+    struct AlwaysPark;
+    impl progressive_tm::stm::ContentionManager for AlwaysPark {
+        fn decide(&self, _attempt: u64) -> progressive_tm::stm::Decision {
+            progressive_tm::stm::Decision::Park
+        }
+    }
+
+    let stm = Stm::builder(Algorithm::Tl2)
+        .contention_manager(AlwaysPark)
+        .build();
+    let w = TVar::new(0u64);
+
+    // A prepared (locked, unpublished) writer on `w`'s stripe makes the
+    // future's commit fail deterministically while its (empty) read set
+    // stays valid — the exact shape that must park, not spin.
+    let mut blocker = stm.transaction();
+    blocker.write(&w, 7u64).expect("buffer write");
+    let prepared = blocker.prepare_commit().expect("uncontended prepare");
+
+    let fut = stm.run_async(|tx| {
+        tx.write(&w, 8u64)?;
+        Ok(())
+    });
+    let mut fut = std::pin::pin!(fut);
+    let counter = CountingWaker::new();
+    let waker = Waker::from(Arc::clone(&counter));
+    let mut cx = Context::from_waker(&waker);
+
+    assert!(fut.as_mut().poll(&mut cx).is_pending());
+    // The old code had already fired the waker here (and `parks` stayed
+    // 0, since nothing registered). Note the 1 ms watchdog *can* fire
+    // once enough wall time passes — which is why the no-self-wake
+    // check runs immediately after the poll.
+    assert_eq!(counter.count(), 0, "a parked poll must not wake itself");
+    let snap = stm.stats().snapshot();
+    assert!(snap.parks >= 1, "conflict park must register: {snap}");
+    assert_eq!(snap.async_yields, 0, "parked, not degraded: {snap}");
+
+    // Publishing the blocker overlaps the parked footprint (the write
+    // stripe registers too); its wake sweep delivers synchronously.
+    blocker.commit_prepared(prepared);
+    assert_eq!(counter.count(), 1, "overlapping commit wakes the future");
+    assert!(fut.as_mut().poll(&mut cx).is_ready(), "woken and unblocked");
+    assert_eq!(w.load(), 8, "the future's write landed on top");
+}
+
 #[test]
 fn run_async_is_cancel_safe() {
     // Poll once (registers a waiter), then drop the future: the
