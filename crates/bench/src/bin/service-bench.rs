@@ -8,6 +8,14 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "quick");
+    if args.iter().any(|a| a == "--durability-only") {
+        // Iterating on the durability family (or a CI durability job)
+        // without paying for the full algorithm sweep; table only, the
+        // canonical baseline is not rewritten.
+        let results = ptm_bench::service::bench_durability_family(quick);
+        print!("{}", ptm_bench::service::render_table(&results));
+        return;
+    }
     let out = args
         .iter()
         .position(|a| a == "--out")

@@ -16,7 +16,12 @@
 //! percentiles.
 
 use crate::native::{baseline_path, ALGOS, PHASE_PASSES};
-use ptm_server::{preload, run_workload, Mix, ShardedKv, Workload, WorkloadConfig, WorkloadStats};
+use ptm_server::{
+    preload, run_workload, DurabilityConfig, DurableKv, KvBackend, Mix, ServiceConfig, ShardedKv,
+    Workload, WorkloadConfig, WorkloadStats,
+};
+use ptm_stm::Algorithm;
+use std::path::{Path, PathBuf};
 
 /// One measured service configuration, with latency percentiles.
 #[derive(Debug, Clone)]
@@ -123,9 +128,142 @@ pub fn bench_service_family(
     out
 }
 
+/// A store under durability measurement: the same workload runs against
+/// the plain sharded KV and the WAL-backed one.
+enum DurStore {
+    Off(ShardedKv<u64, u64>),
+    Wal(DurableKv<u64, u64>),
+}
+
+impl KvBackend for DurStore {
+    fn get(&self, key: &u64) -> Option<u64> {
+        match self {
+            DurStore::Off(kv) => KvBackend::get(kv, key),
+            DurStore::Wal(kv) => KvBackend::get(kv, key),
+        }
+    }
+    fn put(&self, key: u64, value: u64) -> Option<u64> {
+        match self {
+            DurStore::Off(kv) => KvBackend::put(kv, key, value),
+            DurStore::Wal(kv) => KvBackend::put(kv, key, value),
+        }
+    }
+    fn scan(&self) -> Vec<(u64, u64)> {
+        match self {
+            DurStore::Off(kv) => KvBackend::scan(kv),
+            DurStore::Wal(kv) => KvBackend::scan(kv),
+        }
+    }
+    fn transfer(&self, keys: &[u64]) {
+        match self {
+            DurStore::Off(kv) => KvBackend::transfer(kv, keys),
+            DurStore::Wal(kv) => KvBackend::transfer(kv, keys),
+        }
+    }
+}
+
+/// Where the durability bench keeps its logs: a RAM-backed filesystem
+/// when one exists, so the numbers measure the WAL's group-commit and
+/// ack machinery rather than the benchmark host's disk.
+fn durability_bench_root() -> PathBuf {
+    let shm = Path::new("/dev/shm");
+    if shm.is_dir() {
+        shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+/// The durability cost benchmark: one algorithm (tl2), 4 shards, 8
+/// threads, both workload shapes, three store configurations —
+/// durability off, WAL with synchronous acks (the full contract), and
+/// WAL buffered (`sync_acks: false`). Variants are interleaved per pass
+/// like the algorithm families, and the variant lands in the `algo`
+/// column (`tl2/off`, `tl2/wal-sync`, `tl2/wal-buffered`).
+pub fn bench_durability_family(quick: bool) -> Vec<ServiceResult> {
+    let threads = 8;
+    let shards = 4;
+    let ops: u64 = if quick { 2_000 } else { 12_000 };
+    let keys: u64 = if quick { 1_024 } else { 4_096 };
+    let root = durability_bench_root();
+    let mut out = Vec::new();
+    for (mix_name, mix) in [
+        ("read_mostly", Mix::READ_MOSTLY),
+        ("update_heavy", Mix::UPDATE_HEAVY),
+    ] {
+        let workload = Workload::new(WorkloadConfig {
+            keys,
+            zipf_theta: 0.99,
+            mix,
+            multi_span: 2,
+        });
+        let mut dirs = Vec::new();
+        let mut open_wal = |tag: &str, sync_acks: bool| {
+            let dir = root.join(format!(
+                "ptm-bench-durab-{mix_name}-{tag}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dirs.push(dir.clone());
+            DurableKv::open(DurabilityConfig {
+                service: ServiceConfig {
+                    shards,
+                    algorithm: Algorithm::Tl2,
+                    buckets_per_shard: 64,
+                },
+                dir,
+                sync_acks,
+            })
+            .expect("open bench WAL store")
+        };
+        let stores = [
+            (
+                "tl2/off",
+                DurStore::Off(ShardedKv::new(shards, Algorithm::Tl2)),
+            ),
+            ("tl2/wal-sync", DurStore::Wal(open_wal("sync", true))),
+            ("tl2/wal-buffered", DurStore::Wal(open_wal("buf", false))),
+        ];
+        for (_, kv) in &stores {
+            preload(kv, keys, 100);
+        }
+        let mut passes: Vec<Vec<WorkloadStats>> = stores.iter().map(|_| Vec::new()).collect();
+        for pass in 0..PHASE_PASSES {
+            for (i, (_, kv)) in stores.iter().enumerate() {
+                passes[i].push(run_workload(
+                    kv,
+                    &workload,
+                    threads,
+                    ops,
+                    0x5eed + pass as u64,
+                ));
+            }
+        }
+        for ((variant, _), variant_passes) in stores.iter().zip(passes) {
+            let mut best = best_pass(variant_passes);
+            out.push(ServiceResult {
+                name: format!("durability_{mix_name}"),
+                algo: (*variant).to_string(),
+                shards,
+                threads,
+                ops: best.ops,
+                nanos: best.nanos,
+                p50_ns: best.latencies.percentile(50.0),
+                p99_ns: best.latencies.percentile(99.0),
+            });
+        }
+        drop(stores);
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    out
+}
+
 /// The full service suite: an update-heavy and a read-mostly shape, two
-/// (or three) shard counts, all six algorithms. `quick` shrinks the op
-/// counts and drops the largest shard count for CI smoke runs.
+/// (or three) shard counts, all six algorithms, plus the durability
+/// cost family. `quick` shrinks the op counts and drops the largest
+/// shard count for CI smoke runs.
 pub fn run_all(quick: bool) -> Vec<ServiceResult> {
     let threads = 4;
     let ops: u64 = if quick { 4_000 } else { 25_000 };
@@ -147,6 +285,7 @@ pub fn run_all(quick: bool) -> Vec<ServiceResult> {
         ops,
         keys,
     ));
+    out.extend(bench_durability_family(quick));
     out
 }
 

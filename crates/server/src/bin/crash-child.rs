@@ -1,0 +1,111 @@
+//! Crash-test child: a durable writer the harness SIGKILLs mid-stream.
+//!
+//! Usage: `crash-child <dir> <algorithm> <single|multi> <max_ops>`
+//!
+//! Opens a [`DurableKv`] under `<dir>` and performs a deterministic
+//! acknowledged write stream, **one op per `go` line on stdin**,
+//! printing one line per **acknowledged** operation (each ack line is
+//! printed only after the store's fsync wait returned, so every printed
+//! op is durable by contract). The stdin gating is what bounds the
+//! harness's uncertainty: with `N + 1` gos fed, at most op `N + 1` can
+//! be in flight when the SIGKILL lands. The parent reads `N` acks,
+//! kills this process, then recovers the directory and checks the
+//! recovered state against the acked prefix.
+//!
+//! * `single`: op `i` is `put(i % 16, i)` on one shard; line `ack i`.
+//! * `multi`: preload 16 keys with 1000 (then line `ready`), then
+//!   transfer `i` atomically moves 1 between two derived keys *and*
+//!   writes `i` into a counter key — a cross-shard transaction whose
+//!   counter value lets the parent reconstruct the exact committed
+//!   prefix; line `ack i`.
+
+use ptm_server::{DurabilityConfig, DurableKv, ServiceConfig};
+use ptm_stm::Algorithm;
+use std::io::Write;
+
+/// Keys in play; the counter key for `multi` mode lives far outside.
+const KEYS: u64 = 16;
+/// The `multi` counter key.
+const CTR: u64 = 1_000_000;
+
+fn parse_algorithm(s: &str) -> Algorithm {
+    match s {
+        "tl2" => Algorithm::Tl2,
+        "incremental" => Algorithm::Incremental,
+        "norec" => Algorithm::Norec,
+        "tlrw" => Algorithm::Tlrw,
+        "mv" => Algorithm::Mv,
+        "adaptive" => Algorithm::Adaptive,
+        other => panic!("unknown algorithm {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, dir, algorithm, mode, max_ops] = &args[..] else {
+        eprintln!("usage: crash-child <dir> <algorithm> <single|multi> <max_ops>");
+        std::process::exit(2);
+    };
+    let algorithm = parse_algorithm(algorithm);
+    let max_ops: u64 = max_ops.parse().expect("max_ops");
+    let kv: DurableKv<u64, u64> = DurableKv::open(DurabilityConfig {
+        service: ServiceConfig {
+            shards: 4,
+            algorithm,
+            buckets_per_shard: 32,
+        },
+        dir: dir.into(),
+        sync_acks: true,
+    })
+    .expect("open durable store");
+
+    let out = std::io::stdout();
+    let mut out = out.lock();
+    // The pipe to the parent is block-buffered; every line must be
+    // flushed before the parent can count it as an ack boundary.
+    let mut say = |line: String| {
+        writeln!(out, "{line}").expect("write ack");
+        out.flush().expect("flush ack");
+    };
+    let stdin = std::io::stdin();
+    let mut gos = std::io::BufRead::lines(stdin.lock());
+    // Blocks until the parent grants the next op; `false` (EOF) ends
+    // the stream gracefully.
+    let mut granted = move || matches!(gos.next(), Some(Ok(_)));
+
+    match mode.as_str() {
+        "single" => {
+            for i in 1..=max_ops {
+                if !granted() {
+                    break;
+                }
+                kv.put(i % KEYS, i);
+                say(format!("ack {i}"));
+            }
+        }
+        "multi" => {
+            for k in 0..KEYS {
+                kv.put(k, 1000);
+            }
+            say("ready".to_string());
+            for i in 1..=max_ops {
+                if !granted() {
+                    break;
+                }
+                let from = i % KEYS;
+                let to = (from + 1 + (i % (KEYS - 1))) % KEYS;
+                kv.transact(|tx| {
+                    let a = tx.get(&from)?.unwrap_or(0);
+                    let b = tx.get(&to)?.unwrap_or(0);
+                    let moved = a.min(1);
+                    tx.put(from, a - moved)?;
+                    tx.put(to, b + moved)?;
+                    tx.put(CTR, i)?;
+                    Ok(())
+                });
+                say(format!("ack {i}"));
+            }
+        }
+        other => panic!("unknown mode {other:?}"),
+    }
+}

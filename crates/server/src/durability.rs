@@ -1,0 +1,1022 @@
+//! The durable serving tier: per-shard write-ahead logs, point-in-time
+//! snapshots, and crash recovery for [`ShardedKv`].
+//!
+//! A [`DurableKv`] wraps a [`ShardedKv`] whose every shard carries one
+//! group-committed [`Wal`] (see `ptm_stm::wal` for the commit→log→fsync
+//! ordering argument). Each acknowledged operation is **logged before it
+//! is acknowledged**: the write set is staged on the shard transaction,
+//! the engine appends it to the shard's log *inside* the publish
+//! critical section (so log order is commit order), and the ack waits
+//! for the group-committed fsync covering that append. Cross-shard
+//! transactions stage the **full** record (every participant's ops) on
+//! every writing shard, which is what recovery's roll-forward leans on.
+//!
+//! ## On-disk layout and the era protocol
+//!
+//! `dir/shard-<i>.wal` is shard `i`'s log; `dir/shard-<i>.snap` its
+//! snapshot. The first log record is always a **meta record** (stamp 0,
+//! `FLAG_META`) naming the store geometry and the shard's **era** — a
+//! monotone incarnation counter bumped by every checkpoint/recovery
+//! rebaseline. The rebaseline sequence is: quiesce, write *all* shard
+//! snapshots at the new era (atomic tmp+rename each), then truncate
+//! *all* logs and stamp them with the new era. Because snapshots always
+//! land before log rewrites, a crash anywhere in the window leaves each
+//! shard either wholly at the old era or with a new-era snapshot whose
+//! state is a superset of its old-era log — so recovery can apply one
+//! uniform rule: **a shard's log evidence counts only if its era equals
+//! the shard's effective era** (`max(snapshot era, log era)`); stale
+//! logs are discarded, already covered by the newer snapshot.
+//!
+//! The engine's commit stamps order records *within* one era (the WAL
+//! stamp is drawn from the shard clock inside the publish window), but
+//! clocks restart at process start, so stamps are **not** comparable
+//! across eras — the era rule, not stamp comparison, is what fences
+//! snapshot contents from log replay. Snapshot files record the highest
+//! stamp they absorbed as a watermark for observability.
+//!
+//! ## Recovery
+//!
+//! 1. Read every shard's snapshot and log; decode each log to its
+//!    **clean prefix** (a torn or bit-flipped tail truncates at the
+//!    last intact record — `ptm_stm::wal::codec`), and validate log
+//!    eras as above.
+//! 2. Load snapshots, then replay each shard's own valid records in
+//!    log order (log order is commit order per shard).
+//! 3. **Roll forward** cross-shard records: a record durable on shard
+//!    `i` but missing from participant `p`'s log (its suffix was lost)
+//!    is applied at `p` too, so no transaction is ever half-recovered.
+//!    Missing records sort by global transaction id — ids are drawn
+//!    while *all* participants' commit locks are held, so id order
+//!    matches `p`'s lost commit order — and a record is only rolled
+//!    onto `p` if `p`'s era is not newer than the evidence (a newer
+//!    snapshot already covers it). Rolled-forward transactions were
+//!    never acknowledged (acks wait for *every* participant's fsync),
+//!    so recovering them keeps the state a superset of the acked
+//!    prefix without breaking atomicity.
+//! 4. Rebaseline to `max(eras) + 1`: fresh snapshots of the recovered
+//!    state, empty logs. This also makes the restart of the global
+//!    transaction-id counter safe — all old evidence is retired.
+//!
+//! The recovered state is therefore exactly: snapshot state, plus a
+//! **prefix-closed** set of logged commits per shard (clean-prefix
+//! decode loses only suffixes; group commit flushes in append order),
+//! closed under cross-shard atomicity — which contains every
+//! acknowledged operation.
+//!
+//! ## Failure discipline
+//!
+//! Log I/O errors poison the WAL and every subsequent ack **panics**
+//! (fail-stop): a serving process that cannot make operations durable
+//! must not keep acknowledging them, and recovery from the on-disk
+//! prefix is the correctness path (the PANIC discipline databases use).
+
+use crate::kv::{ServiceConfig, ServiceTx, ShardedKv};
+use ptm_stm::wal::{codec, DurabilityHook, DurableTicket, Wal, WalValue, FLAG_META};
+use ptm_stm::{Retry, Stm, TxValue};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::hash::Hash;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Magic prefix of a snapshot file.
+const SNAP_MAGIC: &[u8; 4] = b"PSNP";
+
+/// Durability knobs for a [`DurableKv`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Geometry and algorithm of the underlying [`ShardedKv`].
+    pub service: ServiceConfig,
+    /// Directory holding the per-shard logs and snapshots.
+    pub dir: PathBuf,
+    /// If `true` (the default), every write acknowledgement waits for
+    /// the group-committed fsync covering its log record — the full
+    /// durability contract. If `false`, writes are logged in memory and
+    /// flushed only by batch piggybacking, [`DurableKv::flush`], or a
+    /// checkpoint: a crash may lose the unflushed suffix (still a clean
+    /// prefix), trading the contract for write latency.
+    pub sync_acks: bool,
+}
+
+impl DurabilityConfig {
+    /// Default service geometry, synchronous acks, logs under `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            service: ServiceConfig::default(),
+            dir: dir.into(),
+            sync_acks: true,
+        }
+    }
+}
+
+/// What [`DurableKv::open`] found and did; see the module docs for the
+/// recovery procedure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The store's era after the post-recovery rebaseline.
+    pub era: u64,
+    /// Entries loaded from snapshots across all shards.
+    pub snapshot_entries: usize,
+    /// Log records replayed onto their own shard.
+    pub records_applied: usize,
+    /// Cross-shard records applied at a participant whose own log had
+    /// lost them (per participant).
+    pub rolled_forward: usize,
+    /// Logs discarded because their era trailed the shard's snapshot.
+    pub stale_logs: usize,
+    /// Logs whose tail was torn or corrupt (decoded to a clean prefix).
+    pub torn_tails: usize,
+}
+
+/// One logged mutation, tagged with its owning shard.
+#[derive(Debug, Clone)]
+enum LoggedOp<K, V> {
+    Put { shard: usize, key: K, value: V },
+    Remove { shard: usize, key: K },
+}
+
+impl<K, V> LoggedOp<K, V> {
+    fn shard(&self) -> usize {
+        match self {
+            LoggedOp::Put { shard, .. } | LoggedOp::Remove { shard, .. } => *shard,
+        }
+    }
+}
+
+impl<K: WalValue, V: WalValue> LoggedOp<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LoggedOp::Put { shard, key, value } => {
+                shard.encode_wal(out);
+                0u8.encode_wal(out);
+                key.encode_wal(out);
+                value.encode_wal(out);
+            }
+            LoggedOp::Remove { shard, key } => {
+                shard.encode_wal(out);
+                1u8.encode_wal(out);
+                key.encode_wal(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let shard = usize::decode_wal(buf)?;
+        match u8::decode_wal(buf)? {
+            0 => Some(LoggedOp::Put {
+                shard,
+                key: K::decode_wal(buf)?,
+                value: V::decode_wal(buf)?,
+            }),
+            1 => Some(LoggedOp::Remove {
+                shard,
+                key: K::decode_wal(buf)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// `txn_id` then the op list, all [`WalValue`]-framed. Encodes into
+/// thread-local scratch so the per-op cost is the one unavoidable
+/// `Arc<[u8]>` allocation, not two.
+fn encode_ops<K: WalValue, V: WalValue>(txn_id: u64, ops: &[LoggedOp<K, V>]) -> Arc<[u8]> {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<u8>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut out = cell.borrow_mut();
+        out.clear();
+        txn_id.encode_wal(&mut out);
+        ops.len().encode_wal(&mut out);
+        for op in ops {
+            op.encode(&mut out);
+        }
+        Arc::from(&out[..])
+    })
+}
+
+fn decode_ops<K: WalValue, V: WalValue>(mut buf: &[u8]) -> Option<(u64, Vec<LoggedOp<K, V>>)> {
+    let txn_id = u64::decode_wal(&mut buf)?;
+    let n = usize::decode_wal(&mut buf)?;
+    let mut ops = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        ops.push(LoggedOp::decode(&mut buf)?);
+    }
+    if buf.is_empty() {
+        Some((txn_id, ops))
+    } else {
+        None
+    }
+}
+
+/// Meta record payload: era, geometry, shard index.
+fn encode_meta(era: u64, shards: usize, shard: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    era.encode_wal(&mut out);
+    shards.encode_wal(&mut out);
+    shard.encode_wal(&mut out);
+    out
+}
+
+fn decode_meta(mut buf: &[u8]) -> Option<(u64, usize, usize)> {
+    let era = u64::decode_wal(&mut buf)?;
+    let shards = usize::decode_wal(&mut buf)?;
+    let shard = usize::decode_wal(&mut buf)?;
+    buf.is_empty().then_some((era, shards, shard))
+}
+
+fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.wal"))
+}
+
+fn snap_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.snap"))
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A decoded snapshot file.
+struct Snapshot<K, V> {
+    era: u64,
+    entries: Vec<(K, V)>,
+}
+
+/// Reads and validates `dir/shard-<i>.snap`. Absent file → `None`; a
+/// present-but-invalid file is a hard error (snapshot writes are atomic
+/// via rename, so an invalid file means real corruption or a geometry
+/// change — silently dropping it would silently drop data).
+fn read_snapshot<K: WalValue, V: WalValue>(
+    path: &Path,
+    shard: usize,
+    shards: usize,
+) -> io::Result<Option<Snapshot<K, V>>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let fail = |what: &str| bad_data(format!("snapshot {}: {what}", path.display()));
+    if bytes.len() < SNAP_MAGIC.len() + 8 || &bytes[..4] != SNAP_MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let body_len = bytes.len() - 8;
+    let mut crc = [0u8; 8];
+    crc.copy_from_slice(&bytes[body_len..]);
+    if codec::crc64(&bytes[..body_len]) != u64::from_le_bytes(crc) {
+        return Err(fail("checksum mismatch"));
+    }
+    let mut buf = &bytes[4..body_len];
+    let mut decode = || -> Option<Snapshot<K, V>> {
+        let era = u64::decode_wal(&mut buf)?;
+        let got_shards = usize::decode_wal(&mut buf)?;
+        let got_shard = usize::decode_wal(&mut buf)?;
+        let _watermark = u64::decode_wal(&mut buf)?;
+        if got_shards != shards || got_shard != shard {
+            return None;
+        }
+        let n = usize::decode_wal(&mut buf)?;
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            entries.push((K::decode_wal(&mut buf)?, V::decode_wal(&mut buf)?));
+        }
+        buf.is_empty().then_some(Snapshot { era, entries })
+    };
+    match decode() {
+        Some(snap) => Ok(Some(snap)),
+        None => Err(fail("undecodable or geometry mismatch")),
+    }
+}
+
+/// Writes a snapshot atomically: tmp file, fsync, rename.
+fn write_snapshot<K: WalValue, V: WalValue>(
+    path: &Path,
+    era: u64,
+    shards: usize,
+    shard: usize,
+    watermark: u64,
+    entries: &[(K, V)],
+) -> io::Result<()> {
+    let mut bytes = SNAP_MAGIC.to_vec();
+    era.encode_wal(&mut bytes);
+    shards.encode_wal(&mut bytes);
+    shard.encode_wal(&mut bytes);
+    watermark.encode_wal(&mut bytes);
+    entries.len().encode_wal(&mut bytes);
+    for (k, v) in entries {
+        k.encode_wal(&mut bytes);
+        v.encode_wal(&mut bytes);
+    }
+    let crc = codec::crc64(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, &bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Ok(d) = fs::File::open(path.parent().unwrap_or(Path::new("."))) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// One parsed shard log: its era and clean-prefix data records.
+struct ShardLog<K, V> {
+    /// Era from the leading meta record; 0 for a fresh/empty log.
+    era: u64,
+    records: Vec<(u64, Vec<LoggedOp<K, V>>)>,
+}
+
+fn parse_log<K: WalValue, V: WalValue>(
+    decoded: codec::Decoded,
+    shard: usize,
+    shards: usize,
+) -> io::Result<ShardLog<K, V>> {
+    let fail = |what: String| bad_data(format!("shard {shard} log: {what}"));
+    let mut era = 0;
+    let mut records = Vec::with_capacity(decoded.records.len());
+    for (idx, rec) in decoded.records.iter().enumerate() {
+        if rec.is_meta() {
+            if idx != 0 {
+                return Err(fail(format!("meta record at position {idx}")));
+            }
+            let (e, got_shards, got_shard) =
+                decode_meta(&rec.payload).ok_or_else(|| fail("undecodable meta record".into()))?;
+            if got_shards != shards || got_shard != shard {
+                return Err(fail(format!(
+                    "geometry mismatch: log is shard {got_shard}/{got_shards}, store wants {shard}/{shards}"
+                )));
+            }
+            era = e;
+            continue;
+        }
+        if idx == 0 {
+            return Err(fail("first record is not a meta record".into()));
+        }
+        let (txn_id, ops) = decode_ops::<K, V>(&rec.payload)
+            .ok_or_else(|| fail(format!("undecodable record at position {idx}")))?;
+        if ops.iter().any(|op| op.shard() >= shards) {
+            return Err(fail(format!("record {idx} targets a nonexistent shard")));
+        }
+        records.push((txn_id, ops));
+    }
+    Ok(ShardLog { era, records })
+}
+
+/// A durable, crash-recoverable [`ShardedKv`]: write-ahead logged,
+/// snapshotted, recovered on [`open`](DurableKv::open).
+///
+/// # Examples
+///
+/// ```
+/// use ptm_server::{DurabilityConfig, DurableKv};
+///
+/// let dir = std::env::temp_dir().join(format!("ptm-doc-{}", std::process::id()));
+/// let cfg = DurabilityConfig::new(&dir);
+///
+/// {
+///     let kv: DurableKv<u64, u64> = DurableKv::open(cfg.clone()).unwrap();
+///     kv.put(1, 10);
+///     kv.transact(|tx| {
+///         let a = tx.get(&1)?.unwrap_or(0);
+///         tx.put(1, a - 5)?;
+///         tx.put(2, 5)?;
+///         Ok(())
+///     });
+///     // Acks returned: both writes are on disk. Drop without flushing.
+/// }
+///
+/// // "Restart": recovery rebuilds the store from snapshot + log.
+/// let kv: DurableKv<u64, u64> = DurableKv::open(cfg).unwrap();
+/// assert_eq!(kv.get(&1), Some(5));
+/// assert_eq!(kv.get(&2), Some(5));
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct DurableKv<K, V> {
+    kv: ShardedKv<K, V>,
+    wals: Vec<Arc<Wal>>,
+    dir: PathBuf,
+    sync_acks: bool,
+    era: AtomicU64,
+    /// Global transaction-id allocator; ids order cross-shard
+    /// roll-forward (drawn while all participants' locks are held).
+    next_txn: AtomicU64,
+    report: RecoveryReport,
+}
+
+impl<K, V> fmt::Debug for DurableKv<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableKv")
+            .field("kv", &self.kv)
+            .field("dir", &self.dir)
+            .field("era", &self.era.load(Ordering::Relaxed))
+            .field("sync_acks", &self.sync_acks)
+            .finish()
+    }
+}
+
+impl<K, V> DurableKv<K, V>
+where
+    K: TxValue + WalValue + Hash + Eq,
+    V: TxValue + WalValue,
+{
+    /// Opens (or creates) the store under `cfg.dir`, running the full
+    /// recovery procedure from the module docs; the outcome is readable
+    /// via [`recovery_report`](Self::recovery_report).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a corrupt snapshot, an undecodable intact log
+    /// record, or a geometry change (different shard count than the
+    /// on-disk store) all fail the open — torn/corrupt log *tails* are
+    /// expected crash damage and are truncated, not errors.
+    pub fn open(cfg: DurabilityConfig) -> io::Result<Self> {
+        let shards = cfg.service.shards.max(1);
+        fs::create_dir_all(&cfg.dir)?;
+        let mut report = RecoveryReport::default();
+
+        let mut snaps: Vec<Option<Snapshot<K, V>>> = Vec::with_capacity(shards);
+        let mut wals: Vec<Arc<Wal>> = Vec::with_capacity(shards);
+        let mut logs: Vec<ShardLog<K, V>> = Vec::with_capacity(shards);
+        for i in 0..shards {
+            snaps.push(read_snapshot(&snap_path(&cfg.dir, i), i, shards)?);
+            let wal = Wal::open(wal_path(&cfg.dir, i))?;
+            let decoded = wal.read_records()?;
+            if decoded.corruption.is_some() {
+                report.torn_tails += 1;
+            }
+            logs.push(parse_log(decoded, i, shards)?);
+            wals.push(Arc::new(wal));
+        }
+
+        // Effective era per shard; a log only counts at its shard's era.
+        let eras: Vec<u64> = (0..shards)
+            .map(|i| logs[i].era.max(snaps[i].as_ref().map_or(0, |s| s.era)))
+            .collect();
+        let valid: Vec<bool> = (0..shards).map(|i| logs[i].era == eras[i]).collect();
+        for i in 0..shards {
+            if !valid[i] && !logs[i].records.is_empty() {
+                report.stale_logs += 1;
+            }
+        }
+
+        let kv = ShardedKv::with_hooks(
+            ServiceConfig {
+                shards,
+                ..cfg.service
+            },
+            |i| Some(Arc::clone(&wals[i]) as Arc<dyn DurabilityHook>),
+        );
+
+        // Snapshots first, then own-log replay in log order. Replay
+        // transactions stage nothing, so nothing is re-logged.
+        let mut max_txn = 0u64;
+        for i in 0..shards {
+            let (stm, map) = kv.shard_parts(i);
+            if let Some(snap) = &snaps[i] {
+                report.snapshot_entries += snap.entries.len();
+                for (k, v) in &snap.entries {
+                    stm.atomically(|tx| map.insert(tx, k.clone(), v.clone()));
+                }
+            }
+            if !valid[i] {
+                continue;
+            }
+            for (txn_id, ops) in &logs[i].records {
+                max_txn = max_txn.max(*txn_id);
+                stm.atomically(|tx| {
+                    for op in ops.iter().filter(|op| op.shard() == i) {
+                        match op {
+                            LoggedOp::Put { key, value, .. } => {
+                                map.insert(tx, key.clone(), value.clone())?;
+                            }
+                            LoggedOp::Remove { key, .. } => {
+                                map.remove(tx, key)?;
+                            }
+                        }
+                    }
+                    Ok(())
+                });
+                report.records_applied += 1;
+            }
+        }
+
+        // Roll-forward: records durable on one shard but lost from a
+        // participant's log suffix, applied at the participant in
+        // global-id order (see the module docs for why both the order
+        // and the era guard are sound).
+        let ids: Vec<HashSet<u64>> = (0..shards)
+            .map(|i| {
+                if valid[i] {
+                    logs[i].records.iter().map(|(id, _)| *id).collect()
+                } else {
+                    HashSet::new()
+                }
+            })
+            .collect();
+        let mut missing: HashMap<(usize, u64), Vec<&LoggedOp<K, V>>> = HashMap::new();
+        for i in 0..shards {
+            if !valid[i] {
+                continue;
+            }
+            for (txn_id, ops) in &logs[i].records {
+                for p in 0..shards {
+                    if p == i || eras[p] > eras[i] || ids[p].contains(txn_id) {
+                        continue;
+                    }
+                    let targeted: Vec<&LoggedOp<K, V>> =
+                        ops.iter().filter(|op| op.shard() == p).collect();
+                    if !targeted.is_empty() {
+                        missing.entry((p, *txn_id)).or_insert(targeted);
+                    }
+                }
+            }
+        }
+        // Key: (participant shard, global txn id).
+        type MissingEntry<'ops, K, V> = ((usize, u64), Vec<&'ops LoggedOp<K, V>>);
+        let mut missing: Vec<MissingEntry<'_, K, V>> = missing.into_iter().collect();
+        missing.sort_by_key(|((_, txn), _)| *txn);
+        for ((p, _), ops) in missing {
+            let (stm, map) = kv.shard_parts(p);
+            stm.atomically(|tx| {
+                for op in &ops {
+                    match op {
+                        LoggedOp::Put { key, value, .. } => {
+                            map.insert(tx, key.clone(), value.clone())?;
+                        }
+                        LoggedOp::Remove { key, .. } => {
+                            map.remove(tx, key)?;
+                        }
+                    }
+                }
+                Ok(())
+            });
+            report.rolled_forward += 1;
+        }
+
+        let store = DurableKv {
+            kv,
+            wals,
+            dir: cfg.dir,
+            sync_acks: cfg.sync_acks,
+            era: AtomicU64::new(eras.iter().copied().max().unwrap_or(0)),
+            next_txn: AtomicU64::new(max_txn),
+            report,
+        };
+        // Rebaseline: the recovered state becomes the new snapshots,
+        // logs restart empty at the next era.
+        store.rebaseline()?;
+        let mut store = store;
+        store.report.era = store.era.load(Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// What recovery found and did at [`open`](Self::open).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The wrapped in-memory store — direct reads bypass no durability
+    /// (reads are never logged); direct *writes* through this reference
+    /// would bypass the log, so it is read-only.
+    pub fn store(&self) -> &ShardedKv<K, V> {
+        &self.kv
+    }
+
+    /// Blocks until the shard's log has fsynced past `ticket`, then
+    /// returns; **panics** on a poisoned log (fail-stop, module docs).
+    fn ack(&self, shard: usize, ticket: &DurableTicket) {
+        if !self.sync_acks {
+            return;
+        }
+        if let Some(lsn) = ticket.lsn() {
+            if let Err(e) = self.wals[shard].wait_durable(lsn) {
+                panic!("shard {shard} log failed ({e}); fail-stop: restart and recover");
+            }
+        }
+    }
+
+    /// Reads one key (never logged, never waits).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.kv.get(key)
+    }
+
+    /// Durably writes one key: committed, logged in commit order, and
+    /// (with `sync_acks`) fsynced before this returns.
+    pub fn put(&self, key: K, value: V) -> Option<V> {
+        let shard = self.kv.shard_of(&key);
+        let op = LoggedOp::Put {
+            shard,
+            key: key.clone(),
+            value: value.clone(),
+        };
+        self.single_shard(shard, op, |stm, map, payload, ticket| {
+            stm.atomically(|tx| {
+                let prev = map.insert(tx, key.clone(), value.clone())?;
+                tx.stage_durable(Arc::clone(payload), ticket);
+                Ok(prev)
+            })
+        })
+    }
+
+    /// Durably removes one key.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let shard = self.kv.shard_of(key);
+        let op = LoggedOp::Remove {
+            shard,
+            key: key.clone(),
+        };
+        self.single_shard(shard, op, |stm, map, payload, ticket| {
+            stm.atomically(|tx| {
+                let prev = map.remove(tx, key)?;
+                tx.stage_durable(Arc::clone(payload), ticket);
+                Ok(prev)
+            })
+        })
+    }
+
+    fn single_shard<T>(
+        &self,
+        shard: usize,
+        op: LoggedOp<K, V>,
+        run: impl FnOnce(&Stm, &ptm_structs::THashMap<K, V>, &Arc<[u8]>, &DurableTicket) -> T,
+    ) -> T {
+        // One ticket per thread, reset per op: the previous op on this
+        // thread was acked before we got here, so its slot is free.
+        thread_local! {
+            static TICKET: DurableTicket = DurableTicket::new();
+        }
+        let txn_id = self.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
+        let payload = encode_ops(txn_id, std::slice::from_ref(&op));
+        TICKET.with(|ticket| {
+            ticket.reset();
+            let (stm, map) = self.kv.shard_parts(shard);
+            let out = run(stm, map, &payload, ticket);
+            self.ack(shard, ticket);
+            out
+        })
+    }
+
+    /// A consistent (cross-shard serialized) snapshot of every entry.
+    pub fn scan(&self) -> Vec<(K, V)> {
+        self.kv.scan()
+    }
+
+    /// Runs `body` as one atomic cross-shard transaction, durably: the
+    /// full write set is logged on **every** shard it writes (inside
+    /// the ordered 2PC's publish window, all locks held) and the return
+    /// waits for every participant's fsync. See
+    /// [`ShardedKv::transact`] for the transaction semantics.
+    pub fn transact<T>(
+        &self,
+        mut body: impl FnMut(&mut DurableTx<'_, K, V>) -> Result<T, Retry>,
+    ) -> T {
+        let mut attempt = 0u64;
+        loop {
+            let mut dtx = DurableTx {
+                store: self,
+                inner: ServiceTx::begin(&self.kv),
+                ops: Vec::new(),
+            };
+            match body(&mut dtx) {
+                Ok(out) => {
+                    let DurableTx { inner, ops, .. } = dtx;
+                    let mut tickets: Vec<(usize, DurableTicket)> = Vec::new();
+                    let committed = inner.commit_with(|prepared| {
+                        if ops.is_empty() {
+                            return;
+                        }
+                        // All prepares hold: the commit cannot fail and
+                        // every participant's locks are ours, so the id
+                        // drawn here is conflict-ordered on each shard.
+                        let txn_id = self.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
+                        let payload = encode_ops(txn_id, &ops);
+                        let writers: HashSet<usize> = ops.iter().map(|op| op.shard()).collect();
+                        for (shard, tx, _) in prepared.iter_mut() {
+                            if writers.contains(shard) {
+                                let ticket = DurableTicket::new();
+                                tx.stage_durable(Arc::clone(&payload), &ticket);
+                                tickets.push((*shard, ticket));
+                            }
+                        }
+                    });
+                    if committed {
+                        for (shard, ticket) in &tickets {
+                            self.ack(*shard, ticket);
+                        }
+                        return out;
+                    }
+                }
+                Err(Retry) => dtx.inner.rollback(),
+            }
+            attempt += 1;
+            if attempt > 3 {
+                std::thread::yield_now();
+            } else {
+                for _ in 0..(1u32 << attempt.min(10)) {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Forces every shard's pending log records to disk (useful with
+    /// `sync_acks: false` before a graceful shutdown).
+    ///
+    /// # Errors
+    ///
+    /// The first shard's I/O error; that log is poisoned (fail-stop).
+    pub fn flush(&self) -> io::Result<()> {
+        for wal in &self.wals {
+            wal.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint: snapshot every shard's current state and truncate
+    /// every log, bumping the era. **Requires quiescence** — the caller
+    /// must guarantee no concurrent transactions for the duration (the
+    /// snapshot-then-truncate window has no internal synchronization
+    /// against writers; a record committed mid-checkpoint could land in
+    /// a log about to be truncated). `&mut self` enforces exclusivity
+    /// against everything borrowing the store.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot or log I/O failure; the store remains recoverable (the
+    /// old-era rule covers every crash window, and a failed open leaves
+    /// disk state untouched for a retry).
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.rebaseline()
+    }
+
+    /// Snapshot-all then truncate-all at `era + 1`; the ordering (all
+    /// snapshots durable before any log rewrite) is what the recovery
+    /// era rule relies on.
+    fn rebaseline(&self) -> io::Result<()> {
+        let shards = self.kv.shard_count();
+        let era = self.era.load(Ordering::Relaxed) + 1;
+        let mut watermarks = Vec::with_capacity(shards);
+        for (i, wal) in self.wals.iter().enumerate() {
+            wal.flush()?;
+            let decoded = wal.read_records()?;
+            watermarks.push(
+                decoded
+                    .records
+                    .iter()
+                    .filter(|r| !r.is_meta())
+                    .map(|r| r.stamp)
+                    .max()
+                    .unwrap_or(0),
+            );
+            let entries = self.kv.transact(|tx| tx.shard_snapshot(i));
+            write_snapshot(
+                &snap_path(&self.dir, i),
+                era,
+                shards,
+                i,
+                watermarks[i],
+                &entries,
+            )?;
+        }
+        for (i, wal) in self.wals.iter().enumerate() {
+            wal.rewrite(|_| false)?;
+            wal.append(0, FLAG_META, &encode_meta(era, shards, i));
+            wal.flush()?;
+        }
+        self.era.store(era, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// One in-flight durable cross-shard transaction: a [`ServiceTx`] plus
+/// the journal of mutations that becomes the WAL record at commit.
+pub struct DurableTx<'kv, K, V> {
+    store: &'kv DurableKv<K, V>,
+    inner: ServiceTx<'kv, K, V>,
+    ops: Vec<LoggedOp<K, V>>,
+}
+
+impl<K, V> fmt::Debug for DurableTx<'_, K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableTx")
+            .field("inner", &self.inner)
+            .field("journaled_ops", &self.ops.len())
+            .finish()
+    }
+}
+
+impl<K, V> DurableTx<'_, K, V>
+where
+    K: TxValue + WalValue + Hash + Eq,
+    V: TxValue + WalValue,
+{
+    /// Reads `key` within the transaction (not journaled).
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on a shard-level conflict; the coordinator re-runs.
+    pub fn get(&mut self, key: &K) -> Result<Option<V>, Retry> {
+        self.inner.get(key)
+    }
+
+    /// Writes `key` within the transaction; journaled for the WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on a shard-level conflict; the coordinator re-runs.
+    pub fn put(&mut self, key: K, value: V) -> Result<Option<V>, Retry> {
+        let shard = self.store.kv.shard_of(&key);
+        let prev = self.inner.put(key.clone(), value.clone())?;
+        self.ops.push(LoggedOp::Put { shard, key, value });
+        Ok(prev)
+    }
+
+    /// Removes `key` within the transaction; journaled for the WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on a shard-level conflict; the coordinator re-runs.
+    pub fn remove(&mut self, key: &K) -> Result<Option<V>, Retry> {
+        let shard = self.store.kv.shard_of(key);
+        let prev = self.inner.remove(key)?;
+        self.ops.push(LoggedOp::Remove {
+            shard,
+            key: key.clone(),
+        });
+        Ok(prev)
+    }
+
+    /// Every entry of one shard, read into the transaction's footprint.
+    ///
+    /// # Errors
+    ///
+    /// [`Retry`] on a shard-level conflict; the coordinator re-runs.
+    pub fn shard_snapshot(&mut self, shard: usize) -> Result<Vec<(K, V)>, Retry> {
+        self.inner.shard_snapshot(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm_stm::Algorithm;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ptm-dur-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(dir: &Path, algorithm: Algorithm) -> DurabilityConfig {
+        DurabilityConfig {
+            service: ServiceConfig {
+                shards: 4,
+                algorithm,
+                buckets_per_shard: 32,
+            },
+            dir: dir.to_path_buf(),
+            sync_acks: true,
+        }
+    }
+
+    #[test]
+    fn ops_roundtrip_through_the_codec() {
+        let ops: Vec<LoggedOp<u64, u64>> = vec![
+            LoggedOp::Put {
+                shard: 2,
+                key: 7,
+                value: 9,
+            },
+            LoggedOp::Remove { shard: 0, key: 3 },
+        ];
+        let payload = encode_ops(41, &ops);
+        let (txn, back) = decode_ops::<u64, u64>(&payload).unwrap();
+        assert_eq!(txn, 41);
+        assert_eq!(back.len(), 2);
+        assert!(matches!(
+            back[0],
+            LoggedOp::Put {
+                shard: 2,
+                key: 7,
+                value: 9
+            }
+        ));
+        assert!(decode_ops::<u64, u64>(&payload[..payload.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn basic_put_survives_reopen() {
+        let dir = temp_dir("basic");
+        for algorithm in Algorithm::ALL {
+            let _ = fs::remove_dir_all(&dir);
+            {
+                let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, algorithm)).unwrap();
+                for k in 0..32u64 {
+                    kv.put(k, k * 10);
+                }
+                kv.remove(&31);
+            }
+            let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, algorithm)).unwrap();
+            for k in 0..31u64 {
+                assert_eq!(kv.get(&k), Some(k * 10), "{algorithm:?} key {k}");
+            }
+            assert_eq!(kv.get(&31), None);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_shard_transact_survives_reopen() {
+        let dir = temp_dir("xshard");
+        {
+            let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Tl2)).unwrap();
+            for k in 0..16u64 {
+                kv.put(k, 100);
+            }
+            for i in 0..50u64 {
+                kv.transact(|tx| {
+                    let a = tx.get(&(i % 16))?.unwrap_or(0);
+                    let b = tx.get(&((i + 5) % 16))?.unwrap_or(0);
+                    tx.put(i % 16, a.saturating_sub(1))?;
+                    tx.put((i + 5) % 16, b + a.min(1))?;
+                    Ok(())
+                });
+            }
+        }
+        let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Tl2)).unwrap();
+        let total: u64 = kv.scan().into_iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 1600);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_uses_the_snapshot() {
+        let dir = temp_dir("ckpt");
+        {
+            let mut kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Norec)).unwrap();
+            for k in 0..64u64 {
+                kv.put(k, k);
+            }
+            kv.checkpoint().unwrap();
+            kv.put(64, 64);
+        }
+        let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Norec)).unwrap();
+        let report = kv.recovery_report();
+        assert_eq!(report.snapshot_entries, 64, "{report:?}");
+        assert_eq!(report.records_applied, 1, "{report:?}");
+        assert_eq!(kv.get(&64), Some(64));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsynced_acks_lose_only_a_suffix() {
+        let dir = temp_dir("nosync");
+        {
+            let mut c = cfg(&dir, Algorithm::Tl2);
+            c.sync_acks = false;
+            let kv: DurableKv<u64, u64> = DurableKv::open(c).unwrap();
+            for k in 0..8u64 {
+                kv.put(k, 1);
+            }
+            // Dropped without flush: the in-memory batch is lost, which
+            // is exactly the contract sync_acks=false trades away.
+        }
+        let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Tl2)).unwrap();
+        // Whatever survived is a prefix: no key k present without all
+        // keys written before it (single-threaded writer).
+        let present: Vec<bool> = (0..8u64).map(|k| kv.get(&k).is_some()).collect();
+        let first_gap = present.iter().position(|p| !p).unwrap_or(8);
+        assert!(
+            present[first_gap..].iter().all(|p| !p),
+            "non-prefix survival: {present:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn geometry_change_is_rejected() {
+        let dir = temp_dir("geom");
+        {
+            let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Tl2)).unwrap();
+            kv.put(1, 1);
+        }
+        let mut c = cfg(&dir, Algorithm::Tl2);
+        c.service.shards = 8;
+        let err = DurableKv::<u64, u64>::open(c).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

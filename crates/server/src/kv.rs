@@ -30,11 +30,12 @@
 //! NOrec's sequence-lock spin only ever waits on a lower-indexed holder
 //! chain that terminates at a coordinator free to publish.
 
-use ptm_stm::{Algorithm, Retry, Stm, StmStats, Transaction, TxValue};
+use ptm_stm::{Algorithm, DurabilityHook, Prepared, Retry, Stm, StmStats, Transaction, TxValue};
 use ptm_structs::THashMap;
 use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Geometry and policy knobs for a [`ShardedKv`].
 #[derive(Debug, Clone, Copy)]
@@ -114,15 +115,41 @@ impl<K: TxValue + Hash + Eq, V: TxValue> ShardedKv<K, V> {
 
     /// A store with explicit geometry.
     pub fn with_config(cfg: ServiceConfig) -> Self {
+        ShardedKv::build(cfg, |_| None)
+    }
+
+    /// A store whose shard `i` runs with the durability hook
+    /// `hook(i)` attached (the durable tier hangs one WAL per shard).
+    pub(crate) fn with_hooks(
+        cfg: ServiceConfig,
+        hook: impl Fn(usize) -> Option<Arc<dyn DurabilityHook>>,
+    ) -> Self {
+        ShardedKv::build(cfg, hook)
+    }
+
+    fn build(cfg: ServiceConfig, hook: impl Fn(usize) -> Option<Arc<dyn DurabilityHook>>) -> Self {
         let n = cfg.shards.max(1);
         ShardedKv {
             shards: (0..n)
-                .map(|_| Shard {
-                    stm: Stm::builder(cfg.algorithm).build(),
-                    map: THashMap::with_buckets(cfg.buckets_per_shard),
+                .map(|i| {
+                    let mut b = Stm::builder(cfg.algorithm);
+                    if let Some(h) = hook(i) {
+                        b = b.durability_hook(h);
+                    }
+                    Shard {
+                        stm: b.build(),
+                        map: THashMap::with_buckets(cfg.buckets_per_shard),
+                    }
                 })
                 .collect(),
         }
+    }
+
+    /// Direct access to one shard's engine and partition (the durable
+    /// tier routes its replay and single-key staging through this).
+    pub(crate) fn shard_parts(&self, shard: usize) -> (&Stm, &THashMap<K, V>) {
+        let s = &self.shards[shard];
+        (&s.stm, &s.map)
     }
 
     /// Number of shards.
@@ -196,10 +223,7 @@ impl<K: TxValue + Hash + Eq, V: TxValue> ShardedKv<K, V> {
     ) -> T {
         let mut attempt = 0u64;
         loop {
-            let mut stx = ServiceTx {
-                kv: self,
-                slots: (0..self.shards.len()).map(|_| None).collect(),
-            };
+            let mut stx = ServiceTx::begin(self);
             match body(&mut stx) {
                 Ok(out) => {
                     if stx.commit() {
@@ -233,7 +257,15 @@ pub struct ServiceTx<'kv, K, V> {
     slots: Vec<Option<Transaction<'kv>>>,
 }
 
-impl<K: TxValue + Hash + Eq, V: TxValue> ServiceTx<'_, K, V> {
+impl<'kv, K: TxValue + Hash + Eq, V: TxValue> ServiceTx<'kv, K, V> {
+    /// Opens an empty cross-shard transaction on `kv`.
+    pub(crate) fn begin(kv: &'kv ShardedKv<K, V>) -> Self {
+        ServiceTx {
+            kv,
+            slots: (0..kv.shards.len()).map(|_| None).collect(),
+        }
+    }
+
     /// Reads `key` within the transaction.
     ///
     /// # Errors
@@ -286,31 +318,50 @@ impl<K: TxValue + Hash + Eq, V: TxValue> ServiceTx<'_, K, V> {
     /// The ordered two-phase commit: prepare ascending, then publish
     /// all or abort all. Returns whether the transaction committed.
     fn commit(self) -> bool {
-        let mut prepared = Vec::new();
+        self.commit_with(|_| {})
+    }
+
+    /// [`commit`](Self::commit) with a staging window: after *every*
+    /// prepare holds — so the commit can no longer fail and every
+    /// participant's locks are held — `stage` runs over the prepared
+    /// shard transactions (shard index, transaction, prepare token),
+    /// then all shards publish. The durable tier uses the window to
+    /// draw one global transaction id and stage the encoded write set
+    /// on each participating shard, which is what makes WAL ids
+    /// conflict-ordered per shard (two cross-shard transactions sharing
+    /// a shard have disjoint lock-hold windows there, so id draw order
+    /// matches publish order).
+    pub(crate) fn commit_with(
+        self,
+        stage: impl FnOnce(&mut [(usize, Transaction<'kv>, Prepared)]),
+    ) -> bool {
+        let mut prepared: Vec<(usize, Transaction<'kv>, Prepared)> = Vec::new();
         // `slots` is indexed by shard, so iteration order *is* the
         // global prepare order the deadlock-freedom argument needs.
-        for mut tx in self.slots.into_iter().flatten() {
+        for (shard, slot) in self.slots.into_iter().enumerate() {
+            let Some(mut tx) = slot else { continue };
             match tx.prepare_commit() {
-                Ok(p) => prepared.push((tx, p)),
+                Ok(p) => prepared.push((shard, tx, p)),
                 Err(Retry) => {
                     // This shard rolled its own locks back (and is
                     // poisoned); undo the ones already holding theirs,
                     // in reverse for symmetry.
-                    for (t, p) in prepared.into_iter().rev() {
+                    for (_, t, p) in prepared.into_iter().rev() {
                         t.abort_prepared(p);
                     }
                     return false;
                 }
             }
         }
-        for (tx, p) in prepared {
+        stage(&mut prepared);
+        for (_, tx, p) in prepared {
             tx.commit_prepared(p);
         }
         true
     }
 
     /// Abandons every open shard transaction (body said [`Retry`]).
-    fn rollback(self) {
+    pub(crate) fn rollback(self) {
         for tx in self.slots.into_iter().flatten() {
             tx.rollback();
         }

@@ -27,11 +27,13 @@
 //! key skew, a configurable read/write/scan/multi-key mix, and latency
 //! recording for p50/p99 percentiles.
 
+pub mod durability;
 pub mod kv;
 pub mod workload;
 
+pub use durability::{DurabilityConfig, DurableKv, DurableTx, RecoveryReport};
 pub use kv::{ServiceConfig, ServiceTx, ShardedKv};
 pub use workload::{
-    percentile, preload, run_workload, LatencyRecorder, Mix, Workload, WorkloadConfig, WorkloadOp,
-    WorkloadStats,
+    percentile, preload, run_workload, KvBackend, LatencyRecorder, Mix, Workload, WorkloadConfig,
+    WorkloadOp, WorkloadStats,
 };

@@ -1,0 +1,211 @@
+//! The kill-at-every-boundary crash harness (the PR's headline test).
+//!
+//! A child process (`crash-child`) performs a deterministic stream of
+//! **acknowledged** durable operations against a store directory, one
+//! op per `go` line on its stdin, one flushed `ack` line per completed
+//! op (printed only after the store's fsync wait returned). The harness
+//! feeds it `kill_after + 1` gos, reads exactly `kill_after` acks, and
+//! SIGKILLs it — so the kill lands somewhere inside op `kill_after + 1`
+//! (mid-commit, mid-WAL-append, mid-fsync, between fsync and ack...),
+//! and the set of operations beyond the acked prefix is known to be at
+//! most that one in-flight op. Recovery must then produce a state that
+//! is **exactly** the acked prefix plus optionally the one in-flight
+//! operation, atomically — checked for every algorithm, for a
+//! single-shard stream and for cross-shard 2PC transfers, at every ack
+//! boundary in the matrix.
+//!
+//! The cross-shard check is exact, not just an invariant: each transfer
+//! also writes its index into a counter key inside the same
+//! transaction, so the recovered counter names the committed prefix and
+//! the harness replays it against a model to predict every balance.
+
+use ptm_server::{DurabilityConfig, DurableKv, ServiceConfig};
+use ptm_stm::Algorithm;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+const KEYS: u64 = 16;
+const CTR: u64 = 1_000_000;
+
+const ALGOS: [(&str, Algorithm); 6] = [
+    ("tl2", Algorithm::Tl2),
+    ("incremental", Algorithm::Incremental),
+    ("norec", Algorithm::Norec),
+    ("tlrw", Algorithm::Tlrw),
+    ("mv", Algorithm::Mv),
+    ("adaptive", Algorithm::Adaptive),
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptm-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_store(dir: &Path, algorithm: Algorithm) -> DurableKv<u64, u64> {
+    DurableKv::open(DurabilityConfig {
+        service: ServiceConfig {
+            shards: 4,
+            algorithm,
+            buckets_per_shard: 32,
+        },
+        dir: dir.to_path_buf(),
+        sync_acks: true,
+    })
+    .expect("recovery must succeed after a crash")
+}
+
+/// Runs the child until `kill_after` acks, then SIGKILLs it. Returns
+/// the number of acks actually read (equals `kill_after` unless the
+/// child finished its whole stream first).
+fn run_killed(dir: &Path, algo: &str, mode: &str, max_ops: u64, kill_after: u64) -> u64 {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_crash-child"))
+        .arg(dir)
+        .arg(algo)
+        .arg(mode)
+        .arg(max_ops.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn crash-child");
+    // One extra `go`: the child is inside (or just past) op
+    // kill_after + 1 when the kill lands, never further.
+    let mut stdin = child.stdin.take().expect("child stdin");
+    stdin
+        .write_all("go\n".repeat((kill_after + 1) as usize).as_bytes())
+        .and_then(|()| stdin.flush())
+        .expect("feed gos");
+    let mut lines = BufReader::new(child.stdout.take().expect("child stdout")).lines();
+    if mode == "multi" {
+        // Wait out the (ungated) preload.
+        loop {
+            match lines.next() {
+                Some(Ok(l)) if l == "ready" => break,
+                Some(Ok(_)) => {}
+                other => panic!("child died before ready: {other:?}"),
+            }
+        }
+    }
+    let mut acked = 0u64;
+    while acked < kill_after {
+        match lines.next() {
+            Some(Ok(l)) if l.starts_with("ack ") => acked += 1,
+            Some(Ok(_)) => {}
+            // Stream end: the child completed all max_ops and exited.
+            _ => break,
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    acked
+}
+
+/// Single-shard stream: op `i` was `put(i % KEYS, i)`. The recovered
+/// value of key `k` must be the last acked op for `k`, or the one
+/// in-flight op if that targeted `k` — nothing else, and absent only
+/// if no acked op ever wrote `k`.
+fn verify_single(dir: &Path, algorithm: Algorithm, acked: u64, max_ops: u64) {
+    let kv = open_store(dir, algorithm);
+    let inflight = (acked < max_ops).then_some(acked + 1);
+    for k in 0..KEYS {
+        let last_acked = (1..=acked).rev().find(|i| i % KEYS == k);
+        let inflight_k = inflight.filter(|i| i % KEYS == k);
+        match kv.get(&k) {
+            None => assert!(
+                last_acked.is_none(),
+                "{algorithm:?} kill@{acked}: key {k} lost acked op {last_acked:?}"
+            ),
+            Some(v) => assert!(
+                Some(v) == last_acked || Some(v) == inflight_k,
+                "{algorithm:?} kill@{acked}: key {k} = {v}, want {last_acked:?} or {inflight_k:?}"
+            ),
+        }
+    }
+}
+
+/// Cross-shard stream: replay the committed prefix (named by the
+/// recovered counter) through a model and demand every balance match —
+/// a half-applied transfer or a torn counter/balance pair fails here.
+fn verify_multi(dir: &Path, algorithm: Algorithm, acked: u64, max_ops: u64) {
+    let kv = open_store(dir, algorithm);
+    let ctr = kv.get(&CTR).unwrap_or(0);
+    assert!(
+        ctr == acked || (ctr == acked + 1 && ctr <= max_ops),
+        "{algorithm:?} kill@{acked}: counter {ctr} outside [acked, acked+1]"
+    );
+    let mut bal = [1000u64; KEYS as usize];
+    for i in 1..=ctr {
+        let from = (i % KEYS) as usize;
+        let to = ((i % KEYS + 1 + (i % (KEYS - 1))) % KEYS) as usize;
+        let moved = bal[from].min(1);
+        bal[from] -= moved;
+        bal[to] += moved;
+    }
+    for (k, want) in bal.iter().enumerate() {
+        assert_eq!(
+            kv.get(&(k as u64)),
+            Some(*want),
+            "{algorithm:?} kill@{acked}: balance {k} diverges from the committed prefix {ctr}"
+        );
+    }
+    let total: u64 = kv
+        .scan()
+        .into_iter()
+        .filter(|(k, _)| *k < KEYS)
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(total, KEYS * 1000, "{algorithm:?} kill@{acked}: sum torn");
+}
+
+#[test]
+fn kill_at_every_ack_boundary_single_shard() {
+    let max_ops = 32;
+    for (name, algorithm) in ALGOS {
+        for kill_after in (0..=10).chain([14, 19, max_ops]) {
+            let dir = temp_dir(&format!("s-{name}-{kill_after}"));
+            let acked = run_killed(&dir, name, "single", max_ops, kill_after);
+            assert_eq!(acked, kill_after.min(max_ops), "{name} kill@{kill_after}");
+            verify_single(&dir, algorithm, acked, max_ops);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn kill_at_every_ack_boundary_cross_shard() {
+    let max_ops = 24;
+    for (name, algorithm) in ALGOS {
+        for kill_after in (0..=8).chain([12, max_ops]) {
+            let dir = temp_dir(&format!("m-{name}-{kill_after}"));
+            let acked = run_killed(&dir, name, "multi", max_ops, kill_after);
+            assert_eq!(acked, kill_after.min(max_ops), "{name} kill@{kill_after}");
+            verify_multi(&dir, algorithm, acked, max_ops);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A killed store must stay recoverable through *repeated* crashes:
+/// crash, recover, crash again mid-stream, recover again — eras fence
+/// each incarnation's log evidence.
+#[test]
+fn repeated_crashes_keep_recovering() {
+    let max_ops = 16;
+    let dir = temp_dir("repeat");
+    let mut acked_total = 0u64;
+    for round in 0..3u64 {
+        let kill_after = 3 + round;
+        let dir2 = dir.join("store");
+        let acked = run_killed(&dir2, "tl2", "single", max_ops, kill_after);
+        assert_eq!(acked, kill_after);
+        acked_total = acked_total.max(acked);
+        // Each round's child recovers the previous round's crash on
+        // open, then overwrites keys with its own stream; verify the
+        // final round's prefix.
+        verify_single(&dir2, Algorithm::Tl2, acked, max_ops);
+    }
+    assert!(acked_total >= 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}

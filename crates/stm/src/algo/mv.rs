@@ -160,6 +160,11 @@ pub(crate) fn publish_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &[
     // `rv >= wv` — see the module docs.
     let written = tx.log.append_writes();
     let wv = tx.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+    // Log the staged durability payload before the pending stamps
+    // resolve: a snapshot reader cannot consume a `wv` version until
+    // `stamp_head` lands, so the record is in the log before anything
+    // observes the commit (see `crate::wal`). Memory-only.
+    tx.durability_record(wv);
     for var in &written {
         var.stamp_head(wv);
     }

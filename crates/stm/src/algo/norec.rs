@@ -101,6 +101,12 @@ pub(crate) fn acquire_seqlock(tx: &mut Transaction<'_>) -> bool {
 /// clock to the next even value. Infallible.
 pub(crate) fn publish_locked(tx: &mut Transaction<'_>) {
     let retired = tx.log.publish_writes();
+    // Log the staged durability payload, stamped with the commit's
+    // even sequence value, before the clock store below lets any other
+    // transaction proceed: the sequence lock serializes all commits, so
+    // log order is exactly commit order (see `crate::wal`).
+    let stamp = tx.rv + 2;
+    tx.durability_record(stamp);
     tx.stm.clock.store(tx.rv + 2, Ordering::Release);
     epoch::retire_batch(retired);
     // One sequence lock means one conflict channel: every commit may

@@ -121,6 +121,15 @@ pub(crate) fn prepare_with(
 /// acquired and drop them. Infallible. (Read locks that were not
 /// upgraded stay held; the engine releases them right after.)
 pub(crate) fn publish_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &[(usize, u64)]) {
+    // Tlrw's own protocol never touches the clock; a durable commit
+    // draws a tick here purely as a log stamp, while the write locks
+    // still exclude every conflicting transaction — so stamps (and log
+    // order) respect conflict order (see `crate::wal`). Non-durable
+    // commits skip the draw entirely.
+    if tx.has_staged() {
+        let stamp = tx.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        tx.durability_record(stamp);
+    }
     let retired = tx.log.publish_writes();
     for &(stripe, _) in held.iter() {
         tx.stm

@@ -156,6 +156,11 @@ pub(crate) fn prepare_with(
 pub(crate) fn publish_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &[(usize, u64)]) {
     // Locks held: safe to share a lost race's tick (see `draw_wv`).
     let wv = draw_wv(tx);
+    // Log the staged durability payload before the release below makes
+    // the write set reader-visible: a conflicting commit serializes on
+    // the held stripes, so log order respects conflict order (see
+    // `crate::wal`). Memory-only — no I/O under the locks.
+    tx.durability_record(wv);
     let retired = tx.log.publish_writes();
     release(tx, held, Some(orec::stamped(wv)));
     // Retire only after every swap above: the epoch tag must postdate

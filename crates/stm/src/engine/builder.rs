@@ -7,6 +7,7 @@ use crate::epoch::SnapshotRegistry;
 use crate::orec::{self, OrecTable};
 use crate::recorder::HistoryRecorder;
 use crate::stats::StmStats;
+use crate::wal::DurabilityHook;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
@@ -32,6 +33,7 @@ pub struct StmBuilder {
     cm: Box<dyn ContentionManager>,
     recorder: Option<HistoryRecorder>,
     adaptive: AdaptiveConfig,
+    durability: Option<Arc<dyn DurabilityHook>>,
 }
 
 impl StmBuilder {
@@ -46,6 +48,7 @@ impl StmBuilder {
             cm: Box::new(ExponentialBackoff::default()),
             recorder: None,
             adaptive: AdaptiveConfig::default(),
+            durability: None,
         }
     }
 
@@ -84,6 +87,18 @@ impl StmBuilder {
     /// boundary, so it perturbs timing; leave it off for benchmarks.
     pub fn record_history(mut self, recorder: HistoryRecorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Logs every committed write set that staged a durability payload
+    /// ([`Transaction::stage_durable`](crate::Transaction::stage_durable))
+    /// through `hook` — typically a [`Wal`](crate::wal::Wal) — from
+    /// inside the publish critical section, stamped with the commit
+    /// tick. See [`crate::wal`] for the ordering guarantee this buys
+    /// and `ptm-server`'s durability layer for the recovery path built
+    /// on it. Off by default; instances without a hook pay nothing.
+    pub fn durability_hook(mut self, hook: Arc<dyn DurabilityHook>) -> Self {
+        self.durability = Some(hook);
         self
     }
 
@@ -127,6 +142,9 @@ impl StmBuilder {
         // Adaptive starts in its invisible mode, so only Tlrw begins
         // life visible.
         stats.set_visible_mode(self.algorithm == Algorithm::Tlrw);
+        if let Some(hook) = &self.durability {
+            hook.attach_stats(stats.clone());
+        }
         Stm {
             algorithm: self.algorithm,
             clock: AtomicU64::new(0),
@@ -137,6 +155,7 @@ impl StmBuilder {
             recorder: self.recorder,
             adaptive,
             snapshots,
+            durability: self.durability,
         }
     }
 }

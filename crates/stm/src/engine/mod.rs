@@ -80,6 +80,7 @@ use crate::epoch::SnapshotRegistry;
 use crate::orec::OrecTable;
 use crate::recorder::HistoryRecorder;
 use crate::stats::StmStats;
+use crate::wal::DurabilityHook;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -154,6 +155,18 @@ pub enum Algorithm {
     Adaptive,
 }
 
+impl Algorithm {
+    /// Every algorithm, for exhaustive test/bench matrices.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Tl2,
+        Algorithm::Incremental,
+        Algorithm::Norec,
+        Algorithm::Tlrw,
+        Algorithm::Mv,
+        Algorithm::Adaptive,
+    ];
+}
+
 /// The transaction aborted and should be retried; returned by
 /// transactional operations so user code can propagate it with `?`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +226,11 @@ pub struct Stm {
     /// Present on `Algorithm::Mv` instances: the active snapshots whose
     /// minimum is the version-chain low watermark.
     pub(crate) snapshots: Option<SnapshotRegistry>,
+    /// Present when this instance logs committed write sets for
+    /// durability ([`StmBuilder::durability_hook`]): called inside each
+    /// publish critical section with the commit tick (see
+    /// [`crate::wal`] for the ordering argument).
+    pub(crate) durability: Option<Arc<dyn DurabilityHook>>,
 }
 
 impl fmt::Debug for Stm {
@@ -225,6 +243,7 @@ impl fmt::Debug for Stm {
             .field("max_attempts", &self.max_attempts)
             .field("contention_manager", &self.cm)
             .field("recording", &self.recorder.is_some())
+            .field("durable", &self.durability.is_some())
             .finish()
     }
 }

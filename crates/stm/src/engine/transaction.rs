@@ -11,9 +11,11 @@ use crate::recorder::{word_of, HistoryRecorder, RecTx};
 use crate::stats::OpTally;
 use crate::tvar::{TVar, TxValue};
 use crate::txlog::TxLog;
+use crate::wal::DurableTicket;
 use ptm_sim::{TOpDesc, TOpResult};
 use std::fmt;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// An in-flight transaction; created by [`Stm::atomically`].
 pub struct Transaction<'s> {
@@ -61,6 +63,17 @@ pub struct Transaction<'s> {
     ///
     /// [`StmStats`]: crate::stats::StmStats
     pub(crate) tally: OpTally,
+    /// The durability payload staged by [`Transaction::stage_durable`]
+    /// and the ticket its LSN is delivered through; consumed by the
+    /// publish critical section via [`Transaction::durability_record`].
+    /// `None` on instances without a durability hook and on attempts
+    /// that staged nothing.
+    staged: Option<(Arc<[u8]>, DurableTicket)>,
+    /// Clock sample taken before the first operation when a durability
+    /// hook is attached: the snapshot watermark for algorithms whose
+    /// `rv` does not track the clock (Incremental, Tlrw) — see
+    /// [`Transaction::durable_watermark`].
+    wm0: u64,
     /// Epoch pin: keeps every pointer this transaction may dereference
     /// alive for its whole lifetime (also makes `Transaction: !Send`).
     pub(crate) pin: epoch::Guard,
@@ -110,6 +123,8 @@ impl<'s> Transaction<'s> {
             snap: None,
             rec: stm.recorder.as_ref().map(HistoryRecorder::begin_tx),
             tally: OpTally::default(),
+            staged: None,
+            wm0: 0,
             pin: epoch::pin(),
         }
     }
@@ -141,6 +156,14 @@ impl<'s> Transaction<'s> {
     pub(super) fn ensure_started(&mut self) {
         if self.started {
             return;
+        }
+        // Durable instances sample the clock before the first operation:
+        // `wm0` is a sound snapshot watermark even for the algorithms
+        // whose own `rv` never tracks the clock (see
+        // `durable_watermark`). Gated so non-durable instances pay no
+        // extra clock traffic.
+        if self.stm.durability.is_some() {
+            self.wm0 = self.stm.clock.load(Ordering::Acquire);
         }
         algo::begin(self);
         self.started = true;
@@ -265,6 +288,75 @@ impl<'s> Transaction<'s> {
             self.rec_respond(op, TOpResult::Ok);
         }
         Ok(())
+    }
+
+    /// Stages the durability payload this attempt will log if it
+    /// commits: the publish critical section hands `payload` to the
+    /// instance's [`DurabilityHook`](crate::wal::DurabilityHook),
+    /// stamped with the commit tick, and delivers the resulting LSN
+    /// through `ticket` — the caller then makes the commit durable with
+    /// [`Wal::wait_durable`](crate::wal::Wal::wait_durable) before
+    /// acknowledging it.
+    ///
+    /// `Arc<[u8]>` so a retried transaction restages the same encoded
+    /// bytes without re-encoding; staging again replaces the previous
+    /// payload. No-op on instances without a durability hook, and on
+    /// attempts that end up read-only or aborted (the ticket then stays
+    /// unfilled).
+    pub fn stage_durable(&mut self, payload: Arc<[u8]>, ticket: &DurableTicket) {
+        if self.stm.durability.is_some() {
+            self.staged = Some((payload, ticket.clone()));
+        }
+    }
+
+    /// Whether a durability payload is staged — the algorithms whose
+    /// commit path never draws a clock tick (Tlrw) consult this to draw
+    /// one only when there is something to stamp.
+    pub(crate) fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// The publish-side half of [`Transaction::stage_durable`]: logs the
+    /// staged payload under `stamp` (the commit tick the algorithm just
+    /// drew) and fills the ticket. Called by each algorithm's publish
+    /// function *inside* the critical section, before the write set
+    /// becomes reader-visible — the placement the log-order guarantee
+    /// in [`crate::wal`] rests on. Memory-only (group commit fsyncs
+    /// later), so the critical section stays I/O-free.
+    pub(crate) fn durability_record(&mut self, stamp: u64) {
+        if let Some((payload, ticket)) = self.staged.take() {
+            let hook = self
+                .stm
+                .durability
+                .as_ref()
+                .expect("staged payload implies a durability hook");
+            ticket.set(hook.record(stamp, &payload));
+        }
+    }
+
+    /// A clock watermark `w` such that this attempt's snapshot contains
+    /// **every** committed transaction whose log record carries a stamp
+    /// `<= w` — what a consistent point-in-time snapshot of the value
+    /// layer should advertise, so recovery replays exactly the log
+    /// records stamped after it.
+    ///
+    /// Per algorithm: Tl2 and Mv read at their begin-time clock sample
+    /// (`rv` — exact); NOrec's `rv` is the sequence-lock value its last
+    /// validation proved current, and commits stamp `rv + 2` (exact);
+    /// Incremental and Tlrw have no snapshot clock, so this falls back
+    /// to `wm0`, the clock sampled before the attempt's first operation
+    /// — a *lower* bound: any commit not contained in the attempt's
+    /// reads drew its stamp after them, hence after `wm0`. The
+    /// replay-side cost of the bound being low is re-applying records
+    /// the snapshot already contains, which is harmless because records
+    /// carry absolute values and replay runs in log order (idempotent).
+    pub fn durable_watermark(&mut self) -> u64 {
+        self.ensure_started();
+        match self.mode {
+            Algorithm::Tl2 | Algorithm::Mv => self.rv,
+            Algorithm::Norec => self.rv,
+            Algorithm::Incremental | Algorithm::Tlrw | Algorithm::Adaptive => self.wm0,
+        }
     }
 
     /// Abandons this attempt because the data is not ready: the engine

@@ -84,6 +84,7 @@
 //! | [`cm`](ContentionManager) | pluggable retry policies |
 //! | `stats` | commit/abort/validation-probe counters |
 //! | [`recorder`] | opt-in t-operation history recording for the `ptm-model` checkers |
+//! | [`wal`] | opt-in durability: a group-committed, checksummed write-ahead log appended from inside each publish critical section (the `ptm-server` recovery path builds on it) |
 //!
 //! ## Design notes
 //!
@@ -115,6 +116,7 @@ mod stats;
 mod tvar;
 mod txlog;
 mod waiter;
+pub mod wal;
 
 pub use algo::adaptive::AdaptiveConfig;
 pub use cm::{CappedAttempts, ContentionManager, Decision, ExponentialBackoff, ImmediateRetry};
@@ -124,3 +126,4 @@ pub use engine::{
 pub use recorder::HistoryRecorder;
 pub use stats::{StatsSnapshot, StmStats};
 pub use tvar::{TVar, TxValue};
+pub use wal::{DurabilityHook, DurableTicket};

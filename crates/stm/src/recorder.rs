@@ -113,6 +113,25 @@ struct ObjInfo {
     /// The variable's word at registration time — before any recorded
     /// commit could have published to it.
     initial: Word,
+    /// Whether a drain already emitted this object's initializing write
+    /// (each initial is installed exactly once across incremental
+    /// drains).
+    emitted: bool,
+}
+
+/// Consumer-side cursor shared by every [`HistoryRecorder::tail`] /
+/// [`HistoryRecorder::drain`] call; its mutex is what makes concurrent
+/// drains safe (they serialize, each taking a disjoint batch).
+#[derive(Default)]
+struct DrainState {
+    /// Output positions handed out so far — entry `seq` numbering
+    /// continues across drains, so concatenated batches form one
+    /// well-numbered log.
+    out_seq: usize,
+    /// The process id reserved for the synthetic initializing
+    /// transactions: a real registered thread slot (with an unused
+    /// buffer), so no later-registering real thread can collide with it.
+    preamble_pid: Option<ProcessId>,
 }
 
 struct RecorderShared {
@@ -125,6 +144,7 @@ struct RecorderShared {
     next_tx: AtomicU64,
     threads: Mutex<Vec<Arc<ThreadLog>>>,
     objects: Mutex<HashMap<usize, ObjInfo>>,
+    drain: Mutex<DrainState>,
 }
 
 static RECORDER_IDS: AtomicU64 = AtomicU64::new(0);
@@ -161,7 +181,14 @@ impl RecorderShared {
         }
         let obj = TObjId::new(map.len());
         let initial = initial();
-        map.insert(var_id, ObjInfo { obj, initial });
+        map.insert(
+            var_id,
+            ObjInfo {
+                obj,
+                initial,
+                emitted: false,
+            },
+        );
         obj
     }
 }
@@ -226,6 +253,7 @@ impl HistoryRecorder {
                 next_tx: AtomicU64::new(1),
                 threads: Mutex::new(Vec::new()),
                 objects: Mutex::new(HashMap::new()),
+                drain: Mutex::new(DrainState::default()),
             }),
         }
     }
@@ -265,28 +293,52 @@ impl HistoryRecorder {
         }
     }
 
-    /// Removes and returns every recorded marker as a well-formed
-    /// [`LogEntry`] stream, merged across threads in real-time order and
-    /// prefixed by a synthetic committed transaction that installs each
-    /// touched variable's non-zero initial word (the model starts every
-    /// t-object at `0`).
-    ///
-    /// Call this after the workload threads have joined. The object
-    /// registry (and its captured initial words) persists, so use one
-    /// recorder per recorded run.
+    /// Removes and returns every marker recorded so far, exactly like
+    /// [`tail`](Self::tail). Kept as the familiar end-of-run entry point;
+    /// since it is now a streaming drain it is safe to call more than
+    /// once (and concurrently) — each call returns a disjoint batch.
     pub fn drain(&self) -> Vec<LogEntry> {
+        self.tail()
+    }
+
+    /// Streaming drain: removes and returns every marker recorded since
+    /// the previous `tail`/`drain` call, as a well-formed [`LogEntry`]
+    /// batch merged across threads in real-time order. Each batch is
+    /// prefixed (when needed) by a synthetic committed transaction that
+    /// installs the non-zero initial word of every variable that first
+    /// appeared since the last call (the model starts every t-object at
+    /// `0`); an initial is emitted exactly once across all batches.
+    ///
+    /// Entry `seq` numbering continues across calls, so concatenating
+    /// the batches in call order yields one well-numbered log — this is
+    /// what lets a durability layer tail the recorder incrementally
+    /// without racing a final `drain`. Concurrent calls serialize and
+    /// take disjoint batches.
+    ///
+    /// **Caveat:** a call that overlaps live transactions may split an
+    /// attempt's markers across two batches, and can order two
+    /// *concurrent* cross-thread events by batch rather than by their
+    /// true interleaving. Both effects only ever *tighten* the real-time
+    /// order the checkers see, so acceptance remains sound (no false
+    /// accepts); for byte-faithful single-batch logs, call at a
+    /// quiescent point (workload threads joined or parked).
+    pub fn tail(&self) -> Vec<LogEntry> {
+        // One consumer at a time: serializes concurrent drains and owns
+        // the output cursor for the whole batch build.
+        let mut st = self.shared.drain.lock().expect("recorder drain state");
+
         let mut events: Vec<(ProcessId, RecEvent)> = Vec::new();
-        let threads = self
-            .shared
-            .threads
-            .lock()
-            .expect("recorder thread registry");
-        for t in threads.iter() {
-            let mut buf = t.events.lock().expect("recorder thread buffer");
-            events.extend(buf.drain(..).map(|e| (t.pid, e)));
+        {
+            let threads = self
+                .shared
+                .threads
+                .lock()
+                .expect("recorder thread registry");
+            for t in threads.iter() {
+                let mut buf = t.events.lock().expect("recorder thread buffer");
+                events.extend(buf.drain(..).map(|e| (t.pid, e)));
+            }
         }
-        let preamble_pid = ProcessId::new(threads.len());
-        drop(threads);
         events.sort_by_key(|(_, e)| e.seq);
 
         let mut initials: Vec<(TObjId, Word)> = self
@@ -294,22 +346,40 @@ impl HistoryRecorder {
             .objects
             .lock()
             .expect("recorder object registry")
-            .values()
-            .filter(|info| info.initial != 0)
-            .map(|info| (info.obj, info.initial))
+            .values_mut()
+            .filter(|info| !info.emitted && info.initial != 0)
+            .map(|info| {
+                info.emitted = true;
+                (info.obj, info.initial)
+            })
             .collect();
         initials.sort_by_key(|&(obj, _)| obj);
 
+        // The synthetic initializing transaction runs on a dedicated
+        // process id, reserved by registering a real (never-written)
+        // thread slot — so no later-registering workload thread can ever
+        // collide with it across batches.
+        let preamble_pid = if initials.is_empty() {
+            None
+        } else if let Some(pid) = st.preamble_pid {
+            Some(pid)
+        } else {
+            let pid = self.shared.register_thread().pid;
+            st.preamble_pid = Some(pid);
+            Some(pid)
+        };
+
         let mut log: Vec<LogEntry> = Vec::with_capacity(events.len() + 2 * initials.len() + 2);
+        let mut out_seq = st.out_seq;
         let mut push = |pid: ProcessId, marker: Marker| {
-            let seq = log.len();
             log.push(LogEntry {
-                seq,
+                seq: out_seq,
                 pid,
                 payload: LogPayload::Marker(marker),
             });
+            out_seq += 1;
         };
-        if !initials.is_empty() {
+        if let Some(preamble_pid) = preamble_pid {
             let tx = TxId::new(self.shared.next_tx.fetch_add(1, Ordering::Relaxed));
             for &(x, w) in &initials {
                 let op = TOpDesc::Write(x, w);
@@ -337,6 +407,7 @@ impl HistoryRecorder {
         for (pid, e) in events {
             push(pid, e.marker);
         }
+        st.out_seq = out_seq;
         log
     }
 }
@@ -375,13 +446,14 @@ impl RecTx {
     }
 
     fn push(&mut self, marker: Marker) {
-        let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
         self.touched = true;
-        self.thread
-            .events
-            .lock()
-            .expect("recorder thread buffer")
-            .push(RecEvent { seq, marker });
+        let mut buf = self.thread.events.lock().expect("recorder thread buffer");
+        // Draw the global sequence number *inside* the buffer lock: a
+        // concurrent `tail` locking this buffer then sees either both
+        // the ticket and the event or neither, so a drawn sequence
+        // number can never go missing from the drained order.
+        let seq = self.shared.seq.fetch_add(1, Ordering::SeqCst);
+        buf.push(RecEvent { seq, marker });
     }
 
     /// Records an invocation marker.
@@ -450,6 +522,73 @@ mod tests {
         let log = rec.drain();
         assert_eq!(log.len(), 4);
         assert!(log.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn tail_streams_disjoint_batches_with_continuous_seq() {
+        let rec = HistoryRecorder::new();
+        let mut tx = rec.begin_tx();
+        let op = TOpDesc::Read(TObjId::new(0));
+        tx.invoke(op);
+        tx.respond(op, TOpResult::Value(3));
+
+        let first = rec.tail();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].seq, 0);
+        assert_eq!(first[1].seq, 1);
+
+        tx.invoke(TOpDesc::TryCommit);
+        tx.respond(TOpDesc::TryCommit, TOpResult::Committed);
+
+        let second = rec.tail();
+        assert_eq!(second.len(), 2);
+        // Numbering continues where the first batch stopped, so the
+        // concatenation is one well-numbered log.
+        assert_eq!(second[0].seq, 2);
+        assert_eq!(second[1].seq, 3);
+        assert!(rec.tail().is_empty());
+    }
+
+    #[test]
+    fn tail_emits_each_initial_exactly_once() {
+        let rec = HistoryRecorder::new();
+        let v = TVar::new(41u64);
+        let mut tx = rec.begin_tx();
+        let obj = tx.object_of(&v);
+        tx.invoke(TOpDesc::Read(obj));
+        tx.respond(TOpDesc::Read(obj), TOpResult::Value(41));
+
+        let first = rec.drain();
+        // Synthetic initializing txn (write + tryC, invoke/response each)
+        // precedes the two recorded markers.
+        assert_eq!(first.len(), 6);
+        let preamble_pid = first[0].pid;
+
+        // Second batch: same object again — no second preamble.
+        let mut tx2 = rec.begin_tx();
+        let obj2 = tx2.object_of(&v);
+        assert_eq!(obj2, obj);
+        tx2.invoke(TOpDesc::Read(obj2));
+        tx2.respond(TOpDesc::Read(obj2), TOpResult::Value(41));
+        let second = rec.drain();
+        assert_eq!(second.len(), 2);
+        assert!(second.iter().all(|e| e.pid != preamble_pid));
+        assert_eq!(second[0].seq, 6);
+
+        // A variable first touched after the first drain gets its
+        // initial installed in the batch where it first appears, still
+        // on the reserved preamble pid.
+        let w = TVar::new(9u64);
+        let mut tx3 = rec.begin_tx();
+        let wobj = tx3.object_of(&w);
+        tx3.invoke(TOpDesc::Read(wobj));
+        tx3.respond(TOpDesc::Read(wobj), TOpResult::Value(9));
+        let third = rec.drain();
+        assert_eq!(third.len(), 6);
+        assert_eq!(third[0].pid, preamble_pid);
+        // Workload threads registered later never collide with the
+        // reserved preamble pid.
+        assert!(third[4..].iter().all(|e| e.pid != preamble_pid));
     }
 
     #[test]

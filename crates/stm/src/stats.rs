@@ -89,6 +89,9 @@ struct Shard {
     wakes: AtomicU64,
     spurious_wakes: AtomicU64,
     async_yields: AtomicU64,
+    log_appends: AtomicU64,
+    fsyncs: AtomicU64,
+    group_commit_records: AtomicU64,
 }
 
 /// Monotonic event counters for one [`Stm`](crate::Stm) instance,
@@ -236,6 +239,17 @@ pub struct StatsSnapshot {
     /// Observes the degradation the async path accepts under contention;
     /// always 0 for purely blocking workloads.
     pub async_yields: u64,
+    /// Committed write sets appended to an attached write-ahead log
+    /// ([`crate::wal`]): one per durable commit. Always 0 without a
+    /// durability hook.
+    pub log_appends: u64,
+    /// Fsync batches the log performed. Under group commit this stays
+    /// well below `log_appends` — the ratio is the whole point.
+    pub fsyncs: u64,
+    /// Records covered by those fsync batches (every record is covered
+    /// exactly once, so this equals `log_appends` once quiescent);
+    /// [`StatsSnapshot::group_commit_size`] derives the mean batch.
+    pub group_commit_records: u64,
     /// Whether the instance was running **visible** reads (the
     /// reader–writer orec format) when the snapshot was taken: `true`
     /// for `Tlrw` and for `Adaptive` in its visible mode, `false`
@@ -313,6 +327,20 @@ impl StmStats {
         self.local().async_yields.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one write set appended to the attached write-ahead log
+    /// (memory-only; the fsync is counted separately when a batch
+    /// flushes).
+    pub(crate) fn log_append(&self) {
+        self.local().log_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fsync batch covering `records` appended records.
+    pub(crate) fn fsync_batch(&self, records: u64) {
+        let s = self.local();
+        s.fsyncs.fetch_add(1, Ordering::Relaxed);
+        s.group_commit_records.fetch_add(records, Ordering::Relaxed);
+    }
+
     /// Records an adaptive mode switch and the regime it landed in.
     pub(crate) fn mode_transition(&self, visible: bool) {
         self.local()
@@ -360,12 +388,25 @@ impl StmStats {
             out.wakes += ld(&s.wakes);
             out.spurious_wakes += ld(&s.spurious_wakes);
             out.async_yields += ld(&s.async_yields);
+            out.log_appends += ld(&s.log_appends);
+            out.fsyncs += ld(&s.fsyncs);
+            out.group_commit_records += ld(&s.group_commit_records);
         }
         out
     }
 }
 
 impl StatsSnapshot {
+    /// Mean records per fsync batch — the group-commit amortization
+    /// factor (1.0 means every commit paid its own fsync; 0.0 means no
+    /// batch has flushed yet).
+    pub fn group_commit_size(&self) -> f64 {
+        if self.fsyncs == 0 {
+            return 0.0;
+        }
+        self.group_commit_records as f64 / self.fsyncs as f64
+    }
+
     /// Counter-wise difference from an earlier snapshot.
     ///
     /// # Panics
@@ -391,6 +432,9 @@ impl StatsSnapshot {
             wakes: d(self.wakes, earlier.wakes),
             spurious_wakes: d(self.spurious_wakes, earlier.spurious_wakes),
             async_yields: d(self.async_yields, earlier.async_yields),
+            log_appends: d(self.log_appends, earlier.log_appends),
+            fsyncs: d(self.fsyncs, earlier.fsyncs),
+            group_commit_records: d(self.group_commit_records, earlier.group_commit_records),
             // State, not a counter: the delta reports where the window
             // *ended up*.
             visible_mode: self.visible_mode,
@@ -406,7 +450,8 @@ impl fmt::Display for StatsSnapshot {
             f,
             "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} \
              snapshot_reads={} trimmed={} max_chain={} recorded={} transitions={} \
-             parks={} wakes={} spurious={} yields={} mode={}",
+             parks={} wakes={} spurious={} yields={} log_appends={} fsyncs={} \
+             group_commit={} mode={}",
             self.commits,
             self.aborts,
             self.reads,
@@ -422,6 +467,9 @@ impl fmt::Display for StatsSnapshot {
             self.wakes,
             self.spurious_wakes,
             self.async_yields,
+            self.log_appends,
+            self.fsyncs,
+            self.group_commit_records,
             if self.visible_mode {
                 "visible"
             } else {
@@ -468,6 +516,10 @@ mod tests {
         s.spurious_wake();
         s.async_yield();
         s.async_yield();
+        s.log_append();
+        s.log_append();
+        s.log_append();
+        s.fsync_batch(3);
         let snap = s.snapshot();
         assert_eq!(snap.commits, 2);
         assert_eq!(snap.aborts, 1);
@@ -484,6 +536,10 @@ mod tests {
         assert_eq!(snap.wakes, 3);
         assert_eq!(snap.spurious_wakes, 1);
         assert_eq!(snap.async_yields, 2);
+        assert_eq!(snap.log_appends, 3);
+        assert_eq!(snap.fsyncs, 1);
+        assert_eq!(snap.group_commit_records, 3);
+        assert_eq!(snap.group_commit_size(), 3.0);
         assert!(snap.visible_mode);
         s.mode_transition(false);
         let snap = s.snapshot();
@@ -508,12 +564,17 @@ mod tests {
             line,
             "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 snapshot_reads=0 \
              trimmed=0 max_chain=0 recorded=6 transitions=0 parks=1 wakes=1 spurious=0 \
-             yields=1 mode=invisible"
+             yields=1 log_appends=0 fsyncs=0 group_commit=0 mode=invisible"
         );
         s.mode_transition(true);
+        s.log_append();
+        s.fsync_batch(1);
         let line = s.snapshot().to_string();
         assert!(
-            line.ends_with("transitions=1 parks=1 wakes=1 spurious=0 yields=1 mode=visible"),
+            line.ends_with(
+                "transitions=1 parks=1 wakes=1 spurious=0 yields=1 log_appends=1 fsyncs=1 \
+                 group_commit=1 mode=visible"
+            ),
             "{line}"
         );
     }

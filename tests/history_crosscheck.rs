@@ -11,6 +11,7 @@ use progressive_tm::model::{is_opaque, is_strictly_serializable, History};
 use progressive_tm::sim::{
     LogEntry, LogPayload, Marker, ProcessId, TObjId, TOpDesc, TOpResult, TxId,
 };
+use progressive_tm::stm::wal::{codec, DurableTicket, MemSink, Wal, WalValue};
 use progressive_tm::stm::{Algorithm, HistoryRecorder, Retry, Stm, TVar};
 use progressive_tm::structs::TArray;
 use std::sync::Arc;
@@ -380,6 +381,167 @@ fn read_lock_leak_history_is_rejected_by_the_checker() {
         !is_strictly_serializable(&leaked),
         "the committed reader must not serialize"
     );
+}
+
+/// The deterministic two-counter stream the durable crosscheck uses:
+/// op `i` adds `i` to counter `i % 2`. Returns the state after `k` ops.
+fn durable_model_state(k: u64) -> [u64; 2] {
+    let mut v = [0u64; 2];
+    for i in 1..=k {
+        v[(i % 2) as usize] += i;
+    }
+    v
+}
+
+/// Runs `ops` recorded, WAL-logged increments; only the first
+/// `sync_up_to` are acknowledged (fsynced). Returns the recorded
+/// pre-crash history and the bytes a crash right after op `ops` would
+/// preserve — whole records for ops `1..=sync_up_to`, nothing after.
+fn durable_recorded_run(algo: Algorithm, ops: u64, sync_up_to: u64) -> (Vec<LogEntry>, Vec<u8>) {
+    let rec = HistoryRecorder::new();
+    let sink = MemSink::new();
+    let wal = Arc::new(Wal::with_sink(Box::new(sink.clone())));
+    let stm = Stm::builder(algo)
+        .record_history(rec.clone())
+        .durability_hook(wal.clone())
+        .build();
+    let vars = [TVar::new(0u64), TVar::new(0u64)];
+    for i in 1..=ops {
+        let ticket = DurableTicket::new();
+        let var = &vars[(i % 2) as usize];
+        stm.atomically(|tx| {
+            let x = tx.read(var)?;
+            tx.write(var, x + i)?;
+            let mut payload = Vec::new();
+            (i % 2).encode_wal(&mut payload);
+            (x + i).encode_wal(&mut payload);
+            tx.stage_durable(Arc::from(&payload[..]), &ticket);
+            Ok(())
+        });
+        if i == sync_up_to {
+            // The last acknowledged operation: everything logged so far
+            // becomes durable; later appends sit in volatile buffers
+            // the "crash" discards.
+            wal.wait_durable(ticket.lsn().expect("committed")).unwrap();
+        }
+    }
+    assert_eq!(
+        [vars[0].load(), vars[1].load()],
+        durable_model_state(ops),
+        "{algo:?}: pre-crash state"
+    );
+    (rec.drain(), sink.durable_bytes())
+}
+
+/// Replays a crashed log's clean prefix into a fresh recorded instance
+/// (TVars created in the same touch order, so t-object ids line up with
+/// the pre-crash history), finishing with a recorded read of both
+/// counters. Returns the recovery history and the number of records
+/// applied.
+fn replay_recorded(algo: Algorithm, durable: &[u8]) -> (Vec<LogEntry>, u64) {
+    let decoded = codec::decode_stream(durable);
+    let rec = HistoryRecorder::new();
+    let stm = Stm::builder(algo).record_history(rec.clone()).build();
+    let vars = [TVar::new(0u64), TVar::new(0u64)];
+    for r in &decoded.records {
+        let mut cur = &r.payload[..];
+        let idx = u64::decode_wal(&mut cur).expect("logged var index");
+        let value = u64::decode_wal(&mut cur).expect("logged value");
+        stm.atomically(|tx| tx.write(&vars[idx as usize], value));
+    }
+    let applied = decoded.records.len() as u64;
+    let state = stm.atomically(|tx| Ok([tx.read(&vars[0])?, tx.read(&vars[1])?]));
+    // Recovery must land on a state the pre-crash run actually passed
+    // through: the one after exactly `applied` operations.
+    assert_eq!(state, durable_model_state(applied), "{algo:?}: recovery");
+    (rec.drain(), applied)
+}
+
+/// Renumbers a recovery log so it concatenates after a pre-crash log:
+/// sequence numbers continue and transaction ids shift past the first
+/// run's (t-object ids intentionally stay — they name the same logical
+/// counters).
+fn renumber(log: Vec<LogEntry>, seq_base: usize, tx_base: u64) -> Vec<LogEntry> {
+    log.into_iter()
+        .map(|mut e| {
+            e.seq += seq_base;
+            if let LogPayload::Marker(Marker::TxInvoke { tx, .. } | Marker::TxResponse { tx, .. }) =
+                &mut e.payload
+            {
+                *tx = TxId::new(tx.raw() + tx_base);
+            }
+            e
+        })
+        .collect()
+}
+
+fn max_tx(log: &[LogEntry]) -> u64 {
+    log.iter()
+        .filter_map(LogEntry::marker)
+        .filter_map(|m| match m {
+            Marker::TxInvoke { tx, .. } | Marker::TxResponse { tx, .. } => Some(tx.raw()),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The durability crosscheck: record a WAL-logged run, crash it with
+/// unacknowledged operations in flight, replay the surviving log into a
+/// fresh recorded instance, and require the **concatenation** of the
+/// two histories to be opaque — recovery's writes must be explainable
+/// as a prefix of the very history the first instance recorded.
+#[test]
+fn recovered_history_concatenates_opaquely_all_algorithms() {
+    for algo in ALGOS {
+        let (ops, acked) = (12u64, 7u64);
+        let (log_a, durable) = durable_recorded_run(algo, ops, acked);
+        assert!(is_opaque(&history_of(&log_a)), "{algo:?}: pre-crash log");
+        let (log_b, applied) = replay_recorded(algo, &durable);
+        // The crash cost exactly the unacknowledged suffix.
+        assert_eq!(applied, acked, "{algo:?}: durable prefix length");
+        let mut combined = log_a.clone();
+        combined.extend(renumber(log_b, log_a.len(), max_tx(&log_a)));
+        let h = history_of(&combined);
+        assert!(h.is_complete(), "{algo:?}: combined history is complete");
+        assert_eq!(
+            h.committed().len() as u64,
+            ops + applied + 1, // pre-crash txs + replay txs + the final read
+            "{algo:?}: committed count"
+        );
+        assert_checker_accepts(&h, &format!("{algo:?}/recovery"));
+    }
+}
+
+/// A hand-corrupted log must not smuggle values into the recovered
+/// history: the flipped record and everything after it are rejected by
+/// the checksum, replay applies only the surviving prefix, and the
+/// concatenated history is still opaque (shorter, never wrong).
+#[test]
+fn corrupted_wal_record_is_rejected_and_recovery_stays_a_prefix() {
+    let algo = Algorithm::Tl2;
+    let (ops, acked) = (10u64, 8u64);
+    let (log_a, durable) = durable_recorded_run(algo, ops, acked);
+    // Flip one payload byte mid-log: the CRC must catch it.
+    let mut corrupt = durable.clone();
+    let target = 3 * codec::framed_len(16) + codec::HEADER_LEN + 2;
+    assert!(target < corrupt.len(), "flip lands inside record 3");
+    corrupt[target] ^= 0x10;
+    let decoded = codec::decode_stream(&corrupt);
+    assert_eq!(decoded.records.len(), 3, "records before the flip survive");
+    assert!(
+        matches!(
+            decoded.corruption,
+            Some(codec::Corruption::BadChecksum { .. })
+        ),
+        "the flip is detected, not absorbed: {:?}",
+        decoded.corruption
+    );
+    let (log_b, applied) = replay_recorded(algo, &corrupt);
+    assert_eq!(applied, 3, "only the clean prefix is applied");
+    let mut combined = log_a.clone();
+    combined.extend(renumber(log_b, log_a.len(), max_tx(&log_a)));
+    assert_checker_accepts(&history_of(&combined), "tl2/corrupt-recovery");
 }
 
 #[test]
