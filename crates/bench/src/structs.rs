@@ -67,7 +67,7 @@ pub fn bench_map_read_mostly(
                         // could only ever hit even keys).
                         let r = next_rand(&mut rng);
                         let key = next_rand(&mut rng) % keys;
-                        if r % 10 == 0 {
+                        if r.is_multiple_of(10) {
                             stm.atomically(|tx| map.insert(tx, key, r).map(drop));
                         } else {
                             let got = stm.atomically(|tx| map.get(tx, &key));

@@ -14,7 +14,18 @@
 //! ## On-disk layout and the era protocol
 //!
 //! `dir/shard-<i>.wal` is shard `i`'s log; `dir/shard-<i>.snap` its
-//! snapshot. The first log record is always a **meta record** (stamp 0,
+//! snapshot. `dir/LOCK` is an advisory `flock` guard held for the
+//! store's lifetime: recovery and checkpoints truncate logs and replace
+//! snapshots, so two processes working the same directory would destroy
+//! each other's evidence — the second [`open`](DurableKv::open) fails
+//! instead. (The kernel drops the lock when the holder dies, so a
+//! SIGKILLed store never wedges the directory.) Snapshots and meta
+//! records both carry the shard-routing hasher id alongside the
+//! geometry, because shard assignment is itself persisted state: a
+//! binary routing keys differently would recover data it can no longer
+//! reach, so a mismatch fails the open loudly.
+//!
+//! The first log record is always a **meta record** (stamp 0,
 //! `FLAG_META`) naming the store geometry and the shard's **era** — a
 //! monotone incarnation counter bumped by every checkpoint/recovery
 //! rebaseline. The rebaseline sequence is: quiesce, write *all* shard
@@ -70,8 +81,10 @@
 //! must not keep acknowledging them, and recovery from the on-disk
 //! prefix is the correctness path (the PANIC discipline databases use).
 
-use crate::kv::{ServiceConfig, ServiceTx, ShardedKv};
-use ptm_stm::wal::{codec, DurabilityHook, DurableTicket, Wal, WalValue, FLAG_META};
+use crate::kv::{ServiceConfig, ServiceTx, ShardedKv, SHARD_HASHER_ID};
+use ptm_stm::wal::{
+    codec, fsync_parent_dir, DurabilityHook, DurableTicket, Wal, WalValue, FLAG_META,
+};
 use ptm_stm::{Retry, Stm, TxValue};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -214,20 +227,22 @@ fn decode_ops<K: WalValue, V: WalValue>(mut buf: &[u8]) -> Option<(u64, Vec<Logg
     }
 }
 
-/// Meta record payload: era, geometry, shard index.
+/// Meta record payload: era, geometry, shard index, routing hasher id.
 fn encode_meta(era: u64, shards: usize, shard: usize) -> Vec<u8> {
     let mut out = Vec::new();
     era.encode_wal(&mut out);
     shards.encode_wal(&mut out);
     shard.encode_wal(&mut out);
+    SHARD_HASHER_ID.encode_wal(&mut out);
     out
 }
 
-fn decode_meta(mut buf: &[u8]) -> Option<(u64, usize, usize)> {
+fn decode_meta(mut buf: &[u8]) -> Option<(u64, usize, usize, u64)> {
     let era = u64::decode_wal(&mut buf)?;
     let shards = usize::decode_wal(&mut buf)?;
     let shard = usize::decode_wal(&mut buf)?;
-    buf.is_empty().then_some((era, shards, shard))
+    let hasher = u64::decode_wal(&mut buf)?;
+    buf.is_empty().then_some((era, shards, shard, hasher))
 }
 
 fn wal_path(dir: &Path, shard: usize) -> PathBuf {
@@ -273,10 +288,16 @@ fn read_snapshot<K: WalValue, V: WalValue>(
         return Err(fail("checksum mismatch"));
     }
     let mut buf = &bytes[4..body_len];
+    let mut foreign_hasher = None;
     let mut decode = || -> Option<Snapshot<K, V>> {
         let era = u64::decode_wal(&mut buf)?;
         let got_shards = usize::decode_wal(&mut buf)?;
         let got_shard = usize::decode_wal(&mut buf)?;
+        let got_hasher = u64::decode_wal(&mut buf)?;
+        if got_hasher != SHARD_HASHER_ID {
+            foreign_hasher = Some(got_hasher);
+            return None;
+        }
         let _watermark = u64::decode_wal(&mut buf)?;
         if got_shards != shards || got_shard != shard {
             return None;
@@ -290,7 +311,12 @@ fn read_snapshot<K: WalValue, V: WalValue>(
     };
     match decode() {
         Some(snap) => Ok(Some(snap)),
-        None => Err(fail("undecodable or geometry mismatch")),
+        None => match foreign_hasher {
+            Some(id) => Err(fail(&format!(
+                "shard-hasher mismatch: snapshot routed with hasher {id}, this binary uses {SHARD_HASHER_ID}"
+            ))),
+            None => Err(fail("undecodable or geometry mismatch")),
+        },
     }
 }
 
@@ -307,6 +333,7 @@ fn write_snapshot<K: WalValue, V: WalValue>(
     era.encode_wal(&mut bytes);
     shards.encode_wal(&mut bytes);
     shard.encode_wal(&mut bytes);
+    SHARD_HASHER_ID.encode_wal(&mut bytes);
     watermark.encode_wal(&mut bytes);
     entries.len().encode_wal(&mut bytes);
     for (k, v) in entries {
@@ -322,9 +349,10 @@ fn write_snapshot<K: WalValue, V: WalValue>(
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
-    if let Ok(d) = fs::File::open(path.parent().unwrap_or(Path::new("."))) {
-        let _ = d.sync_all();
-    }
+    // The era protocol needs the snapshot *durably in place* before any
+    // log truncation — that's a directory-entry barrier, not a
+    // best-effort nicety, so its failure fails the checkpoint.
+    fsync_parent_dir(path)?;
     Ok(())
 }
 
@@ -348,8 +376,13 @@ fn parse_log<K: WalValue, V: WalValue>(
             if idx != 0 {
                 return Err(fail(format!("meta record at position {idx}")));
             }
-            let (e, got_shards, got_shard) =
+            let (e, got_shards, got_shard, got_hasher) =
                 decode_meta(&rec.payload).ok_or_else(|| fail("undecodable meta record".into()))?;
+            if got_hasher != SHARD_HASHER_ID {
+                return Err(fail(format!(
+                    "shard-hasher mismatch: log routed with hasher {got_hasher}, this binary uses {SHARD_HASHER_ID}"
+                )));
+            }
             if got_shards != shards || got_shard != shard {
                 return Err(fail(format!(
                     "geometry mismatch: log is shard {got_shard}/{got_shards}, store wants {shard}/{shards}"
@@ -410,6 +443,9 @@ pub struct DurableKv<K, V> {
     /// roll-forward (drawn while all participants' locks are held).
     next_txn: AtomicU64,
     report: RecoveryReport,
+    /// Holds the advisory `flock` on `dir/LOCK` for the store's
+    /// lifetime; released on drop (or by the kernel on process death).
+    _lock: fs::File,
 }
 
 impl<K, V> fmt::Debug for DurableKv<K, V> {
@@ -435,12 +471,36 @@ where
     /// # Errors
     ///
     /// I/O failure, a corrupt snapshot, an undecodable intact log
-    /// record, or a geometry change (different shard count than the
-    /// on-disk store) all fail the open — torn/corrupt log *tails* are
-    /// expected crash damage and are truncated, not errors.
+    /// record, a geometry change (different shard count than the
+    /// on-disk store), or a shard-hasher mismatch all fail the open —
+    /// torn/corrupt log *tails* are expected crash damage and are
+    /// truncated, not errors. A directory already locked by a live
+    /// store (this process or another) fails with
+    /// [`io::ErrorKind::WouldBlock`].
     pub fn open(cfg: DurabilityConfig) -> io::Result<Self> {
         let shards = cfg.service.shards.max(1);
         fs::create_dir_all(&cfg.dir)?;
+        // One live store per directory: recovery and checkpoints rewrite
+        // logs and snapshots, so a second opener would truncate evidence
+        // the first is still producing.
+        let lock = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(cfg.dir.join("LOCK"))?;
+        match lock.try_lock() {
+            Ok(()) => {}
+            Err(fs::TryLockError::WouldBlock) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!(
+                        "store directory {} is locked by another live store",
+                        cfg.dir.display()
+                    ),
+                ));
+            }
+            Err(fs::TryLockError::Error(e)) => return Err(e),
+        }
         let mut report = RecoveryReport::default();
 
         let mut snaps: Vec<Option<Snapshot<K, V>>> = Vec::with_capacity(shards);
@@ -570,6 +630,7 @@ where
             era: AtomicU64::new(eras.iter().copied().max().unwrap_or(0)),
             next_txn: AtomicU64::new(max_txn),
             report,
+            _lock: lock,
         };
         // Rebaseline: the recovered state becomes the new snapshots,
         // logs restart empty at the next era.
@@ -1003,6 +1064,43 @@ mod tests {
             present[first_gap..].iter().all(|p| !p),
             "non-prefix survival: {present:?}"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_open_of_a_live_store_is_refused() {
+        let dir = temp_dir("lock");
+        let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Tl2)).unwrap();
+        kv.put(1, 1);
+        let err = DurableKv::<u64, u64>::open(cfg(&dir, Algorithm::Tl2)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
+        drop(kv);
+        // Dropping the store releases the flock; the directory is
+        // reusable without any manual cleanup.
+        let kv: DurableKv<u64, u64> = DurableKv::open(cfg(&dir, Algorithm::Tl2)).unwrap();
+        assert_eq!(kv.get(&1), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_shard_hasher_is_rejected() {
+        let dir = temp_dir("hasher");
+        fs::create_dir_all(&dir).unwrap();
+        // A well-formed snapshot whose geometry names a routing hasher
+        // this binary doesn't implement.
+        let mut bytes = SNAP_MAGIC.to_vec();
+        1u64.encode_wal(&mut bytes); // era
+        4usize.encode_wal(&mut bytes); // shards
+        0usize.encode_wal(&mut bytes); // shard
+        (SHARD_HASHER_ID + 1).encode_wal(&mut bytes); // foreign hasher
+        0u64.encode_wal(&mut bytes); // watermark
+        0usize.encode_wal(&mut bytes); // entries
+        let crc = codec::crc64(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        fs::write(snap_path(&dir, 0), bytes).unwrap();
+        let err = DurableKv::<u64, u64>::open(cfg(&dir, Algorithm::Tl2)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("hasher"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -32,10 +32,71 @@
 
 use ptm_stm::{Algorithm, DurabilityHook, Prepared, Retry, Stm, StmStats, Transaction, TxValue};
 use ptm_structs::THashMap;
-use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Identifies the shard-routing hash algorithm. Shard assignment is
+/// persisted (snapshots and WAL records carry shard indices), so the
+/// durable tier stamps this id into its on-disk geometry and refuses to
+/// open a store routed by a different algorithm — bump it whenever
+/// [`ShardHasher`] changes.
+pub(crate) const SHARD_HASHER_ID: u64 = 1;
+
+/// The pinned shard-routing hasher (id [`SHARD_HASHER_ID`]): FNV-1a 64
+/// over the `Hash` byte stream, finished with the splitmix64 mixer so
+/// small keys spread across all bits before the shard modulus.
+///
+/// std's `DefaultHasher` is explicitly allowed to change algorithms
+/// between Rust releases; routing through it would let a store written
+/// by one toolchain recover under a binary that routes the same keys to
+/// *different* shards, silently orphaning the recovered data. This
+/// algorithm is frozen by the on-disk format instead.
+struct ShardHasher(u64);
+
+impl ShardHasher {
+    fn new() -> Self {
+        // FNV-1a 64-bit offset basis.
+        ShardHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for ShardHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            // FNV-1a 64-bit prime.
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    // The std defaults feed integers in native-endian order and hash
+    // usize at its native width; pin both so the routing is identical
+    // across architectures, not just across toolchains. (The signed and
+    // length-prefix defaults forward to these.)
+    fn write_u16(&mut self, n: u16) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u128(&mut self, n: u128) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        // splitmix64 finisher (Steele et al.), fixed constants.
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
 
 /// Geometry and policy knobs for a [`ShardedKv`].
 #[derive(Debug, Clone, Copy)]
@@ -157,9 +218,10 @@ impl<K: TxValue + Hash + Eq, V: TxValue> ShardedKv<K, V> {
         self.shards.len()
     }
 
-    /// The shard index owning `key`.
+    /// The shard index owning `key` (pinned algorithm — see
+    /// `ShardHasher`; stable across toolchains and restarts).
     pub fn shard_of(&self, key: &K) -> usize {
-        let mut h = DefaultHasher::new();
+        let mut h = ShardHasher::new();
         key.hash(&mut h);
         (h.finish() % self.shards.len() as u64) as usize
     }
@@ -376,5 +438,46 @@ impl<K, V> fmt::Debug for ServiceTx<'_, K, V> {
                 &self.slots.iter().filter(|s| s.is_some()).count(),
             )
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Frozen outputs of [`ShardHasher`] (id [`SHARD_HASHER_ID`] = 1).
+    /// Shard routing is persisted in snapshots and WAL records, so this
+    /// test failing means recovered stores would route keys to the
+    /// wrong shards — if the change is intentional, bump
+    /// `SHARD_HASHER_ID` so old stores fail loudly instead of silently
+    /// losing keys.
+    #[test]
+    fn shard_routing_hash_is_pinned() {
+        fn hash_of(key: impl Hash) -> u64 {
+            let mut h = ShardHasher::new();
+            key.hash(&mut h);
+            h.finish()
+        }
+        assert_eq!(hash_of(0u64), 0x5ba3_14b8_cfda_3b6b);
+        assert_eq!(hash_of(1u64), 0xc2be_3627_c2bf_e353);
+        assert_eq!(hash_of(7u64), 0xfe79_3e3c_e142_343a);
+        assert_eq!(hash_of(123_456_789u64), 0x96a9_aabe_c69c_140c);
+        // Strings go through the 0xff-terminated `write_str` default.
+        assert_eq!(hash_of("ab"), 0xf35c_1011_c045_ae57);
+        // usize routes identically to u64 on every architecture.
+        assert_eq!(hash_of(7usize), hash_of(7u64));
+    }
+
+    #[test]
+    fn shard_of_spreads_and_is_stable_across_instances() {
+        let a: ShardedKv<u64, u64> = ShardedKv::new(8, Algorithm::Tl2);
+        let b: ShardedKv<u64, u64> = ShardedKv::new(8, Algorithm::Norec);
+        let mut seen = [false; 8];
+        for k in 0..256u64 {
+            let s = a.shard_of(&k);
+            assert_eq!(s, b.shard_of(&k), "routing must not depend on the instance");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "256 keys left a shard empty");
     }
 }

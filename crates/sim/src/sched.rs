@@ -177,7 +177,7 @@ impl SchedulePolicy for GreedyRmrPolicy {
 
     fn pick_with_sim(&mut self, sim: &Sim, runnable: &[ProcessId], step_index: usize) -> ProcessId {
         // Fairness valve: a plain round-robin step every fourth pick.
-        if step_index % 4 == 0 {
+        if step_index.is_multiple_of(4) {
             let choice = self.rr.pick(runnable, step_index);
             self.last = Some(choice);
             self.streak = 1;

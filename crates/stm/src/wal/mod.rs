@@ -50,7 +50,7 @@ pub mod sink;
 mod writer;
 
 pub use codec::{Corruption, Decoded, Record, WalValue, FLAG_META, FLAG_STRAGGLER};
-pub use sink::{FaultPlan, FaultSink, FileSink, LogSink, MemSink};
+pub use sink::{fsync_parent_dir, FaultPlan, FaultSink, FileSink, LogSink, MemSink};
 pub use writer::{RewriteStats, Wal};
 
 use crate::stats::StmStats;

@@ -80,6 +80,17 @@ fn open_log(path: &Path, create: bool) -> io::Result<(File, bool)> {
     Ok((file, false))
 }
 
+/// Fsyncs the directory containing `path`, making a rename in it
+/// durable. Rename atomicity alone only orders the *contents*; the
+/// directory entry itself needs its own barrier on POSIX.
+pub fn fsync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
 impl FileSink {
     /// Opens (creating if absent) the log file at `path`.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
@@ -121,12 +132,14 @@ impl LogSink for FileSink {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &self.path)?;
+        fsync_parent_dir(&self.path)?;
         // Reopen: the old handle still points at the unlinked inode.
-        self.file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .open(&self.path)?;
-        self.file.sync_data()?;
+        // Going through `open_log` keeps O_DSYNC semantics (or the
+        // fdatasync fallback) on the new handle — `dsync` must describe
+        // this handle, or every later sync() silently stops syncing.
+        let (file, dsync) = open_log(&self.path, false)?;
+        self.file = file;
+        self.dsync = dsync;
         Ok(())
     }
 }
@@ -351,6 +364,30 @@ mod tests {
         // Reopen picks the rewritten contents back up.
         let mut s = FileSink::open(&path).unwrap();
         assert_eq!(s.read_all().unwrap(), b"fresh!");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn file_sink_rewrite_preserves_sync_mode() {
+        let dir = std::env::temp_dir().join(format!("ptm-wal-dsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mode.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileSink::open(&path).unwrap();
+        let opened_with = s.dsync;
+        s.append(b"a").unwrap();
+        s.reset_to(b"b").unwrap();
+        // The reopened handle must carry the same durability mode the
+        // original open negotiated: a handle without O_DSYNC but with
+        // dsync == true would make sync() a permanent no-op.
+        assert_eq!(
+            s.dsync, opened_with,
+            "reset_to changed the sink's sync mode"
+        );
+        s.append(b"c").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.read_all().unwrap(), b"bc");
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
     }

@@ -192,7 +192,7 @@ fn set_concurrent_insert_remove_reaches_expected_membership() {
         });
         let snap = stm.atomically(|tx| set.snapshot(tx));
         let expected: Vec<u64> = (0..per * threads)
-            .filter(|k| (k / threads) % 3 != 0)
+            .filter(|k| !(k / threads).is_multiple_of(3))
             .collect();
         assert_eq!(snap, expected, "{algo:?}");
         // Range scans agree with the snapshot on a sub-interval.

@@ -81,12 +81,12 @@ fn record_counter_run(algo: Algorithm, threads: usize, per: u64) -> (Vec<LogEntr
                     stm.atomically(|tx| {
                         // Alternate between the shared counters, touching
                         // both on every third transaction.
-                        if (t as u64 + i) % 3 == 0 {
+                        if (t as u64 + i).is_multiple_of(3) {
                             let x = tx.read(&a)?;
                             let y = tx.read(&b)?;
                             tx.write(&a, x + 1)?;
                             tx.write(&b, y + 1)
-                        } else if (t as u64 + i) % 2 == 0 {
+                        } else if (t as u64 + i).is_multiple_of(2) {
                             tx.modify(&a, |x| x + 1)
                         } else {
                             tx.modify(&b, |x| x + 1)
