@@ -50,16 +50,36 @@
 //!   `phase_shift_mode_transitions` row records (in `ops`) how many
 //!   switches the adaptive controller performed across the three
 //!   measured phases — at least one per phase boundary when adapting.
+//! * `phase_scan_*/<algo>` — the **three-mode** adaptive experiment:
+//!   one shared instance driven through `scan_heavy → write_heavy →
+//!   mixed` phases. The scan-heavy phase (full-array read-only scans
+//!   racing one blind writer) routes Adaptive into multiversion mode,
+//!   the transfer phase into visible mode, the mixed tail back to
+//!   invisible — the acceptance picture is Adaptive at or above the
+//!   best static algorithm per phase, with the
+//!   `phase_scan_mode_transitions` row ≥ 2 and the
+//!   `phase_scan_snapshot_reads` row > 0 as proof the route really went
+//!   through Mv;
+//! * `long_scan_camped/mv/<chain>` — the skip-pointer experiment: a
+//!   camped reader pins its snapshot, nested commits grow every version
+//!   chain to `<chain>` links above it, and the camper then re-scans at
+//!   its old snapshot. The companion `long_scan_camped_walk_steps` row
+//!   carries the engine's `chain_walk_steps` counter: with the
+//!   Fenwick-shaped skip links the steps per read grow ~log²(chain),
+//!   not linearly, so doubling `<chain>` barely moves the row.
 //!
 //! The harness is deliberately criterion-free (the build environment is
 //! offline): fixed-size workloads, wall-clock timing, one warmup run.
 //! Every multi-instance family runs its passes interleaved across
 //! algorithms, best of [`PHASE_PASSES`], so bursty background load hits
 //! all algorithms alike instead of whichever one owned the noisy window.
+//! Rows whose `threads` exceed the machine's hardware threads are marked
+//! `"oversubscribed": true` in the JSON (and summarized in a warning):
+//! their timings measure the scheduler, not the algorithm.
 
 use ptm_stm::{Algorithm, Stm, TVar};
 use ptm_structs::TQueue;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -479,6 +499,147 @@ pub fn bench_phase_shift(
     out
 }
 
+/// One timed pass of the scan-heavy phase shape: every thread but one
+/// runs full-array read-only scans while the remaining thread
+/// blind-writes random slots (equal values, so the scan sum stays
+/// invariant) until the scanners finish. The storm is what separates
+/// the engines: multi-version scans resolve against start-time
+/// snapshots and never retry, single-version scans revalidate or abort.
+/// Returns elapsed nanoseconds.
+pub fn pass_scan_heavy(stm: &Arc<Stm>, vars: &[TVar<u64>], threads: usize, txns: u64) -> u128 {
+    let scanners = threads.saturating_sub(1).max(1);
+    let done = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        if threads > 1 {
+            let stm = Arc::clone(stm);
+            let vars = vars.to_vec();
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut seed = 0x5ca1ab1e;
+                while done.load(Ordering::Relaxed) < scanners as u64 {
+                    let j = next_rand(&mut seed) as usize % vars.len();
+                    stm.atomically(|tx| tx.write(&vars[j], 1));
+                }
+            });
+        }
+        for _ in 0..scanners {
+            let stm = Arc::clone(stm);
+            let vars = vars.to_vec();
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                for _ in 0..txns {
+                    let sum = stm.atomically(|tx| {
+                        let mut acc = 0u64;
+                        for v in &vars {
+                            acc = acc.wrapping_add(tx.read(v)?);
+                        }
+                        Ok(acc)
+                    });
+                    assert_eq!(sum, vars.len() as u64);
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    start.elapsed().as_nanos()
+}
+
+/// The *three-mode* runtime decision: every algorithm's instance is
+/// driven through `scan_heavy → write_heavy → mixed` phases, each phase
+/// timed as the best of [`PHASE_PASSES`] passes, interleaved across
+/// algorithms (same bursty-neighbour reasoning as
+/// [`bench_phase_shift`]). The scan-heavy phase is [`pass_scan_heavy`]
+/// over 256 variables — long read-only scans under a blind-write storm,
+/// the shape that routes Adaptive into **multiversion** mode; the
+/// write-heavy phase is [`pass_write_heavy`] (routes it to visible);
+/// the mixed tail is [`pass_read_mostly`] (routes it back to
+/// invisible).
+///
+/// Besides the timing rows, two companion rows per algorithm carry the
+/// controller's evidence in their `ops` field: `phase_scan_mode_transitions`
+/// (≥ 2 for a healthy adaptive run, 0 for the statics) and
+/// `phase_scan_snapshot_reads` (> 0 only if reads were actually served
+/// by the multiversion hooks along the way).
+pub fn bench_phase_scan(
+    algos: &[(&'static str, Algorithm)],
+    threads: usize,
+    txns_per_thread: u64,
+) -> Vec<BenchResult> {
+    const SCAN_VARS: usize = 256;
+    let mut instances: Vec<PhaseInstance> = algos
+        .iter()
+        .map(|&(name, algo)| PhaseInstance {
+            name,
+            stm: Arc::new(Stm::new(algo)),
+            vars: (0..SCAN_VARS).map(|_| TVar::new(1)).collect(),
+            accounts: (0..16).map(|_| TVar::new(1_000_000)).collect(),
+            best: Vec::new(),
+        })
+        .collect();
+    // Warmup with a short scan-heavy pass (absorbs first-touch costs;
+    // an adaptive instance may already route into multiversion here).
+    for inst in &instances {
+        pass_scan_heavy(&inst.stm, &inst.vars, threads, txns_per_thread / 10 + 1);
+    }
+    let before: Vec<_> = instances.iter().map(|i| i.stm.stats().snapshot()).collect();
+    let phases = [
+        "phase_scan_scan_heavy",
+        "phase_scan_write_heavy",
+        "phase_scan_mixed",
+    ];
+    for (p, _) in phases.iter().enumerate() {
+        for inst in &mut instances {
+            inst.best.push(u128::MAX);
+        }
+        for _pass in 0..PHASE_PASSES {
+            for inst in &mut instances {
+                let nanos = match p {
+                    0 => pass_scan_heavy(&inst.stm, &inst.vars, threads, txns_per_thread),
+                    1 => pass_write_heavy(&inst.stm, &inst.accounts, threads, txns_per_thread),
+                    _ => pass_read_mostly(&inst.stm, &inst.vars, threads, txns_per_thread),
+                };
+                let slot = inst.best.last_mut().expect("phase slot");
+                *slot = (*slot).min(nanos);
+            }
+        }
+    }
+    let scanners = threads.saturating_sub(1).max(1);
+    let mut out = Vec::new();
+    for (inst, before) in instances.iter().zip(&before) {
+        for (p, label) in phases.iter().enumerate() {
+            out.push(BenchResult {
+                name: (*label).into(),
+                algo: inst.name.into(),
+                m: if p == 1 {
+                    inst.accounts.len()
+                } else {
+                    inst.vars.len()
+                },
+                threads,
+                ops: txns_per_thread * (if p == 0 { scanners } else { threads }) as u64,
+                nanos: inst.best[p],
+            });
+        }
+        let delta = inst.stm.stats().snapshot().since(before);
+        let total: u128 = inst.best.iter().sum();
+        for (label, ops) in [
+            ("phase_scan_mode_transitions", delta.mode_transitions),
+            ("phase_scan_snapshot_reads", delta.snapshot_reads),
+        ] {
+            out.push(BenchResult {
+                name: label.into(),
+                algo: inst.name.into(),
+                m: 0,
+                threads,
+                ops,
+                nanos: total,
+            });
+        }
+    }
+    out
+}
+
 /// Scan length (and variable count) of the `long_scan` experiment.
 const LONG_SCAN_VARS: usize = 256;
 
@@ -503,7 +664,6 @@ struct ScanInstance {
 /// itself) while each reader completes `txns` full-array read-only
 /// scans. Returns `(reader nanos, reader aborts)`.
 fn pass_long_scan(inst: &ScanInstance, writers: usize, txns: u64) -> (u128, u64) {
-    use std::sync::atomic::{AtomicU64, Ordering};
     // Writers storm until the last reader reports in.
     let readers_done = Arc::new(AtomicU64::new(0));
     let aborts = Arc::new(AtomicU64::new(0));
@@ -619,6 +779,81 @@ pub fn bench_long_scan(
             row("long_scan_ro_aborts", inst.ro_aborts, inst.best);
             row("long_scan_probes", delta.validation_probes, inst.best);
             row("long_scan_aborts", delta.aborts, inst.best);
+        }
+    }
+    out
+}
+
+/// Variable count of the camped-reader experiment: small, so the chain
+/// *length* — not the variable count — dominates each scan.
+const CAMPED_VARS: usize = 8;
+
+/// The skip-pointer experiment (`long_scan_camped/mv/<chain>`): a
+/// multi-version reader pins its snapshot, then nested equal-value
+/// commits grow every variable's version chain `chain` links above that
+/// snapshot — the camper's own pin holds the low watermark down, so
+/// nothing trims. The camper then re-reads the whole array `txns`
+/// times; every read must descend from the chain head past all `chain`
+/// newer versions to the pinned one. The timing row reports those
+/// reads; the `long_scan_camped_walk_steps` companion row carries the
+/// engine's `chain_walk_steps` counter over the same reads, the direct
+/// evidence that the Fenwick-shaped skip links make the descent
+/// ~log²(chain), not linear. Deterministic and single-threaded: the
+/// ladder compares chain lengths, not schedulers.
+pub fn bench_camped_scan(chain_lens: &[usize], txns: u64) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for &chain in chain_lens {
+        let stm = Arc::new(Stm::new(Algorithm::Mv));
+        let vars: Vec<TVar<u64>> = (0..CAMPED_VARS).map(|_| TVar::new(1)).collect();
+        let before = stm.stats().snapshot();
+        let elapsed = std::cell::Cell::new(0u128);
+        let grown = std::cell::Cell::new(false);
+        stm.atomically(|tx| {
+            // Pin the snapshot with one full scan.
+            let mut acc = 0u64;
+            for v in &vars {
+                acc = acc.wrapping_add(tx.read(v)?);
+            }
+            assert_eq!(acc, CAMPED_VARS as u64);
+            // Grow the chains under the camper's feet (once: a
+            // multi-version read-only attempt never retries, and the
+            // guard keeps a surprise re-run from doubling the chains).
+            if !grown.get() {
+                grown.set(true);
+                for _ in 0..chain {
+                    stm.atomically(|tx2| {
+                        for v in &vars {
+                            tx2.write(v, 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            }
+            let start = Instant::now();
+            for _ in 0..txns {
+                let mut sum = 0u64;
+                for v in &vars {
+                    sum = sum.wrapping_add(tx.read(v)?);
+                }
+                assert_eq!(sum, CAMPED_VARS as u64, "camped snapshot drifted");
+            }
+            elapsed.set(start.elapsed().as_nanos());
+            Ok(())
+        });
+        let delta = stm.stats().snapshot().since(&before);
+        let reads = txns * CAMPED_VARS as u64;
+        for (label, ops) in [
+            ("long_scan_camped", reads),
+            ("long_scan_camped_walk_steps", delta.chain_walk_steps),
+        ] {
+            out.push(BenchResult {
+                name: label.into(),
+                algo: "mv".into(),
+                m: chain,
+                threads: 1,
+                ops,
+                nanos: elapsed.get(),
+            });
         }
     }
     out
@@ -955,6 +1190,16 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
     out.extend(bench_bank_family(ALGOS, 4, bank_txns));
     let phase_txns: u64 = if quick { 2_500 } else { 25_000 };
     out.extend(bench_phase_shift(ALGOS, 4, phase_txns));
+    // Quick mode shrinks the phase_scan ladder (fewer scans per phase,
+    // shorter camped chains) so CI stays fast while still crossing the
+    // controller's windows in every phase.
+    let phase_scan_txns: u64 = if quick { 300 } else { 3_000 };
+    out.extend(bench_phase_scan(ALGOS, 4, phase_scan_txns));
+    let camped_ladder: &[usize] = if quick { &[64, 256] } else { &[64, 256, 1024] };
+    out.extend(bench_camped_scan(
+        camped_ladder,
+        if quick { 100 } else { 400 },
+    ));
     let scan_txns: u64 = if quick { 60 } else { 400 };
     out.extend(bench_long_scan(ALGOS, &[1, 2, 4], scan_txns));
     out.extend(bench_blocking_queue_family(ALGOS, quick));
@@ -1000,18 +1245,24 @@ pub fn to_json(results: &[BenchResult], quick: bool) -> String {
 /// Serializes results as a baseline document under an arbitrary bench
 /// family name (shared by the `structs` suite).
 pub fn to_json_named(bench: &str, results: &[BenchResult], quick: bool) -> String {
+    let hw = available_threads();
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"bench\": \"{bench}\",\n"));
     s.push_str(&format!("  \"quick\": {quick},\n"));
-    s.push_str(&format!(
-        "  \"hardware_threads\": {},\n",
-        available_threads()
-    ));
+    s.push_str(&format!("  \"hardware_threads\": {hw},\n"));
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
+        // Rows that asked for more workers than the machine has measure
+        // the scheduler, not the algorithm: flag them so baseline
+        // comparisons can discount (or reject) them.
+        let over = if r.threads > hw {
+            ", \"oversubscribed\": true"
+        } else {
+            ""
+        };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"algo\": \"{}\", \"m\": {}, \"threads\": {}, \"ops\": {}, \"nanos\": {}, \"ops_per_sec\": {:.1}}}{sep}\n",
+            "    {{\"name\": \"{}\", \"algo\": \"{}\", \"m\": {}, \"threads\": {}, \"ops\": {}, \"nanos\": {}, \"ops_per_sec\": {:.1}{over}}}{sep}\n",
             r.name, r.algo, r.m, r.threads, r.ops, r.nanos, r.ops_per_sec()
         ));
     }
@@ -1034,6 +1285,15 @@ pub fn run_and_emit(quick: bool, path: &str) {
     );
     let results = run_all(quick);
     print!("{}", render_table(&results));
+    let hw = available_threads();
+    let over = results.iter().filter(|r| r.threads > hw).count();
+    if over > 0 {
+        eprintln!(
+            "warning: {over} result rows ran oversubscribed (threads > {hw} \
+             hardware threads); their timings measure scheduling, not the \
+             algorithm, and are flagged \"oversubscribed\" in the JSON"
+        );
+    }
     let json = to_json(&results, quick);
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("baseline written to {path}"),
@@ -1138,6 +1398,89 @@ mod tests {
         assert!(
             val("long_scan_probes", "incremental") > 0,
             "a single-version engine must pay under the storm"
+        );
+    }
+
+    #[test]
+    fn phase_scan_routes_the_adaptive_instance_through_multiversion() {
+        // Enough commits per phase for several default sampling windows:
+        // the adaptive run must cross at least two modes and serve some
+        // reads from the multiversion hooks; the static contrast must
+        // report zero transitions.
+        let rows = bench_phase_scan(
+            &[("adaptive", Algorithm::Adaptive), ("tl2", Algorithm::Tl2)],
+            2,
+            400,
+        );
+        assert_eq!(rows.len(), 10, "3 phases + 2 companion rows, per algorithm");
+        let val = |name: &str, algo: &str| {
+            rows.iter()
+                .find(|r| r.name == name && r.algo == algo)
+                .expect("row")
+                .ops
+        };
+        assert!(
+            val("phase_scan_mode_transitions", "adaptive") >= 2,
+            "adaptive never crossed two modes"
+        );
+        assert!(
+            val("phase_scan_snapshot_reads", "adaptive") > 0,
+            "no reads were served by the multiversion hooks"
+        );
+        assert_eq!(val("phase_scan_mode_transitions", "tl2"), 0);
+        assert_eq!(val("phase_scan_snapshot_reads", "tl2"), 0);
+    }
+
+    #[test]
+    fn camped_scan_walks_are_sublinear_in_chain_length() {
+        // The skip-pointer acceptance picture in miniature: growing the
+        // chain 16x (64 -> 1024) must leave the walk-steps-per-read far
+        // below the linear count — a prev-only descent would pay ~1024
+        // steps per read at the long rung.
+        let rows = bench_camped_scan(&[64, 1024], 50);
+        assert_eq!(rows.len(), 4, "timing + walk-steps row per rung");
+        let of = |name: &str, chain: usize| {
+            rows.iter()
+                .find(|r| r.name == name && r.m == chain)
+                .expect("row")
+        };
+        let per_read = |chain: usize| {
+            let reads = of("long_scan_camped", chain).ops;
+            let steps = of("long_scan_camped_walk_steps", chain).ops;
+            assert!(reads > 0 && steps > 0);
+            steps / reads
+        };
+        let (short, long) = (per_read(64), per_read(1024));
+        assert!(
+            long < 1024 / 4,
+            "walks at chain 1024 look linear: {long} steps/read"
+        );
+        assert!(
+            long < short * 8,
+            "16x the chain must cost well under 16x the steps \
+             (chain 64: {short}/read, chain 1024: {long}/read)"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_rows_are_flagged_in_the_json() {
+        let hw = available_threads();
+        let row = |threads: usize| BenchResult {
+            name: "probe".into(),
+            algo: "tl2".into(),
+            m: 0,
+            threads,
+            ops: 1,
+            nanos: 1,
+        };
+        let json = to_json(&[row(1), row(hw + 1)], true);
+        assert_eq!(json.matches("\"oversubscribed\": true").count(), 1);
+        assert!(
+            json.lines()
+                .find(|l| l.contains(&format!("\"threads\": {}", hw + 1)))
+                .expect("oversubscribed row")
+                .contains("\"oversubscribed\": true"),
+            "the flag must sit on the oversubscribed row"
         );
     }
 

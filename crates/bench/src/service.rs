@@ -210,6 +210,7 @@ pub fn bench_durability_family(quick: bool) -> Vec<ServiceResult> {
                     shards,
                     algorithm: Algorithm::Tl2,
                     buckets_per_shard: 64,
+                    adaptive: None,
                 },
                 dir,
                 sync_acks,

@@ -53,6 +53,7 @@ fn main() {
             shards: 4,
             algorithm,
             buckets_per_shard: 32,
+            adaptive: None,
         },
         dir: dir.into(),
         sync_acks: true,

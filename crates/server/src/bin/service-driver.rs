@@ -1,16 +1,25 @@
 //! Interactive driver for the sharded KV service: one configurable
 //! YCSB-style run, human-readable output (throughput, p50/p99, per-shard
-//! STM counters). The committed-baseline JSON family lives in
-//! `ptm-bench`'s `service-bench` binary; this one is for exploring a
-//! single configuration by hand.
+//! STM counters, and — for `--algo adaptive` — the controller's mode
+//! transitions and each shard's resting mode). The committed-baseline
+//! JSON family lives in `ptm-bench`'s `service-bench` binary; this one
+//! is for exploring a single configuration by hand.
 //!
 //! ```text
 //! service-driver [--shards N] [--algo NAME] [--threads N] [--keys N]
 //!                [--theta F] [--ops N] [--mix R,W,S,M] [--span N]
+//!                [--window-commits N] [--hysteresis N] [--scan-reads F]
+//!                [--write-ratio F] [--read-ratio F]
 //! ```
+//!
+//! The second line tunes the adaptive controller (`AdaptiveConfig`):
+//! sampling window size, hysteresis windows, the scan-length threshold
+//! that routes to multiversion mode, and the read/write-ratio thresholds
+//! for the visible/invisible decision. They only take effect with
+//! `--algo adaptive`.
 
-use ptm_server::{preload, run_workload, Mix, ShardedKv, Workload, WorkloadConfig};
-use ptm_stm::Algorithm;
+use ptm_server::{preload, run_workload, Mix, ServiceConfig, ShardedKv, Workload, WorkloadConfig};
+use ptm_stm::{AdaptiveConfig, Algorithm};
 
 fn algo_by_name(name: &str) -> Algorithm {
     match name {
@@ -33,6 +42,8 @@ fn main() {
     let mut ops = 50_000u64;
     let mut mix = Mix::UPDATE_HEAVY;
     let mut span = 2usize;
+    let mut acfg = AdaptiveConfig::default();
+    let mut tuned = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -49,6 +60,26 @@ fn main() {
             "--theta" => theta = value(i).parse().expect("--theta"),
             "--ops" => ops = value(i).parse().expect("--ops"),
             "--span" => span = value(i).parse().expect("--span"),
+            "--window-commits" => {
+                acfg.window_commits = value(i).parse().expect("--window-commits");
+                tuned = true;
+            }
+            "--hysteresis" => {
+                acfg.hysteresis_windows = value(i).parse().expect("--hysteresis");
+                tuned = true;
+            }
+            "--scan-reads" => {
+                acfg.mv_scan_reads = value(i).parse().expect("--scan-reads");
+                tuned = true;
+            }
+            "--write-ratio" => {
+                acfg.write_ratio_visible = value(i).parse().expect("--write-ratio");
+                tuned = true;
+            }
+            "--read-ratio" => {
+                acfg.read_ratio_invisible = value(i).parse().expect("--read-ratio");
+                tuned = true;
+            }
             "--mix" => {
                 let parts: Vec<u32> = value(i)
                     .split(',')
@@ -66,8 +97,16 @@ fn main() {
         }
         i += 2;
     }
+    if tuned && algo != Algorithm::Adaptive {
+        eprintln!("note: controller flags only take effect with --algo adaptive");
+    }
 
-    let kv = ShardedKv::new(shards, algo);
+    let kv = ShardedKv::with_config(ServiceConfig {
+        shards,
+        algorithm: algo,
+        adaptive: Some(acfg),
+        ..ServiceConfig::default()
+    });
     preload(&kv, keys, 100);
     let workload = Workload::new(WorkloadConfig {
         keys,
@@ -97,7 +136,16 @@ fn main() {
         stats.latencies.percentile(50.0),
         stats.latencies.percentile(99.0),
     );
+    let mut transitions = 0u64;
+    let mut modes = Vec::new();
     for s in 0..kv.shard_count() {
-        println!("  shard {s}: {}", kv.shard_stats(s).snapshot());
+        let snap = kv.shard_stats(s).snapshot();
+        transitions += snap.mode_transitions;
+        modes.push(snap.active_mode.to_string());
+        println!("  shard {s}: {snap}");
     }
+    println!(
+        "  modes: {transitions} transitions; per shard = {}",
+        modes.join(", ")
+    );
 }

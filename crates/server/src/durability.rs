@@ -947,6 +947,7 @@ mod tests {
                 shards: 4,
                 algorithm,
                 buckets_per_shard: 32,
+                adaptive: None,
             },
             dir: dir.to_path_buf(),
             sync_acks: true,

@@ -30,7 +30,9 @@
 //! NOrec's sequence-lock spin only ever waits on a lower-indexed holder
 //! chain that terminates at a coordinator free to publish.
 
-use ptm_stm::{Algorithm, DurabilityHook, Prepared, Retry, Stm, StmStats, Transaction, TxValue};
+use ptm_stm::{
+    AdaptiveConfig, Algorithm, DurabilityHook, Prepared, Retry, Stm, StmStats, Transaction, TxValue,
+};
 use ptm_structs::THashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -108,6 +110,10 @@ pub struct ServiceConfig {
     /// `THashMap` buckets per shard (rounded up to a power of two).
     /// More buckets, fewer false conflicts within a shard.
     pub buckets_per_shard: usize,
+    /// Controller tuning applied to every shard when `algorithm` is
+    /// [`Algorithm::Adaptive`]; `None` keeps the engine defaults.
+    /// Ignored by the static algorithms.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +122,7 @@ impl Default for ServiceConfig {
             shards: 4,
             algorithm: Algorithm::Tl2,
             buckets_per_shard: 64,
+            adaptive: None,
         }
     }
 }
@@ -194,6 +201,9 @@ impl<K: TxValue + Hash + Eq, V: TxValue> ShardedKv<K, V> {
             shards: (0..n)
                 .map(|i| {
                     let mut b = Stm::builder(cfg.algorithm);
+                    if let Some(a) = cfg.adaptive {
+                        b = b.adaptive_config(a);
+                    }
                     if let Some(h) = hook(i) {
                         b = b.durability_hook(h);
                     }

@@ -49,6 +49,7 @@ fn open_store(dir: &Path, algorithm: Algorithm) -> DurableKv<u64, u64> {
             shards: 4,
             algorithm,
             buckets_per_shard: 32,
+            adaptive: None,
         },
         dir: dir.to_path_buf(),
         sync_acks: true,

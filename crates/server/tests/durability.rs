@@ -20,6 +20,7 @@ fn cfg(dir: &Path, algorithm: Algorithm) -> DurabilityConfig {
             shards: 4,
             algorithm,
             buckets_per_shard: 32,
+            adaptive: None,
         },
         dir: dir.to_path_buf(),
         sync_acks: true,

@@ -40,6 +40,7 @@ fn scan_sees_every_entry_once() {
         shards: 4,
         algorithm: Algorithm::Tl2,
         buckets_per_shard: 8,
+        adaptive: None,
     });
     for k in 0u64..100 {
         kv.put(k, k * 2);

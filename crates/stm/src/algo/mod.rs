@@ -89,7 +89,7 @@ pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Resul
         Algorithm::Norec => norec::read(tx, var),
         Algorithm::Tlrw => tlrw::read(tx, var),
         Algorithm::Mv => mv::read(tx, var),
-        Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2 or Tlrw as the mode"),
+        Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2, Tlrw, or Mv as the mode"),
     }
 }
 
@@ -102,6 +102,6 @@ pub(crate) fn commit(tx: &mut Transaction<'_>) -> bool {
         Algorithm::Norec => norec::commit(tx),
         Algorithm::Tlrw => tlrw::commit(tx),
         Algorithm::Mv => mv::commit(tx),
-        Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2 or Tlrw as the mode"),
+        Algorithm::Adaptive => unreachable!("adaptive begin pins Tl2, Tlrw, or Mv as the mode"),
     }
 }

@@ -29,9 +29,22 @@
 //!    optimization);
 //! 3. resolve the pending stamps to `wv` (readers that raced into the
 //!    one-RMW window spin it out rather than guessing);
-//! 4. trim each written chain against the registry's low watermark,
-//!    retiring detached versions through the epoch collector;
-//! 5. release the stripe locks restamped to `wv`.
+//! 4. trim each written chain against the registry's **cached** low
+//!    watermark (a full registry scan under stripe locks would put every
+//!    camped reader on the commit critical path; the cache is refreshed
+//!    off the hot path and can only lag *below* the true floor, so
+//!    staleness under-trims — see `crate::epoch`), then enforce the
+//!    optional [`MvConfig::max_versions`](crate::MvConfig) bound by
+//!    evicting the oldest suffix, retiring detached versions through the
+//!    epoch collector;
+//! 5. release the stripe locks restamped to `wv` (and then refresh the
+//!    watermark cache if the clock has advanced far enough).
+//!
+//! Under a `max_versions` bound Mv recovers the simulator's ring
+//! semantics: a camped snapshot whose version was evicted aborts at its
+//! next read (`eviction_aborts` in [`StatsSnapshot`](crate::StatsSnapshot))
+//! and retries on a fresh, retained snapshot — space stays bounded no
+//! matter how long a reader camps.
 //!
 //! The clock-draw-after-append order is what makes snapshots sound: a
 //! reader can only draw `rv >= wv` after the clock reached `wv`, by
@@ -63,7 +76,7 @@ use super::versioned;
 use crate::engine::{Retry, Transaction};
 use crate::epoch;
 use crate::orec::{self, stamped};
-use crate::tvar::{TVar, TxValue};
+use crate::tvar::{Evicted, TVar, TxValue};
 use crate::txlog::VersionedRead;
 use std::sync::atomic::Ordering;
 
@@ -82,9 +95,12 @@ pub(crate) fn begin(tx: &mut Transaction<'_>) -> u64 {
 }
 
 /// Snapshot read: walk the chain to the newest version stamped at or
-/// before `rv`. No orec probe, no validation, no abort; the read set
-/// records only the stripe and the snapshot bound, for the *commit-time*
-/// validation an updating transaction must still pass.
+/// before `rv`. No orec probe, no validation; the read set records only
+/// the stripe and the snapshot bound, for the *commit-time* validation
+/// an updating transaction must still pass. The only abort is the
+/// oldest-snapshot rule: under a [`max_versions`](crate::MvConfig)
+/// bound, a snapshot whose version was evicted retries with a fresh
+/// (hence retained) snapshot.
 pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Result<T, Retry> {
     let stripe = tx.stm.orecs.stripe_of(var.id());
     tx.log.reads.push(VersionedRead {
@@ -92,7 +108,16 @@ pub(crate) fn read<T: TxValue>(tx: &mut Transaction<'_>, var: &TVar<T>) -> Resul
         meta: tx.rv,
     });
     tx.tally.snapshot_read();
-    Ok(var.inner.read_at(&tx.pin, tx.rv))
+    match var.inner.read_at_counted(&tx.pin, tx.rv) {
+        Ok((value, steps)) => {
+            tx.tally.chain_walk(steps);
+            Ok(value)
+        }
+        Err(Evicted) => {
+            tx.stm.stats.eviction_abort();
+            Err(Retry)
+        }
+    }
 }
 
 /// Upper-bound validation of the read set: a stripe that is locked, or
@@ -170,21 +195,40 @@ pub(crate) fn publish_with(tx: &mut Transaction<'_>, stripes: &[usize], held: &[
     }
     // Trim under the still-held stripe locks (one chain mutator at a
     // time); the watermark lower-bounds every active and future
-    // snapshot, so nothing a reader can still walk to is detached.
+    // snapshot, so nothing a reader can still walk to is detached. The
+    // *cached* watermark keeps the registry scan out of this locked
+    // section: a stale cache is only ever below the true floor
+    // (watermarks never decrease), so staleness under-trims — extra
+    // retained versions, never a torn snapshot (see `crate::epoch`).
     let reg = tx
         .stm
         .snapshots
         .as_ref()
         .expect("Algorithm::Mv instances carry a snapshot registry");
-    let watermark = reg.low_watermark(&tx.stm.clock);
+    let watermark = reg.cached_watermark(&tx.stm.clock);
     let mut retired = Vec::new();
     for var in &written {
         let (retained, trimmed) = var.trim_chain(watermark, &mut retired);
         tx.stm
             .stats
             .trim((retained + trimmed) as u64, trimmed as u64);
+        // The space bound: if liveness-based trimming still leaves the
+        // chain over `max_versions`, evict the oldest suffix anyway and
+        // record the cut — a camped snapshot older than the cut aborts
+        // at its next read of this chain (oldest-snapshot-abort) instead
+        // of holding memory hostage.
+        if let Some(max) = tx.stm.mv.max_versions {
+            if retained > max {
+                let evicted = var.cap_chain(max, &mut retired);
+                tx.stm.stats.evict(evicted as u64);
+            }
+        }
     }
     versioned::release(tx, held, Some(stamped(wv)));
+    // Refresh the watermark cache off the hot path (no locks held), rate
+    // limited by clock distance so a commit storm amortizes the registry
+    // scan to one every `WATERMARK_REFRESH_TICKS` ticks.
+    reg.refresh_if_stale(&tx.stm.clock);
     // Retire only after every append above: the epoch tag must postdate
     // the last moment a reader could have loaded a detached pointer.
     epoch::retire_batch(retired);

@@ -1,12 +1,12 @@
 //! [`StmBuilder`]: per-instance configuration and assembly.
 
-use super::{Algorithm, Stm};
+use super::{Algorithm, MvConfig, Stm};
 use crate::algo::adaptive::{AdaptiveConfig, AdaptiveState};
 use crate::cm::{ContentionManager, ExponentialBackoff};
 use crate::epoch::SnapshotRegistry;
 use crate::orec::{self, OrecTable};
 use crate::recorder::HistoryRecorder;
-use crate::stats::StmStats;
+use crate::stats::{ActiveMode, StmStats};
 use crate::wal::DurabilityHook;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -33,6 +33,7 @@ pub struct StmBuilder {
     cm: Box<dyn ContentionManager>,
     recorder: Option<HistoryRecorder>,
     adaptive: AdaptiveConfig,
+    mv: MvConfig,
     durability: Option<Arc<dyn DurabilityHook>>,
 }
 
@@ -48,6 +49,7 @@ impl StmBuilder {
             cm: Box::new(ExponentialBackoff::default()),
             recorder: None,
             adaptive: AdaptiveConfig::default(),
+            mv: MvConfig::default(),
             durability: None,
         }
     }
@@ -110,6 +112,15 @@ impl StmBuilder {
         self
     }
 
+    /// Space-budget knobs for [`Algorithm::Mv`]'s version chains (also
+    /// in force for [`Algorithm::Adaptive`]'s Mv mode): see
+    /// [`MvConfig::max_versions`] for the oldest-snapshot-abort
+    /// semantics. Ignored by the single-version algorithms.
+    pub fn mv_config(mut self, cfg: MvConfig) -> Self {
+        self.mv = cfg;
+        self
+    }
+
     /// Builds the instance.
     ///
     /// # Panics
@@ -134,14 +145,21 @@ impl StmBuilder {
             }
             _ => None,
         };
+        // Adaptive may route to Mv at runtime, so it carries the
+        // registry from birth — an empty registry is one atomic load on
+        // the paths that consult it.
         let snapshots = match self.algorithm {
-            Algorithm::Mv => Some(SnapshotRegistry::new()),
+            Algorithm::Mv | Algorithm::Adaptive => Some(SnapshotRegistry::new()),
             _ => None,
         };
         let stats = Arc::new(StmStats::default());
-        // Adaptive starts in its invisible mode, so only Tlrw begins
-        // life visible.
-        stats.set_visible_mode(self.algorithm == Algorithm::Tlrw);
+        // Adaptive starts in its invisible mode, so only the static
+        // visible/multi-version algorithms begin life elsewhere.
+        stats.set_active_mode(match self.algorithm {
+            Algorithm::Tlrw => ActiveMode::Visible,
+            Algorithm::Mv => ActiveMode::Multiversion,
+            _ => ActiveMode::Invisible,
+        });
         if let Some(hook) = &self.durability {
             hook.attach_stats(stats.clone());
         }
@@ -155,6 +173,7 @@ impl StmBuilder {
             recorder: self.recorder,
             adaptive,
             snapshots,
+            mv: self.mv,
             durability: self.durability,
         }
     }

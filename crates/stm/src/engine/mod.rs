@@ -30,9 +30,10 @@
 //!   ([`crate::epoch`]); the paper's *space* axis, on real threads.
 //! * [`Algorithm::Adaptive`] — a mode controller that samples windowed
 //!   [`StatsSnapshot`](crate::StatsSnapshot) deltas and moves the live
-//!   engine between the Tl2 (invisible) and Tlrw (visible) hooks through
-//!   an epoch-quiesced orec-table reinterpretation; see
-//!   [`crate::AdaptiveConfig`] for the decision signals and knobs.
+//!   engine between the Tl2 (invisible), Tlrw (visible), and Mv
+//!   (multi-version) hooks through an epoch-quiesced orec-table
+//!   reinterpretation; see [`crate::AdaptiveConfig`] for the decision
+//!   signals and knobs.
 //!
 //! The algorithm-specific read/commit/snapshot behaviour lives in the
 //! [`crate::algo`] strategy layer (one module per algorithm, three hooks
@@ -142,16 +143,17 @@ pub enum Algorithm {
     /// `ptm-core`'s simulated `MvTm` — with chains trimmed by liveness
     /// instead of a fixed ring, so snapshots are never evicted.
     Mv,
-    /// Workload-driven switching between the invisible-read (Tl2) and
-    /// visible-read (Tlrw) modes: a controller samples stats deltas over
-    /// commit windows (read/write ratio, abort rate, validation probes
-    /// per read, reader conflicts) and reinterprets the orec table
-    /// between the versioned and reader–writer word formats through an
-    /// epoch-quiesced transition — in-flight transactions always finish
-    /// under the mode they started in. Starts invisible; tune with
-    /// [`StmBuilder::adaptive_config`], observe through
-    /// [`StatsSnapshot`](crate::StatsSnapshot)'s `mode_transitions` /
-    /// `visible_mode` and [`Stm::active_mode`].
+    /// Workload-driven switching across **both** paper axes: a
+    /// controller samples stats deltas over commit windows (read/write
+    /// ratio, abort rate, validation probes per read, reader conflicts,
+    /// scan length, eviction pressure) and moves the live engine between
+    /// the invisible-read (Tl2), visible-read (Tlrw), and multi-version
+    /// (Mv) hooks, reinterpreting the orec table between its word
+    /// formats through an epoch-quiesced transition — in-flight
+    /// transactions always finish under the mode they started in.
+    /// Starts invisible; tune with [`StmBuilder::adaptive_config`],
+    /// observe through [`StatsSnapshot`](crate::StatsSnapshot)'s
+    /// `mode_transitions` / `active_mode` and [`Stm::active_mode`].
     Adaptive,
 }
 
@@ -165,6 +167,38 @@ impl Algorithm {
         Algorithm::Mv,
         Algorithm::Adaptive,
     ];
+}
+
+/// Space-budget knobs for [`Algorithm::Mv`]'s version chains, set
+/// through [`StmBuilder::mv_config`]; also governs the Mv mode of
+/// [`Algorithm::Adaptive`].
+///
+/// # Examples
+///
+/// ```
+/// use ptm_stm::{Algorithm, MvConfig, Stm};
+///
+/// let stm = Stm::builder(Algorithm::Mv)
+///     .mv_config(MvConfig {
+///         max_versions: Some(8),
+///     })
+///     .build();
+/// assert_eq!(stm.algorithm(), Algorithm::Mv);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MvConfig {
+    /// Hard cap on versions retained per variable. `None` (the default)
+    /// trims purely by liveness: the snapshot-registry low watermark,
+    /// under which a retained snapshot is never evicted — but a camped
+    /// reader holds every later version alive on every chain it shadows.
+    /// `Some(k)` bounds each chain to `k` versions by evicting the
+    /// oldest suffix at commit (the simulator's ring semantics as a
+    /// config point): a snapshot older than the cut **aborts at its next
+    /// read** of that chain and retries on a fresh snapshot
+    /// (`eviction_aborts` in [`StatsSnapshot`](crate::StatsSnapshot)),
+    /// so a pathological camper can cost retries, never unbounded
+    /// memory.
+    pub max_versions: Option<usize>,
 }
 
 /// The transaction aborted and should be retried; returned by
@@ -223,9 +257,12 @@ pub struct Stm {
     /// Present on `Algorithm::Adaptive` instances: the live mode, the
     /// per-mode active-transaction counters, and the window controller.
     pub(crate) adaptive: Option<AdaptiveState>,
-    /// Present on `Algorithm::Mv` instances: the active snapshots whose
-    /// minimum is the version-chain low watermark.
+    /// Present on `Algorithm::Mv` and `Algorithm::Adaptive` instances:
+    /// the active snapshots whose minimum is the version-chain low
+    /// watermark (and its cached copy, see [`crate::epoch`]).
     pub(crate) snapshots: Option<SnapshotRegistry>,
+    /// Space-budget knobs for the Mv hooks ([`StmBuilder::mv_config`]).
+    pub(crate) mv: MvConfig,
     /// Present when this instance logs committed write sets for
     /// durability ([`StmBuilder::durability_hook`]): called inside each
     /// publish critical section with the commit tick (see
@@ -298,8 +335,8 @@ impl Stm {
 
     /// The read/commit machinery currently in force: the algorithm
     /// itself for static instances; for [`Algorithm::Adaptive`], the
-    /// live mode — [`Algorithm::Tl2`] (invisible) or [`Algorithm::Tlrw`]
-    /// (visible).
+    /// live mode — [`Algorithm::Tl2`] (invisible), [`Algorithm::Tlrw`]
+    /// (visible), or [`Algorithm::Mv`] (multi-version).
     ///
     /// # Examples
     ///
@@ -315,6 +352,7 @@ impl Stm {
             Some(ad) => match ad.mode() {
                 Mode::Invisible => Algorithm::Tl2,
                 Mode::Visible => Algorithm::Tlrw,
+                Mode::Multiversion => Algorithm::Mv,
             },
         }
     }

@@ -6,6 +6,7 @@ use super::*;
 use crate::algo::adaptive::AdaptiveConfig;
 use crate::cm::{CappedAttempts, ImmediateRetry};
 use crate::orec;
+use crate::stats::ActiveMode;
 use crate::tvar::TVar;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -403,7 +404,7 @@ fn adaptive_switches_with_the_workload_and_stays_correct() {
     assert_eq!(stm.active_mode(), Algorithm::Tlrw, "write-heavy → visible");
     let after_first = stm.stats().snapshot();
     assert!(after_first.mode_transitions >= 1);
-    assert!(after_first.visible_mode);
+    assert_eq!(after_first.active_mode, ActiveMode::Visible);
     // Read-mostly: 16-read scans drive it back invisible.
     for _ in 0..64usize {
         let sum = stm.atomically(|tx| {
@@ -418,7 +419,7 @@ fn adaptive_switches_with_the_workload_and_stays_correct() {
     assert_eq!(stm.active_mode(), Algorithm::Tl2, "read-mostly → invisible");
     let snap = stm.stats().snapshot();
     assert!(snap.mode_transitions >= 2);
-    assert!(!snap.visible_mode);
+    assert_eq!(snap.active_mode, ActiveMode::Invisible);
     // The sum is conserved across both regimes and the switches.
     assert_eq!(vars.iter().map(TVar::load).sum::<u64>(), 32);
     assert_orecs_quiescent(&stm);
@@ -546,7 +547,7 @@ fn adaptive_windows_still_trigger_when_counters_land_in_many_shards() {
     );
     let mid = stm.stats().snapshot();
     assert!(mid.mode_transitions >= 1);
-    assert!(mid.visible_mode);
+    assert_eq!(mid.active_mode, ActiveMode::Visible);
     // Read-mostly from fresh threads (fresh shard slots): 16-read scans.
     std::thread::scope(|s| {
         for _ in 0..2usize {
@@ -570,7 +571,7 @@ fn adaptive_windows_still_trigger_when_counters_land_in_many_shards() {
     assert_eq!(stm.active_mode(), Algorithm::Tl2, "and back invisible");
     let snap = stm.stats().snapshot();
     assert!(snap.mode_transitions >= 2);
-    assert!(!snap.visible_mode);
+    assert_eq!(snap.active_mode, ActiveMode::Invisible);
     assert_eq!(vars.iter().map(TVar::load).sum::<u64>(), 32);
     assert_orecs_quiescent(&stm);
 }

@@ -29,11 +29,11 @@
 //!   [`StatsSnapshot`]). Time is traded for space — the paper's other
 //!   axis.
 //! * [`Stm::adaptive`] — a mode controller that samples windowed stats
-//!   deltas and moves the live engine between the Tl2 and Tlrw hooks as
-//!   the workload shifts, reinterpreting the orec table through an
-//!   epoch-quiesced transition (tune with [`AdaptiveConfig`], observe
-//!   via `mode_transitions` / `visible_mode` in [`StatsSnapshot`] and
-//!   [`Stm::active_mode`]).
+//!   deltas and moves the live engine between the Tl2, Tlrw, and Mv
+//!   hooks as the workload shifts — both paper axes at runtime —
+//!   reinterpreting the orec table through an epoch-quiesced transition
+//!   (tune with [`AdaptiveConfig`], observe via `mode_transitions` /
+//!   `active_mode` in [`StatsSnapshot`] and [`Stm::active_mode`]).
 //!
 //! ## Quick start
 //!
@@ -79,8 +79,8 @@
 //! | `algo`  | the strategy layer: one module per algorithm (begin / read / commit hooks), including the adaptive mode controller |
 //! | `txlog` | read-set / write-set log shared by all algorithms |
 //! | `orec`  | striped, cache-padded metadata words: versioned locks (TL2 / Incremental / Mv) or reader–writer locks (Tlrw); Adaptive reinterprets the table between the two formats |
-//! | `tvar`  | value cells: timestamped version chains behind an atomic latest-pointer (single-version algorithms swap the head; Mv appends and trims) |
-//! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe, plus the snapshot registry whose low watermark bounds version-chain trimming |
+//! | `tvar`  | value cells: timestamped version chains behind an atomic latest-pointer with Fenwick-shaped skip links for sublinear snapshot walks (single-version algorithms swap the head; Mv appends, trims, and bounds via [`MvConfig`]) |
+//! | `epoch` | deferred reclamation that keeps lock-free reads memory-safe, plus the snapshot registry whose low watermark (cached off the commit hot path) bounds version-chain trimming |
 //! | [`cm`](ContentionManager) | pluggable retry policies |
 //! | `stats` | commit/abort/validation-probe counters |
 //! | [`recorder`] | opt-in t-operation history recording for the `ptm-model` checkers |
@@ -121,9 +121,9 @@ pub mod wal;
 pub use algo::adaptive::AdaptiveConfig;
 pub use cm::{CappedAttempts, ContentionManager, Decision, ExponentialBackoff, ImmediateRetry};
 pub use engine::{
-    Algorithm, Prepared, RetriesExhausted, Retry, RunAsync, Stm, StmBuilder, Transaction,
+    Algorithm, MvConfig, Prepared, RetriesExhausted, Retry, RunAsync, Stm, StmBuilder, Transaction,
 };
 pub use recorder::HistoryRecorder;
-pub use stats::{StatsSnapshot, StmStats};
+pub use stats::{ActiveMode, StatsSnapshot, StmStats};
 pub use tvar::{TVar, TxValue};
 pub use wal::{DurabilityHook, DurableTicket};

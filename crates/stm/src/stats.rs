@@ -41,7 +41,45 @@
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The read regime an instance is running: which hook family serves its
+/// reads, and therefore where on the paper's time–space tradeoff it
+/// sits. Static algorithms are fixed at build time; `Algorithm::Adaptive`
+/// moves between all three at runtime (see
+/// [`StatsSnapshot::active_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActiveMode {
+    /// Invisible single-version reads (Tl2-family hooks): optimistic
+    /// loads validated against versioned orec words.
+    #[default]
+    Invisible,
+    /// Visible reads (Tlrw hooks): announced per-stripe read locks.
+    Visible,
+    /// Multi-version snapshot reads (Mv hooks): version-chain walks at a
+    /// registered snapshot timestamp, never validated.
+    Multiversion,
+}
+
+impl ActiveMode {
+    fn from_u8(v: u8) -> ActiveMode {
+        match v {
+            1 => ActiveMode::Visible,
+            2 => ActiveMode::Multiversion,
+            _ => ActiveMode::Invisible,
+        }
+    }
+}
+
+impl fmt::Display for ActiveMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ActiveMode::Invisible => "invisible",
+            ActiveMode::Visible => "visible",
+            ActiveMode::Multiversion => "multiversion",
+        })
+    }
+}
 
 /// Counter shards per [`StmStats`] instance (power of two). Slots are
 /// hashed from the thread id, so collisions between concurrent threads
@@ -80,9 +118,16 @@ struct Shard {
     reads: AtomicU64,
     writes: AtomicU64,
     snapshot_reads: AtomicU64,
+    chain_walk_steps: AtomicU64,
     versions_trimmed: AtomicU64,
+    versions_evicted: AtomicU64,
+    eviction_aborts: AtomicU64,
     /// High-water mark, not a counter (`fetch_max`, summed by `max`).
     max_chain_len: AtomicU64,
+    /// High-water mark of the post-trim retained chain length — the
+    /// standing space bill, as opposed to `max_chain_len`'s pre-trim
+    /// spike.
+    versions_retained: AtomicU64,
     recorded_events: AtomicU64,
     mode_transitions: AtomicU64,
     parks: AtomicU64,
@@ -99,17 +144,18 @@ struct Shard {
 #[derive(Debug)]
 pub struct StmStats {
     shards: Box<[Shard]>,
-    /// Not a counter: the read-visibility regime currently in force
-    /// (static for the fixed algorithms, live for `Adaptive`). Written
-    /// only at build time and on mode switches, so it stays unsharded.
-    visible_mode: AtomicBool,
+    /// Not a counter: the read regime currently in force (static for the
+    /// fixed algorithms, live for `Adaptive`). Written only at build
+    /// time and on mode switches, so it stays unsharded. Encodes an
+    /// [`ActiveMode`] discriminant.
+    active_mode: AtomicU8,
 }
 
 impl Default for StmStats {
     fn default() -> Self {
         StmStats {
             shards: (0..SHARDS).map(|_| Shard::default()).collect(),
-            visible_mode: AtomicBool::new(false),
+            active_mode: AtomicU8::new(ActiveMode::Invisible as u8),
         }
     }
 }
@@ -126,6 +172,7 @@ pub(crate) struct OpTally {
     validation_probes: Cell<u64>,
     reader_conflicts: Cell<u64>,
     snapshot_reads: Cell<u64>,
+    chain_walk_steps: Cell<u64>,
     recorded_events: Cell<u64>,
 }
 
@@ -154,6 +201,10 @@ impl OpTally {
         bump(&self.snapshot_reads, 1);
     }
 
+    pub(crate) fn chain_walk(&self, steps: u64) {
+        bump(&self.chain_walk_steps, steps);
+    }
+
     pub(crate) fn recorded(&self, n: u64) {
         bump(&self.recorded_events, n);
     }
@@ -175,7 +226,11 @@ impl OpTally {
 /// stm.atomically(|tx| tx.modify(&v, |x| x + 1));
 /// let d = stm.stats().snapshot().since(&before);
 /// assert_eq!((d.commits, d.reads, d.writes), (1, 1, 1));
-/// assert!(!d.visible_mode, "Tl2 runs invisible reads");
+/// assert_eq!(
+///     d.active_mode,
+///     ptm_stm::ActiveMode::Invisible,
+///     "Tl2 runs invisible reads"
+/// );
 /// assert!(d.to_string().contains("commits=1"));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -200,10 +255,26 @@ pub struct StatsSnapshot {
     /// validation, never an abort. Always 0 under the single-version
     /// algorithms.
     pub snapshot_reads: u64,
+    /// Version-chain hops snapshot reads performed past the head
+    /// ([`Algorithm::Mv`](crate::Algorithm::Mv)): 0 when every read was
+    /// served by the newest version. The cost of camping — with skip
+    /// pointers it grows logarithmically in the chain length, not
+    /// linearly (see the `long_scan` camped-reader bench rung).
+    pub chain_walk_steps: u64,
     /// Superseded versions detached from their chains by the
     /// low-watermark collector (`Algorithm::Mv` commits). The space the
     /// multi-version design pays — and reclaims.
     pub versions_trimmed: u64,
+    /// Versions cut *past* the low watermark by the
+    /// [`MvConfig::max_versions`](crate::MvConfig::max_versions) bound —
+    /// versions an active snapshot might still have needed. Always 0
+    /// without the bound.
+    pub versions_evicted: u64,
+    /// Snapshot reads aborted because the version their snapshot named
+    /// had been evicted by the space bound (the oldest-snapshot-abort
+    /// rule; the retried attempt draws a fresh snapshot and succeeds).
+    /// Always 0 without the bound.
+    pub eviction_aborts: u64,
     /// The longest version chain any trim pass observed — a high-water
     /// mark, not a counter: [`since`](StatsSnapshot::since) carries the
     /// *later* snapshot's value through unchanged. Bounded by the span
@@ -211,6 +282,14 @@ pub struct StatsSnapshot {
     /// under the single-version algorithms (only Mv commits trim, and
     /// their chains never grow).
     pub max_chain_len: u64,
+    /// The longest *post-trim* chain any trim pass left behind — the
+    /// standing space bill (versions no watermark could free), where
+    /// `max_chain_len` is the pre-trim spike. A high-water mark like
+    /// `max_chain_len`: [`since`](StatsSnapshot::since) carries the
+    /// later snapshot's value through. Watch it against
+    /// [`MvConfig::max_versions`](crate::MvConfig::max_versions) to see
+    /// eviction pressure building.
+    pub versions_retained: u64,
     /// History markers captured by an attached
     /// [`HistoryRecorder`](crate::HistoryRecorder) (0 when recording is
     /// off).
@@ -250,14 +329,15 @@ pub struct StatsSnapshot {
     /// exactly once, so this equals `log_appends` once quiescent);
     /// [`StatsSnapshot::group_commit_size`] derives the mean batch.
     pub group_commit_records: u64,
-    /// Whether the instance was running **visible** reads (the
-    /// reader–writer orec format) when the snapshot was taken: `true`
-    /// for `Tlrw` and for `Adaptive` in its visible mode, `false`
-    /// otherwise. Point-in-time state, not a counter — [`since`]
+    /// The read regime in force when the snapshot was taken:
+    /// [`ActiveMode::Visible`] for `Tlrw`, [`ActiveMode::Multiversion`]
+    /// for `Mv`, [`ActiveMode::Invisible`] for the other static
+    /// algorithms — and, for `Adaptive`, wherever the controller
+    /// currently sits. Point-in-time state, not a counter — [`since`]
     /// carries the *later* snapshot's value through unchanged.
     ///
     /// [`since`]: StatsSnapshot::since
-    pub visible_mode: bool,
+    pub active_mode: ActiveMode,
 }
 
 impl StmStats {
@@ -282,6 +362,7 @@ impl StmStats {
         add(&s.validation_probes, &t.validation_probes);
         add(&s.reader_conflicts, &t.reader_conflicts);
         add(&s.snapshot_reads, &t.snapshot_reads);
+        add(&s.chain_walk_steps, &t.chain_walk_steps);
         add(&s.recorded_events, &t.recorded_events);
     }
 
@@ -294,11 +375,30 @@ impl StmStats {
     }
 
     /// Records a trim pass: `trimmed` versions detached from a chain
-    /// that held `chain_len` versions before the trim.
+    /// that held `chain_len` versions before the trim (so `chain_len -
+    /// trimmed` survive, feeding the retained high-water mark).
     pub(crate) fn trim(&self, chain_len: u64, trimmed: u64) {
         let s = self.local();
         s.versions_trimmed.fetch_add(trimmed, Ordering::Relaxed);
         s.max_chain_len.fetch_max(chain_len, Ordering::Relaxed);
+        s.versions_retained
+            .fetch_max(chain_len.saturating_sub(trimmed), Ordering::Relaxed);
+    }
+
+    /// Records `evicted` versions cut past the watermark by the
+    /// `max_versions` bound.
+    pub(crate) fn evict(&self, evicted: u64) {
+        if evicted != 0 {
+            self.local()
+                .versions_evicted
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a snapshot read aborted by eviction (cold path — the
+    /// attempt is about to retry — so it writes the shard directly).
+    pub(crate) fn eviction_abort(&self) {
+        self.local().eviction_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one attempt parking on the waiter lists. Cold path by
@@ -342,16 +442,16 @@ impl StmStats {
     }
 
     /// Records an adaptive mode switch and the regime it landed in.
-    pub(crate) fn mode_transition(&self, visible: bool) {
+    pub(crate) fn mode_transition(&self, mode: ActiveMode) {
         self.local()
             .mode_transitions
             .fetch_add(1, Ordering::Relaxed);
-        self.visible_mode.store(visible, Ordering::Relaxed);
+        self.active_mode.store(mode as u8, Ordering::Relaxed);
     }
 
-    /// Sets the initial read-visibility regime (builder-time).
-    pub(crate) fn set_visible_mode(&self, visible: bool) {
-        self.visible_mode.store(visible, Ordering::Relaxed);
+    /// Sets the initial read regime (builder-time).
+    pub(crate) fn set_active_mode(&self, mode: ActiveMode) {
+        self.active_mode.store(mode as u8, Ordering::Relaxed);
     }
 
     /// The bare commit count, for hot paths that must not pay a full
@@ -368,7 +468,7 @@ impl StmStats {
     /// the chain-length high-water mark takes their max.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut out = StatsSnapshot {
-            visible_mode: self.visible_mode.load(Ordering::Relaxed),
+            active_mode: ActiveMode::from_u8(self.active_mode.load(Ordering::Relaxed)),
             ..StatsSnapshot::default()
         };
         for s in self.shards.iter() {
@@ -380,8 +480,12 @@ impl StmStats {
             out.reads += ld(&s.reads);
             out.writes += ld(&s.writes);
             out.snapshot_reads += ld(&s.snapshot_reads);
+            out.chain_walk_steps += ld(&s.chain_walk_steps);
             out.versions_trimmed += ld(&s.versions_trimmed);
+            out.versions_evicted += ld(&s.versions_evicted);
+            out.eviction_aborts += ld(&s.eviction_aborts);
             out.max_chain_len = out.max_chain_len.max(ld(&s.max_chain_len));
+            out.versions_retained = out.versions_retained.max(ld(&s.versions_retained));
             out.recorded_events += ld(&s.recorded_events);
             out.mode_transitions += ld(&s.mode_transitions);
             out.parks += ld(&s.parks);
@@ -422,10 +526,14 @@ impl StatsSnapshot {
             reads: d(self.reads, earlier.reads),
             writes: d(self.writes, earlier.writes),
             snapshot_reads: d(self.snapshot_reads, earlier.snapshot_reads),
+            chain_walk_steps: d(self.chain_walk_steps, earlier.chain_walk_steps),
             versions_trimmed: d(self.versions_trimmed, earlier.versions_trimmed),
-            // High-water mark, not a counter: the delta reports the
+            versions_evicted: d(self.versions_evicted, earlier.versions_evicted),
+            eviction_aborts: d(self.eviction_aborts, earlier.eviction_aborts),
+            // High-water marks, not counters: the delta reports the
             // later snapshot's mark.
             max_chain_len: self.max_chain_len,
+            versions_retained: self.versions_retained,
             recorded_events: d(self.recorded_events, earlier.recorded_events),
             mode_transitions: d(self.mode_transitions, earlier.mode_transitions),
             parks: d(self.parks, earlier.parks),
@@ -437,7 +545,7 @@ impl StatsSnapshot {
             group_commit_records: d(self.group_commit_records, earlier.group_commit_records),
             // State, not a counter: the delta reports where the window
             // *ended up*.
-            visible_mode: self.visible_mode,
+            active_mode: self.active_mode,
         }
     }
 }
@@ -449,7 +557,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "commits={} aborts={} reads={} writes={} probes={} reader_conflicts={} \
-             snapshot_reads={} trimmed={} max_chain={} recorded={} transitions={} \
+             snapshot_reads={} walk_steps={} trimmed={} evicted={} eviction_aborts={} \
+             max_chain={} retained={} recorded={} transitions={} \
              parks={} wakes={} spurious={} yields={} log_appends={} fsyncs={} \
              group_commit={} mode={}",
             self.commits,
@@ -459,8 +568,12 @@ impl fmt::Display for StatsSnapshot {
             self.validation_probes,
             self.reader_conflicts,
             self.snapshot_reads,
+            self.chain_walk_steps,
             self.versions_trimmed,
+            self.versions_evicted,
+            self.eviction_aborts,
             self.max_chain_len,
+            self.versions_retained,
             self.recorded_events,
             self.mode_transitions,
             self.parks,
@@ -470,11 +583,7 @@ impl fmt::Display for StatsSnapshot {
             self.log_appends,
             self.fsyncs,
             self.group_commit_records,
-            if self.visible_mode {
-                "visible"
-            } else {
-                "invisible"
-            }
+            self.active_mode,
         )
     }
 }
@@ -505,10 +614,14 @@ mod tests {
             t.recorded(4);
             t.snapshot_read();
             t.snapshot_read();
+            t.chain_walk(7);
         });
         s.trim(5, 3);
         s.trim(2, 1);
-        s.mode_transition(true);
+        s.evict(2);
+        s.evict(0);
+        s.eviction_abort();
+        s.mode_transition(ActiveMode::Visible);
         s.park();
         s.park();
         s.woke(3);
@@ -529,8 +642,12 @@ mod tests {
         assert_eq!(snap.writes, 1);
         assert_eq!(snap.recorded_events, 4);
         assert_eq!(snap.snapshot_reads, 2);
+        assert_eq!(snap.chain_walk_steps, 7);
         assert_eq!(snap.versions_trimmed, 4);
+        assert_eq!(snap.versions_evicted, 2);
+        assert_eq!(snap.eviction_aborts, 1);
         assert_eq!(snap.max_chain_len, 5, "high-water mark, not a sum");
+        assert_eq!(snap.versions_retained, 2, "post-trim high-water mark");
         assert_eq!(snap.mode_transitions, 1);
         assert_eq!(snap.parks, 2);
         assert_eq!(snap.wakes, 3);
@@ -540,11 +657,13 @@ mod tests {
         assert_eq!(snap.fsyncs, 1);
         assert_eq!(snap.group_commit_records, 3);
         assert_eq!(snap.group_commit_size(), 3.0);
-        assert!(snap.visible_mode);
-        s.mode_transition(false);
+        assert_eq!(snap.active_mode, ActiveMode::Visible);
+        s.mode_transition(ActiveMode::Multiversion);
         let snap = s.snapshot();
         assert_eq!(snap.mode_transitions, 2);
-        assert!(!snap.visible_mode);
+        assert_eq!(snap.active_mode, ActiveMode::Multiversion);
+        s.mode_transition(ActiveMode::Invisible);
+        assert_eq!(s.snapshot().active_mode, ActiveMode::Invisible);
     }
 
     #[test]
@@ -563,10 +682,11 @@ mod tests {
         assert_eq!(
             line,
             "commits=1 aborts=0 reads=0 writes=0 probes=2 reader_conflicts=1 snapshot_reads=0 \
-             trimmed=0 max_chain=0 recorded=6 transitions=0 parks=1 wakes=1 spurious=0 \
+             walk_steps=0 trimmed=0 evicted=0 eviction_aborts=0 max_chain=0 retained=0 \
+             recorded=6 transitions=0 parks=1 wakes=1 spurious=0 \
              yields=1 log_appends=0 fsyncs=0 group_commit=0 mode=invisible"
         );
-        s.mode_transition(true);
+        s.mode_transition(ActiveMode::Visible);
         s.log_append();
         s.fsync_batch(1);
         let line = s.snapshot().to_string();
@@ -577,6 +697,9 @@ mod tests {
             ),
             "{line}"
         );
+        s.mode_transition(ActiveMode::Multiversion);
+        let line = s.snapshot().to_string();
+        assert!(line.ends_with("mode=multiversion"), "{line}");
     }
 
     #[test]
@@ -595,13 +718,17 @@ mod tests {
     #[test]
     fn since_carries_the_later_mode_through() {
         let s = StmStats::default();
-        s.set_visible_mode(true);
+        s.set_active_mode(ActiveMode::Visible);
         let a = s.snapshot();
-        s.mode_transition(false);
+        s.mode_transition(ActiveMode::Multiversion);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.mode_transitions, 1);
-        assert!(!d.visible_mode, "delta reports where the window ended up");
+        assert_eq!(
+            d.active_mode,
+            ActiveMode::Multiversion,
+            "delta reports where the window ended up"
+        );
     }
 
     #[test]
@@ -651,6 +778,7 @@ mod tests {
         assert_eq!(snap.recorded_events, 3 * per.div_ceil(4) * n);
         assert_eq!(snap.versions_trimmed, n);
         assert_eq!(snap.max_chain_len, threads as u64 - 1, "max across shards");
+        assert_eq!(snap.versions_retained, threads as u64 - 2);
     }
 
     #[test]

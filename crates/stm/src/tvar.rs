@@ -55,6 +55,14 @@ impl<T: Any + Send + Sync + Clone + PartialEq> TxValue for T {}
 /// is not knowable yet), so neither taking nor skipping it is sound.
 const PENDING: u64 = u64::MAX;
 
+/// Marker returned by a snapshot read that walked off the end of a chain
+/// the space bound ([`crate::MvConfig::max_versions`]) has evicted from:
+/// the version the snapshot names is gone, and the only sound answer is
+/// to abort the attempt (the retry draws a fresh snapshot that the
+/// retained chain can serve) — the oldest-snapshot-abort rule.
+#[derive(Debug)]
+pub(crate) struct Evicted;
+
 /// One link of a [`TVar`]'s version chain: an immutable value, the
 /// commit timestamp that published it, and the version it superseded.
 struct Version<T> {
@@ -67,14 +75,34 @@ struct Version<T> {
     stamp: AtomicU64,
     /// Next-older retained version; null at the chain's end.
     prev: AtomicPtr<Version<T>>,
+    /// Append-order index (0 for nodes installed outside Mv appends),
+    /// driving the Fenwick-style skip targeting. Strictly decreasing
+    /// down any chain; never mutated once the node is reachable.
+    idx: u64,
+    /// Skip link to a strictly older retained node (null: none), letting
+    /// [`TVarInner::read_at_counted`] descend a long chain in
+    /// O(log² chain) hops instead of O(chain). Purely an accelerator —
+    /// every skip target is also reachable through `prev` — but a
+    /// *clamped* one: trims re-aim any skip that would cross the cut
+    /// (see `trim_chain`/`cap_chain`), so following a skip can never
+    /// leave the retained chain.
+    skip: AtomicPtr<Version<T>>,
 }
 
 impl<T> Version<T> {
-    fn boxed(value: T, stamp: u64, prev: *mut Version<T>) -> *mut Version<T> {
+    fn boxed(
+        value: T,
+        stamp: u64,
+        prev: *mut Version<T>,
+        idx: u64,
+        skip: *mut Version<T>,
+    ) -> *mut Version<T> {
         Box::into_raw(Box::new(Version {
             value,
             stamp: AtomicU64::new(stamp),
             prev: AtomicPtr::new(prev),
+            idx,
+            skip: AtomicPtr::new(skip),
         }))
     }
 
@@ -152,6 +180,14 @@ pub(crate) trait AnyTVar: Send + Sync {
     /// chain has exactly one mutator at a time).
     fn trim_chain(&self, watermark: u64, out: &mut Vec<Retired>) -> (usize, usize);
 
+    /// Cuts the chain to at most `max` newest versions *regardless of
+    /// the watermark* — the [`crate::MvConfig::max_versions`] space
+    /// bound. Evicted versions may still be named by an active snapshot;
+    /// the chain remembers the newest evicted stamp so such a snapshot's
+    /// walk aborts ([`Evicted`]) instead of reading a wrong value.
+    /// Returns the number evicted. Caller holds the stripe lock.
+    fn cap_chain(&self, max: usize, out: &mut Vec<Retired>) -> usize;
+
     /// Whether the current (newest) value equals the given snapshot.
     fn value_eq(&self, pin: &Guard, snapshot: &(dyn Any + Send)) -> bool;
 }
@@ -162,12 +198,24 @@ pub(crate) struct TVarInner<T> {
     /// writer's exclusion); displaced or trimmed versions are freed by
     /// the epoch collector, and the final chain by `Drop`.
     head: AtomicPtr<Version<T>>,
+    /// Newest stamp ever evicted past the watermark by `cap_chain` (0:
+    /// never). A snapshot walk that falls off the chain's end consults
+    /// it to tell eviction (abort) from sequential handoff (fall back to
+    /// the head). Monotone via `fetch_max`.
+    evicted_stamp: AtomicU64,
 }
 
 impl<T: TxValue> TVarInner<T> {
     fn new(value: T) -> Self {
         TVarInner {
-            head: AtomicPtr::new(Version::boxed(value, 0, std::ptr::null_mut())),
+            head: AtomicPtr::new(Version::boxed(
+                value,
+                0,
+                std::ptr::null_mut(),
+                0,
+                std::ptr::null_mut(),
+            )),
+            evicted_stamp: AtomicU64::new(0),
         }
     }
 
@@ -189,32 +237,109 @@ impl<T: TxValue> TVarInner<T> {
     }
 
     /// Clones the newest version stamped `<= rv` — the multi-version
-    /// snapshot read. No orec probe, no validation, no abort: the trim
-    /// rule keeps the chain's oldest retained version at or below every
-    /// snapshot drawn from this instance's clock, so in-instance walks
-    /// always find their version. Walking off the end only arises when a
-    /// variable written under one `Stm` is later read under another
-    /// whose (fresh, smaller) clock is below every retained stamp — a
-    /// sequential handoff, where the correct answer is the *current*
-    /// value: fall back to the head, agreeing with [`Self::
-    /// read_snapshot`] and every single-version algorithm.
+    /// snapshot read, ignoring eviction and walk accounting. Thin
+    /// wrapper over [`Self::read_at_counted`] for tests that want the
+    /// unbounded-chain semantics (a chain that has never evicted cannot
+    /// return `Evicted`).
+    #[cfg(test)]
     pub(crate) fn read_at(&self, pin: &Guard, rv: u64) -> T {
+        match self.read_at_counted(pin, rv) {
+            Ok((value, _)) => value,
+            Err(Evicted) => self.read_snapshot(pin),
+        }
+    }
+
+    /// The snapshot read proper: clones the newest version stamped
+    /// `<= rv` and reports how many chain hops past the head the walk
+    /// took. No orec probe, no validation: the trim rule keeps the
+    /// chain's oldest retained version at or below every snapshot drawn
+    /// from this instance's clock, so in-instance walks always find
+    /// their version — except when [`AnyTVar::cap_chain`] evicted it,
+    /// which the walk reports as `Err(Evicted)` (abort and retry with a
+    /// fresh snapshot). Walking off the end *without* eviction history
+    /// only arises when a variable written under one `Stm` is later read
+    /// under another whose (fresh, smaller) clock is below every
+    /// retained stamp — a sequential handoff, where the correct answer
+    /// is the *current* value: fall back to the head, agreeing with
+    /// [`Self::read_snapshot`] and every single-version algorithm.
+    ///
+    /// The walk descends by skip pointer where it can: a skip target
+    /// whose stamp still exceeds `rv` can be jumped to directly, because
+    /// every node between is *newer* than the target (stamps strictly
+    /// decrease down an appended chain) and therefore also exceeds `rv`.
+    /// A skip whose target is at or below `rv` is refused — the answer
+    /// could be a node between — and the walk takes `prev` instead.
+    /// Against the Fenwick-shaped skips `append_boxed` builds this is
+    /// O(log² chain) hops; correctness never depends on the skips, only
+    /// on `prev`.
+    pub(crate) fn read_at_counted(&self, pin: &Guard, rv: u64) -> Result<(T, u64), Evicted> {
+        let mut steps = 0u64;
         let mut p = self.head.load(Ordering::Acquire);
         loop {
             // SAFETY: as in `read_snapshot` — every node reachable from
             // the head was fully published and is kept alive by the pin;
             // trimming detaches only suffixes no snapshot `>= watermark`
-            // can walk into, and this snapshot is `>= watermark` by the
-            // registry's floor-first scan (see `SnapshotRegistry`).
+            // can walk into, this snapshot is `>= watermark` by the
+            // registry's floor-first scan (see `SnapshotRegistry`), and
+            // skip pointers are clamped inside the retained chain before
+            // any detach.
             let node = unsafe { &*p };
             if node.stamp() <= rv {
-                return node.value.clone();
+                return Ok((node.value.clone(), steps));
+            }
+            steps += 1;
+            let skip = node.skip.load(Ordering::Acquire);
+            if !skip.is_null() {
+                // SAFETY: clamped within the chain, alive under the pin.
+                let s = unsafe { &*skip };
+                if s.stamp() > rv {
+                    p = skip;
+                    continue;
+                }
             }
             let prev = node.prev.load(Ordering::Acquire);
             if prev.is_null() {
-                return self.read_snapshot(pin);
+                return if self.evicted_stamp.load(Ordering::Acquire) != 0 {
+                    Err(Evicted)
+                } else {
+                    Ok((self.read_snapshot(pin), steps))
+                };
             }
             p = prev;
+        }
+    }
+
+    /// Computes the append-order index and skip target for a node about
+    /// to be pushed over `prev`. A node with index `i` aims its skip at
+    /// the live node nearest index `i & (i - 1)` (lowest set bit
+    /// cleared) — the implicit tree a Fenwick array uses — reachable
+    /// from `prev` in O(log i) hops, because repeatedly clearing the
+    /// lowest set bit of `i - 1` descends exactly through that index's
+    /// prefixes. Trimming may have freed the exact target; the walk then
+    /// settles on the chain's end, which only shortens future skips,
+    /// never breaks them.
+    fn skip_for(prev: *mut Version<T>) -> (u64, *mut Version<T>) {
+        // SAFETY: `prev` is the live head (the caller holds the stripe
+        // lock), and every skip/prev pointer reachable from it stays
+        // within the retained chain (the clamping invariant upheld by
+        // `trim_chain`/`cap_chain`).
+        unsafe {
+            let i = (*prev).idx.wrapping_add(1);
+            let target = i & i.wrapping_sub(1);
+            let mut cur = prev;
+            while (*cur).idx > target {
+                let s = (*cur).skip.load(Ordering::Relaxed);
+                if !s.is_null() && (*s).idx >= target {
+                    cur = s;
+                } else {
+                    let p = (*cur).prev.load(Ordering::Relaxed);
+                    if p.is_null() {
+                        break;
+                    }
+                    cur = p;
+                }
+            }
+            (i, cur)
         }
     }
 
@@ -249,8 +374,9 @@ impl<T: TxValue> AnyTVar for TVarInner<T> {
         let value: Box<T> = value.downcast().expect("write-set type");
         // Stamp 0: single-version algorithms never read stamps, and 0
         // keeps the value visible to every snapshot if the variable is
-        // later handed (sequentially) to an Mv instance.
-        let node = Version::boxed(*value, 0, std::ptr::null_mut());
+        // later handed (sequentially) to an Mv instance. Index restarts
+        // at 0 — the swapped-in node heads a fresh one-element chain.
+        let node = Version::boxed(*value, 0, std::ptr::null_mut(), 0, std::ptr::null_mut());
         let old = self.head.swap(node, Ordering::AcqRel);
         // The displaced node still owns its `prev` chain; retiring it
         // frees the whole suffix once no pinned reader remains.
@@ -260,7 +386,8 @@ impl<T: TxValue> AnyTVar for TVarInner<T> {
     fn append_boxed(&self, value: Box<dyn Any + Send>) {
         let value: Box<T> = value.downcast().expect("write-set type");
         let prev = self.head.load(Ordering::Relaxed);
-        let node = Version::boxed(*value, PENDING, prev);
+        let (idx, skip) = TVarInner::<T>::skip_for(prev);
+        let node = Version::boxed(*value, PENDING, prev, idx, skip);
         // Plain store, not a swap: the stripe lock gives this committer
         // sole write access to the chain; Release publishes the node's
         // initialization to readers.
@@ -300,8 +427,28 @@ impl<T: TxValue> AnyTVar for TVarInner<T> {
         }
         // Everything below `keep` is unreachable: an active snapshot has
         // `rv >= watermark >= stamp(keep)`, so its walk stops at `keep`
-        // or newer. Detach the suffix and retire its top node — its drop
-        // frees the rest of the chain.
+        // or newer. Before detaching, clamp every skip in the retained
+        // prefix that aims below the cut onto `keep` itself — skips must
+        // never escape the retained chain (readers would chase freed
+        // nodes), and `keep` preserves most of the jump distance.
+        // SAFETY: head..=keep are live (reachable, lock held); in-flight
+        // readers that already loaded an old skip still hold epoch pins,
+        // which keep the detached suffix alive until they unpin.
+        unsafe {
+            let keep_idx = (*keep).idx;
+            let mut p = self.head.load(Ordering::Relaxed);
+            while p != keep {
+                let s = (*p).skip.load(Ordering::Relaxed);
+                if !s.is_null() && (*s).idx < keep_idx {
+                    (*p).skip.store(keep, Ordering::Release);
+                }
+                p = (*p).prev.load(Ordering::Relaxed);
+            }
+            // `keep` becomes the chain's tail, and its own skip — whose
+            // target always has a strictly smaller index — can only aim
+            // into the detached suffix: clear it.
+            (*keep).skip.store(std::ptr::null_mut(), Ordering::Release);
+        }
         // SAFETY: `keep` is live (reachable, lock held).
         let dropped = unsafe { (*keep).prev.swap(std::ptr::null_mut(), Ordering::AcqRel) };
         if dropped.is_null() {
@@ -317,6 +464,63 @@ impl<T: TxValue> AnyTVar for TVarInner<T> {
         }
         out.push(Retired::new(dropped));
         (retained, trimmed)
+    }
+
+    fn cap_chain(&self, max: usize, out: &mut Vec<Retired>) -> usize {
+        let max = max.max(1);
+        // Walk `max - 1` prevs from the head to the last version the
+        // bound lets us keep.
+        let mut last = self.head.load(Ordering::Relaxed);
+        for _ in 1..max {
+            // SAFETY: reachable nodes are live; stripe lock held.
+            let prev = unsafe { (*last).prev.load(Ordering::Relaxed) };
+            if prev.is_null() {
+                return 0; // chain already within bound
+            }
+            last = prev;
+        }
+        // SAFETY: `last` is live (reachable, lock held).
+        let last_idx = unsafe { (*last).idx };
+        if unsafe { (*last).prev.load(Ordering::Relaxed) }.is_null() {
+            return 0;
+        }
+        // Same clamping invariant as `trim_chain`: re-aim every retained
+        // skip that targets the about-to-be-evicted suffix onto `last`.
+        // SAFETY: head..=last are live; epoch pins keep the evicted
+        // suffix alive for readers that already loaded a pointer into it.
+        unsafe {
+            let mut p = self.head.load(Ordering::Relaxed);
+            while p != last {
+                let s = (*p).skip.load(Ordering::Relaxed);
+                if !s.is_null() && (*s).idx < last_idx {
+                    (*p).skip.store(last, Ordering::Release);
+                }
+                p = (*p).prev.load(Ordering::Relaxed);
+            }
+            // As in `trim_chain`: the new tail's own skip can only aim
+            // into the evicted suffix.
+            (*last).skip.store(std::ptr::null_mut(), Ordering::Release);
+        }
+        // SAFETY: `last` is live; the detached suffix becomes this
+        // thread's to count and retire.
+        let dropped = unsafe { (*last).prev.swap(std::ptr::null_mut(), Ordering::AcqRel) };
+        debug_assert!(!dropped.is_null());
+        // Record the newest stamp we evicted: a snapshot walk that later
+        // falls off the chain end knows its version may have been here,
+        // and must abort rather than mis-read (oldest-snapshot-abort).
+        // SAFETY: the suffix is unreachable from the head, single owner.
+        let mut evicted = 0;
+        unsafe {
+            self.evicted_stamp
+                .fetch_max((*dropped).stamp.load(Ordering::Acquire), Ordering::AcqRel);
+            let mut p = dropped;
+            while !p.is_null() {
+                evicted += 1;
+                p = (*p).prev.load(Ordering::Relaxed);
+            }
+        }
+        out.push(Retired::new(dropped));
+        evicted
     }
 
     fn value_eq(&self, pin: &Guard, snapshot: &(dyn Any + Send)) -> bool {
@@ -570,5 +774,177 @@ mod tests {
             v.inner.stamp_head(i + 1);
         }
         drop(v);
+    }
+
+    /// Skip-free reference walk: the newest version stamped `<= rv` by
+    /// `prev` pointers only, or `None` off the chain's end.
+    fn linear_read(v: &TVar<u64>, rv: u64) -> Option<u64> {
+        let mut p = v.inner.head.load(Ordering::Acquire);
+        // SAFETY: reachable nodes are live (tests hold no concurrent
+        // trimmer; single-threaded).
+        unsafe {
+            loop {
+                let node = &*p;
+                if node.stamp.load(Ordering::Acquire) <= rv {
+                    return Some(node.value);
+                }
+                let prev = node.prev.load(Ordering::Acquire);
+                if prev.is_null() {
+                    return None;
+                }
+                p = prev;
+            }
+        }
+    }
+
+    #[test]
+    fn camped_snapshot_walks_are_sublinear_in_chain_length() {
+        // A reader camped at the chain's old end is the pathological
+        // case skip pointers exist for: the linear walk is O(chain),
+        // the Fenwick-shaped skips bound it to O(log² chain).
+        let v = TVar::new(0u64);
+        for wv in 1..=1024u64 {
+            v.inner.append_boxed(Box::new(wv));
+            v.inner.stamp_head(wv);
+        }
+        let pin = epoch::pin();
+        let (val, steps) = v.inner.read_at_counted(&pin, 0).unwrap();
+        assert_eq!(val, 0);
+        assert!(
+            steps <= 150,
+            "camped walk took {steps} hops on a 1024-version chain"
+        );
+        let (val, steps) = v.inner.read_at_counted(&pin, 512).unwrap();
+        assert_eq!(val, 512);
+        assert!(steps <= 150, "mid-chain walk took {steps} hops");
+        // The head fast path stays free.
+        let (val, steps) = v.inner.read_at_counted(&pin, 1024).unwrap();
+        assert_eq!((val, steps), (1024, 0));
+    }
+
+    #[test]
+    fn cap_chain_evicts_oldest_and_aborts_stale_snapshots() {
+        let v = TVar::new(0u64);
+        for wv in 1..=8u64 {
+            v.inner.append_boxed(Box::new(wv * 10));
+            v.inner.stamp_head(wv);
+        }
+        assert_eq!(v.versions_retained(), 9);
+        let mut out = Vec::new();
+        // Within the bound: no-ops.
+        assert_eq!(v.inner.cap_chain(16, &mut out), 0);
+        assert_eq!(v.inner.cap_chain(9, &mut out), 0);
+        // Cap to the 3 newest (stamps 6, 7, 8): stamps 0..=5 go.
+        assert_eq!(v.inner.cap_chain(3, &mut out), 6);
+        assert_eq!(v.versions_retained(), 3);
+        assert_eq!(v.inner.evicted_stamp.load(Ordering::Relaxed), 5);
+        let pin = epoch::pin();
+        // Snapshots at or past the cut still resolve...
+        assert_eq!(v.inner.read_at_counted(&pin, 6).unwrap().0, 60);
+        assert_eq!(v.inner.read_at_counted(&pin, 8).unwrap().0, 80);
+        // ...an older snapshot aborts instead of mis-reading.
+        assert!(v.inner.read_at_counted(&pin, 4).is_err());
+        // A zero cap behaves as 1: the head is never evicted.
+        assert_eq!(v.inner.cap_chain(0, &mut out), 2);
+        assert_eq!(v.versions_retained(), 1);
+        drop(pin);
+        epoch::retire_batch(out);
+    }
+
+    #[test]
+    fn skips_are_clamped_inside_the_retained_chain_across_trims() {
+        // Interleave appends with trims and caps so later `skip_for`
+        // walks and snapshot reads traverse chains whose skips were
+        // re-aimed at cut nodes — and whose detached targets were really
+        // freed (regression: the cut node's own skip must be cleared).
+        let v = TVar::new(0u64);
+        let mut out = Vec::new();
+        for wv in 1..=96u64 {
+            v.inner.append_boxed(Box::new(wv));
+            v.inner.stamp_head(wv);
+            if wv % 16 == 0 {
+                v.inner.trim_chain(wv - 5, &mut out);
+                epoch::retire_batch(std::mem::take(&mut out));
+            } else if wv % 7 == 0 {
+                v.inner.cap_chain(9, &mut out);
+                epoch::retire_batch(std::mem::take(&mut out));
+            }
+        }
+        let pin = epoch::pin();
+        for rv in 91..=97u64 {
+            assert_eq!(v.inner.read_at_counted(&pin, rv).unwrap().0, rv.min(96));
+        }
+    }
+
+    mod skip_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One scripted chain mutation: `(kind, magnitude)`.
+        fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u64)>> {
+            proptest::collection::vec((0u8..4, 0u64..12), 1..60)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            // The acceptance oracle for skip pointers: over arbitrary
+            // append/trim/cap histories (with the monotone stamps real
+            // commits produce), the skip walk returns exactly what the
+            // naive linear walk returns, for every snapshot time.
+            #[test]
+            fn skip_walks_agree_with_linear_walks(ops in ops_strategy()) {
+                let v = TVar::new(0u64);
+                let mut clock = 0u64;
+                let mut out = Vec::new();
+                for (kind, arg) in ops {
+                    match kind {
+                        // Appends dominate the mix so chains get long.
+                        0 | 1 => {
+                            clock += 1 + arg % 3;
+                            v.inner.append_boxed(Box::new(clock));
+                            v.inner.stamp_head(clock);
+                        }
+                        2 => {
+                            v.inner.trim_chain(clock.saturating_sub(arg), &mut out);
+                        }
+                        _ => {
+                            v.inner.cap_chain(1 + arg as usize, &mut out);
+                        }
+                    }
+                    epoch::retire_batch(std::mem::take(&mut out));
+                    let pin = epoch::pin();
+                    for rv in 0..=clock + 1 {
+                        match (v.inner.read_at_counted(&pin, rv), linear_read(&v, rv)) {
+                            (Ok((val, _)), Some(lin)) => prop_assert_eq!(val, lin),
+                            (Err(Evicted), None) => {
+                                // Both walked off the end of a capped
+                                // chain: the abort is the contract.
+                                prop_assert!(
+                                    v.inner.evicted_stamp.load(Ordering::Relaxed) != 0
+                                );
+                            }
+                            (Ok((val, _)), None) => {
+                                // Sequential-handoff fallback: only on a
+                                // never-evicted chain, answering the
+                                // current value.
+                                prop_assert_eq!(
+                                    v.inner.evicted_stamp.load(Ordering::Relaxed),
+                                    0
+                                );
+                                prop_assert_eq!(val, v.load());
+                            }
+                            (Err(Evicted), Some(lin)) => {
+                                prop_assert!(
+                                    false,
+                                    "skip walk aborted where the linear walk found {}",
+                                    lin
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -13,7 +13,8 @@
 
 use progressive_tm::model::{is_opaque, History};
 use progressive_tm::stm::{
-    AdaptiveConfig, Algorithm, CappedAttempts, HistoryRecorder, RetriesExhausted, Retry, Stm, TVar,
+    ActiveMode, AdaptiveConfig, Algorithm, CappedAttempts, HistoryRecorder, MvConfig,
+    RetriesExhausted, Retry, Stm, TVar,
 };
 use std::sync::Arc;
 
@@ -625,6 +626,119 @@ fn mv_sequential_handoff_reads_the_current_value() {
     assert_eq!(v.load(), 30);
 }
 
+#[test]
+fn mv_capped_chains_stay_bounded_and_evictions_stay_opaque() {
+    // `MvConfig::max_versions` restores the simulated ring's oldest-
+    // snapshot-abort semantics: a camped snapshot the ring rolled past
+    // pays an observable eviction abort and retries at a fresh snapshot,
+    // retention stays bounded by the cap, concurrent transfers still
+    // conserve, and the whole recorded run — eviction abort included —
+    // passes the opacity checker.
+    let rec = HistoryRecorder::new();
+    let stm = Arc::new(
+        Stm::builder(Algorithm::Mv)
+            .mv_config(MvConfig {
+                max_versions: Some(4),
+            })
+            .record_history(rec.clone())
+            .build(),
+    );
+
+    // Part 1: the deterministic eviction. A camper thread pins snapshot
+    // 0, the main thread rolls the 4-deep ring 32 versions past it
+    // (channel-sequenced, so the interleaving is exact), and the
+    // camper's next read must abort-and-retry rather than serve an
+    // evicted version. The storm runs on its own thread because the
+    // recorder's history parser (correctly) rejects transactions
+    // nested on one thread as overlapping.
+    let v = TVar::new(0u64);
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let (go_tx, go_rx) = std::sync::mpsc::channel();
+    let (last, attempts) = std::thread::scope(|s| {
+        let camper = {
+            let stm = Arc::clone(&stm);
+            let v = v.clone();
+            s.spawn(move || {
+                let attempts = std::cell::Cell::new(0u64);
+                let last = stm.atomically(|tx| {
+                    attempts.set(attempts.get() + 1);
+                    let seen = tx.read(&v)?;
+                    if attempts.get() == 1 {
+                        assert_eq!(seen, 0, "the camper pinned the initial snapshot");
+                        ready_tx.send(()).unwrap();
+                        go_rx.recv().unwrap();
+                    }
+                    tx.read(&v)
+                });
+                (last, attempts.get())
+            })
+        };
+        ready_rx.recv().unwrap();
+        // 16 versions against a 4-cap; the whole run stays under the
+        // opacity checker's 128-transaction search bound.
+        for i in 1..=16u64 {
+            stm.atomically(|t2| t2.write(&v, i));
+        }
+        go_tx.send(()).unwrap();
+        camper.join().unwrap()
+    });
+    assert_eq!(last, 16, "the eviction retry reads the current value");
+    assert_eq!(attempts, 2, "exactly one eviction abort-and-retry");
+    assert!(
+        v.versions_retained() <= 5,
+        "cap (+ in-flight head) bounds retention, got {}",
+        v.versions_retained()
+    );
+
+    // Part 2: conformance under the cap — deterministic concurrent
+    // transfers on the same instance must conserve the total.
+    const ACCOUNTS: usize = 8;
+    let accounts: Vec<TVar<u64>> = (0..ACCOUNTS).map(|_| TVar::new(1_000)).collect();
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let stm = Arc::clone(&stm);
+            let accounts = accounts.clone();
+            s.spawn(move || {
+                for i in 0..40 {
+                    let from = (t + i) as usize % ACCOUNTS;
+                    let to = (t + 3 * i + 1) as usize % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let amt = 1 + (t + i) % 5;
+                    stm.atomically(|tx| {
+                        let a = tx.read(&accounts[from])?;
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - amt)?;
+                        tx.write(&accounts[to], b + amt)
+                    });
+                }
+            });
+        }
+    });
+    let total: u64 = accounts.iter().map(TVar::load).sum();
+    assert_eq!(total, ACCOUNTS as u64 * 1_000, "conservation under the cap");
+
+    let d = stm.stats().snapshot();
+    assert!(d.eviction_aborts >= 1, "the eviction was observable");
+    assert!(
+        d.versions_evicted >= 12,
+        "the ring rolled through the storm"
+    );
+    assert!(
+        d.max_chain_len <= 5,
+        "no chain outgrew the cap, got {}",
+        d.max_chain_len
+    );
+
+    let h = History::from_log(&rec.drain()).expect("recorded history is well-formed");
+    assert!(h.is_complete(), "every attempt is t-complete");
+    assert!(
+        is_opaque(&h),
+        "a history with an eviction abort must stay opaque"
+    );
+}
+
 /// The deterministic two-phase workload behind the mid-switch tests:
 /// a write-heavy transfer phase (drives Adaptive visible) followed by a
 /// read-mostly scan phase (drives it back invisible). Transfer amounts
@@ -711,8 +825,9 @@ fn adaptive_mode_switch_mid_workload_preserves_balances() {
         "the workload must force a round trip, got {}",
         snap.mode_transitions
     );
-    assert!(
-        !snap.visible_mode,
+    assert_eq!(
+        snap.active_mode,
+        ActiveMode::Invisible,
         "the read-mostly tail must land the engine back in invisible mode"
     );
     assert_eq!(stm.active_mode(), Algorithm::Tl2);
@@ -739,6 +854,107 @@ fn adaptive_mode_switch_mid_workload_records_an_opaque_history() {
     assert!(
         is_opaque(&h),
         "history recorded across a mode switch must be opaque"
+    );
+}
+
+/// The deterministic two-phase workload behind the double-transition
+/// test: a scan-heavy phase (long read-only transactions drive Adaptive
+/// into multiversion mode) followed by a write-heavy transfer phase
+/// (drives it on to visible mode). Transfer amounts are a pure function
+/// of the per-thread streams and never balance-capped, so the final
+/// balances are schedule-independent.
+fn scan_then_write_run(stm: &Arc<Stm>) -> Vec<u64> {
+    const ACCOUNTS: usize = 16;
+    const THREADS: usize = 2;
+    const PER_PHASE: u64 = 24;
+    let accounts: Vec<TVar<u64>> = (0..ACCOUNTS).map(|_| TVar::new(1_000)).collect();
+    // Phase 1: scan-heavy — every transaction reads all sixteen accounts.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let stm = Arc::clone(stm);
+            let accounts = accounts.clone();
+            s.spawn(move || {
+                for _ in 0..PER_PHASE {
+                    let sum = stm.atomically(|tx| {
+                        let mut acc = 0u64;
+                        for a in &accounts {
+                            acc += tx.read(a)?;
+                        }
+                        Ok(acc)
+                    });
+                    assert_eq!(sum, ACCOUNTS as u64 * 1_000, "scan saw a torn total");
+                }
+            });
+        }
+    });
+    // Phase 2: write-heavy transfers (2 reads / 2 writes per commit).
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = Arc::clone(stm);
+            let accounts = accounts.clone();
+            s.spawn(move || {
+                for i in 0..PER_PHASE {
+                    let from = (t as u64 + i) as usize % ACCOUNTS;
+                    let to = (t as u64 + 5 * i + 1) as usize % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let amt = 1 + (t as u64 + i) % 7;
+                    stm.atomically(|tx| {
+                        let a = tx.read(&accounts[from])?;
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - amt)?;
+                        tx.write(&accounts[to], b + amt)
+                    });
+                }
+            });
+        }
+    });
+    accounts.iter().map(TVar::load).collect()
+}
+
+#[test]
+fn adaptive_double_transition_through_multiversion_stays_opaque() {
+    // Tl2 -> Mv -> Tlrw in one run: the scan-heavy phase routes the
+    // engine into multiversion mode, the write-heavy phase routes it on
+    // to visible mode, and both epoch-quiesced transitions must preserve
+    // balances and record an opaque history.
+    let baseline = scan_then_write_run(&Arc::new(Stm::tl2()));
+    let rec = HistoryRecorder::new();
+    let stm = Arc::new(
+        Stm::builder(Algorithm::Adaptive)
+            .adaptive_config(AdaptiveConfig {
+                window_commits: 4,
+                hysteresis_windows: 1,
+                mv_scan_reads: 8.0,
+                ..AdaptiveConfig::default()
+            })
+            .record_history(rec.clone())
+            .build(),
+    );
+    let balances = scan_then_write_run(&stm);
+    assert_eq!(baseline, balances, "mode switches changed the outcome");
+    let snap = stm.stats().snapshot();
+    assert!(
+        snap.mode_transitions >= 2,
+        "the workload must cross two modes, got {}",
+        snap.mode_transitions
+    );
+    assert!(
+        snap.snapshot_reads > 0,
+        "multiversion mode must have served reads along the way"
+    );
+    assert_eq!(
+        snap.active_mode,
+        ActiveMode::Visible,
+        "the write-heavy tail must land the engine in visible mode"
+    );
+    assert_eq!(stm.active_mode(), Algorithm::Tlrw);
+    let h = History::from_log(&rec.drain()).expect("recorded history is well-formed");
+    assert!(h.is_complete(), "every attempt is t-complete");
+    assert!(
+        is_opaque(&h),
+        "history recorded across Tl2 -> Mv -> Tlrw must be opaque"
     );
 }
 
